@@ -1,0 +1,40 @@
+//! Figure 1 bench: one full benchmark run per placement scheme x kernel
+//! migration setting, at Tiny scale so Criterion can sample repeatedly.
+//! The simulated-seconds outputs are the Figure 1 series; Criterion times
+//! how long regenerating each bar takes on the host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nas::{BenchName, EngineMode, RunConfig, Scale};
+use std::hint::black_box;
+use vmm::{KernelMigrationConfig, PlacementScheme};
+use xp::run_one;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    for bench in [BenchName::Cg, BenchName::Mg] {
+        for placement in PlacementScheme::all(20000) {
+            for engine in
+                [EngineMode::None, EngineMode::IrixMig(KernelMigrationConfig::default())]
+            {
+                let id = format!("{}-{}-{}", bench.label(), placement.label(), engine.label());
+                group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| {
+                    b.iter(|| {
+                        let cfg = RunConfig {
+                            placement,
+                            engine: engine.clone(),
+                            ..RunConfig::paper_default()
+                        };
+                        let r = run_one(bench, Scale::Tiny, &cfg);
+                        assert!(r.verification.passed);
+                        black_box(r.total_secs)
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

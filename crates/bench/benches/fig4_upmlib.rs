@@ -1,0 +1,35 @@
+//! Figure 4 bench: the UPMlib distribution-emulation runs (the `*-upmlib`
+//! bars) regenerated at Tiny scale under Criterion timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nas::{BenchName, EngineMode, RunConfig, Scale};
+use std::hint::black_box;
+use upmlib::UpmOptions;
+use vmm::PlacementScheme;
+use xp::run_one;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for bench in [BenchName::Cg, BenchName::Ft] {
+        for placement in PlacementScheme::all(20000) {
+            let id = format!("{}-{}-upmlib", bench.label(), placement.label());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| {
+                b.iter(|| {
+                    let cfg = RunConfig {
+                        placement,
+                        engine: EngineMode::Upmlib(UpmOptions::default()),
+                        ..RunConfig::paper_default()
+                    };
+                    let r = run_one(bench, Scale::Tiny, &cfg);
+                    assert!(r.verification.passed);
+                    black_box((r.total_secs, r.upm))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

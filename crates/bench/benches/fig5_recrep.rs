@@ -1,0 +1,39 @@
+//! Figure 5 bench: the four first-touch configurations on BT (plain,
+//! kernel migration, UPMlib, record-replay), regenerated at Tiny scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nas::{BenchName, EngineMode, RunConfig, Scale};
+use std::hint::black_box;
+use upmlib::UpmOptions;
+use vmm::{KernelMigrationConfig, PlacementScheme};
+use xp::run_one;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    let engines = [
+        EngineMode::None,
+        EngineMode::IrixMig(KernelMigrationConfig::default()),
+        EngineMode::Upmlib(UpmOptions::default()),
+        EngineMode::RecRep(UpmOptions::default()),
+    ];
+    for engine in engines {
+        let id = format!("bt-ft-{}", engine.label());
+        group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| {
+            b.iter(|| {
+                let cfg = RunConfig {
+                    placement: PlacementScheme::FirstTouch,
+                    engine: engine.clone(),
+                    ..RunConfig::paper_default()
+                };
+                let r = run_one(BenchName::Bt, Scale::Tiny, &cfg);
+                assert!(r.verification.passed);
+                black_box((r.total_secs, r.recrep_overhead_secs))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 6 bench: BT with synthetically lengthened phases under UPMlib vs
+//! record-replay, regenerated at Tiny scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nas::{EngineMode, Scale};
+use std::hint::black_box;
+use upmlib::UpmOptions;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    for phase_scale in [1usize, 4] {
+        for (label, engine) in [
+            ("upmlib", EngineMode::Upmlib(UpmOptions::default())),
+            ("recrep", EngineMode::RecRep(UpmOptions::default())),
+        ] {
+            let id = format!("bt-{phase_scale}x-{label}");
+            group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| {
+                b.iter(|| {
+                    let r = xp::fig6::run_bt_at(Scale::Tiny, phase_scale, engine.clone());
+                    assert!(r.verification.passed);
+                    black_box(r.total_secs)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Microbenchmarks of the simulator's hot paths: the `touch` access
+//! pipeline (L1 hit, L2 hit, memory+counter), page migration, and the
+//! worksharing schedule dispatch — the components every experiment's host
+//! runtime is made of.
+
+use ccnuma::{AccessKind, Machine, MachineConfig, SimArray, PAGE_SIZE};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use omp::{Runtime, Schedule};
+use std::hint::black_box;
+
+fn bench_touch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("touch");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("l1_hit", |b| {
+        let mut m = Machine::new(MachineConfig::origin2000_16p());
+        m.touch(0, 0, AccessKind::Read);
+        b.iter(|| black_box(m.touch(0, 0, AccessKind::Read)))
+    });
+
+    group.bench_function("memory_streaming", |b| {
+        // Sweep a large range so most touches miss both caches.
+        let mut m = Machine::new(MachineConfig::origin2000_16p_scaled());
+        let span = 256 * PAGE_SIZE;
+        let base = m.reserve_vspace(span);
+        let mut addr = base;
+        b.iter(|| {
+            addr += 128;
+            if addr >= base + span {
+                addr = base;
+            }
+            black_box(m.touch(0, addr, AccessKind::Read))
+        })
+    });
+
+    group.bench_function("write_with_coherence", |b| {
+        let mut m = Machine::new(MachineConfig::origin2000_16p());
+        let base = m.reserve_vspace(PAGE_SIZE);
+        b.iter(|| black_box(m.touch(0, base, AccessKind::Write)))
+    });
+    group.finish();
+}
+
+fn bench_migration(c: &mut Criterion) {
+    c.bench_function("page_migration", |b| {
+        let mut m = Machine::new(MachineConfig::origin2000_16p());
+        let base = m.reserve_vspace(PAGE_SIZE);
+        m.touch(0, base, AccessKind::Read);
+        let vp = ccnuma::vpage_of(base);
+        let mut target = 1usize;
+        b.iter(|| {
+            target = (target % 7) + 1;
+            black_box(m.migrate_page(vp, target).unwrap())
+        })
+    });
+}
+
+fn bench_parallel_for(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_for");
+    for (name, schedule) in [
+        ("static", Schedule::Static),
+        ("dynamic4", Schedule::Dynamic(4)),
+        ("guided", Schedule::Guided(1)),
+    ] {
+        group.bench_function(name, |b| {
+            let mut rt = Runtime::new(Machine::new(MachineConfig::origin2000_16p()));
+            let a = SimArray::new(rt.machine_mut(), "a", 4096, 0.0f64);
+            b.iter(|| {
+                rt.parallel_for(4096, schedule, |par, i| {
+                    par.update(&a, i, |v| v + 1.0);
+                });
+                black_box(rt.machine().clock().now_ns())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_touch, bench_migration, bench_parallel_for);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table 1 bench: regenerates the memory-hierarchy latency probe and
+//! verifies the measured values against the paper's numbers on every
+//! iteration, timing the probe itself.
+
+use ccnuma::{Machine, MachineConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+    group.bench_function("latency_probe", |b| {
+        b.iter(|| {
+            let mut machine = Machine::new(MachineConfig::origin2000_16p());
+            let t = xp::table1::measure(&mut machine);
+            assert_eq!(t.l1_ns, 5.5);
+            assert_eq!(t.remote_ns, vec![564.0, 759.0, 862.0]);
+            black_box(t)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

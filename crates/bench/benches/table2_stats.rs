@@ -1,0 +1,25 @@
+//! Table 2 bench: regenerates the residual-slowdown / first-invocation
+//! statistics rows for one benchmark at Tiny scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nas::{BenchName, Scale};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("mg_rows", |b| {
+        b.iter(|| {
+            let rows = xp::table2::rows_for(BenchName::Mg, Scale::Tiny);
+            assert_eq!(rows.len(), 3);
+            for row in &rows {
+                assert!(row.first_iter_fraction >= 0.0 && row.first_iter_fraction <= 1.0);
+            }
+            black_box(rows)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

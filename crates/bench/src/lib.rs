@@ -1,0 +1,1 @@
+//! The bench crate holds only Criterion benches; see `benches/`.

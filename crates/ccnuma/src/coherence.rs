@@ -1,0 +1,81 @@
+//! Write-invalidate coherence directory.
+//!
+//! The Origin2000 keeps caches coherent with a directory-based protocol. The
+//! simulator approximates it with a flat per-line *version* table: a write to
+//! a line by any CPU bumps the line's version, so every other CPU's cached
+//! copy (tagged with the version it loaded) becomes stale and its next access
+//! is a coherence miss serviced from memory. This reproduces the sharing
+//! effects the paper depends on — in particular page-level **false sharing**,
+//! which causes pages to "bounce between two nodes in consecutive iterations"
+//! and is what UPMlib's page-freezing heuristic exists for — without a full
+//! MESI state machine.
+//!
+//! Versions are `AtomicU32` with relaxed ordering: the simulator executes
+//! simulated CPUs sequentially, so the atomics are for API soundness (shared
+//! `&Directory` across CPU contexts), not for cross-thread synchronization.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Per-line version table covering the simulated virtual address space.
+#[derive(Debug)]
+pub struct Directory {
+    versions: Vec<AtomicU32>,
+}
+
+impl Directory {
+    /// Create a directory covering `lines` cache lines of address space.
+    pub fn new(lines: usize) -> Self {
+        let mut versions = Vec::with_capacity(lines);
+        versions.resize_with(lines, || AtomicU32::new(0));
+        Self { versions }
+    }
+
+    /// Number of lines covered.
+    pub fn lines(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Current version of `line`.
+    #[inline(always)]
+    pub fn version(&self, line: u64) -> u32 {
+        self.versions[line as usize].load(Ordering::Relaxed)
+    }
+
+    /// Record a write to `line`; returns the new version.
+    #[inline(always)]
+    pub fn write(&self, line: u64) -> u32 {
+        self.versions[line as usize].fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Reset all versions (test helper; also used when reusing a machine).
+    pub fn reset(&self) {
+        for v in &self.versions {
+            v.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_start_at_zero_and_increment() {
+        let d = Directory::new(16);
+        assert_eq!(d.version(3), 0);
+        assert_eq!(d.write(3), 1);
+        assert_eq!(d.write(3), 2);
+        assert_eq!(d.version(3), 2);
+        assert_eq!(d.version(4), 0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let d = Directory::new(4);
+        d.write(0);
+        d.write(1);
+        d.reset();
+        assert_eq!(d.version(0), 0);
+        assert_eq!(d.version(1), 0);
+    }
+}

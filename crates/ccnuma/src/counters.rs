@@ -1,0 +1,218 @@
+//! Per-frame, per-node hardware reference counters, with kernel-extended
+//! software counters.
+//!
+//! Paper §2.1: *"Each physical memory frame is equipped with a set of 11-bit
+//! hardware counters. Each set of counters contains one counter per node in
+//! the system ... The counters track the number of accesses from each node to
+//! each page frame in memory."*
+//!
+//! The hardware counters are incremented by the memory system on every
+//! access that reaches memory (i.e. every secondary-cache miss), exactly as
+//! on the Origin2000 Hub, and saturate at `2^11 - 1 = 2047`. Because real
+//! workloads overflow 11 bits within one observation window, IRIX maintains
+//! *extended reference counters* in software: an overflow interrupt folds
+//! the hardware count into a wide kernel counter (this is the `mmci`
+//! extended-counter facility the paper's `/proc` interface reads). The
+//! simulator reproduces that split: [`RefCounters::record`] drives the
+//! 11-bit hardware counter and spills full blocks into a 64-bit extension;
+//! [`RefCounters::get`] returns the combined (kernel-visible) value.
+
+use crate::topology::NodeId;
+use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
+
+/// Saturation value of the Origin2000's 11-bit hardware counters.
+pub const COUNTER_MAX: u16 = (1 << 11) - 1;
+
+/// Counter banks for every frame in the machine, one counter per node.
+#[derive(Debug)]
+pub struct RefCounters {
+    nodes: usize,
+    /// 11-bit hardware counters, flat `[frame][node]` layout.
+    hw: Vec<AtomicU16>,
+    /// Kernel-extended counters: completed 2047-blocks spilled on overflow.
+    extended: Vec<AtomicU64>,
+}
+
+impl RefCounters {
+    /// Counters for `frames` frames on a machine with `nodes` nodes.
+    pub fn new(frames: usize, nodes: usize) -> Self {
+        let mut hw = Vec::with_capacity(frames * nodes);
+        hw.resize_with(frames * nodes, || AtomicU16::new(0));
+        let mut extended = Vec::with_capacity(frames * nodes);
+        extended.resize_with(frames * nodes, || AtomicU64::new(0));
+        Self { nodes, hw, extended }
+    }
+
+    #[inline(always)]
+    fn idx(&self, frame: usize, node: NodeId) -> usize {
+        debug_assert!(node < self.nodes);
+        frame * self.nodes + node
+    }
+
+    /// Record one memory access to `frame` from `node`. On hardware-counter
+    /// overflow the block is folded into the kernel's extended counter (the
+    /// IRIX overflow-interrupt path).
+    #[inline(always)]
+    pub fn record(&self, frame: usize, node: NodeId) {
+        let i = self.idx(frame, node);
+        let hw = &self.hw[i];
+        // Relaxed is fine: simulated CPUs run sequentially.
+        let cur = hw.load(Ordering::Relaxed);
+        if cur >= COUNTER_MAX {
+            // Overflow interrupt: fold the full block (including this
+            // access) into the kernel's extended counter and restart the
+            // hardware counter.
+            hw.store(0, Ordering::Relaxed);
+            self.extended[i].fetch_add(cur as u64 + 1, Ordering::Relaxed);
+        } else {
+            hw.store(cur + 1, Ordering::Relaxed);
+        }
+    }
+
+    /// Kernel-visible count: extended blocks plus the live hardware counter.
+    #[inline]
+    pub fn get(&self, frame: usize, node: NodeId) -> u64 {
+        let i = self.idx(frame, node);
+        self.extended[i].load(Ordering::Relaxed) + self.hw[i].load(Ordering::Relaxed) as u64
+    }
+
+    /// Raw 11-bit hardware counter value (diagnostics/tests).
+    pub fn hw_value(&self, frame: usize, node: NodeId) -> u16 {
+        self.hw[self.idx(frame, node)].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot all per-node counts of a frame (kernel-visible values).
+    pub fn snapshot(&self, frame: usize) -> Vec<u64> {
+        (0..self.nodes).map(|n| self.get(frame, n)).collect()
+    }
+
+    /// Zero the counters of one frame (done when a frame is freed or
+    /// reallocated — a migrated page lands on a fresh frame whose counters
+    /// start from zero — and by user-level observation-window resets).
+    pub fn reset_frame(&self, frame: usize) {
+        for n in 0..self.nodes {
+            let i = self.idx(frame, n);
+            self.hw[i].store(0, Ordering::Relaxed);
+            self.extended[i].store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Halve the counters of one frame — the aging step of the IRIX kernel
+    /// migration daemon, which keeps the comparison windowed toward recent
+    /// behaviour instead of accumulating forever.
+    pub fn decay_frame(&self, frame: usize) {
+        for n in 0..self.nodes {
+            let i = self.idx(frame, n);
+            let hw = &self.hw[i];
+            hw.store(hw.load(Ordering::Relaxed) / 2, Ordering::Relaxed);
+            let ext = &self.extended[i];
+            ext.store(ext.load(Ordering::Relaxed) / 2, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of nodes per counter bank.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// `(local, max_remote, argmax_remote_node)` for a frame homed on
+    /// `home`. This is the triple every competitive migration criterion in
+    /// the paper consumes. Ties between remote nodes break toward the lower
+    /// node id, deterministically.
+    pub fn competitive_view(&self, frame: usize, home: NodeId) -> (u64, u64, NodeId) {
+        let local = self.get(frame, home);
+        let mut best = 0u64;
+        let mut best_node = home;
+        for n in 0..self.nodes {
+            if n == home {
+                continue;
+            }
+            let c = self.get(frame, n);
+            if c > best {
+                best = c;
+                best_node = n;
+            }
+        }
+        (local, best, best_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read() {
+        let c = RefCounters::new(4, 8);
+        c.record(2, 5);
+        c.record(2, 5);
+        c.record(2, 1);
+        assert_eq!(c.get(2, 5), 2);
+        assert_eq!(c.get(2, 1), 1);
+        assert_eq!(c.get(2, 0), 0);
+        assert_eq!(c.get(3, 5), 0);
+    }
+
+    #[test]
+    fn hardware_counter_spills_into_extension() {
+        let c = RefCounters::new(1, 2);
+        for _ in 0..5000 {
+            c.record(0, 1);
+        }
+        // The kernel-visible value keeps counting past 11 bits...
+        assert_eq!(c.get(0, 1), 5000);
+        // ...while the live hardware counter stays within its width.
+        assert!(c.hw_value(0, 1) <= COUNTER_MAX);
+        assert_eq!(COUNTER_MAX, 2047);
+    }
+
+    #[test]
+    fn competitive_view_finds_max_remote() {
+        let c = RefCounters::new(1, 4);
+        for _ in 0..5 {
+            c.record(0, 0); // home
+        }
+        for _ in 0..9 {
+            c.record(0, 2);
+        }
+        for _ in 0..3 {
+            c.record(0, 3);
+        }
+        let (local, rmax, rnode) = c.competitive_view(0, 0);
+        assert_eq!((local, rmax, rnode), (5, 9, 2));
+    }
+
+    #[test]
+    fn competitive_view_tie_breaks_low_node() {
+        let c = RefCounters::new(1, 4);
+        c.record(0, 3);
+        c.record(0, 1);
+        let (_, rmax, rnode) = c.competitive_view(0, 0);
+        assert_eq!((rmax, rnode), (1, 1));
+    }
+
+    #[test]
+    fn reset_frame_clears_only_that_frame() {
+        let c = RefCounters::new(2, 2);
+        for _ in 0..3000 {
+            c.record(0, 0);
+        }
+        c.record(1, 1);
+        c.reset_frame(0);
+        assert_eq!(c.get(0, 0), 0);
+        assert_eq!(c.get(1, 1), 1);
+    }
+
+    #[test]
+    fn decay_halves_combined_value() {
+        let c = RefCounters::new(1, 2);
+        for _ in 0..4000 {
+            c.record(0, 0);
+        }
+        let before = c.get(0, 0);
+        c.decay_frame(0);
+        let after = c.get(0, 0);
+        assert!(after <= before / 2 + 1, "decay {before} -> {after}");
+        assert!(after >= before / 2 - 1);
+    }
+}

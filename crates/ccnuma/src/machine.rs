@@ -1,0 +1,926 @@
+//! The assembled machine: topology, caches, coherence, memory, counters,
+//! page table and clock, with the `touch` fast path that everything above
+//! (the `omp` runtime, the NAS kernels) drives.
+//!
+//! # Layering
+//!
+//! `ccnuma` provides *mechanism*: frames, a virtual→physical map, a
+//! best-effort page allocator/migrator, and per-frame reference counters.
+//! *Policy* — which node a freshly faulted page should live on, when the
+//! kernel migrates pages, how user-level engines react — lives in the `vmm`
+//! and `upmlib` crates. The one policy hook the machine itself needs is the
+//! [`Placer`] consulted on a page fault, because faults happen in the middle
+//! of the access fast path.
+
+use crate::cache::Probe;
+use crate::contention::{ContentionModel, RegionTiming};
+use crate::coherence::Directory;
+use crate::counters::RefCounters;
+use crate::cpu::{AccessKind, CpuContext, CpuId};
+use crate::latency::LatencyModel;
+use crate::memory::{FrameId, PhysicalMemory};
+use crate::stats::{CpuStats, MachineStats};
+use crate::topology::{NodeId, Topology};
+use crate::{CacheConfig, ContentionConfig, GlobalClock, LINE_SHIFT, PAGE_SHIFT};
+
+/// Page-placement policy consulted on a page fault.
+///
+/// Implementations live in the `vmm` crate (first-touch, round-robin,
+/// random, worst-case); the machine ships with first-touch as the built-in
+/// default, which is also IRIX's default.
+pub trait Placer: Send {
+    /// Preferred home node for `vpage`, faulted on by `cpu` (whose home node
+    /// is `cpu_node`). The machine falls back to the nearest node with free
+    /// memory if the preferred node is full.
+    fn place(&mut self, vpage: u64, cpu: CpuId, cpu_node: NodeId) -> NodeId;
+
+    /// Human-readable policy name (experiment labels).
+    fn name(&self) -> &'static str;
+}
+
+/// The built-in default policy: first-touch, as in IRIX.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FirstTouchPlacer;
+
+impl Placer for FirstTouchPlacer {
+    fn place(&mut self, _vpage: u64, _cpu: CpuId, cpu_node: NodeId) -> NodeId {
+        cpu_node
+    }
+
+    fn name(&self) -> &'static str {
+        "first-touch"
+    }
+}
+
+/// Errors from explicit page operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// The virtual page is not mapped.
+    Unmapped,
+    /// No frame is free anywhere in the machine.
+    OutOfMemory,
+    /// The page is mapped already (double map).
+    AlreadyMapped,
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::Unmapped => write!(f, "virtual page is not mapped"),
+            MemError::OutOfMemory => write!(f, "no free frame on any node"),
+            MemError::AlreadyMapped => write!(f, "virtual page is already mapped"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Full machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Interconnect topology.
+    pub topology: Topology,
+    /// NUMA latency table.
+    pub latency: LatencyModel,
+    /// L1 geometry.
+    pub l1: CacheConfig,
+    /// L2 geometry.
+    pub l2: CacheConfig,
+    /// Contention model tunables.
+    pub contention: ContentionConfig,
+    /// Physical frames per node.
+    pub frames_per_node: usize,
+    /// Size of the simulated virtual address space, in pages.
+    pub max_vpages: usize,
+    /// Simulated cost of one floating-point operation, ns (R10000 @ 250 MHz,
+    /// 2 flops/cycle => 2 ns/flop).
+    pub flop_ns: f64,
+    /// OS cost of servicing a minor page fault, ns.
+    pub fault_ns: f64,
+    /// Fork overhead charged when a parallel region opens, ns.
+    pub fork_ns: f64,
+    /// Barrier overhead charged when a parallel region closes, ns.
+    pub barrier_ns: f64,
+    /// Fixed per-migration kernel cost (policy run + bookkeeping), ns.
+    pub migration_base_ns: f64,
+    /// Cost of copying one 16 KB page across the interconnect, ns.
+    pub migration_copy_ns: f64,
+    /// Per-CPU TLB-shootdown interrupt cost, ns (the paper singles out "the
+    /// high overhead of page migration due to the maintenance of TLB
+    /// coherence").
+    pub migration_percpu_shootdown_ns: f64,
+}
+
+impl MachineConfig {
+    /// The paper's machine: 16-processor Origin2000 (8 nodes x 2 CPUs),
+    /// Table-1 latencies, 4 MB L2, 16 KB pages.
+    pub fn origin2000_16p() -> Self {
+        Self {
+            topology: Topology::origin2000_16p(),
+            latency: LatencyModel::origin2000(),
+            l1: CacheConfig::origin_l1(),
+            l2: CacheConfig::origin_l2(),
+            contention: ContentionConfig::default(),
+            frames_per_node: 4096, // 64 MB per node of simulated memory
+            max_vpages: 16384,     // 256 MB of simulated virtual address space
+            flop_ns: 2.0,
+            fault_ns: 2_000.0,
+            fork_ns: 8_000.0,
+            barrier_ns: 4_000.0,
+            migration_base_ns: 10_000.0,
+            migration_copy_ns: 30_000.0,
+            migration_percpu_shootdown_ns: 1_500.0,
+        }
+    }
+
+    /// The experiment machine: the Origin2000's topology, latencies and
+    /// page size, but with caches scaled down by the same factor as the
+    /// benchmark problem sizes (the NAS Class A working sets are ~30x the
+    /// simulator's, so a faithful *miss-rate* requires L1/L2 scaled by the
+    /// same ratio — a 4 MB L2 would swallow a scaled working set whole and
+    /// hide every placement effect the paper measures). See DESIGN.md.
+    pub fn origin2000_16p_scaled() -> Self {
+        Self {
+            l1: CacheConfig { capacity: 4 * 1024, ways: 2 },
+            l2: CacheConfig { capacity: 32 * 1024, ways: 2 },
+            ..Self::origin2000_16p()
+        }
+    }
+
+    /// A scaled-cache Origin2000 with an arbitrary node count (2 CPUs per
+    /// node) — the "truly large-scale Origin2000 systems" experiment the
+    /// paper could not run (§2.2: "access to a system of that scale was
+    /// impossible for our experiments"). The hypercube grows with the node
+    /// count, so maximum hop distances (and with them remote latencies)
+    /// rise beyond Table 1's three hops.
+    pub fn origin2000_scaled_nodes(nodes: usize) -> Self {
+        Self {
+            topology: Topology::fat_hypercube(nodes, 2),
+            ..Self::origin2000_16p_scaled()
+        }
+    }
+
+    /// A small machine for unit tests: 4 nodes x 2 CPUs, tiny caches so
+    /// cache effects are easy to trigger.
+    pub fn tiny_test() -> Self {
+        Self {
+            topology: Topology::fat_hypercube(4, 2),
+            latency: LatencyModel::origin2000(),
+            l1: CacheConfig { capacity: 1024, ways: 2 },
+            l2: CacheConfig { capacity: 8 * 1024, ways: 2 },
+            contention: ContentionConfig::default(),
+            frames_per_node: 64,
+            max_vpages: 256,
+            flop_ns: 2.0,
+            fault_ns: 2_000.0,
+            fork_ns: 8_000.0,
+            barrier_ns: 4_000.0,
+            migration_base_ns: 10_000.0,
+            migration_copy_ns: 30_000.0,
+            migration_percpu_shootdown_ns: 1_500.0,
+        }
+    }
+
+    /// Total cost of migrating one page on this machine.
+    pub fn migration_cost_ns(&self) -> f64 {
+        self.migration_base_ns
+            + self.migration_copy_ns
+            + self.migration_percpu_shootdown_ns * self.topology.cpus() as f64
+    }
+}
+
+/// The simulated ccNUMA machine.
+pub struct Machine {
+    config: MachineConfig,
+    directory: Directory,
+    counters: RefCounters,
+    memory: PhysicalMemory,
+    page_table: Vec<Option<FrameId>>,
+    /// Read-only replicas: vpage -> extra frames on other nodes.
+    replicas: std::collections::HashMap<u64, Vec<FrameId>>,
+    placer: Box<dyn Placer>,
+    cpus: Vec<CpuContext>,
+    clock: GlobalClock,
+    stats: MachineStats,
+    contention: ContentionModel,
+    /// Bump allocator for virtual address space handed to `SimArray`s.
+    next_vaddr: u64,
+    in_region: bool,
+}
+
+impl Machine {
+    /// Build a machine with the built-in first-touch placer.
+    pub fn new(config: MachineConfig) -> Self {
+        let nodes = config.topology.nodes();
+        let cpus = (0..config.topology.cpus())
+            .map(|id| {
+                CpuContext::new(id, config.topology.node_of_cpu(id), config.l1, config.l2, nodes)
+            })
+            .collect();
+        let lines = config.max_vpages << (PAGE_SHIFT - LINE_SHIFT);
+        Self {
+            directory: Directory::new(lines),
+            counters: RefCounters::new(nodes * config.frames_per_node, nodes),
+            memory: PhysicalMemory::new(nodes, config.frames_per_node),
+            page_table: vec![None; config.max_vpages],
+            replicas: std::collections::HashMap::new(),
+            placer: Box::new(FirstTouchPlacer),
+            cpus,
+            clock: GlobalClock::new(),
+            stats: MachineStats::default(),
+            contention: ContentionModel::new(config.contention),
+            next_vaddr: 0,
+            in_region: false,
+            config,
+        }
+    }
+
+    /// Machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Interconnect topology.
+    pub fn topology(&self) -> &Topology {
+        &self.config.topology
+    }
+
+    /// Replace the page-placement policy (normally done once, before any
+    /// page has faulted). Returns the previous placer.
+    pub fn set_placer(&mut self, placer: Box<dyn Placer>) -> Box<dyn Placer> {
+        std::mem::replace(&mut self.placer, placer)
+    }
+
+    /// Name of the active placement policy.
+    pub fn placer_name(&self) -> &'static str {
+        self.placer.name()
+    }
+
+    /// The global clock.
+    pub fn clock(&self) -> &GlobalClock {
+        &self.clock
+    }
+
+    /// Advance the global clock directly (sequential sections, charged
+    /// overheads).
+    pub fn advance_clock(&mut self, ns: f64) {
+        self.clock.advance(ns);
+    }
+
+    /// Machine-wide statistics.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Statistics of one CPU.
+    pub fn cpu_stats(&self, cpu: CpuId) -> &CpuStats {
+        &self.cpus[cpu].stats
+    }
+
+    /// Aggregated statistics over all CPUs.
+    pub fn aggregate_cpu_stats(&self) -> CpuStats {
+        let mut total = CpuStats::default();
+        for c in &self.cpus {
+            total.merge(&c.stats);
+        }
+        total
+    }
+
+    /// Mutable access to a CPU context (used by the doc example and tests;
+    /// the `omp` runtime uses [`Machine::touch`] instead).
+    pub fn cpu_mut(&mut self, cpu: CpuId) -> MachineLane<'_> {
+        MachineLane { machine: self, cpu }
+    }
+
+    /// Number of simulated CPUs.
+    pub fn cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Per-frame reference counters (the "hardware" view; user-level code
+    /// should go through `vmm`'s `/proc` interface).
+    pub fn counters(&self) -> &RefCounters {
+        &self.counters
+    }
+
+    /// Physical memory pools.
+    pub fn memory(&self) -> &PhysicalMemory {
+        &self.memory
+    }
+
+    // ----------------------------------------------------------------
+    // Virtual address space and page table
+    // ----------------------------------------------------------------
+
+    /// Reserve `bytes` of virtual address space, page-aligned. Pages are not
+    /// mapped until touched (demand paging).
+    pub fn reserve_vspace(&mut self, bytes: u64) -> u64 {
+        let base = self.next_vaddr;
+        let pages = bytes.div_ceil(crate::PAGE_SIZE);
+        self.next_vaddr = base + pages * crate::PAGE_SIZE;
+        assert!(
+            crate::vpage_of(self.next_vaddr) as usize <= self.config.max_vpages,
+            "simulated virtual address space exhausted ({} pages)",
+            self.config.max_vpages
+        );
+        base
+    }
+
+    /// Current frame of a virtual page, if mapped.
+    #[inline]
+    pub fn frame_of(&self, vpage: u64) -> Option<FrameId> {
+        self.page_table[vpage as usize]
+    }
+
+    /// Home node of a virtual page, if mapped.
+    #[inline]
+    pub fn node_of_vpage(&self, vpage: u64) -> Option<NodeId> {
+        self.frame_of(vpage).map(|f| self.memory.node_of_frame(f))
+    }
+
+    /// Explicitly map `vpage` on `preferred` (or the closest node with free
+    /// memory). This is the mechanism under both page faults and the MLD
+    /// placement API. Returns the node actually used.
+    pub fn map_page(&mut self, vpage: u64, preferred: NodeId) -> Result<NodeId, MemError> {
+        if self.page_table[vpage as usize].is_some() {
+            return Err(MemError::AlreadyMapped);
+        }
+        let frame = self.alloc_best_effort(preferred).ok_or(MemError::OutOfMemory)?;
+        self.counters.reset_frame(frame);
+        self.page_table[vpage as usize] = Some(frame);
+        Ok(self.memory.node_of_frame(frame))
+    }
+
+    /// Unmap a page, freeing its frame and any replicas.
+    pub fn unmap_page(&mut self, vpage: u64) -> Result<(), MemError> {
+        let frame = self.page_table[vpage as usize].take().ok_or(MemError::Unmapped)?;
+        if let Some(frames) = self.replicas.remove(&vpage) {
+            for f in frames {
+                self.counters.reset_frame(f);
+                self.memory.free(f);
+            }
+        }
+        self.counters.reset_frame(frame);
+        self.memory.free(frame);
+        Ok(())
+    }
+
+    /// Allocate on `preferred`, falling back to the nearest node with a free
+    /// frame (IRIX's best-effort strategy).
+    fn alloc_best_effort(&mut self, preferred: NodeId) -> Option<FrameId> {
+        if let Some(f) = self.memory.alloc_on(preferred) {
+            return Some(f);
+        }
+        for node in self.config.topology.nodes_by_distance(preferred) {
+            if let Some(f) = self.memory.alloc_on(node) {
+                self.stats.best_effort_redirects += 1;
+                return Some(f);
+            }
+        }
+        None
+    }
+
+    /// Replicate `vpage` onto `target`: reads from CPUs nearer to the
+    /// replica are served by it; any write collapses all replicas (paper
+    /// §1.2: "Read-only pages can be replicated in multiple nodes"). Charges
+    /// one page-copy cost. Returns the node the replica landed on, or an
+    /// error if the page is unmapped / memory is exhausted.
+    pub fn replicate_page(&mut self, vpage: u64, target: NodeId) -> Result<NodeId, MemError> {
+        let primary = self.page_table[vpage as usize].ok_or(MemError::Unmapped)?;
+        let primary_node = self.memory.node_of_frame(primary);
+        if primary_node == target
+            || self
+                .replicas
+                .get(&vpage)
+                .is_some_and(|r| r.iter().any(|&f| self.memory.node_of_frame(f) == target))
+        {
+            return Ok(target); // already served locally from there
+        }
+        let frame = self.memory.alloc_on(target).ok_or(MemError::OutOfMemory)?;
+        self.counters.reset_frame(frame);
+        self.replicas.entry(vpage).or_default().push(frame);
+        // A replica creation is one coherent page copy (no TLB shootdown:
+        // existing mappings stay valid; new mappings are added lazily).
+        let cost = self.config.migration_base_ns + self.config.migration_copy_ns;
+        self.clock.advance(cost);
+        self.stats.page_replications += 1;
+        self.stats.migration_ns += cost;
+        Ok(target)
+    }
+
+    /// Drop all replicas of `vpage` (the write-collapse path, also usable
+    /// explicitly). Returns how many replicas were freed.
+    pub fn collapse_page(&mut self, vpage: u64) -> usize {
+        let Some(frames) = self.replicas.remove(&vpage) else {
+            return 0;
+        };
+        let n = frames.len();
+        for frame in frames {
+            self.counters.reset_frame(frame);
+            self.memory.free(frame);
+        }
+        // Collapsing must invalidate stale mappings machine-wide.
+        let cost = self.config.migration_base_ns
+            + self.config.migration_percpu_shootdown_ns * self.cpus.len() as f64;
+        self.clock.advance(cost);
+        self.stats.page_collapses += 1;
+        n
+    }
+
+    /// Replica count of a page (diagnostics).
+    pub fn replica_count(&self, vpage: u64) -> usize {
+        self.replicas.get(&vpage).map_or(0, Vec::len)
+    }
+
+    /// Sum of the coherence-directory versions of a page's lines — a cheap
+    /// user-visible "has anyone written this page?" fingerprint, used by
+    /// UPMlib's read-only detection.
+    pub fn page_version_sum(&self, vpage: u64) -> u64 {
+        let first_line = vpage << (PAGE_SHIFT - LINE_SHIFT);
+        let lines = 1u64 << (PAGE_SHIFT - LINE_SHIFT);
+        (first_line..first_line + lines).map(|l| self.directory.version(l) as u64).sum()
+    }
+
+    /// Migrate `vpage` to `target` (best effort). Charges the full migration
+    /// cost (copy + TLB shootdown on every CPU) to the global clock and
+    /// invalidates the page's lines in every cache, exactly the costs the
+    /// paper identifies as the price of coherent page movement. Returns the
+    /// node the page actually landed on.
+    pub fn migrate_page(&mut self, vpage: u64, target: NodeId) -> Result<NodeId, MemError> {
+        if self.replicas.contains_key(&vpage) {
+            self.collapse_page(vpage);
+        }
+        let old_frame = self.page_table[vpage as usize].ok_or(MemError::Unmapped)?;
+        let old_node = self.memory.node_of_frame(old_frame);
+        if old_node == target {
+            return Ok(target);
+        }
+        let new_frame = self.alloc_best_effort(target).ok_or(MemError::OutOfMemory)?;
+        let landed = self.memory.node_of_frame(new_frame);
+        if landed != target {
+            // alloc_best_effort already counted the redirect.
+        }
+        self.counters.reset_frame(new_frame);
+        self.counters.reset_frame(old_frame);
+        self.memory.free(old_frame);
+        self.page_table[vpage as usize] = Some(new_frame);
+        // Post-copy, cached lines of the page must be re-fetched.
+        let first_line = vpage << (PAGE_SHIFT - LINE_SHIFT);
+        let lines_per_page = 1u64 << (PAGE_SHIFT - LINE_SHIFT);
+        for cpu in &mut self.cpus {
+            for line in first_line..first_line + lines_per_page {
+                cpu.l1.invalidate_line(line);
+                cpu.l2.invalidate_line(line);
+            }
+        }
+        let cost = self.config.migration_cost_ns();
+        self.clock.advance(cost);
+        self.stats.page_migrations += 1;
+        self.stats.migration_ns += cost;
+        Ok(landed)
+    }
+
+    // ----------------------------------------------------------------
+    // The access fast path
+    // ----------------------------------------------------------------
+
+    /// Simulate one memory access by `cpu` to `vaddr`. Returns the simulated
+    /// latency in nanoseconds (also accumulated into the CPU's region
+    /// account and statistics).
+    pub fn touch(&mut self, cpu: CpuId, vaddr: u64, kind: AccessKind) -> f64 {
+        let line = vaddr >> LINE_SHIFT;
+        let version = self.directory.version(line);
+        let ctx = &mut self.cpus[cpu];
+        let cost = match ctx.l1.probe(line, version) {
+            Probe::Hit => {
+                ctx.stats.l1_hits += 1;
+                let ns = self.config.latency.l1_ns;
+                ctx.account.cache_ns += ns;
+                ns
+            }
+            l1_probe => match ctx.l2.probe(line, version) {
+                Probe::Hit => {
+                    ctx.stats.l2_hits += 1;
+                    ctx.l1.fill(line, version);
+                    let ns = self.config.latency.l2_ns;
+                    ctx.account.cache_ns += ns;
+                    ns
+                }
+                l2_probe => {
+                    // Count at most one coherence miss per access: the line
+                    // was cached somewhere but invalidated by another CPU's
+                    // write.
+                    if l1_probe == Probe::Stale || l2_probe == Probe::Stale {
+                        ctx.stats.coherence_misses += 1;
+                    }
+                    self.memory_access(cpu, vaddr, line, version, kind)
+                }
+            },
+        };
+        if kind == AccessKind::Write {
+            let new_version = self.directory.write(line);
+            let ctx = &mut self.cpus[cpu];
+            ctx.l1.refresh_version(line, new_version);
+            ctx.l2.refresh_version(line, new_version);
+            // A write to a replicated page must collapse the replicas even
+            // when it hits a cache (the memory slow path never sees it).
+            if !self.replicas.is_empty() {
+                let vpage = vaddr >> PAGE_SHIFT;
+                if self.replicas.contains_key(&vpage) {
+                    self.collapse_page(vpage);
+                }
+            }
+        }
+        let ctx = &mut self.cpus[cpu];
+        ctx.stats.stall_ns += cost;
+        cost
+    }
+
+    /// Slow path: access reaches memory. Handles demand paging, replica
+    /// selection, reference counting, NUMA latency, and cache fills.
+    #[cold]
+    fn memory_access(&mut self, cpu: CpuId, vaddr: u64, line: u64, version: u32, kind: AccessKind) -> f64 {
+        let vpage = vaddr >> PAGE_SHIFT;
+        let cpu_node = self.cpus[cpu].node;
+        let mut frame = match self.page_table[vpage as usize] {
+            Some(f) => f,
+            None => {
+                // Page fault: ask the placement policy, allocate best-effort.
+                let preferred = self.placer.place(vpage, cpu, cpu_node);
+                let frame = self
+                    .alloc_best_effort(preferred)
+                    .expect("simulated machine out of physical memory");
+                self.counters.reset_frame(frame);
+                self.page_table[vpage as usize] = Some(frame);
+                self.stats.page_faults += 1;
+                self.cpus[cpu].account.cache_ns += self.config.fault_ns;
+                frame
+            }
+        };
+        if !self.replicas.is_empty() {
+            match kind {
+                AccessKind::Write => {
+                    // Writes collapse any replicas (write-invalidate at page
+                    // grain, the replication analogue of cache coherence).
+                    if self.replicas.contains_key(&vpage) {
+                        self.collapse_page(vpage);
+                    }
+                }
+                AccessKind::Read => {
+                    // Reads are served by the nearest copy.
+                    if let Some(reps) = self.replicas.get(&vpage) {
+                        let mut best = frame;
+                        let mut best_hops =
+                            self.config.topology.hops(cpu_node, self.memory.node_of_frame(frame));
+                        for &f in reps {
+                            let h =
+                                self.config.topology.hops(cpu_node, self.memory.node_of_frame(f));
+                            if h < best_hops {
+                                best_hops = h;
+                                best = f;
+                            }
+                        }
+                        frame = best;
+                    }
+                }
+            }
+        }
+        let home = self.memory.node_of_frame(frame);
+        let hops = self.config.topology.hops(cpu_node, home);
+        let ns = self.config.latency.memory_ns(hops);
+        self.counters.record(frame, cpu_node);
+        let ctx = &mut self.cpus[cpu];
+        if hops == 0 {
+            ctx.stats.mem_local += 1;
+        } else {
+            ctx.stats.mem_remote += 1;
+        }
+        ctx.account.stall_by_node[home] += ns;
+        ctx.account.accesses_by_node[home] += 1;
+        ctx.l2.fill(line, version);
+        ctx.l1.fill(line, version);
+        ns
+    }
+
+    /// Charge simulated computation to a CPU (the kernels' flop accounting).
+    #[inline]
+    pub fn compute(&mut self, cpu: CpuId, flops: u64) {
+        let ns = flops as f64 * self.config.flop_ns;
+        let ctx = &mut self.cpus[cpu];
+        ctx.account.compute_ns += ns;
+        ctx.stats.compute_ns += ns;
+    }
+
+    /// Charge raw nanoseconds of computation to a CPU.
+    #[inline]
+    pub fn compute_ns(&mut self, cpu: CpuId, ns: f64) {
+        let ctx = &mut self.cpus[cpu];
+        ctx.account.compute_ns += ns;
+        ctx.stats.compute_ns += ns;
+    }
+
+    // ----------------------------------------------------------------
+    // Region protocol (driven by the omp runtime)
+    // ----------------------------------------------------------------
+
+    /// Open a parallel region: clears per-CPU region accounts and charges
+    /// the fork overhead.
+    pub fn begin_region(&mut self) {
+        assert!(!self.in_region, "nested begin_region");
+        for c in &mut self.cpus {
+            c.account.clear();
+        }
+        self.clock.advance(self.config.fork_ns);
+        self.in_region = true;
+    }
+
+    /// Close a parallel region: applies the contention correction, advances
+    /// the global clock by the region's wall time plus the barrier overhead,
+    /// and returns the timing breakdown.
+    pub fn end_region(&mut self) -> RegionTiming {
+        assert!(self.in_region, "end_region without begin_region");
+        self.in_region = false;
+        let nodes = self.config.topology.nodes();
+        let accounts: Vec<_> = self.cpus.iter().map(|c| c.account.clone()).collect();
+        let timing = self.contention.close_region(&accounts, nodes);
+        self.clock.advance(timing.wall_ns + self.config.barrier_ns);
+        self.stats.regions += 1;
+        timing
+    }
+
+    /// Whether a region is currently open.
+    pub fn in_region(&self) -> bool {
+        self.in_region
+    }
+
+    /// Virtual time a CPU has accumulated in the current region, ns. The
+    /// `omp` runtime's dynamic-schedule event loop dispatches each chunk to
+    /// the CPU with the least accumulated time — the deterministic
+    /// simulation of a real dynamic chunk queue.
+    pub fn region_cpu_ns(&self, cpu: CpuId) -> f64 {
+        self.cpus[cpu].account.base_ns()
+    }
+
+    /// Iterate over all mapped virtual pages as `(vpage, frame)` pairs —
+    /// the kernel's view for migration-daemon scans.
+    pub fn mapped_pages(&self) -> impl Iterator<Item = (u64, FrameId)> + '_ {
+        self.page_table
+            .iter()
+            .enumerate()
+            .filter_map(|(vp, f)| f.map(|frame| (vp as u64, frame)))
+    }
+
+    /// Test helper: map one page on a specific node.
+    pub fn map_page_for_test(&mut self, vaddr: u64, node: NodeId) {
+        self.map_page(vaddr >> PAGE_SHIFT, node).expect("map_page_for_test");
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cpus", &self.cpus.len())
+            .field("nodes", &self.config.topology.nodes())
+            .field("placer", &self.placer.name())
+            .field("clock_ns", &self.clock.now_ns())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A borrowed view of one CPU on the machine — the handle the doc example
+/// and tests use for direct accesses.
+pub struct MachineLane<'m> {
+    machine: &'m mut Machine,
+    cpu: CpuId,
+}
+
+impl MachineLane<'_> {
+    /// Simulate one access; see [`Machine::touch`].
+    pub fn touch(&mut self, vaddr: u64, kind: AccessKind) -> f64 {
+        self.machine.touch(self.cpu, vaddr, kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessKind::{Read, Write};
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::tiny_test())
+    }
+
+    #[test]
+    fn first_touch_places_locally() {
+        let mut m = machine();
+        // CPU 5 lives on node 2 in the 4x2 tiny topology.
+        m.touch(5, 0, Read);
+        assert_eq!(m.node_of_vpage(0), Some(2));
+        assert_eq!(m.stats().page_faults, 1);
+    }
+
+    #[test]
+    fn local_access_cheaper_than_remote() {
+        let mut m = machine();
+        m.map_page_for_test(0, 0); // page 0 on node 0
+        m.map_page_for_test(crate::PAGE_SIZE, 3); // page 1 on node 3
+        let local = m.touch(0, 0, Read); // cpu0 = node0
+        let remote = m.touch(0, crate::PAGE_SIZE, Read);
+        assert_eq!(local, 329.0);
+        assert!(remote > local);
+    }
+
+    #[test]
+    fn second_access_hits_l1() {
+        let mut m = machine();
+        let first = m.touch(0, 64, Read);
+        let second = m.touch(0, 64, Read);
+        assert!(first >= 329.0);
+        assert_eq!(second, 5.5);
+        assert_eq!(m.cpu_stats(0).l1_hits, 1);
+    }
+
+    #[test]
+    fn write_by_other_cpu_invalidates() {
+        let mut m = machine();
+        m.touch(0, 0, Read);
+        assert_eq!(m.touch(0, 0, Read), 5.5);
+        // CPU 2 (different node) writes the same line.
+        m.touch(2, 0, Write);
+        // CPU 0's copy is now stale: next read goes to memory.
+        let ns = m.touch(0, 0, Read);
+        assert!(ns >= 329.0, "expected coherence miss, got {ns}");
+        assert_eq!(m.cpu_stats(0).coherence_misses, 1);
+    }
+
+    #[test]
+    fn own_write_keeps_line_fresh() {
+        let mut m = machine();
+        m.touch(0, 0, Write);
+        assert_eq!(m.touch(0, 0, Read), 5.5);
+    }
+
+    #[test]
+    fn counters_count_memory_accesses_only() {
+        let mut m = machine();
+        m.touch(0, 0, Read); // memory access, counted
+        m.touch(0, 0, Read); // L1 hit, not counted
+        let frame = m.frame_of(0).unwrap();
+        assert_eq!(m.counters().get(frame, 0), 1);
+    }
+
+    #[test]
+    fn migration_moves_and_invalidates() {
+        let mut m = machine();
+        m.touch(0, 0, Read);
+        assert_eq!(m.node_of_vpage(0), Some(0));
+        let before = m.clock().now_ns();
+        let landed = m.migrate_page(0, 3).unwrap();
+        assert_eq!(landed, 3);
+        assert_eq!(m.node_of_vpage(0), Some(3));
+        assert!(m.clock().now_ns() > before);
+        assert_eq!(m.stats().page_migrations, 1);
+        // Cache copy was invalidated: next access is remote memory.
+        let ns = m.touch(0, 0, Read);
+        assert!(ns > 329.0);
+    }
+
+    #[test]
+    fn migration_to_same_node_is_noop() {
+        let mut m = machine();
+        m.touch(0, 0, Read);
+        let before = m.clock().now_ns();
+        assert_eq!(m.migrate_page(0, 0), Ok(0));
+        assert_eq!(m.clock().now_ns(), before);
+        assert_eq!(m.stats().page_migrations, 0);
+    }
+
+    #[test]
+    fn migration_best_effort_redirects_when_full() {
+        let mut cfg = MachineConfig::tiny_test();
+        cfg.frames_per_node = 1;
+        let mut m = Machine::new(cfg);
+        m.map_page(0, 3).unwrap(); // fills node 3
+        m.map_page(1, 0).unwrap();
+        let landed = m.migrate_page(1, 3).unwrap();
+        assert_ne!(landed, 3);
+        assert_eq!(m.stats().best_effort_redirects, 1);
+    }
+
+    #[test]
+    fn migrate_unmapped_fails() {
+        let mut m = machine();
+        assert_eq!(m.migrate_page(7, 1), Err(MemError::Unmapped));
+    }
+
+    #[test]
+    fn region_protocol_advances_clock() {
+        let mut m = machine();
+        m.begin_region();
+        for i in 0..100 {
+            m.touch(0, i * 8, Read);
+        }
+        m.compute(0, 1000);
+        let t = m.end_region();
+        assert!(t.wall_ns > 0.0);
+        assert!(m.clock().now_ns() >= t.wall_ns);
+        assert_eq!(m.stats().regions, 1);
+    }
+
+    #[test]
+    fn reserve_vspace_is_page_aligned_and_disjoint() {
+        let mut m = machine();
+        let a = m.reserve_vspace(100);
+        let b = m.reserve_vspace(crate::PAGE_SIZE + 1);
+        let c = m.reserve_vspace(1);
+        assert_eq!(a, 0);
+        assert_eq!(b, crate::PAGE_SIZE);
+        assert_eq!(c, 3 * crate::PAGE_SIZE);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested begin_region")]
+    fn nested_region_panics() {
+        let mut m = machine();
+        m.begin_region();
+        m.begin_region();
+    }
+
+    #[test]
+    fn replication_serves_reads_locally_until_a_write() {
+        let mut m = machine();
+        m.map_page_for_test(0, 0);
+        // CPU 6 (node 3) reads remotely at first.
+        let remote = m.touch(6, 0, Read);
+        assert!(remote > 329.0);
+        m.replicate_page(0, 3).unwrap();
+        assert_eq!(m.replica_count(0), 1);
+        assert_eq!(m.stats().page_replications, 1);
+        // New line on the page: node 3's read is now local.
+        let local = m.touch(6, 256, Read);
+        assert_eq!(local, 329.0);
+        // Node 0 still reads its own copy locally.
+        assert_eq!(m.touch(0, 384, Read), 329.0);
+        // A write collapses the replica...
+        m.touch(0, 512, Write);
+        assert_eq!(m.replica_count(0), 0);
+        assert_eq!(m.stats().page_collapses, 1);
+        // ...and node 3 is remote again.
+        let after = m.touch(6, 640, Read);
+        assert!(after > 329.0);
+    }
+
+    #[test]
+    fn replication_counts_on_the_serving_frame() {
+        let mut m = machine();
+        m.map_page_for_test(0, 0);
+        let primary = m.frame_of(0).unwrap();
+        m.replicate_page(0, 3).unwrap();
+        m.touch(6, 0, Read); // served by the node-3 replica
+        assert_eq!(m.counters().get(primary, 3), 0, "primary must not be charged");
+    }
+
+    #[test]
+    fn migrate_collapses_replicas_and_frees_frames() {
+        let mut m = machine();
+        m.map_page_for_test(0, 0);
+        let free_before = m.memory().total_free();
+        m.replicate_page(0, 1).unwrap();
+        m.replicate_page(0, 2).unwrap();
+        assert_eq!(m.memory().total_free(), free_before - 2);
+        m.migrate_page(0, 3).unwrap();
+        assert_eq!(m.replica_count(0), 0);
+        assert_eq!(m.memory().total_free(), free_before);
+    }
+
+    #[test]
+    fn replicate_same_node_is_noop() {
+        let mut m = machine();
+        m.map_page_for_test(0, 2);
+        assert_eq!(m.replicate_page(0, 2), Ok(2));
+        assert_eq!(m.replica_count(0), 0);
+        m.replicate_page(0, 1).unwrap();
+        assert_eq!(m.replicate_page(0, 1), Ok(1), "duplicate replica requests are no-ops");
+        assert_eq!(m.replica_count(0), 1);
+    }
+
+    #[test]
+    fn page_version_sum_tracks_writes() {
+        let mut m = machine();
+        m.map_page_for_test(0, 0);
+        let v0 = m.page_version_sum(0);
+        m.touch(0, 0, Read);
+        assert_eq!(m.page_version_sum(0), v0, "reads leave versions alone");
+        m.touch(0, 0, Write);
+        assert_eq!(m.page_version_sum(0), v0 + 1);
+    }
+
+    #[test]
+    fn map_errors() {
+        let mut m = machine();
+        m.map_page(0, 0).unwrap();
+        assert_eq!(m.map_page(0, 1), Err(MemError::AlreadyMapped));
+        m.unmap_page(0).unwrap();
+        assert_eq!(m.unmap_page(0), Err(MemError::Unmapped));
+    }
+}

@@ -1,0 +1,103 @@
+//! Event statistics collected by the simulator.
+//!
+//! Per-CPU counts mirror what the R10000 event counters would show (cache
+//! hits per level, local vs. remote memory accesses, coherence misses);
+//! machine-level counts track page migrations and their charged overhead,
+//! which the experiment harness uses for the striped "migration overhead"
+//! portion of the paper's Figure 5 bars.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-simulated-CPU access statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpuStats {
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 hits (L1 misses that hit L2).
+    pub l2_hits: u64,
+    /// Memory accesses satisfied by the local node.
+    pub mem_local: u64,
+    /// Memory accesses satisfied by a remote node.
+    pub mem_remote: u64,
+    /// Of all cache probes, how many failed only because of a coherence
+    /// version mismatch (another CPU wrote the line).
+    pub coherence_misses: u64,
+    /// Total simulated stall time spent in the memory hierarchy, ns.
+    pub stall_ns: f64,
+    /// Total simulated computation time, ns.
+    pub compute_ns: f64,
+}
+
+impl CpuStats {
+    /// All memory accesses (L2 misses).
+    pub fn mem_accesses(&self) -> u64 {
+        self.mem_local + self.mem_remote
+    }
+
+    /// Fraction of memory accesses that were remote; 0 when there were none.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.mem_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.mem_remote as f64 / total as f64
+        }
+    }
+
+    /// Merge another CPU's stats into this one (aggregation helper).
+    pub fn merge(&mut self, other: &CpuStats) {
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.mem_local += other.mem_local;
+        self.mem_remote += other.mem_remote;
+        self.coherence_misses += other.coherence_misses;
+        self.stall_ns += other.stall_ns;
+        self.compute_ns += other.compute_ns;
+    }
+}
+
+/// Machine-wide statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MachineStats {
+    /// Pages migrated by any engine (kernel or user-level).
+    pub page_migrations: u64,
+    /// Simulated time charged for migrations (copy + TLB shootdown), ns.
+    pub migration_ns: f64,
+    /// Parallel regions completed.
+    pub regions: u64,
+    /// Page faults serviced (first-touch placements count here).
+    pub page_faults: u64,
+    /// Pages whose user-level migration request was redirected to another
+    /// node by the OS best-effort policy (target node out of memory).
+    pub best_effort_redirects: u64,
+    /// Read-only replicas created.
+    pub page_replications: u64,
+    /// Replica collapses (a write to a replicated page, or an explicit
+    /// collapse).
+    pub page_collapses: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_fraction() {
+        let mut s = CpuStats::default();
+        assert_eq!(s.remote_fraction(), 0.0);
+        s.mem_local = 3;
+        s.mem_remote = 1;
+        assert!((s.remote_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(s.mem_accesses(), 4);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CpuStats { l1_hits: 1, stall_ns: 2.0, ..Default::default() };
+        let b = CpuStats { l1_hits: 2, l2_hits: 5, stall_ns: 3.0, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.l1_hits, 3);
+        assert_eq!(a.l2_hits, 5);
+        assert_eq!(a.stall_ns, 5.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the machine's building blocks.
+
+use ccnuma::{
+    AccessKind, CacheConfig, LatencyModel, Machine, MachineConfig, SetAssocCache, Topology,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn topology_hops_is_a_metric(nodes_log in 0u32..4, a in 0usize..16, b in 0usize..16, c in 0usize..16) {
+        let nodes = 1usize << nodes_log;
+        let t = Topology::fat_hypercube(nodes, 2);
+        let a = a % nodes;
+        let b = b % nodes;
+        let c = c % nodes;
+        // Identity, symmetry, triangle inequality.
+        prop_assert_eq!(t.hops(a, a), 0);
+        prop_assert_eq!(t.hops(a, b), t.hops(b, a));
+        prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+        prop_assert!(t.hops(a, b) <= t.diameter());
+    }
+
+    #[test]
+    fn latency_is_monotone_in_hops(hops in 0u32..10) {
+        let m = LatencyModel::origin2000();
+        prop_assert!(m.memory_ns(hops + 1) > m.memory_ns(hops));
+    }
+
+    #[test]
+    fn ratio_scaled_latency_is_monotone_in_ratio(
+        r1 in 1.0f64..10.0,
+        delta in 0.1f64..5.0,
+        hops in 1u32..6,
+    ) {
+        let a = LatencyModel::with_remote_ratio(r1);
+        let b = LatencyModel::with_remote_ratio(r1 + delta);
+        prop_assert!(b.memory_ns(hops) > a.memory_ns(hops));
+        prop_assert_eq!(a.memory_ns(0), b.memory_ns(0));
+    }
+
+    #[test]
+    fn cache_probe_after_fill_hits_same_version(
+        lines in proptest::collection::vec((0u64..1024, 0u32..8), 1..200),
+    ) {
+        // Whatever interleaving of fills happens, a probe immediately after
+        // a fill with the same version must hit; and occupancy never
+        // exceeds capacity.
+        let config = CacheConfig { capacity: 2048, ways: 2 };
+        let mut cache = SetAssocCache::new(config);
+        let capacity_lines = config.capacity / 128;
+        for (line, version) in lines {
+            cache.fill(line, version);
+            prop_assert_eq!(cache.probe(line, version), ccnuma::cache::Probe::Hit);
+            prop_assert!(cache.occupancy() <= capacity_lines);
+        }
+    }
+
+    #[test]
+    fn cache_never_hits_with_a_newer_version(
+        line in 0u64..64,
+        v1 in 0u32..100,
+        bump in 1u32..100,
+    ) {
+        let mut cache = SetAssocCache::new(CacheConfig { capacity: 1024, ways: 2 });
+        cache.fill(line, v1);
+        // If the directory version moved on, the cached copy must never be
+        // served as a hit.
+        prop_assert_ne!(cache.probe(line, v1 + bump), ccnuma::cache::Probe::Hit);
+    }
+
+    #[test]
+    fn touch_costs_are_one_of_the_hierarchy_levels(
+        accesses in proptest::collection::vec((0usize..8, 0u64..(64 * 128), any::<bool>()), 1..300),
+    ) {
+        let mut machine = Machine::new(MachineConfig::tiny_test());
+        let base = machine.reserve_vspace(64 * ccnuma::PAGE_SIZE);
+        let latencies = [5.5, 56.9, 329.0, 564.0, 759.0, 862.0];
+        for (cpu, line, write) in accesses {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let ns = machine.touch(cpu, base + line * 128, kind);
+            prop_assert!(
+                latencies.iter().any(|&l| (ns - l).abs() < 1e-9),
+                "unexpected latency {ns}"
+            );
+        }
+    }
+
+    #[test]
+    fn clock_only_moves_forward(
+        ops in proptest::collection::vec((0usize..8, 0u64..1024, any::<bool>()), 1..100),
+    ) {
+        let mut machine = Machine::new(MachineConfig::tiny_test());
+        let base = machine.reserve_vspace(16 * ccnuma::PAGE_SIZE);
+        let mut last = machine.clock().now_ns();
+        machine.begin_region();
+        for (cpu, off, write) in ops {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            machine.touch(cpu, base + off * 128, kind);
+        }
+        machine.end_region();
+        prop_assert!(machine.clock().now_ns() >= last);
+        last = machine.clock().now_ns();
+        // A real (non-no-op) migration also advances time.
+        let vp = ccnuma::vpage_of(base);
+        if let Some(home) = machine.node_of_vpage(vp) {
+            let target = (home + 1) % machine.topology().nodes();
+            machine.migrate_page(vp, target).unwrap();
+            prop_assert!(machine.clock().now_ns() > last);
+        }
+    }
+
+    #[test]
+    fn region_wall_time_bounds_each_cpu(
+        work in proptest::collection::vec(1u64..10_000, 8),
+    ) {
+        // Wall time of a region is at least every CPU's own busy time and
+        // at most their sum.
+        let mut machine = Machine::new(MachineConfig::tiny_test());
+        machine.begin_region();
+        for (cpu, &flops) in work.iter().enumerate() {
+            machine.compute(cpu, flops);
+        }
+        let timing = machine.end_region();
+        let each: Vec<f64> = work.iter().map(|&f| f as f64 * 2.0).collect();
+        let max = each.iter().copied().fold(0.0, f64::max);
+        let sum: f64 = each.iter().sum();
+        prop_assert!(timing.wall_ns >= max - 1e-9);
+        prop_assert!(timing.wall_ns <= sum + 1e-9);
+    }
+}

@@ -1,0 +1,212 @@
+//! Shared benchmark infrastructure: the benchmark trait, problem scales,
+//! verification results, and 3-D grid index helpers.
+
+use omp::Runtime;
+use serde::{Deserialize, Serialize};
+use upmlib::UpmEngine;
+
+/// Benchmark identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenchName {
+    /// Block-tridiagonal CFD solver.
+    Bt,
+    /// Scalar-pentadiagonal CFD solver.
+    Sp,
+    /// Conjugate-gradient eigenvalue kernel.
+    Cg,
+    /// Multigrid Poisson kernel.
+    Mg,
+    /// 3-D FFT spectral kernel.
+    Ft,
+}
+
+impl BenchName {
+    /// Lower-case label as used in the paper's charts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BenchName::Bt => "BT",
+            BenchName::Sp => "SP",
+            BenchName::Cg => "CG",
+            BenchName::Mg => "MG",
+            BenchName::Ft => "FT",
+        }
+    }
+
+    /// All five benchmarks in the paper's order.
+    pub fn all() -> [BenchName; 5] {
+        [BenchName::Bt, BenchName::Sp, BenchName::Cg, BenchName::Mg, BenchName::Ft]
+    }
+}
+
+/// Problem-size class. `Tiny` is for unit/integration tests, `Small` for
+/// Criterion benches, `Medium` for the experiment harness (the analogue of
+/// the paper's Class A, scaled to the simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Smallest correct instance; seconds matter (tests).
+    Tiny,
+    /// Small instance for Criterion benches.
+    Small,
+    /// The experiment harness size.
+    Medium,
+}
+
+/// Outcome of a benchmark's self-verification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Verification {
+    /// Whether the computed value matched the reference.
+    pub passed: bool,
+    /// The computed verification value.
+    pub value: f64,
+    /// The reference value it was compared against.
+    pub reference: f64,
+    /// Relative tolerance used.
+    pub epsilon: f64,
+}
+
+impl Verification {
+    /// Compare `value` against `reference` at relative tolerance `epsilon`.
+    pub fn check(value: f64, reference: f64, epsilon: f64) -> Self {
+        let denom = reference.abs().max(1e-300);
+        let passed = ((value - reference).abs() / denom) <= epsilon;
+        Self { passed, value, reference, epsilon }
+    }
+}
+
+/// A phase-transition point inside one iteration — where the paper's
+/// Figure 3 instrumentation sits. `Before(p)`/`After(p)` bracket phase `p`
+/// (for BT/SP, phase 0 is the z-sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhasePoint {
+    /// Immediately before phase `p` starts.
+    Before(usize),
+    /// Immediately after phase `p` completes.
+    After(usize),
+}
+
+/// Callback invoked by a benchmark at its phase-transition points.
+pub type PhaseHook<'h> = dyn FnMut(&mut Runtime, PhasePoint) + 'h;
+
+/// A no-op phase hook for callers that don't use record–replay.
+pub fn no_phase_hook() -> impl FnMut(&mut Runtime, PhasePoint) {
+    |_rt: &mut Runtime, _pp: PhasePoint| {}
+}
+
+/// One NAS-like benchmark instance: allocated arrays plus its iteration
+/// body.
+pub trait NasBenchmark {
+    /// Which benchmark this is.
+    fn name(&self) -> BenchName;
+
+    /// Number of timed iterations this instance runs (the paper: BT 200,
+    /// SP 400 [sic: 15 in the NAS A config used for upmlib runs], CG 15,
+    /// FT 6, MG 4; scaled here).
+    fn iterations(&self) -> usize;
+
+    /// The discarded cold-start iteration: runs the full parallel
+    /// computation so first-touch can distribute pages, then resets state
+    /// so the timed run starts clean.
+    fn cold_start(&mut self, rt: &mut Runtime);
+
+    /// One timed iteration. `hook` is called at phase-transition points.
+    fn iterate(&mut self, rt: &mut Runtime, hook: &mut PhaseHook<'_>);
+
+    /// Register the benchmark's compiler-identified hot arrays with a
+    /// UPMlib engine (`upmlib_memrefcnt` calls).
+    fn register_hot(&self, upm: &mut UpmEngine);
+
+    /// Host-side self-verification after all iterations.
+    fn verify(&self) -> Verification;
+}
+
+/// Index helpers for a 3-D grid of `comps` components stored
+/// component-fastest (the Fortran `u(5, nx, ny, nz)` layout of the NAS
+/// codes, linearized with x fastest after components).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid3 {
+    /// Points along x.
+    pub nx: usize,
+    /// Points along y.
+    pub ny: usize,
+    /// Points along z.
+    pub nz: usize,
+    /// Components per point.
+    pub comps: usize,
+}
+
+impl Grid3 {
+    /// A cubic grid.
+    pub fn cube(n: usize, comps: usize) -> Self {
+        Self { nx: n, ny: n, nz: n, comps }
+    }
+
+    /// Total scalar elements.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz * self.comps
+    }
+
+    /// Whether the grid is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of component `c` at `(x, y, z)`.
+    #[inline(always)]
+    pub fn idx(&self, c: usize, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(c < self.comps && x < self.nx && y < self.ny && z < self.nz);
+        ((z * self.ny + y) * self.nx + x) * self.comps + c
+    }
+
+    /// Number of interior points along each axis (excluding one boundary
+    /// layer on each side).
+    pub fn interior(&self) -> (usize, usize, usize) {
+        (self.nx.saturating_sub(2), self.ny.saturating_sub(2), self.nz.saturating_sub(2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_indexing_is_component_fastest() {
+        let g = Grid3::cube(4, 5);
+        assert_eq!(g.idx(0, 0, 0, 0), 0);
+        assert_eq!(g.idx(1, 0, 0, 0), 1);
+        assert_eq!(g.idx(0, 1, 0, 0), 5);
+        assert_eq!(g.idx(0, 0, 1, 0), 20);
+        assert_eq!(g.idx(0, 0, 0, 1), 80);
+        assert_eq!(g.len(), 320);
+    }
+
+    #[test]
+    fn grid_indices_are_unique_and_dense() {
+        let g = Grid3 { nx: 3, ny: 2, nz: 2, comps: 2 };
+        let mut seen = vec![false; g.len()];
+        for z in 0..g.nz {
+            for y in 0..g.ny {
+                for x in 0..g.nx {
+                    for c in 0..g.comps {
+                        let i = g.idx(c, x, y, z);
+                        assert!(!seen[i]);
+                        seen[i] = true;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn verification_tolerance() {
+        assert!(Verification::check(1.0000001, 1.0, 1e-6).passed);
+        assert!(!Verification::check(1.01, 1.0, 1e-6).passed);
+        assert!(Verification::check(0.0, 0.0, 1e-6).passed);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(BenchName::Bt.label(), "BT");
+        assert_eq!(BenchName::all().len(), 5);
+    }
+}

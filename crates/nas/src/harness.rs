@@ -1,0 +1,242 @@
+//! The run harness: executes one benchmark instance under one experiment
+//! configuration (placement scheme x migration engine), following the
+//! paper's instrumentation protocols.
+//!
+//! * **Plain / IRIX-migration runs** (Figure 1): cold-start iteration for
+//!   first-touch, then the timed time-stepping loop; the kernel engine (if
+//!   enabled) scans at region boundaries.
+//! * **UPMlib distribution runs** (Figure 4, paper Figure 2 protocol): the
+//!   engine's `migrate_memory` is invoked after the first iteration and
+//!   after every later iteration while it keeps finding pages to move, then
+//!   self-deactivates.
+//! * **Record–replay runs** (Figures 5–6, paper Figure 3 protocol):
+//!   `migrate_memory` after iteration 1; `record` at the phase points of
+//!   iteration 2 followed by `compare_counters`; `replay` at the phase
+//!   points and `undo` at the end of every later iteration.
+
+use crate::common::{BenchName, NasBenchmark, PhasePoint, Verification};
+use ccnuma::{Machine, MachineConfig};
+use omp::Runtime;
+use serde::{Deserialize, Serialize};
+use upmlib::{UpmEngine, UpmOptions, UpmStats};
+use vmm::{install_placement, KernelMigrationConfig, KernelMigrationEngine, PlacementScheme};
+
+/// Which migration machinery a run uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EngineMode {
+    /// No migration at all (the paper's `*-IRIX` bars).
+    None,
+    /// The IRIX kernel competitive engine (`*-IRIXmig` bars).
+    IrixMig(KernelMigrationConfig),
+    /// UPMlib's iterative distribution mechanism (`*-upmlib` bars).
+    Upmlib(UpmOptions),
+    /// UPMlib distribution + record–replay redistribution (`ft-recrep`).
+    RecRep(UpmOptions),
+}
+
+impl EngineMode {
+    /// Label used in experiment output, matching the paper's bar labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineMode::None => "IRIX",
+            EngineMode::IrixMig(_) => "IRIXmig",
+            EngineMode::Upmlib(_) => "upmlib",
+            EngineMode::RecRep(_) => "recrep",
+        }
+    }
+}
+
+/// One experiment configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Page placement scheme installed before any page faults.
+    pub placement: PlacementScheme,
+    /// Migration engine mode.
+    pub engine: EngineMode,
+    /// OpenMP team size.
+    pub threads: usize,
+    /// Machine to simulate.
+    pub machine: MachineConfig,
+}
+
+impl RunConfig {
+    /// The paper's default platform: 16 processors, first-touch, no
+    /// migration.
+    pub fn paper_default() -> Self {
+        Self {
+            placement: PlacementScheme::FirstTouch,
+            engine: EngineMode::None,
+            threads: 16,
+            machine: MachineConfig::origin2000_16p_scaled(),
+        }
+    }
+}
+
+/// Everything measured by one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Benchmark identity.
+    pub bench: BenchName,
+    /// Placement label (`ft`, `rr`, `rand`, `wc`).
+    pub placement: String,
+    /// Engine label (`IRIX`, `IRIXmig`, `upmlib`, `recrep`).
+    pub engine: String,
+    /// Simulated wall time of the timed iterations, seconds.
+    pub total_secs: f64,
+    /// Simulated wall time per timed iteration, seconds.
+    pub per_iter_secs: Vec<f64>,
+    /// Benchmark self-verification outcome.
+    pub verification: Verification,
+    /// UPMlib statistics, when a UPMlib mode ran.
+    pub upm: Option<UpmStats>,
+    /// Pages the kernel engine migrated.
+    pub kernel_migrations: u64,
+    /// Fraction of memory accesses that were remote, whole run.
+    pub remote_fraction: f64,
+    /// Simulated seconds spent on record–replay page movement (the striped
+    /// overhead segment of the paper's Figure 5).
+    pub recrep_overhead_secs: f64,
+}
+
+impl RunResult {
+    /// `label` in the paper's chart style, e.g. `rr-IRIXmig`.
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.placement, self.engine)
+    }
+
+    /// Mean per-iteration time over the last 75% of iterations — the basis
+    /// of Table 2's residual-slowdown column.
+    pub fn last75_mean_secs(&self) -> f64 {
+        let n = self.per_iter_secs.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let start = n / 4;
+        let tail = &self.per_iter_secs[start..];
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+}
+
+/// Run one benchmark under one configuration. `make` allocates the
+/// benchmark's arrays on the freshly configured machine.
+pub fn run_benchmark<B: NasBenchmark>(
+    make: impl FnOnce(&mut Runtime) -> B,
+    cfg: &RunConfig,
+) -> RunResult {
+    let mut machine = Machine::new(cfg.machine.clone());
+    install_placement(&mut machine, cfg.placement);
+    let mut rt = Runtime::with_threads(machine, cfg.threads);
+    if let EngineMode::IrixMig(kcfg) = &cfg.engine {
+        rt.set_kernel_migration(KernelMigrationEngine::enabled(*kcfg));
+    }
+    let mut bench = make(&mut rt);
+    let mut upm = match &cfg.engine {
+        EngineMode::Upmlib(opts) | EngineMode::RecRep(opts) => {
+            let mut engine = UpmEngine::new(rt.machine(), *opts);
+            bench.register_hot(&mut engine);
+            Some(engine)
+        }
+        _ => None,
+    };
+    let recrep = matches!(cfg.engine, EngineMode::RecRep(_));
+
+    // Cold-start iteration: executed, then discarded (paper §2.1).
+    bench.cold_start(&mut rt);
+    if let Some(engine) = &upm {
+        // Reference monitoring starts with the timed run (upmlib reads and
+        // resets the counters per observation window).
+        engine.reset_counters(rt.machine());
+    }
+
+    let iters = bench.iterations();
+    let mut per_iter = Vec::with_capacity(iters);
+    let t_start = rt.machine().clock().now_secs();
+    let mut noop = |_: &mut Runtime, _: PhasePoint| {};
+    for step in 0..iters {
+        let t0 = rt.machine().clock().now_secs();
+        match (&mut upm, recrep, step) {
+            // Figure 2 protocol: migrate after iteration 1 and while the
+            // engine keeps finding work.
+            (Some(engine), false, _) => {
+                bench.iterate(&mut rt, &mut noop);
+                if engine.is_active() {
+                    engine.migrate_memory(rt.machine_mut());
+                }
+            }
+            // Figure 3 protocol, first iteration: distribution pass.
+            (Some(engine), true, 0) => {
+                bench.iterate(&mut rt, &mut noop);
+                engine.migrate_memory(rt.machine_mut());
+            }
+            // Figure 3 protocol, second iteration: record phases.
+            (Some(engine), true, 1) => {
+                let mut hook = |rt: &mut Runtime, _pp: PhasePoint| {
+                    engine.record(rt.machine());
+                };
+                bench.iterate(&mut rt, &mut hook);
+                engine.compare_counters();
+            }
+            // Figure 3 protocol, later iterations: replay + undo.
+            (Some(engine), true, _) => {
+                let mut hook = |rt: &mut Runtime, pp: PhasePoint| {
+                    if matches!(pp, PhasePoint::Before(_)) {
+                        engine.replay(rt.machine_mut());
+                    }
+                };
+                bench.iterate(&mut rt, &mut hook);
+                engine.undo(rt.machine_mut());
+            }
+            // Plain / IRIXmig runs.
+            (None, _, _) => bench.iterate(&mut rt, &mut noop),
+        }
+        per_iter.push(rt.machine().clock().now_secs() - t0);
+    }
+    let total_secs = rt.machine().clock().now_secs() - t_start;
+
+    let agg = rt.machine().aggregate_cpu_stats();
+    let upm_stats = upm.as_ref().map(|e| e.stats().clone());
+    RunResult {
+        bench: bench.name(),
+        placement: cfg.placement.label().to_string(),
+        engine: cfg.engine.label().to_string(),
+        total_secs,
+        per_iter_secs: per_iter,
+        verification: bench.verify(),
+        upm: upm_stats.clone(),
+        kernel_migrations: rt.kernel_migration().stats().migrations,
+        remote_fraction: agg.remote_fraction(),
+        recrep_overhead_secs: upm_stats.map(|s| s.recrep_ns * 1e-9).unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_labels() {
+        assert_eq!(EngineMode::None.label(), "IRIX");
+        assert_eq!(EngineMode::IrixMig(Default::default()).label(), "IRIXmig");
+        assert_eq!(EngineMode::Upmlib(Default::default()).label(), "upmlib");
+        assert_eq!(EngineMode::RecRep(Default::default()).label(), "recrep");
+    }
+
+    #[test]
+    fn last75_mean() {
+        let r = RunResult {
+            bench: BenchName::Bt,
+            placement: "ft".into(),
+            engine: "IRIX".into(),
+            total_secs: 0.0,
+            per_iter_secs: vec![10.0, 1.0, 1.0, 3.0],
+            verification: Verification::check(0.0, 0.0, 1e-6),
+            upm: None,
+            kernel_migrations: 0,
+            remote_fraction: 0.0,
+            recrep_overhead_secs: 0.0,
+        };
+        // Last 75% of 4 iterations = last 3.
+        assert!((r.last75_mean_secs() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.label(), "ft-IRIX");
+    }
+}

@@ -1,0 +1,522 @@
+//! Host-side numerical kernels used by the benchmarks: 5x5 block linear
+//! algebra for BT, pentadiagonal solves for SP, and a radix-2 complex FFT
+//! for FT.
+//!
+//! These routines run on values the kernels have already read through the
+//! simulated memory system; their arithmetic cost is charged as flops via
+//! the per-routine `*_FLOPS` constants.
+
+/// Block dimension of the BT solver (5 conserved quantities).
+pub const B: usize = 5;
+
+/// A 5x5 block stored row-major.
+pub type Block = [f64; B * B];
+
+/// A length-5 block vector.
+pub type BVec = [f64; B];
+
+/// Approximate flop cost of one 5x5 Gauss-Jordan inversion.
+pub const INV5_FLOPS: u64 = 2 * (B * B * B) as u64;
+/// Approximate flop cost of one 5x5 by 5x5 multiply.
+pub const MATMUL5_FLOPS: u64 = 2 * (B * B * B) as u64;
+/// Approximate flop cost of one 5x5 by 5-vector multiply.
+pub const MATVEC5_FLOPS: u64 = 2 * (B * B) as u64;
+
+/// `out = m * v` for a 5x5 block.
+#[inline]
+pub fn matvec5(m: &Block, v: &BVec) -> BVec {
+    let mut out = [0.0; B];
+    for (r, o) in out.iter_mut().enumerate() {
+        let row = &m[r * B..(r + 1) * B];
+        *o = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+    }
+    out
+}
+
+/// `out = a * b` for 5x5 blocks.
+#[inline]
+pub fn matmul5(a: &Block, b: &Block) -> Block {
+    let mut out = [0.0; B * B];
+    for r in 0..B {
+        for k in 0..B {
+            let av = a[r * B + k];
+            if av == 0.0 {
+                continue;
+            }
+            for c in 0..B {
+                out[r * B + c] += av * b[k * B + c];
+            }
+        }
+    }
+    out
+}
+
+/// `a - b` elementwise.
+#[inline]
+pub fn matsub5(a: &Block, b: &Block) -> Block {
+    let mut out = [0.0; B * B];
+    for i in 0..B * B {
+        out[i] = a[i] - b[i];
+    }
+    out
+}
+
+/// `a - b` for block vectors.
+#[inline]
+pub fn vecsub5(a: &BVec, b: &BVec) -> BVec {
+    let mut out = [0.0; B];
+    for i in 0..B {
+        out[i] = a[i] - b[i];
+    }
+    out
+}
+
+/// Invert a 5x5 block with Gauss-Jordan elimination and partial pivoting.
+/// Returns `None` for (numerically) singular blocks.
+pub fn inv5(m: &Block) -> Option<Block> {
+    let mut a = *m;
+    let mut inv: Block = [0.0; B * B];
+    for i in 0..B {
+        inv[i * B + i] = 1.0;
+    }
+    for col in 0..B {
+        // Partial pivot.
+        let mut pivot_row = col;
+        let mut pivot_val = a[col * B + col].abs();
+        for r in col + 1..B {
+            let v = a[r * B + col].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-300 {
+            return None;
+        }
+        if pivot_row != col {
+            for c in 0..B {
+                a.swap(col * B + c, pivot_row * B + c);
+                inv.swap(col * B + c, pivot_row * B + c);
+            }
+        }
+        let p = a[col * B + col];
+        for c in 0..B {
+            a[col * B + c] /= p;
+            inv[col * B + c] /= p;
+        }
+        for r in 0..B {
+            if r == col {
+                continue;
+            }
+            let f = a[r * B + col];
+            if f == 0.0 {
+                continue;
+            }
+            for c in 0..B {
+                a[r * B + c] -= f * a[col * B + c];
+                inv[r * B + c] -= f * inv[col * B + c];
+            }
+        }
+    }
+    Some(inv)
+}
+
+/// Identity block scaled by `s`.
+pub fn scaled_identity5(s: f64) -> Block {
+    let mut m = [0.0; B * B];
+    for i in 0..B {
+        m[i * B + i] = s;
+    }
+    m
+}
+
+/// Solve a block-tridiagonal system in place (Thomas algorithm with 5x5
+/// blocks): `A[i] X[i-1] + Bd[i] X[i] + C[i] X[i+1] = R[i]` for
+/// `i = 0..n` (with `A[0]` and `C[n-1]` ignored). `rhs` is overwritten with
+/// the solution. Returns the flops spent, or `None` on a singular pivot.
+pub fn block_tridiag_solve(
+    a: &[Block],
+    bd: &[Block],
+    c: &[Block],
+    rhs: &mut [BVec],
+) -> Option<u64> {
+    let n = bd.len();
+    assert!(a.len() == n && c.len() == n && rhs.len() == n);
+    if n == 0 {
+        return Some(0);
+    }
+    let mut flops = 0u64;
+    // Forward elimination: cp[i] = pivot^-1 * c[i]; rhs[i] = pivot^-1 * (...)
+    let mut cp: Vec<Block> = vec![[0.0; B * B]; n];
+    let mut pivot_inv = inv5(&bd[0])?;
+    flops += INV5_FLOPS;
+    cp[0] = matmul5(&pivot_inv, &c[0]);
+    rhs[0] = matvec5(&pivot_inv, &rhs[0]);
+    flops += MATMUL5_FLOPS + MATVEC5_FLOPS;
+    for i in 1..n {
+        let pivot = matsub5(&bd[i], &matmul5(&a[i], &cp[i - 1]));
+        pivot_inv = inv5(&pivot)?;
+        flops += MATMUL5_FLOPS + INV5_FLOPS;
+        if i + 1 < n {
+            cp[i] = matmul5(&pivot_inv, &c[i]);
+            flops += MATMUL5_FLOPS;
+        }
+        let r = vecsub5(&rhs[i], &matvec5(&a[i], &rhs[i - 1]));
+        rhs[i] = matvec5(&pivot_inv, &r);
+        flops += 2 * MATVEC5_FLOPS;
+    }
+    // Back substitution.
+    for i in (0..n - 1).rev() {
+        let correction = matvec5(&cp[i], &rhs[i + 1]);
+        rhs[i] = vecsub5(&rhs[i], &correction);
+        flops += MATVEC5_FLOPS;
+    }
+    Some(flops)
+}
+
+/// Solve a scalar pentadiagonal system in place:
+/// `e[i] x[i-2] + a[i] x[i-1] + d[i] x[i] + c[i] x[i+1] + f[i] x[i+2] = r[i]`.
+/// Bands outside the matrix are ignored. `r` is overwritten with the
+/// solution. Returns flops, or `None` on a zero pivot. Plain Gaussian
+/// elimination without pivoting — valid for the diagonally dominant systems
+/// SP assembles.
+#[allow(clippy::many_single_char_names)]
+pub fn penta_solve(
+    e: &[f64],
+    a: &[f64],
+    d: &[f64],
+    c: &[f64],
+    f: &[f64],
+    r: &mut [f64],
+) -> Option<u64> {
+    let n = d.len();
+    assert!(e.len() == n && a.len() == n && c.len() == n && f.len() == n && r.len() == n);
+    if n == 0 {
+        return Some(0);
+    }
+    // Pentadiagonal Gaussian elimination generates no fill-in: eliminating
+    // the two sub-band entries of column i with row i (whose nonzeros sit at
+    // columns i..i+2) only touches columns i+1 and i+2 of rows i+1 and i+2,
+    // which are inside their bands. Working copies of the mutable bands:
+    let mut aa = a.to_vec();
+    let mut dd = d.to_vec();
+    let mut cc = c.to_vec();
+    let ff = f; // the outermost super-band is never modified
+    let mut flops = 0u64;
+    for i in 0..n {
+        if dd[i].abs() < 1e-300 {
+            return None;
+        }
+        // Eliminate row i+1's column-i entry (the a band).
+        if i + 1 < n {
+            let m1 = aa[i + 1] / dd[i];
+            dd[i + 1] -= m1 * cc[i];
+            cc[i + 1] -= m1 * ff[i]; // row i+1, column i+2
+            r[i + 1] -= m1 * r[i];
+            flops += 7;
+        }
+        // Eliminate row i+2's column-i entry (the e band).
+        if i + 2 < n {
+            let m2 = e[i + 2] / dd[i];
+            aa[i + 2] -= m2 * cc[i]; // row i+2, column i+1
+            dd[i + 2] -= m2 * ff[i]; // row i+2, column i+2
+            r[i + 2] -= m2 * r[i];
+            flops += 7;
+        }
+    }
+    // Back substitution against the upper-triangular band {dd, cc, ff}.
+    r[n - 1] /= dd[n - 1];
+    if n >= 2 {
+        r[n - 2] = (r[n - 2] - cc[n - 2] * r[n - 1]) / dd[n - 2];
+    }
+    for i in (0..n.saturating_sub(2)).rev() {
+        r[i] = (r[i] - cc[i] * r[i + 1] - ff[i] * r[i + 2]) / dd[i];
+        flops += 5;
+    }
+    Some(flops)
+}
+
+/// Complex number as a pair (re, im).
+pub type C64 = (f64, f64);
+
+#[inline]
+fn cadd(a: C64, b: C64) -> C64 {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+#[inline]
+fn csub(a: C64, b: C64) -> C64 {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+#[inline]
+fn cmul(a: C64, b: C64) -> C64 {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+/// In-place radix-2 decimation-in-time FFT of a power-of-two-length buffer.
+/// `inverse` selects the inverse transform (including the 1/n scaling).
+/// Returns the flop count.
+pub fn fft_inplace(data: &mut [C64], inverse: bool) -> u64 {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return 0;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    let mut flops = 0u64;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = cmul(data[i + k + len / 2], w);
+                data[i + k] = cadd(u, v);
+                data[i + k + len / 2] = csub(u, v);
+                w = cmul(w, wlen);
+                flops += 16;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for d in data.iter_mut() {
+            d.0 *= inv_n;
+            d.1 *= inv_n;
+        }
+        flops += 2 * n as u64;
+    }
+    flops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() <= eps * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn inv5_inverts() {
+        // A well-conditioned test matrix.
+        let mut m: Block = [0.0; 25];
+        for r in 0..B {
+            for c in 0..B {
+                m[r * B + c] = if r == c { 4.0 } else { 1.0 / (1.0 + (r + 2 * c) as f64) };
+            }
+        }
+        let inv = inv5(&m).unwrap();
+        let prod = matmul5(&m, &inv);
+        for r in 0..B {
+            for c in 0..B {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!(approx(prod[r * B + c], expect, 1e-12), "({r},{c}) = {}", prod[r * B + c]);
+            }
+        }
+    }
+
+    #[test]
+    fn inv5_detects_singular() {
+        let m: Block = [0.0; 25];
+        assert!(inv5(&m).is_none());
+    }
+
+    #[test]
+    fn matvec_and_matmul_agree_with_manual() {
+        let mut a: Block = [0.0; 25];
+        a[0] = 2.0; // a[0][0]
+        a[6] = 3.0; // a[1][1]
+        let v: BVec = [1.0, 2.0, 0.0, 0.0, 0.0];
+        let out = matvec5(&a, &v);
+        assert_eq!(out, [2.0, 6.0, 0.0, 0.0, 0.0]);
+        let id = scaled_identity5(1.0);
+        assert_eq!(matmul5(&a, &id), a);
+    }
+
+    #[test]
+    fn block_tridiag_solves_known_system() {
+        // Build a random-ish diagonally dominant block tridiagonal system,
+        // multiply a known solution, and recover it.
+        let n = 12;
+        let mk = |seed: usize| -> Block {
+            let mut m = scaled_identity5(6.0 + (seed % 3) as f64);
+            for r in 0..B {
+                for c in 0..B {
+                    if r != c {
+                        m[r * B + c] = ((seed * 31 + r * 7 + c * 13) % 10) as f64 * 0.05;
+                    }
+                }
+            }
+            m
+        };
+        let off = |seed: usize| -> Block {
+            let mut m = [0.0; 25];
+            for r in 0..B {
+                for c in 0..B {
+                    m[r * B + c] = ((seed * 17 + r * 3 + c * 11) % 7) as f64 * 0.04 - 0.1;
+                }
+            }
+            m
+        };
+        let a: Vec<Block> = (0..n).map(|i| off(i + 100)).collect();
+        let bd: Vec<Block> = (0..n).map(mk).collect();
+        let c: Vec<Block> = (0..n).map(|i| off(i + 500)).collect();
+        let x_true: Vec<BVec> =
+            (0..n).map(|i| std::array::from_fn(|k| ((i * 5 + k) % 9) as f64 * 0.3 - 1.0)).collect();
+        // rhs = A x.
+        let mut rhs: Vec<BVec> = vec![[0.0; B]; n];
+        for i in 0..n {
+            let mut r = matvec5(&bd[i], &x_true[i]);
+            if i > 0 {
+                let t = matvec5(&a[i], &x_true[i - 1]);
+                for k in 0..B {
+                    r[k] += t[k];
+                }
+            }
+            if i + 1 < n {
+                let t = matvec5(&c[i], &x_true[i + 1]);
+                for k in 0..B {
+                    r[k] += t[k];
+                }
+            }
+            rhs[i] = r;
+        }
+        let flops = block_tridiag_solve(&a, &bd, &c, &mut rhs).unwrap();
+        assert!(flops > 0);
+        for i in 0..n {
+            for k in 0..B {
+                assert!(
+                    approx(rhs[i][k], x_true[i][k], 1e-9),
+                    "x[{i}][{k}] = {} want {}",
+                    rhs[i][k],
+                    x_true[i][k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_tridiag_n1() {
+        let bd = vec![scaled_identity5(2.0)];
+        let a = vec![[0.0; 25]];
+        let c = vec![[0.0; 25]];
+        let mut rhs = vec![[2.0, 4.0, 6.0, 8.0, 10.0]];
+        block_tridiag_solve(&a, &bd, &c, &mut rhs).unwrap();
+        assert_eq!(rhs[0], [1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn penta_solves_known_system() {
+        let n = 20;
+        // Diagonally dominant pentadiagonal matrix.
+        let e: Vec<f64> = (0..n).map(|i| if i >= 2 { -0.1 - 0.01 * i as f64 } else { 0.0 }).collect();
+        let a: Vec<f64> = (0..n).map(|i| if i >= 1 { -0.5 + 0.02 * i as f64 } else { 0.0 }).collect();
+        let d: Vec<f64> = (0..n).map(|i| 4.0 + 0.1 * (i % 5) as f64).collect();
+        let c: Vec<f64> =
+            (0..n).map(|i| if i + 1 < n { -0.4 - 0.01 * i as f64 } else { 0.0 }).collect();
+        let f: Vec<f64> =
+            (0..n).map(|i| if i + 2 < n { 0.2 + 0.005 * i as f64 } else { 0.0 }).collect();
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64 * 0.25 - 1.0).collect();
+        // r = M x.
+        let mut r = vec![0.0; n];
+        for i in 0..n {
+            let mut s = d[i] * x_true[i];
+            if i >= 2 {
+                s += e[i] * x_true[i - 2];
+            }
+            if i >= 1 {
+                s += a[i] * x_true[i - 1];
+            }
+            if i + 1 < n {
+                s += c[i] * x_true[i + 1];
+            }
+            if i + 2 < n {
+                s += f[i] * x_true[i + 2];
+            }
+            r[i] = s;
+        }
+        penta_solve(&e, &a, &d, &c, &f, &mut r).unwrap();
+        for i in 0..n {
+            assert!(approx(r[i], x_true[i], 1e-9), "x[{i}] = {} want {}", r[i], x_true[i]);
+        }
+    }
+
+    #[test]
+    fn penta_small_sizes() {
+        for n in 1..=4 {
+            let e = vec![0.0; n];
+            let a = vec![0.0; n];
+            let d = vec![2.0; n];
+            let c = vec![0.0; n];
+            let f = vec![0.0; n];
+            let mut r: Vec<f64> = (0..n).map(|i| 2.0 * (i + 1) as f64).collect();
+            penta_solve(&e, &a, &d, &c, &f, &mut r).unwrap();
+            for (i, v) in r.iter().enumerate() {
+                assert!(approx(*v, (i + 1) as f64, 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_is_identity() {
+        let n = 64;
+        let orig: Vec<C64> =
+            (0..n).map(|i| ((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos())).collect();
+        let mut data = orig.clone();
+        fft_inplace(&mut data, false);
+        fft_inplace(&mut data, true);
+        for i in 0..n {
+            assert!(approx(data[i].0, orig[i].0, 1e-12));
+            assert!(approx(data[i].1, orig[i].1, 1e-12));
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![(0.0, 0.0); 8];
+        data[0] = (1.0, 0.0);
+        fft_inplace(&mut data, false);
+        for d in &data {
+            assert!(approx(d.0, 1.0, 1e-12) && approx(d.1, 0.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn fft_parseval() {
+        let n = 128;
+        let time: Vec<C64> =
+            (0..n).map(|i| ((i as f64 * 0.7).cos(), (i as f64 * 0.3).sin())).collect();
+        let mut freq = time.clone();
+        fft_inplace(&mut freq, false);
+        let e_time: f64 = time.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum();
+        let e_freq: f64 = freq.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum::<f64>() / n as f64;
+        assert!(approx(e_time, e_freq, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut data = vec![(0.0, 0.0); 12];
+        fft_inplace(&mut data, false);
+    }
+}

@@ -1,0 +1,476 @@
+//! NAS MG: V-cycle multigrid solution of a 3-D Poisson equation with
+//! periodic boundaries.
+//!
+//! Structure follows the NAS benchmark: the right-hand side `v` is a sparse
+//! field of +1/-1 charges; each timed iteration performs one V-cycle
+//! (`mg3P`: restrict residuals to the coarsest grid with `rprj3`, smooth,
+//! then prolongate with `interp`, re-evaluate residuals with `resid` and
+//! smooth with `psinv` on the way up) and re-evaluates the fine-grid
+//! residual norm. The 27-point operators use NAS's coefficient classes
+//! (center / face / edge / corner weights).
+//!
+//! Parallel structure: every grid operator is a `PARALLEL DO` over the
+//! z-planes of its level, so threads own z-slabs — the layout the paper's
+//! first-touch tuning assumes.
+
+use crate::common::{BenchName, NasBenchmark, PhaseHook, Scale, Verification};
+use ccnuma::SimArray;
+use omp::{Runtime, Schedule};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use upmlib::UpmEngine;
+
+/// 27-point stencil weights by neighbour class: `[center, face, edge,
+/// corner]`.
+pub type StencilWeights = [f64; 4];
+
+/// The NAS `A` operator (discrete negative Laplacian flavour). Its weights
+/// sum to zero, so constant fields are in its null space.
+pub const A_WEIGHTS: StencilWeights = [-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0];
+
+/// The NAS Class-A smoother `S` (approximate inverse).
+pub const S_WEIGHTS: StencilWeights = [-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0];
+
+/// MG problem parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MgConfig {
+    /// Finest grid edge (power of two).
+    pub n: usize,
+    /// Grid levels (level `lt-1` is the finest; each level halves the edge).
+    pub lt: usize,
+    /// Timed iterations (NAS Class A uses 4).
+    pub niter: usize,
+    /// Number of +1 and of -1 charges in the right-hand side.
+    pub charges: usize,
+    /// RNG seed for charge locations.
+    pub seed: u64,
+}
+
+impl MgConfig {
+    /// Parameters for a scale class.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Tiny => Self { n: 8, lt: 2, niter: 3, charges: 4, seed: 1618 },
+            Scale::Small => Self { n: 32, lt: 3, niter: 3, charges: 8, seed: 1618 },
+            Scale::Medium => Self { n: 32, lt: 4, niter: 4, charges: 10, seed: 1618 },
+        }
+    }
+
+    /// Edge length of level `k` (finest is `lt - 1`).
+    pub fn edge(&self, k: usize) -> usize {
+        self.n >> (self.lt - 1 - k)
+    }
+}
+
+/// The MG benchmark instance.
+pub struct Mg {
+    cfg: MgConfig,
+    /// Solution grids, one per level (coarsest first).
+    u: Vec<SimArray<f64>>,
+    /// Residual grids, one per level.
+    r: Vec<SimArray<f64>>,
+    /// Right-hand side (finest level only).
+    v: SimArray<f64>,
+    /// Fine-grid residual norm after each timed iteration.
+    rnm2: Vec<f64>,
+    /// Residual norm of the initial state (u = 0), for verification.
+    initial_rnm2: f64,
+}
+
+#[inline(always)]
+fn wrap(i: isize, n: usize) -> usize {
+    i.rem_euclid(n as isize) as usize
+}
+
+#[inline(always)]
+fn gidx(n: usize, x: usize, y: usize, z: usize) -> usize {
+    (z * n + y) * n + x
+}
+
+impl Mg {
+    /// Allocate and initialize on the runtime's machine.
+    pub fn new(rt: &mut Runtime, scale: Scale) -> Self {
+        Self::with_config(rt, MgConfig::for_scale(scale))
+    }
+
+    /// Allocate with explicit parameters.
+    pub fn with_config(rt: &mut Runtime, cfg: MgConfig) -> Self {
+        assert!(cfg.n.is_power_of_two() && cfg.lt >= 1);
+        assert!(cfg.n >> (cfg.lt - 1) >= 2, "too many levels for the grid");
+        let m = rt.machine_mut();
+        let mut u = Vec::new();
+        let mut r = Vec::new();
+        for k in 0..cfg.lt {
+            let e = cfg.edge(k);
+            u.push(SimArray::new(m, &format!("mg.u{k}"), e * e * e, 0.0));
+            r.push(SimArray::new(m, &format!("mg.r{k}"), e * e * e, 0.0));
+        }
+        let v = SimArray::new(m, "mg.v", cfg.n * cfg.n * cfg.n, 0.0);
+        // Charges at seeded random sites (NAS zran3 places +1s and -1s at
+        // the extrema of a random field).
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        for sign in [1.0, -1.0] {
+            for _ in 0..cfg.charges {
+                let (x, y, z) =
+                    (rng.gen_range(0..cfg.n), rng.gen_range(0..cfg.n), rng.gen_range(0..cfg.n));
+                v.poke(gidx(cfg.n, x, y, z), sign);
+            }
+        }
+        let initial_rnm2 = {
+            // ||v - A*0|| = ||v||, on the host (pre-run diagnostic).
+            let s: f64 = v.to_vec().iter().map(|&x| x * x).sum();
+            (s / (cfg.n * cfg.n * cfg.n) as f64).sqrt()
+        };
+        Self { cfg, u, r, v, rnm2: Vec::new(), initial_rnm2 }
+    }
+
+    /// Problem parameters.
+    pub fn config(&self) -> &MgConfig {
+        &self.cfg
+    }
+
+    /// Apply the 27-point stencil `w` to `src` at `(x, y, z)` with periodic
+    /// wrap, reading through the simulated memory system.
+    #[inline]
+    fn stencil(
+        par: &mut omp::Par<'_>,
+        src: &SimArray<f64>,
+        n: usize,
+        x: usize,
+        y: usize,
+        z: usize,
+        w: &StencilWeights,
+    ) -> f64 {
+        let mut sum = 0.0;
+        for dz in -1isize..=1 {
+            for dy in -1isize..=1 {
+                for dx in -1isize..=1 {
+                    let class = (dx != 0) as usize + (dy != 0) as usize + (dz != 0) as usize;
+                    let weight = w[class];
+                    if weight == 0.0 {
+                        continue;
+                    }
+                    let i = gidx(
+                        n,
+                        wrap(x as isize + dx, n),
+                        wrap(y as isize + dy, n),
+                        wrap(z as isize + dz, n),
+                    );
+                    sum += weight * par.get(src, i);
+                }
+            }
+        }
+        par.flops(2 * 27);
+        sum
+    }
+
+    /// `r = src - A u` over one level.
+    fn resid(
+        rt: &mut Runtime,
+        u: &SimArray<f64>,
+        src: &SimArray<f64>,
+        r: &SimArray<f64>,
+        n: usize,
+    ) {
+        rt.parallel_for(n, Schedule::Static, |par, z| {
+            for y in 0..n {
+                for x in 0..n {
+                    let au = Self::stencil(par, u, n, x, y, z, &A_WEIGHTS);
+                    let i = gidx(n, x, y, z);
+                    let s = par.get(src, i);
+                    par.set(r, i, s - au);
+                    par.flops(1);
+                }
+            }
+        });
+    }
+
+    /// `u += S r` over one level (the smoother).
+    fn psinv(rt: &mut Runtime, r: &SimArray<f64>, u: &SimArray<f64>, n: usize) {
+        rt.parallel_for(n, Schedule::Static, |par, z| {
+            for y in 0..n {
+                for x in 0..n {
+                    let sr = Self::stencil(par, r, n, x, y, z, &S_WEIGHTS);
+                    let i = gidx(n, x, y, z);
+                    par.update(u, i, |v| v + sr);
+                    par.flops(1);
+                }
+            }
+        });
+    }
+
+    /// Full-weighting restriction of `fine` (edge `2m`) into `coarse`
+    /// (edge `m`), NAS `rprj3`. Distance-class weights 1/2, 1/4, 1/8, 1/16.
+    fn rprj3(rt: &mut Runtime, fine: &SimArray<f64>, coarse: &SimArray<f64>, m: usize) {
+        const W: StencilWeights = [0.5, 0.25, 0.125, 0.0625];
+        let nf = 2 * m;
+        rt.parallel_for(m, Schedule::Static, |par, zc| {
+            for yc in 0..m {
+                for xc in 0..m {
+                    let (xf, yf, zf) = (2 * xc, 2 * yc, 2 * zc);
+                    let mut sum = 0.0;
+                    for dz in -1isize..=1 {
+                        for dy in -1isize..=1 {
+                            for dx in -1isize..=1 {
+                                let class = (dx != 0) as usize
+                                    + (dy != 0) as usize
+                                    + (dz != 0) as usize;
+                                let i = gidx(
+                                    nf,
+                                    wrap(xf as isize + dx, nf),
+                                    wrap(yf as isize + dy, nf),
+                                    wrap(zf as isize + dz, nf),
+                                );
+                                sum += W[class] * par.get(fine, i);
+                            }
+                        }
+                    }
+                    par.set(coarse, gidx(m, xc, yc, zc), sum / 4.0);
+                    par.flops(2 * 27 + 1);
+                }
+            }
+        });
+    }
+
+    /// Trilinear prolongation of `coarse` (edge `m`) added into `fine`
+    /// (edge `2m`), NAS `interp`.
+    fn interp(rt: &mut Runtime, coarse: &SimArray<f64>, fine: &SimArray<f64>, m: usize) {
+        let nf = 2 * m;
+        rt.parallel_for(nf, Schedule::Static, |par, zf| {
+            for yf in 0..nf {
+                for xf in 0..nf {
+                    // Trilinear weights: each fine point sits between up to
+                    // 8 coarse points depending on parity.
+                    let mut sum = 0.0;
+                    let mut weight_total = 0.0;
+                    for dz in 0..=(zf % 2) {
+                        for dy in 0..=(yf % 2) {
+                            for dx in 0..=(xf % 2) {
+                                let xc = wrap(((xf + dx) / 2) as isize, m);
+                                let yc = wrap(((yf + dy) / 2) as isize, m);
+                                let zc = wrap(((zf + dz) / 2) as isize, m);
+                                sum += par.get(coarse, gidx(m, xc, yc, zc));
+                                weight_total += 1.0;
+                            }
+                        }
+                    }
+                    let i = gidx(nf, xf, yf, zf);
+                    let contrib = sum / weight_total;
+                    par.update(fine, i, |v| v + contrib);
+                    par.flops(10);
+                }
+            }
+        });
+    }
+
+    /// Residual L2 norm on the finest grid.
+    fn fine_rnm2(&self, rt: &mut Runtime) -> f64 {
+        let n = self.cfg.n;
+        let r = &self.r[self.cfg.lt - 1];
+        let (sum, _) = rt.parallel_reduce(
+            n,
+            Schedule::Static,
+            0.0,
+            |par, z, acc| {
+                let mut s = 0.0;
+                for y in 0..n {
+                    for x in 0..n {
+                        let v = par.get(r, gidx(n, x, y, z));
+                        s += v * v;
+                    }
+                }
+                par.flops(2 * (n * n) as u64);
+                acc + s
+            },
+            |a, b| a + b,
+        );
+        (sum / (n * n * n) as f64).sqrt()
+    }
+
+    /// One V-cycle (NAS `mg3P`) plus the fine-grid residual update.
+    fn cycle(&mut self, rt: &mut Runtime) -> f64 {
+        let lt = self.cfg.lt;
+        // Downward: restrict residuals to the coarsest level.
+        for k in (1..lt).rev() {
+            let m = self.cfg.edge(k - 1);
+            Self::rprj3(rt, &self.r[k], &self.r[k - 1], m);
+        }
+        // Coarsest: u_0 = S r_0 from scratch.
+        let e0 = self.cfg.edge(0);
+        self.u[0].fill(0.0);
+        Self::psinv(rt, &self.r[0], &self.u[0], e0);
+        // Upward sweep.
+        for k in 1..lt {
+            let e = self.cfg.edge(k);
+            if k < lt - 1 {
+                self.u[k].fill(0.0);
+            }
+            Self::interp(rt, &self.u[k - 1], &self.u[k], e / 2);
+            if k == lt - 1 {
+                // Finest: residual against the true right-hand side.
+                Self::resid(rt, &self.u[k], &self.v, &self.r[k], e);
+            } else {
+                // Intermediate: re-evaluate residual in place.
+                Self::resid(rt, &self.u[k], &self.r[k], &self.r[k], e);
+            }
+            Self::psinv(rt, &self.r[k], &self.u[k], e);
+        }
+        // Final residual for the norm.
+        let e = self.cfg.edge(lt - 1);
+        Self::resid(rt, &self.u[lt - 1], &self.v, &self.r[lt - 1], e);
+        self.fine_rnm2(rt)
+    }
+
+    /// Reset solution state (between cold start and the timed run).
+    fn reset_state(&mut self) {
+        for u in &self.u {
+            u.fill(0.0);
+        }
+        for r in &self.r {
+            r.fill(0.0);
+        }
+        self.rnm2.clear();
+    }
+}
+
+impl NasBenchmark for Mg {
+    fn name(&self) -> BenchName {
+        BenchName::Mg
+    }
+
+    fn iterations(&self) -> usize {
+        self.cfg.niter
+    }
+
+    fn cold_start(&mut self, rt: &mut Runtime) {
+        // Initial residual (r = v on the finest grid, with u = 0), then one
+        // discarded V-cycle to fault every level's pages.
+        let lt = self.cfg.lt;
+        let e = self.cfg.edge(lt - 1);
+        Self::resid(rt, &self.u[lt - 1], &self.v, &self.r[lt - 1], e);
+        let _ = self.cycle(rt);
+        self.reset_state();
+        // Re-establish the initial residual for the timed run.
+        Self::resid(rt, &self.u[lt - 1], &self.v, &self.r[lt - 1], e);
+    }
+
+    fn iterate(&mut self, rt: &mut Runtime, _hook: &mut PhaseHook<'_>) {
+        let norm = self.cycle(rt);
+        self.rnm2.push(norm);
+    }
+
+    fn register_hot(&self, upm: &mut UpmEngine) {
+        for u in &self.u {
+            upm.memrefcnt(u);
+        }
+        for r in &self.r {
+            upm.memrefcnt(r);
+        }
+        upm.memrefcnt(&self.v);
+    }
+
+    fn verify(&self) -> Verification {
+        // Multigrid must reduce the residual norm from ||v|| and keep
+        // reducing it monotonically across V-cycles.
+        let Some(&last) = self.rnm2.last() else {
+            return Verification::check(f64::NAN, 0.0, 0.0);
+        };
+        let monotone = self.rnm2.windows(2).all(|w| w[1] <= w[0] * 1.0001);
+        let reduced = last < 0.5 * self.initial_rnm2;
+        Verification {
+            passed: monotone && reduced && last.is_finite(),
+            value: last,
+            reference: self.initial_rnm2,
+            epsilon: 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::no_phase_hook;
+    use ccnuma::{Machine, MachineConfig};
+
+    fn rt() -> Runtime {
+        Runtime::new(Machine::new(MachineConfig::origin2000_16p()))
+    }
+
+    #[test]
+    fn a_weights_annihilate_constants() {
+        // center + 6*face + 12*edge + 8*corner must be 0.
+        let total = A_WEIGHTS[0] + 6.0 * A_WEIGHTS[1] + 12.0 * A_WEIGHTS[2] + 8.0 * A_WEIGHTS[3];
+        assert!(total.abs() < 1e-12, "{total}");
+    }
+
+    #[test]
+    fn resid_of_constant_field_is_rhs() {
+        let mut rt = rt();
+        let n = 4;
+        let m = rt.machine_mut();
+        let u = SimArray::new(m, "u", n * n * n, 7.5);
+        let v = SimArray::new(m, "v", n * n * n, 2.0);
+        let r = SimArray::new(m, "r", n * n * n, 0.0);
+        Mg::resid(&mut rt, &u, &v, &r, n);
+        for i in 0..n * n * n {
+            assert!((r.peek(i) - 2.0).abs() < 1e-12, "A(const) must vanish");
+        }
+    }
+
+    #[test]
+    fn restriction_preserves_constant_fields() {
+        let mut rt = rt();
+        let m = 4;
+        let machine = rt.machine_mut();
+        let fine = SimArray::new(machine, "f", (2 * m) * (2 * m) * (2 * m), 3.0);
+        let coarse = SimArray::new(machine, "c", m * m * m, 0.0);
+        Mg::rprj3(&mut rt, &fine, &coarse, m);
+        // Weights sum: (0.5 + 6*0.25 + 12*0.125 + 8*0.0625)/4 = 1.
+        for i in 0..m * m * m {
+            assert!((coarse.peek(i) - 3.0).abs() < 1e-12, "got {}", coarse.peek(i));
+        }
+    }
+
+    #[test]
+    fn interp_preserves_constant_fields() {
+        let mut rt = rt();
+        let m = 4;
+        let machine = rt.machine_mut();
+        let coarse = SimArray::new(machine, "c", m * m * m, 2.0);
+        let fine = SimArray::new(machine, "f", (2 * m) * (2 * m) * (2 * m), 0.0);
+        Mg::interp(&mut rt, &coarse, &fine, m);
+        for i in 0..(2 * m) * (2 * m) * (2 * m) {
+            assert!((fine.peek(i) - 2.0).abs() < 1e-12, "got {}", fine.peek(i));
+        }
+    }
+
+    #[test]
+    fn mg_reduces_residual_and_verifies() {
+        let mut rt = rt();
+        let mut mg = Mg::new(&mut rt, Scale::Tiny);
+        mg.cold_start(&mut rt);
+        let mut hook = no_phase_hook();
+        for _ in 0..mg.iterations() {
+            mg.iterate(&mut rt, &mut hook);
+        }
+        let v = mg.verify();
+        assert!(
+            v.passed,
+            "rnm2 sequence {:?} from initial {}",
+            mg.rnm2, mg.initial_rnm2
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut rt = rt();
+            let mut mg = Mg::new(&mut rt, Scale::Tiny);
+            mg.cold_start(&mut rt);
+            let mut hook = no_phase_hook();
+            mg.iterate(&mut rt, &mut hook);
+            (mg.rnm2[0], rt.machine().clock().now_ns())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the numerical kernels: the solvers must solve
+//! arbitrary well-conditioned systems, and the FFT must be unitary.
+
+use nas::la::{
+    block_tridiag_solve, fft_inplace, inv5, matmul5, matvec5, penta_solve, scaled_identity5,
+    BVec, Block, B, C64,
+};
+use proptest::prelude::*;
+
+fn small_entry() -> impl Strategy<Value = f64> {
+    -0.15f64..0.15
+}
+
+fn offdiag_block() -> impl Strategy<Value = Block> {
+    proptest::array::uniform25(small_entry())
+}
+
+fn dominant_block() -> impl Strategy<Value = Block> {
+    (proptest::array::uniform25(small_entry()), 3.0f64..8.0).prop_map(|(mut m, d)| {
+        for i in 0..B {
+            m[i * B + i] += d;
+        }
+        m
+    })
+}
+
+fn bvec() -> impl Strategy<Value = BVec> {
+    proptest::array::uniform5(-2.0f64..2.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn inv5_roundtrips(m in dominant_block()) {
+        let inv = inv5(&m).expect("dominant blocks are invertible");
+        let prod = matmul5(&m, &inv);
+        for r in 0..B {
+            for c in 0..B {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                prop_assert!((prod[r * B + c] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn block_tridiag_recovers_random_solutions(
+        n in 1usize..12,
+        seed_blocks in proptest::collection::vec((offdiag_block(), dominant_block(), offdiag_block()), 12),
+        xs in proptest::collection::vec(bvec(), 12),
+    ) {
+        let a: Vec<Block> = seed_blocks.iter().take(n).map(|t| t.0).collect();
+        let bd: Vec<Block> = seed_blocks.iter().take(n).map(|t| t.1).collect();
+        let c: Vec<Block> = seed_blocks.iter().take(n).map(|t| t.2).collect();
+        let x_true: Vec<BVec> = xs.iter().take(n).copied().collect();
+        // rhs = A x.
+        let mut rhs = vec![[0.0; B]; n];
+        for i in 0..n {
+            let mut r = matvec5(&bd[i], &x_true[i]);
+            if i > 0 {
+                let t = matvec5(&a[i], &x_true[i - 1]);
+                for k in 0..B { r[k] += t[k]; }
+            }
+            if i + 1 < n {
+                let t = matvec5(&c[i], &x_true[i + 1]);
+                for k in 0..B { r[k] += t[k]; }
+            }
+            rhs[i] = r;
+        }
+        block_tridiag_solve(&a, &bd, &c, &mut rhs).expect("dominant system");
+        for i in 0..n {
+            for k in 0..B {
+                prop_assert!((rhs[i][k] - x_true[i][k]).abs() < 1e-7,
+                    "x[{i}][{k}]: {} vs {}", rhs[i][k], x_true[i][k]);
+            }
+        }
+    }
+
+    #[test]
+    fn penta_recovers_random_solutions(
+        n in 1usize..40,
+        bands in proptest::collection::vec((-0.4f64..0.4, -0.4f64..0.4, 3.0f64..8.0, -0.4f64..0.4, -0.4f64..0.4), 40),
+        xs in proptest::collection::vec(-3.0f64..3.0, 40),
+    ) {
+        let e: Vec<f64> = (0..n).map(|i| if i >= 2 { bands[i].0 } else { 0.0 }).collect();
+        let a: Vec<f64> = (0..n).map(|i| if i >= 1 { bands[i].1 } else { 0.0 }).collect();
+        let d: Vec<f64> = (0..n).map(|i| bands[i].2).collect();
+        let c: Vec<f64> = (0..n).map(|i| if i + 1 < n { bands[i].3 } else { 0.0 }).collect();
+        let f: Vec<f64> = (0..n).map(|i| if i + 2 < n { bands[i].4 } else { 0.0 }).collect();
+        let x_true: Vec<f64> = xs.iter().take(n).copied().collect();
+        let mut r = vec![0.0; n];
+        for i in 0..n {
+            let mut s = d[i] * x_true[i];
+            if i >= 2 { s += e[i] * x_true[i - 2]; }
+            if i >= 1 { s += a[i] * x_true[i - 1]; }
+            if i + 1 < n { s += c[i] * x_true[i + 1]; }
+            if i + 2 < n { s += f[i] * x_true[i + 2]; }
+            r[i] = s;
+        }
+        penta_solve(&e, &a, &d, &c, &f, &mut r).expect("dominant system");
+        for i in 0..n {
+            prop_assert!((r[i] - x_true[i]).abs() < 1e-7, "x[{i}]: {} vs {}", r[i], x_true[i]);
+        }
+    }
+
+    #[test]
+    fn fft_is_unitary(
+        log_n in 1u32..8,
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << log_n;
+        // Deterministic pseudo-random signal from the seed.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let orig: Vec<C64> = (0..n).map(|_| (next(), next())).collect();
+        let mut data = orig.clone();
+        fft_inplace(&mut data, false);
+        // Parseval.
+        let e_time: f64 = orig.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum();
+        let e_freq: f64 = data.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum::<f64>() / n as f64;
+        prop_assert!((e_time - e_freq).abs() <= 1e-9 * (1.0 + e_time));
+        // Roundtrip.
+        fft_inplace(&mut data, true);
+        for (a, b) in orig.iter().zip(&data) {
+            prop_assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn identity_block_solve_is_identity(xs in proptest::collection::vec(bvec(), 1..8)) {
+        let n = xs.len();
+        let a = vec![[0.0; 25]; n];
+        let bd = vec![scaled_identity5(1.0); n];
+        let c = vec![[0.0; 25]; n];
+        let mut rhs = xs.clone();
+        block_tridiag_solve(&a, &bd, &c, &mut rhs).unwrap();
+        prop_assert_eq!(rhs, xs);
+    }
+}

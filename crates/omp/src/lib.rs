@@ -1,0 +1,29 @@
+//! An OpenMP-like fork/join runtime over the simulated ccNUMA machine.
+//!
+//! OpenMP enters the paper only as the layer that decides *which processor
+//! executes which iterations* — and therefore which CPU first touches and
+//! subsequently re-touches each page. This runtime reproduces that layer:
+//!
+//! * [`Runtime::parallel_for`] — the `PARALLEL DO` worksharing construct,
+//!   with `SCHEDULE(STATIC)`, `SCHEDULE(STATIC, chunk)`,
+//!   `SCHEDULE(DYNAMIC, chunk)` and `SCHEDULE(GUIDED)` semantics;
+//! * [`Runtime::parallel_sections`] — the `SECTIONS` construct;
+//! * [`Runtime::parallel_reduce`] — `REDUCTION` clauses;
+//! * [`Runtime::serial`] — sequential program text between constructs.
+//!
+//! Simulated CPUs execute sequentially and deterministically; dynamic and
+//! guided schedules are *simulated* faithfully by an event loop that always
+//! hands the next chunk to the simulated CPU with the least accumulated
+//! virtual time — exactly what a real dynamic schedule's chunk queue does.
+//!
+//! Each construct is one fork/join region on the machine: the fork cost,
+//! per-CPU times, the memory-contention correction and the barrier cost are
+//! folded into the global simulated clock when the construct completes. The
+//! IRIX kernel migration engine (when enabled) is given its scan at each
+//! region boundary, the granularity at which simulated time advances.
+
+pub mod runtime;
+pub mod schedule;
+
+pub use runtime::{Par, RegionSummary, Runtime};
+pub use schedule::Schedule;

@@ -1,0 +1,497 @@
+//! The fork/join runtime: parallel regions, worksharing, reductions.
+
+use crate::schedule::Schedule;
+use ccnuma::contention::RegionTiming;
+use ccnuma::{CpuId, Machine, SimArray};
+use serde::{Deserialize, Serialize};
+use vmm::KernelMigrationEngine;
+
+/// Timing summary of one parallel construct.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionSummary {
+    /// Wall time of the region after the contention correction, ns.
+    pub wall_ns: f64,
+    /// Wall time before the correction (max per-CPU busy time), ns.
+    pub base_ns: f64,
+    /// Highest per-node memory utilization observed.
+    pub max_utilization: f64,
+    /// Pages the kernel migration engine moved at this region boundary.
+    pub kernel_migrations: usize,
+}
+
+impl RegionSummary {
+    fn from_timing(t: &RegionTiming, kernel_migrations: usize) -> Self {
+        Self {
+            wall_ns: t.wall_ns,
+            base_ns: t.base_ns,
+            max_utilization: t.utilization.iter().copied().fold(0.0, f64::max),
+            kernel_migrations,
+        }
+    }
+}
+
+/// Per-thread execution context handed to worksharing bodies.
+///
+/// `Par` is the simulated analogue of "the code running on one OpenMP
+/// thread": it knows its thread id, its team size, and the CPU it is pinned
+/// to, and it routes array accesses and flop accounting to the machine.
+pub struct Par<'m> {
+    /// The machine (borrowed for the duration of this thread's turn).
+    pub machine: &'m mut Machine,
+    /// CPU executing this thread (identity binding unless the scheduler
+    /// has rebound the team via `Runtime::rebind_threads`).
+    pub cpu: CpuId,
+    /// Thread id within the team.
+    pub tid: usize,
+    /// Team size.
+    pub team: usize,
+}
+
+impl Par<'_> {
+    /// Simulated load of `array[i]`.
+    #[inline(always)]
+    pub fn get<T: Copy>(&mut self, array: &SimArray<T>, i: usize) -> T {
+        array.get(self.machine, self.cpu, i)
+    }
+
+    /// Simulated store of `array[i] = value`.
+    #[inline(always)]
+    pub fn set<T: Copy>(&mut self, array: &SimArray<T>, i: usize, value: T) {
+        array.set(self.machine, self.cpu, i, value)
+    }
+
+    /// Simulated read-modify-write of `array[i]`.
+    #[inline(always)]
+    pub fn update<T: Copy>(&mut self, array: &SimArray<T>, i: usize, f: impl FnOnce(T) -> T) {
+        array.update(self.machine, self.cpu, i, f)
+    }
+
+    /// Charge `flops` floating-point operations of simulated compute time.
+    #[inline(always)]
+    pub fn flops(&mut self, flops: u64) {
+        self.machine.compute(self.cpu, flops);
+    }
+
+    /// Charge raw nanoseconds of simulated compute time.
+    #[inline(always)]
+    pub fn compute_ns(&mut self, ns: f64) {
+        self.machine.compute_ns(self.cpu, ns);
+    }
+}
+
+/// The OpenMP-like runtime: a machine plus a thread team plus the kernel
+/// migration engine hook.
+pub struct Runtime {
+    machine: Machine,
+    kernel: KernelMigrationEngine,
+    threads: usize,
+    regions: u64,
+    /// CPU executing each thread. Identity by default; the OS scheduler may
+    /// remap it (multiprogramming disturbance, the scenario the paper
+    /// defers to its companion work on multiprogrammed machines).
+    cpu_of_thread: Vec<CpuId>,
+}
+
+impl Runtime {
+    /// A runtime using all CPUs of the machine, kernel migration off
+    /// (the IRIX default).
+    pub fn new(machine: Machine) -> Self {
+        let threads = machine.cpus();
+        Self::with_threads(machine, threads)
+    }
+
+    /// A runtime with an explicit team size (`OMP_NUM_THREADS`).
+    pub fn with_threads(machine: Machine, threads: usize) -> Self {
+        assert!(threads >= 1 && threads <= machine.cpus(), "team size {threads} out of range");
+        Self {
+            machine,
+            kernel: KernelMigrationEngine::disabled(),
+            threads,
+            regions: 0,
+            cpu_of_thread: (0..threads).collect(),
+        }
+    }
+
+    /// Rebind the team's threads to CPUs — what the OS scheduler does to a
+    /// multiprogrammed job. `perm[t]` is the CPU that thread `t` runs on
+    /// from now on; it must be a permutation of distinct valid CPUs.
+    /// Page placements tuned to the old binding become wrong, which is the
+    /// disturbance the paper's footnote 3 sets aside ("unless the operating
+    /// system intervenes and preempts or migrates threads").
+    pub fn rebind_threads(&mut self, perm: &[CpuId]) {
+        assert_eq!(perm.len(), self.threads, "one CPU per thread");
+        let mut seen = vec![false; self.machine.cpus()];
+        for &cpu in perm {
+            assert!(cpu < self.machine.cpus(), "cpu {cpu} out of range");
+            assert!(!seen[cpu], "cpu {cpu} bound twice");
+            seen[cpu] = true;
+        }
+        self.cpu_of_thread = perm.to_vec();
+    }
+
+    /// Current CPU binding of a thread.
+    pub fn cpu_of_thread(&self, tid: usize) -> CpuId {
+        self.cpu_of_thread[tid]
+    }
+
+    /// Enable/replace the kernel migration engine (`DSM_MIGRATION=ON`).
+    pub fn set_kernel_migration(&mut self, engine: KernelMigrationEngine) {
+        self.kernel = engine;
+    }
+
+    /// The kernel migration engine.
+    pub fn kernel_migration(&self) -> &KernelMigrationEngine {
+        &self.kernel
+    }
+
+    /// Team size.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The machine (e.g. to read the clock or statistics).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine access for code that runs *between* regions — page
+    /// migration engines, array allocation, placement installation.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        assert!(!self.machine.in_region(), "machine_mut inside a parallel region");
+        &mut self.machine
+    }
+
+    /// Consume the runtime, returning the machine.
+    pub fn into_machine(self) -> Machine {
+        self.machine
+    }
+
+    /// Parallel constructs executed so far.
+    pub fn regions(&self) -> u64 {
+        self.regions
+    }
+
+    /// Current simulated time, seconds.
+    pub fn now_secs(&self) -> f64 {
+        self.machine.clock().now_secs()
+    }
+
+    /// `PARALLEL DO`: run `body(par, i)` for every `i in 0..n`, divided
+    /// among the team by `schedule`.
+    pub fn parallel_for(
+        &mut self,
+        n: usize,
+        schedule: Schedule,
+        mut body: impl FnMut(&mut Par, usize),
+    ) -> RegionSummary {
+        let cpus = self.cpu_of_thread.clone();
+        self.run_region(|machine, threads| {
+            if schedule.is_dynamic() {
+                Self::run_dynamic(machine, threads, &cpus, n, schedule, &mut body);
+            } else {
+                let parts = schedule.static_chunks(n, threads);
+                for (tid, chunks) in parts.iter().enumerate() {
+                    let mut par = Par { machine, cpu: cpus[tid], tid, team: threads };
+                    for &(start, end) in chunks {
+                        for i in start..end {
+                            body(&mut par, i);
+                        }
+                    }
+                }
+            }
+        })
+    }
+
+    /// `PARALLEL DO` with a `REDUCTION` clause: each thread folds its
+    /// iterations into a private accumulator starting from `identity`;
+    /// accumulators are combined with `combine` at the join.
+    pub fn parallel_reduce<T: Clone>(
+        &mut self,
+        n: usize,
+        schedule: Schedule,
+        identity: T,
+        mut body: impl FnMut(&mut Par, usize, T) -> T,
+        mut combine: impl FnMut(T, T) -> T,
+    ) -> (T, RegionSummary) {
+        let mut partials: Vec<Option<T>> = vec![None; self.threads];
+        let cpus = self.cpu_of_thread.clone();
+        let summary = self.run_region(|machine, threads| {
+            assert!(
+                !schedule.is_dynamic(),
+                "reductions are supported on static schedules (as in the NAS codes)"
+            );
+            let parts = schedule.static_chunks(n, threads);
+            for (tid, chunks) in parts.iter().enumerate() {
+                let mut acc = identity.clone();
+                let mut par = Par { machine, cpu: cpus[tid], tid, team: threads };
+                for &(start, end) in chunks {
+                    for i in start..end {
+                        acc = body(&mut par, i, acc);
+                    }
+                }
+                partials[tid] = Some(acc);
+            }
+        });
+        let mut result = identity;
+        for p in partials.into_iter().flatten() {
+            result = combine(result, p);
+        }
+        (result, summary)
+    }
+
+    /// `SECTIONS`: disjoint blocks of code assigned to threads round-robin.
+    pub fn parallel_sections(&mut self, sections: &mut [&mut dyn FnMut(&mut Par)]) -> RegionSummary {
+        let cpus = self.cpu_of_thread.clone();
+        self.run_region(|machine, threads| {
+            for (s, section) in sections.iter_mut().enumerate() {
+                let tid = s % threads;
+                let mut par = Par { machine, cpu: cpus[tid], tid, team: threads };
+                section(&mut par);
+            }
+        })
+    }
+
+    /// Sequential program text between parallel constructs, executed by the
+    /// master thread (CPU 0) with full simulation of its accesses.
+    pub fn serial<R>(&mut self, body: impl FnOnce(&mut Par) -> R) -> R {
+        self.machine.begin_region();
+        let cpu = self.cpu_of_thread[0];
+        let mut par = Par { machine: &mut self.machine, cpu, tid: 0, team: 1 };
+        let r = body(&mut par);
+        self.machine.end_region();
+        self.regions += 1;
+        r
+    }
+
+    fn run_region(&mut self, work: impl FnOnce(&mut Machine, usize)) -> RegionSummary {
+        self.machine.begin_region();
+        work(&mut self.machine, self.threads);
+        let timing = self.machine.end_region();
+        let migrations = self.kernel.scan(&mut self.machine);
+        self.regions += 1;
+        RegionSummary::from_timing(&timing, migrations)
+    }
+
+    /// Deterministic simulation of dynamic/guided dispatch: the next chunk
+    /// always goes to the thread with the least accumulated virtual time.
+    fn run_dynamic(
+        machine: &mut Machine,
+        threads: usize,
+        cpus: &[CpuId],
+        n: usize,
+        schedule: Schedule,
+        body: &mut impl FnMut(&mut Par, usize),
+    ) {
+        let mut next = 0usize;
+        while next < n {
+            let len = schedule.next_chunk_len(n - next, threads);
+            // argmin over virtual times; ties break toward lower thread id.
+            let tid = (0..threads)
+                .min_by(|&a, &b| {
+                    machine
+                        .region_cpu_ns(cpus[a])
+                        .partial_cmp(&machine.region_cpu_ns(cpus[b]))
+                        .expect("virtual times are finite")
+                        .then(a.cmp(&b))
+                })
+                .expect("team is non-empty");
+            let mut par = Par { machine, cpu: cpus[tid], tid, team: threads };
+            for i in next..next + len {
+                body(&mut par, i);
+            }
+            next += len;
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("threads", &self.threads)
+            .field("regions", &self.regions)
+            .field("kernel_migration", &self.kernel.is_enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma::MachineConfig;
+
+    fn runtime() -> Runtime {
+        Runtime::new(Machine::new(MachineConfig::tiny_test()))
+    }
+
+    #[test]
+    fn parallel_for_visits_every_iteration_once() {
+        let mut rt = runtime();
+        let mut seen = vec![0u32; 100];
+        rt.parallel_for(100, Schedule::Static, |_, i| seen[i] += 1);
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn static_blocks_pin_iterations_to_threads() {
+        let mut rt = runtime(); // 8 CPUs
+        let mut owner = vec![usize::MAX; 80];
+        rt.parallel_for(80, Schedule::Static, |par, i| owner[i] = par.tid);
+        // Blocked: first 10 iterations on thread 0, etc.
+        assert!(owner[..10].iter().all(|&t| t == 0));
+        assert!(owner[70..].iter().all(|&t| t == 7));
+    }
+
+    #[test]
+    fn first_touch_distribution_through_parallel_for() {
+        let mut rt = runtime();
+        let n_per_page = ccnuma::PAGE_SIZE as usize / 8;
+        let n = 8 * n_per_page; // 8 pages over 8 threads
+        let a = SimArray::new(rt.machine_mut(), "a", n, 0.0f64);
+        rt.parallel_for(n, Schedule::Static, |par, i| {
+            par.set(&a, i, i as f64);
+        });
+        // Thread t (= CPU t on tiny 4x2: node t/2) first touched page t.
+        let (base, _) = a.vrange();
+        for p in 0..8u64 {
+            let vp = ccnuma::vpage_of(base) + p;
+            let expect_node = (p as usize) / 2;
+            assert_eq!(rt.machine().node_of_vpage(vp), Some(expect_node), "page {p}");
+        }
+    }
+
+    #[test]
+    fn parallel_for_advances_clock() {
+        let mut rt = runtime();
+        let t0 = rt.machine().clock().now_ns();
+        rt.parallel_for(10, Schedule::Static, |par, _| par.flops(100));
+        assert!(rt.machine().clock().now_ns() > t0);
+        assert_eq!(rt.regions(), 1);
+    }
+
+    #[test]
+    fn wall_time_is_max_not_sum() {
+        let mut rt = runtime();
+        // 8 threads each compute 1000 flops (2 us): region wall should be
+        // ~2 us, not ~16 us.
+        let s = rt.parallel_for(8, Schedule::Static, |par, _| par.flops(1000));
+        assert!(s.base_ns >= 2000.0 && s.base_ns < 4000.0, "base {}", s.base_ns);
+    }
+
+    #[test]
+    fn dynamic_schedule_covers_and_balances() {
+        let mut rt = runtime();
+        let mut seen = vec![0u32; 64];
+        let mut work_by_tid = vec![0u64; 8];
+        rt.parallel_for(64, Schedule::Dynamic(1), |par, i| {
+            seen[i] += 1;
+            // Unbalanced work: iteration i costs (i+1) flops.
+            par.flops((i as u64 + 1) * 100);
+            work_by_tid[par.tid] += (i as u64 + 1) * 100;
+        });
+        assert!(seen.iter().all(|&c| c == 1));
+        // Dynamic dispatch should involve every thread.
+        assert!(work_by_tid.iter().all(|&w| w > 0), "{work_by_tid:?}");
+        // And be much better balanced than worst-case (all on one thread).
+        let max = *work_by_tid.iter().max().unwrap();
+        let total: u64 = work_by_tid.iter().sum();
+        assert!(max < total / 2, "max {max} total {total}");
+    }
+
+    #[test]
+    fn guided_schedule_covers() {
+        let mut rt = runtime();
+        let mut seen = vec![0u32; 100];
+        rt.parallel_for(100, Schedule::Guided(1), |_, i| seen[i] += 1);
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn reduction_sums_correctly() {
+        let mut rt = runtime();
+        let a = SimArray::from_fn(rt.machine_mut(), "a", 1000, |i| i as f64);
+        let (sum, _) = rt.parallel_reduce(
+            1000,
+            Schedule::Static,
+            0.0f64,
+            |par, i, acc| acc + par.get(&a, i),
+            |x, y| x + y,
+        );
+        assert_eq!(sum, (0..1000).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn sections_run_all_blocks() {
+        let mut rt = runtime();
+        let mut flags = [false; 3];
+        {
+            let (f0, rest) = flags.split_at_mut(1);
+            let (f1, f2) = rest.split_at_mut(1);
+            let mut s0 = |_: &mut Par<'_>| f0[0] = true;
+            let mut s1 = |_: &mut Par<'_>| f1[0] = true;
+            let mut s2 = |_: &mut Par<'_>| f2[0] = true;
+            rt.parallel_sections(&mut [&mut s0, &mut s1, &mut s2]);
+        }
+        assert_eq!(flags, [true; 3]);
+    }
+
+    #[test]
+    fn serial_runs_on_master() {
+        let mut rt = runtime();
+        let tid = rt.serial(|par| par.tid);
+        assert_eq!(tid, 0);
+        assert_eq!(rt.regions(), 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut rt = runtime();
+            let a = SimArray::from_fn(rt.machine_mut(), "a", 4096, |i| i as f64);
+            rt.parallel_for(4096, Schedule::Static, |par, i| {
+                let v = par.get(&a, i);
+                par.set(&a, i, v * 2.0);
+                par.flops(1);
+            });
+            rt.machine().clock().now_ns()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rebinding_moves_first_touch_targets() {
+        let mut rt = runtime(); // tiny 4x2 machine, 8 CPUs
+        // Swap the two halves of the team.
+        rt.rebind_threads(&[4, 5, 6, 7, 0, 1, 2, 3]);
+        assert_eq!(rt.cpu_of_thread(0), 4);
+        let n_per_page = ccnuma::PAGE_SIZE as usize / 8;
+        let a = SimArray::new(rt.machine_mut(), "a", 8 * n_per_page, 0.0f64);
+        rt.parallel_for(8 * n_per_page, Schedule::Static, |par, i| {
+            par.set(&a, i, 1.0);
+        });
+        // Thread 0 (pages 0..) now runs on CPU 4 = node 2: first touch
+        // follows the binding, not the thread id.
+        let (base, _) = a.vrange();
+        assert_eq!(rt.machine().node_of_vpage(ccnuma::vpage_of(base)), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn duplicate_binding_panics() {
+        let mut rt = runtime();
+        rt.rebind_threads(&[0, 0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one CPU per thread")]
+    fn wrong_binding_arity_panics() {
+        let mut rt = runtime();
+        rt.rebind_threads(&[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "team size")]
+    fn oversized_team_panics() {
+        let m = Machine::new(MachineConfig::tiny_test());
+        let _ = Runtime::with_threads(m, 9);
+    }
+}

@@ -1,0 +1,139 @@
+//! Worksharing schedules: how a `parallel_for` iteration space is divided
+//! among the threads of a team, mirroring OpenMP's `SCHEDULE` clause.
+
+use serde::{Deserialize, Serialize};
+
+/// An OpenMP `SCHEDULE` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// `SCHEDULE(STATIC)`: one contiguous block per thread (the default for
+    /// the NAS codes, and what their first-touch tuning assumes).
+    Static,
+    /// `SCHEDULE(STATIC, chunk)`: fixed-size chunks dealt round-robin.
+    StaticChunk(usize),
+    /// `SCHEDULE(DYNAMIC, chunk)`: chunks handed to whichever thread is
+    /// free next.
+    Dynamic(usize),
+    /// `SCHEDULE(GUIDED)`: exponentially shrinking chunks, handed to
+    /// whichever thread is free next, never smaller than the given minimum.
+    Guided(usize),
+}
+
+impl Schedule {
+    /// Compute the static partition of `n` iterations over `threads`
+    /// threads: for each thread, the list of `(start, end)` chunks it owns.
+    /// Only valid for the static flavours; dynamic/guided assignment depends
+    /// on execution timing and is done by the runtime's event loop.
+    pub fn static_chunks(&self, n: usize, threads: usize) -> Vec<Vec<(usize, usize)>> {
+        assert!(threads > 0);
+        let mut per_thread = vec![Vec::new(); threads];
+        match *self {
+            Schedule::Static => {
+                // Blocked: thread t gets [t*ceil .. min((t+1)*ceil, n)).
+                let block = n.div_ceil(threads).max(1);
+                for (t, chunks) in per_thread.iter_mut().enumerate() {
+                    let start = (t * block).min(n);
+                    let end = ((t + 1) * block).min(n);
+                    if start < end {
+                        chunks.push((start, end));
+                    }
+                }
+            }
+            Schedule::StaticChunk(chunk) => {
+                let chunk = chunk.max(1);
+                let mut start = 0;
+                let mut t = 0;
+                while start < n {
+                    let end = (start + chunk).min(n);
+                    per_thread[t].push((start, end));
+                    start = end;
+                    t = (t + 1) % threads;
+                }
+            }
+            Schedule::Dynamic(_) | Schedule::Guided(_) => {
+                panic!("dynamic/guided schedules are assigned by the runtime event loop")
+            }
+        }
+        per_thread
+    }
+
+    /// Successive chunk sizes for the dynamic flavours: given `remaining`
+    /// iterations and team size, how many iterations the next dispatch grabs.
+    pub fn next_chunk_len(&self, remaining: usize, threads: usize) -> usize {
+        match *self {
+            Schedule::Dynamic(chunk) => chunk.max(1).min(remaining),
+            Schedule::Guided(min_chunk) => {
+                (remaining.div_ceil(threads.max(1))).max(min_chunk.max(1)).min(remaining)
+            }
+            Schedule::Static | Schedule::StaticChunk(_) => {
+                panic!("static schedules are precomputed, not dispatched")
+            }
+        }
+    }
+
+    /// Whether this schedule is dispatched dynamically.
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, Schedule::Dynamic(_) | Schedule::Guided(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flatten(parts: &[Vec<(usize, usize)>]) -> Vec<usize> {
+        let mut all: Vec<usize> = parts
+            .iter()
+            .flat_map(|chunks| chunks.iter().flat_map(|&(s, e)| s..e))
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn static_covers_exactly_once() {
+        for n in [0, 1, 7, 16, 17, 100] {
+            for threads in [1, 2, 3, 16] {
+                let parts = Schedule::Static.static_chunks(n, threads);
+                assert_eq!(flatten(&parts), (0..n).collect::<Vec<_>>(), "n={n} t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn static_is_blocked_and_balanced() {
+        let parts = Schedule::Static.static_chunks(16, 4);
+        assert_eq!(parts[0], vec![(0, 4)]);
+        assert_eq!(parts[3], vec![(12, 16)]);
+    }
+
+    #[test]
+    fn static_chunk_round_robins() {
+        let parts = Schedule::StaticChunk(2).static_chunks(10, 2);
+        assert_eq!(parts[0], vec![(0, 2), (4, 6), (8, 10)]);
+        assert_eq!(parts[1], vec![(2, 4), (6, 8)]);
+        assert_eq!(flatten(&parts), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dynamic_chunk_len() {
+        let s = Schedule::Dynamic(4);
+        assert_eq!(s.next_chunk_len(100, 8), 4);
+        assert_eq!(s.next_chunk_len(3, 8), 3);
+    }
+
+    #[test]
+    fn guided_shrinks_but_respects_min() {
+        let s = Schedule::Guided(2);
+        assert_eq!(s.next_chunk_len(64, 8), 8);
+        assert_eq!(s.next_chunk_len(8, 8), 2);
+        assert_eq!(s.next_chunk_len(3, 8), 2);
+        assert_eq!(s.next_chunk_len(1, 8), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "event loop")]
+    fn dynamic_static_chunks_panics() {
+        Schedule::Dynamic(1).static_chunks(4, 2);
+    }
+}

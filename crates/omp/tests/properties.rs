@@ -1,0 +1,138 @@
+//! Property-based tests of the worksharing runtime.
+
+use ccnuma::{Machine, MachineConfig, SimArray};
+use omp::{Runtime, Schedule};
+use proptest::prelude::*;
+
+fn runtime() -> Runtime {
+    Runtime::new(Machine::new(MachineConfig::tiny_test()))
+}
+
+fn schedule_strategy() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        Just(Schedule::Static),
+        (1usize..16).prop_map(Schedule::StaticChunk),
+        (1usize..16).prop_map(Schedule::Dynamic),
+        (1usize..8).prop_map(Schedule::Guided),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_schedule_covers_every_iteration_exactly_once(
+        n in 0usize..500,
+        schedule in schedule_strategy(),
+    ) {
+        let mut rt = runtime();
+        let mut seen = vec![0u32; n];
+        rt.parallel_for(n, schedule, |_, i| seen[i] += 1);
+        prop_assert!(seen.iter().all(|&c| c == 1), "{schedule:?} n={n}");
+    }
+
+    #[test]
+    fn static_partition_is_disjoint_and_complete(
+        n in 0usize..1000,
+        threads in 1usize..32,
+        chunk in 1usize..64,
+    ) {
+        for schedule in [Schedule::Static, Schedule::StaticChunk(chunk)] {
+            let parts = schedule.static_chunks(n, threads);
+            prop_assert_eq!(parts.len(), threads);
+            let mut seen = vec![false; n];
+            for chunks in &parts {
+                for &(s, e) in chunks {
+                    prop_assert!(s <= e && e <= n);
+                    for i in s..e {
+                        prop_assert!(!seen[i], "iteration {i} assigned twice");
+                        seen[i] = true;
+                    }
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn guided_chunks_shrink_and_terminate(
+        n in 1usize..100_000,
+        threads in 1usize..32,
+        min_chunk in 1usize..16,
+    ) {
+        let s = Schedule::Guided(min_chunk);
+        let mut remaining = n;
+        let mut last = usize::MAX;
+        let mut dispatches = 0;
+        while remaining > 0 {
+            let c = s.next_chunk_len(remaining, threads);
+            prop_assert!(c >= 1 && c <= remaining);
+            prop_assert!(c <= last, "guided chunks must not grow");
+            last = c;
+            remaining -= c;
+            dispatches += 1;
+            prop_assert!(dispatches <= 2 * n, "dispatch loop must terminate");
+        }
+    }
+
+    #[test]
+    fn reduction_matches_blocked_sequential_fold(
+        values in proptest::collection::vec(-1000.0f64..1000.0, 1..300),
+    ) {
+        let n = values.len();
+        let mut rt = runtime();
+        let vals = values.clone();
+        let a = SimArray::from_fn(rt.machine_mut(), "a", n, |i| vals[i]);
+        let (sum, _) = rt.parallel_reduce(
+            n,
+            Schedule::Static,
+            0.0,
+            |par, i, acc| acc + par.get(&a, i),
+            |x, y| x + y,
+        );
+        // Reference: per-thread block partials folded in thread order —
+        // the reduction's defined summation order.
+        let threads = rt.threads();
+        let block = n.div_ceil(threads).max(1);
+        let mut expect = 0.0;
+        for t in 0..threads {
+            let (s, e) = ((t * block).min(n), ((t + 1) * block).min(n));
+            let mut acc = 0.0;
+            for v in &values[s..e] {
+                acc += v;
+            }
+            if s < e {
+                expect += acc;
+            } else {
+                // Empty blocks contribute the identity, which the runtime
+                // also folds in.
+                expect += 0.0;
+            }
+        }
+        prop_assert_eq!(sum, expect);
+    }
+
+    #[test]
+    fn region_count_matches_constructs(constructs in 1usize..20) {
+        let mut rt = runtime();
+        for _ in 0..constructs {
+            rt.parallel_for(4, Schedule::Static, |par, _| par.flops(1));
+        }
+        prop_assert_eq!(rt.regions(), constructs as u64);
+    }
+
+    #[test]
+    fn dynamic_dispatch_is_deterministic(
+        n in 1usize..200,
+        chunk in 1usize..8,
+    ) {
+        let run = || {
+            let mut rt = runtime();
+            let mut owners = vec![usize::MAX; n];
+            rt.parallel_for(n, Schedule::Dynamic(chunk), |par, i| {
+                owners[i] = par.tid;
+                par.flops((i as u64 % 7) * 50);
+            });
+            (owners, rt.machine().clock().now_ns())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

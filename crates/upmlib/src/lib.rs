@@ -1,0 +1,78 @@
+//! **UPMlib** — the user-level page migration library of *"Is Data
+//! Distribution Necessary in OpenMP?"* (SC 2000).
+//!
+//! UPMlib injects a dynamic page-migration engine into OpenMP programs and
+//! uses it *in place of data distribution*. It is implemented entirely at
+//! user level on two OS services: read access to the per-frame hardware
+//! reference counters (the `/proc` interface, here [`vmm::ProcCounters`])
+//! and best-effort page migration through Memory Locality Domains
+//! ([`vmm::MldSet`]).
+//!
+//! Two mechanisms, mirroring §3.2 and §3.3 of the paper:
+//!
+//! * **Emulating data distribution** ([`UpmEngine::migrate_memory`]):
+//!   whatever the initial page placement, record the reference trace of the
+//!   first iteration of the (iterative) parallel program in the hardware
+//!   counters and migrate every page that satisfies a competitive criterion
+//!   to its most-frequently-accessing node. The engine re-runs in later
+//!   iterations while it still finds pages to move, then self-deactivates;
+//!   pages that bounce between two nodes in consecutive invocations
+//!   (page-level false sharing) are frozen.
+//!
+//! * **Emulating data redistribution** ([`UpmEngine::record`] /
+//!   [`UpmEngine::compare_counters`] / [`UpmEngine::replay`] /
+//!   [`UpmEngine::undo`]): for programs with phase changes, record counter
+//!   snapshots at phase boundaries during one iteration, isolate each
+//!   phase's reference trace by subtraction, compute the page migrations
+//!   that would improve that phase, and replay exactly those migrations at
+//!   the same points of every subsequent iteration, undoing them at the end
+//!   of the iteration. Only the `n` most critical pages (by remote:local
+//!   access ratio) are moved, to bound the on-critical-path overhead.
+//!
+//! The calls map one-to-one to the instrumentation in the paper's Figures 2
+//! and 3 (`upmlib_init`, `upmlib_memrefcnt`, `upmlib_migrate_memory`,
+//! `upmlib_record`, `upmlib_compare_counters`, `upmlib_replay`,
+//! `upmlib_undo`).
+//!
+//! # Example: data distribution, as in the paper's Figure 2
+//!
+//! ```
+//! use ccnuma::{Machine, MachineConfig, SimArray};
+//! use omp::{Runtime, Schedule};
+//! use upmlib::{UpmEngine, UpmOptions};
+//! use vmm::{install_placement, PlacementScheme};
+//!
+//! let mut machine = Machine::new(MachineConfig::tiny_test());
+//! install_placement(&mut machine, PlacementScheme::RoundRobin);
+//! let mut rt = Runtime::new(machine);
+//!
+//! let n = 8 * (ccnuma::PAGE_SIZE as usize / 8);
+//! let u = SimArray::new(rt.machine_mut(), "u", n, 0.0f64);
+//!
+//! let mut upm = UpmEngine::new(rt.machine(), UpmOptions::default());
+//! upm.memrefcnt(&u); // compiler-identified hot area
+//!
+//! for _step in 0..4 {
+//!     rt.parallel_for(n, Schedule::Static, |par, i| {
+//!         par.update(&u, i, |v| v + 1.0);
+//!         par.flops(1);
+//!     });
+//!     if upm.is_active() {
+//!         upm.migrate_memory(rt.machine_mut());
+//!     }
+//! }
+//! // The engine moved the round-robin-placed pages toward their accessors
+//! // and then deactivated itself.
+//! assert!(!upm.is_active());
+//! ```
+
+pub mod engine;
+pub mod freeze;
+pub mod recrep;
+pub mod replicate;
+pub mod stats;
+pub mod tuning;
+
+pub use engine::UpmEngine;
+pub use stats::UpmStats;
+pub use tuning::UpmOptions;

@@ -1,0 +1,73 @@
+//! Engine statistics — the raw material of the paper's Table 2.
+//!
+//! Table 2 reports, per benchmark and placement scheme, (a) the residual
+//! slowdown in the last 75% of the iterations and (b) the percentage of all
+//! page migrations performed after the first iteration. (a) comes from the
+//! experiment harness's timing; (b) comes from
+//! [`UpmStats::first_invocation_fraction`].
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative statistics of one [`crate::UpmEngine`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UpmStats {
+    /// Pages moved by `migrate_memory`, indexed by invocation (invocation 0
+    /// is the one after the first iteration).
+    pub migrations_per_invocation: Vec<u64>,
+    /// Simulated ns charged for `migrate_memory` moves.
+    pub distribution_ns: f64,
+    /// Pages moved by `replay`.
+    pub replay_migrations: u64,
+    /// Pages moved back by `undo`.
+    pub undo_migrations: u64,
+    /// Simulated ns charged for record–replay moves (replay + undo) — the
+    /// striped "non-overlapped migration overhead" of Figure 5.
+    pub recrep_ns: f64,
+    /// Pages frozen for ping-ponging.
+    pub frozen_pages: u64,
+    /// Candidate moves vetoed by the freeze tracker.
+    pub vetoed_moves: u64,
+    /// Read-only replicas created by the replication mechanism.
+    pub replications: u64,
+}
+
+impl UpmStats {
+    /// Total pages moved by the distribution mechanism.
+    pub fn total_distribution_migrations(&self) -> u64 {
+        self.migrations_per_invocation.iter().sum()
+    }
+
+    /// Fraction of distribution migrations performed by the engine's first
+    /// invocation (after the first iteration). Table 2 reports this as a
+    /// percentage; the paper measures 78%–100%.
+    pub fn first_invocation_fraction(&self) -> f64 {
+        let total = self.total_distribution_migrations();
+        if total == 0 {
+            return 1.0;
+        }
+        self.migrations_per_invocation.first().copied().unwrap_or(0) as f64 / total as f64
+    }
+
+    /// Total record–replay moves (replays plus undos).
+    pub fn total_recrep_migrations(&self) -> u64 {
+        self.replay_migrations + self.undo_migrations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_invocation_fraction() {
+        let s = UpmStats { migrations_per_invocation: vec![90, 10], ..Default::default() };
+        assert!((s.first_invocation_fraction() - 0.9).abs() < 1e-12);
+        assert_eq!(s.total_distribution_migrations(), 100);
+    }
+
+    #[test]
+    fn no_migrations_counts_as_all_first() {
+        let s = UpmStats::default();
+        assert_eq!(s.first_invocation_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! UPMlib tunables.
+//!
+//! The paper exposes these as environment variables of the runtime system
+//! ("we use an environment variable which instructs the mechanism to move
+//! only the n most critical pages"); here they are a plain options struct.
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs of the UPMlib engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UpmOptions {
+    /// Competitive-criterion threshold `thr`: a page is eligible for
+    /// migration when `max_remote_accesses / local_accesses > thr`.
+    pub thr: f64,
+    /// Minimum counted accesses from the winning remote node before a page
+    /// is considered at all — suppresses noise from barely-touched pages.
+    pub min_accesses: u16,
+    /// `n`, the number of most-critical pages the record–replay mechanism
+    /// may move per phase transition (paper: "we set the number of critical
+    /// pages to 20").
+    pub critical_pages: usize,
+    /// Freeze pages that bounce between two nodes in consecutive
+    /// invocations (page-level false-sharing defense). On by default, as in
+    /// the paper; the ablation experiment turns it off.
+    pub freeze_ping_pong: bool,
+}
+
+impl Default for UpmOptions {
+    fn default() -> Self {
+        Self { thr: 2.0, min_accesses: 8, critical_pages: 20, freeze_ping_pong: true }
+    }
+}
+
+impl UpmOptions {
+    /// The configuration used in the paper's record–replay experiments.
+    pub fn paper_recrep() -> Self {
+        Self { critical_pages: 20, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = UpmOptions::default();
+        assert_eq!(o.critical_pages, 20);
+        assert!(o.thr >= 1.0);
+        assert!(o.freeze_ping_pong);
+    }
+}

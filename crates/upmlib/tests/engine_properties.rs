@@ -1,0 +1,111 @@
+//! Property-based tests of the UPMlib policies: the freeze tracker, the
+//! competitive criterion, and the record–replay undo involution under
+//! randomized traffic.
+
+use ccnuma::{AccessKind, Machine, MachineConfig, SimArray, PAGE_SIZE};
+use proptest::prelude::*;
+use upmlib::{UpmEngine, UpmOptions};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// However traffic is shaped, migrate_memory must (a) converge — once it
+    /// reports 0 it stays inactive, (b) never exceed one migration per hot
+    /// page per invocation, and (c) leave the frame accounting intact.
+    #[test]
+    fn migrate_memory_converges_and_balances(
+        traffic in proptest::collection::vec((0usize..8, 0usize..4, 0u64..128), 1..400),
+        extra_rounds in 1usize..4,
+    ) {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        let pages = 4usize;
+        let a = SimArray::new(&mut m, "a", pages * (PAGE_SIZE / 8) as usize, 0.0f64);
+        let total_frames = m.memory().total_frames();
+        let mut upm = UpmEngine::new(&m, UpmOptions::default());
+        upm.memrefcnt(&a);
+        let base = a.vrange().0;
+        for _ in 0..extra_rounds {
+            for &(cpu, page, line) in &traffic {
+                m.touch(cpu, base + page as u64 * PAGE_SIZE + line * 128, AccessKind::Read);
+            }
+            let moved = upm.migrate_memory(&mut m);
+            prop_assert!(moved <= pages);
+            let mapped = m.mapped_pages().count();
+            prop_assert_eq!(m.memory().total_free() + mapped, total_frames);
+            if !upm.is_active() {
+                // Deactivated: further calls are no-ops forever.
+                prop_assert_eq!(upm.migrate_memory(&mut m), 0);
+            }
+        }
+    }
+
+    /// Replay followed by undo is an involution on the placement map,
+    /// whatever the recorded phase traffic was.
+    #[test]
+    fn replay_undo_is_an_involution(
+        phase1 in proptest::collection::vec((0usize..8, 0usize..4, 0u64..128), 1..150),
+        phase2 in proptest::collection::vec((0usize..8, 0usize..4, 0u64..128), 1..150),
+        repeats in 1usize..4,
+    ) {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        let pages = 4usize;
+        let a = SimArray::new(&mut m, "a", pages * (PAGE_SIZE / 8) as usize, 0.0f64);
+        let mut upm = UpmEngine::new(&m, UpmOptions::default());
+        upm.memrefcnt(&a);
+        let base = a.vrange().0;
+        let vp0 = ccnuma::vpage_of(base);
+        // Fault all pages in deterministically.
+        for p in 0..pages as u64 {
+            m.touch(0, base + p * PAGE_SIZE, AccessKind::Read);
+        }
+        // Record two phases.
+        let play = |m: &mut Machine, t: &[(usize, usize, u64)]| {
+            for &(cpu, page, line) in t {
+                m.touch(cpu, base + page as u64 * PAGE_SIZE + line * 128, AccessKind::Write);
+            }
+        };
+        upm.record(&m);
+        play(&mut m, &phase1);
+        upm.record(&m);
+        play(&mut m, &phase2);
+        upm.record(&m);
+        upm.compare_counters();
+        let before: Vec<_> = (0..pages as u64).map(|p| m.node_of_vpage(vp0 + p)).collect();
+        for _ in 0..repeats {
+            upm.replay(&mut m);
+            upm.replay(&mut m);
+            upm.undo(&mut m);
+            let after: Vec<_> = (0..pages as u64).map(|p| m.node_of_vpage(vp0 + p)).collect();
+            prop_assert_eq!(&after, &before, "undo must restore the placement");
+        }
+    }
+
+    /// The stats' invariants hold under arbitrary engine activity.
+    #[test]
+    fn stats_are_internally_consistent(
+        traffic in proptest::collection::vec((0usize..8, 0usize..4, 0u64..128), 1..200),
+    ) {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        let a = SimArray::new(&mut m, "a", 4 * (PAGE_SIZE / 8) as usize, 0.0f64);
+        let mut upm = UpmEngine::new(&m, UpmOptions::default());
+        upm.memrefcnt(&a);
+        let base = a.vrange().0;
+        for round in 0..3 {
+            for &(cpu, page, line) in &traffic {
+                let kind = if (cpu + round) % 2 == 0 { AccessKind::Read } else { AccessKind::Write };
+                m.touch(cpu, base + page as u64 * PAGE_SIZE + line * 128, kind);
+            }
+            if upm.is_active() {
+                upm.migrate_memory(&mut m);
+            }
+        }
+        let s = upm.stats();
+        prop_assert!(s.first_invocation_fraction() >= 0.0);
+        prop_assert!(s.first_invocation_fraction() <= 1.0);
+        prop_assert_eq!(
+            s.total_distribution_migrations(),
+            s.migrations_per_invocation.iter().sum::<u64>()
+        );
+        prop_assert!(s.frozen_pages as usize <= 4);
+    }
+}

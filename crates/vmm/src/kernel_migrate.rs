@@ -1,0 +1,289 @@
+//! The IRIX kernel's competitive page-migration engine.
+//!
+//! Paper §2.1: *"The IRIX kernel includes a competitive page migration
+//! engine which can be activated on a per-program basis by setting the
+//! DSM_MIGRATION environment variable ... The additional circuitry detects
+//! when the number of accesses from a remote node exceeds the number of
+//! accesses from the node that hosts the page by more than a predefined
+//! threshold and delivers an interrupt in that case. The interrupt handler
+//! runs a page migration policy, which evaluates if migrating the page that
+//! caused the interrupt satisfies a set of resource management constraints."*
+//!
+//! The real engine is interrupt-driven; the simulator evaluates candidates
+//! when the `omp` runtime closes a parallel region (the granularity at which
+//! simulated time advances — a documented approximation in DESIGN.md). The
+//! policy itself is faithful:
+//!
+//! * **trigger** — `max_remote > local + threshold` on the page's hardware
+//!   counters;
+//! * **constraints** — per-page dampening (a page recently migrated is left
+//!   alone for a few regions), a bound on migrations per scan (the daemon's
+//!   bounded work), and memory availability (the machine's best-effort
+//!   allocator);
+//! * **aging** — counters decay geometrically each scan so the comparison
+//!   reflects recent behaviour;
+//! * **cost** — every migration pays the full coherent-movement price
+//!   (page copy + machine-wide TLB shootdown), charged to the simulated
+//!   clock by the machine.
+
+use ccnuma::Machine;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Tunables of the kernel engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelMigrationConfig {
+    /// A remote node must beat the home node by this many counted accesses
+    /// to trigger the migration interrupt.
+    pub threshold: u16,
+    /// Competitive factor: the winning remote node must additionally have
+    /// at least `competitive_factor * local` accesses (the Black–Sleator
+    /// flavour of the FLASH/IRIX policy). Keeps genuinely shared pages —
+    /// where local and remote traffic are comparable — in place, which is
+    /// why the paper measures the IRIX engine as a near-no-op under
+    /// first-touch.
+    pub competitive_factor: f64,
+    /// Simulated time a freshly migrated page is exempt from re-evaluation.
+    pub dampening_ns: f64,
+    /// Upper bound on migrations performed per scan.
+    pub max_per_scan: usize,
+    /// Whether counters decay (halve) after each scan.
+    pub aging: bool,
+    /// The daemon wakes up once per this much *simulated* time (the real
+    /// IRIX daemon is time-periodic, not per-construct).
+    pub scan_period_ns: f64,
+}
+
+impl Default for KernelMigrationConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 64,
+            competitive_factor: 2.0,
+            dampening_ns: 40e6,
+            max_per_scan: 6,
+            aging: true,
+            scan_period_ns: 4e6,
+        }
+    }
+}
+
+/// Per-run statistics of the kernel engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelMigrationStats {
+    /// Scans performed.
+    pub scans: u64,
+    /// Pages migrated.
+    pub migrations: u64,
+    /// Candidates suppressed by dampening.
+    pub dampened: u64,
+    /// Candidates dropped by the per-scan bound.
+    pub truncated: u64,
+}
+
+/// The engine itself. One instance per run; driven by the runtime at region
+/// boundaries via [`KernelMigrationEngine::scan`].
+#[derive(Debug)]
+pub struct KernelMigrationEngine {
+    config: KernelMigrationConfig,
+    enabled: bool,
+    last_scan_ns: f64,
+    last_migrated_ns: HashMap<u64, f64>,
+    stats: KernelMigrationStats,
+}
+
+impl KernelMigrationEngine {
+    /// A disabled engine (the `DSM_MIGRATION=OFF` default).
+    pub fn disabled() -> Self {
+        Self::new(KernelMigrationConfig::default(), false)
+    }
+
+    /// An enabled engine with the given tunables.
+    pub fn enabled(config: KernelMigrationConfig) -> Self {
+        Self::new(config, true)
+    }
+
+    fn new(config: KernelMigrationConfig, enabled: bool) -> Self {
+        Self {
+            config,
+            enabled,
+            last_scan_ns: 0.0,
+            last_migrated_ns: HashMap::new(),
+            stats: KernelMigrationStats::default(),
+        }
+    }
+
+    /// Whether the engine is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> KernelMigrationStats {
+        self.stats
+    }
+
+    /// Evaluate every mapped page and migrate the qualifying ones. Called by
+    /// the runtime after each parallel region; acts only on every
+    /// `scan_interval`-th call (the daemon's period). Returns the number of
+    /// pages migrated.
+    pub fn scan(&mut self, machine: &mut Machine) -> usize {
+        if !self.enabled {
+            return 0;
+        }
+        let now = machine.clock().now_ns();
+        if now - self.last_scan_ns < self.config.scan_period_ns {
+            return 0;
+        }
+        self.last_scan_ns = now;
+        self.stats.scans += 1;
+        // Collect candidates: (priority, vpage, target-node).
+        let mut candidates: Vec<(u64, u64, usize)> = Vec::new();
+        let mut dampened = 0u64;
+        for (vpage, frame) in machine.mapped_pages() {
+            let home = machine.memory().node_of_frame(frame);
+            let (local, rmax, rnode) = machine.counters().competitive_view(frame, home);
+            let crosses = rmax > local.saturating_add(self.config.threshold as u64);
+            let competitive = rmax as f64 > self.config.competitive_factor * local as f64;
+            if crosses && competitive {
+                if let Some(&when) = self.last_migrated_ns.get(&vpage) {
+                    if now - when <= self.config.dampening_ns {
+                        dampened += 1;
+                        continue;
+                    }
+                }
+                candidates.push((rmax - local, vpage, rnode));
+            }
+        }
+        self.stats.dampened += dampened;
+        // Strongest imbalance first; ties break by vpage for determinism.
+        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        if candidates.len() > self.config.max_per_scan {
+            self.stats.truncated += (candidates.len() - self.config.max_per_scan) as u64;
+            candidates.truncate(self.config.max_per_scan);
+        }
+        let mut migrated = 0;
+        for (_, vpage, target) in candidates {
+            if machine.migrate_page(vpage, target).is_ok() {
+                self.last_migrated_ns.insert(vpage, now);
+                migrated += 1;
+            }
+        }
+        if self.config.aging {
+            let frames: Vec<_> = machine.mapped_pages().map(|(_, f)| f).collect();
+            for frame in frames {
+                machine.counters().decay_frame(frame);
+            }
+        }
+        self.stats.migrations += migrated as u64;
+        migrated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma::{AccessKind, MachineConfig, PAGE_SIZE};
+
+    fn hammer_remote(machine: &mut Machine, base: u64, times: u64) {
+        // cpu6 lives on node 3 in the tiny 4x2 topology; stride over whole
+        // pages' lines so every access reaches memory.
+        for t in 0..times {
+            for line in 0..(PAGE_SIZE / 128) {
+                machine.touch(6, base + line * 128, AccessKind::Read);
+                // Re-write from cpu0 occasionally so nothing stays cached?
+                // Not needed: cpu6's own cache is bypassed by distinct lines
+                // only on the first sweep; write to force version bumps.
+                machine.touch(6, base + line * 128, AccessKind::Write);
+            }
+            let _ = t;
+        }
+    }
+
+    #[test]
+    fn disabled_engine_never_migrates() {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        let base = m.reserve_vspace(PAGE_SIZE);
+        m.touch(0, base, AccessKind::Read); // home = node 0
+        hammer_remote(&mut m, base, 3);
+        let mut engine = KernelMigrationEngine::disabled();
+        assert_eq!(engine.scan(&mut m), 0);
+        assert_eq!(m.node_of_vpage(ccnuma::vpage_of(base)), Some(0));
+    }
+
+    #[test]
+    fn migrates_remotely_hammered_page() {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        let base = m.reserve_vspace(PAGE_SIZE);
+        m.touch(0, base, AccessKind::Read); // first-touch: node 0
+        hammer_remote(&mut m, base, 3); // node 3 dominates
+        let mut engine = KernelMigrationEngine::enabled(KernelMigrationConfig {
+            threshold: 16,
+            scan_period_ns: 0.0,
+            ..Default::default()
+        });
+        let moved = engine.scan(&mut m);
+        assert_eq!(moved, 1);
+        assert_eq!(m.node_of_vpage(ccnuma::vpage_of(base)), Some(3));
+        assert_eq!(engine.stats().migrations, 1);
+    }
+
+    #[test]
+    fn threshold_suppresses_weak_imbalance() {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        let base = m.reserve_vspace(PAGE_SIZE);
+        m.touch(0, base, AccessKind::Read);
+        // Only a handful of remote accesses: below threshold.
+        for line in 0..4 {
+            m.touch(6, base + line * 128, AccessKind::Read);
+        }
+        let mut engine = KernelMigrationEngine::enabled(KernelMigrationConfig {
+            threshold: 64,
+            scan_period_ns: 0.0,
+            ..Default::default()
+        });
+        assert_eq!(engine.scan(&mut m), 0);
+    }
+
+    #[test]
+    fn dampening_blocks_immediate_remigration() {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        let base = m.reserve_vspace(PAGE_SIZE);
+        m.touch(0, base, AccessKind::Read);
+        let mut engine = KernelMigrationEngine::enabled(KernelMigrationConfig {
+            threshold: 16,
+            dampening_ns: 1e15,
+            scan_period_ns: 0.0,
+            ..Default::default()
+        });
+        hammer_remote(&mut m, base, 2);
+        assert_eq!(engine.scan(&mut m), 1); // -> node 3
+        // Now node 0 hammers it back hard; dampening must hold it on node 3.
+        for line in 0..(PAGE_SIZE / 128) {
+            m.touch(0, base + line * 128, AccessKind::Write);
+            m.touch(0, base + line * 128, AccessKind::Read);
+        }
+        assert_eq!(engine.scan(&mut m), 0);
+        assert!(engine.stats().dampened >= 1);
+        assert_eq!(m.node_of_vpage(ccnuma::vpage_of(base)), Some(3));
+    }
+
+    #[test]
+    fn per_scan_bound_truncates() {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        let base = m.reserve_vspace(4 * PAGE_SIZE);
+        for p in 0..4 {
+            m.touch(0, base + p * PAGE_SIZE, AccessKind::Read);
+        }
+        for p in 0..4 {
+            hammer_remote(&mut m, base + p * PAGE_SIZE, 2);
+        }
+        let mut engine = KernelMigrationEngine::enabled(KernelMigrationConfig {
+            threshold: 16,
+            max_per_scan: 2,
+            scan_period_ns: 0.0,
+            ..Default::default()
+        });
+        assert_eq!(engine.scan(&mut m), 2);
+        assert!(engine.stats().truncated >= 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! An IRIX-like virtual memory subsystem for the simulated ccNUMA machine.
+//!
+//! This crate is the *policy* layer over the `ccnuma` mechanism crate,
+//! reproducing the pieces of cellular IRIX the paper exercises:
+//!
+//! * [`placement`] — the four page-placement schemes of the paper's
+//!   sensitivity study (§2): first-touch (IRIX's default), round-robin
+//!   (IRIX `DSM_PLACEMENT=ROUND_ROBIN`), random (emulated in the paper with
+//!   `mprotect`/SIGSEGV + MLDs), and worst-case (the placement a best-fit
+//!   buddy allocator produces: every page on one node).
+//! * [`mld`] — Memory Locality Domains, the IRIX `mmci` user-level placement
+//!   and migration namespace that makes a *user-level* page migration engine
+//!   possible at all.
+//! * [`kernel_migrate`] — the IRIX kernel's competitive page-migration
+//!   engine (`DSM_MIGRATION=ON`), modeled after the FLASH/Verghese scheme
+//!   the paper describes: per-page counter comparison against a threshold,
+//!   with resource-management constraints and TLB-shootdown costs.
+//! * [`procfs`] — the read-only `/proc` view of the per-frame hardware
+//!   reference counters, which is how user-level code (UPMlib) observes the
+//!   machine.
+
+pub mod kernel_migrate;
+pub mod mld;
+pub mod placement;
+pub mod procfs;
+
+pub use kernel_migrate::{KernelMigrationConfig, KernelMigrationEngine};
+pub use mld::MldSet;
+pub use placement::{install_placement, PlacementScheme};
+pub use procfs::{PageView, ProcCounters};

@@ -1,0 +1,219 @@
+//! The four page-placement schemes of the paper's sensitivity study.
+//!
+//! Paper §2.1: *"Assuming that first-touch is the best page placement
+//! strategy for the benchmarks, we ran the codes using three alternative
+//! page placement schemes, namely round-robin, random and worst-case page
+//! placement."*
+//!
+//! * **First-touch** — each page lands on the node of the first CPU to touch
+//!   it (IRIX default; the NAS codes run a discarded cold-start iteration to
+//!   exploit it).
+//! * **Round-robin** — pages are dealt to nodes cyclically in fault order
+//!   (IRIX `DSM_PLACEMENT=ROUND_ROBIN`).
+//! * **Random** — each page lands on a uniformly random node. The paper
+//!   emulated this with an `mprotect(PROT_NONE)` + SIGSEGV handler placing
+//!   pages through MLDs; in the simulator the fault hook *is* programmable,
+//!   so the policy is expressed directly. Seeded, hence reproducible.
+//! * **Worst-case** — every page lands on a single node, "the allocation
+//!   performed by a buddy system which would allocate the pages with a
+//!   best-fit strategy on a node with sufficient free memory". Maximizes
+//!   both remote accesses and contention.
+
+use ccnuma::machine::Placer;
+use ccnuma::{CpuId, Machine, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which placement scheme to install — the experiment-level knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementScheme {
+    /// IRIX default: place on the faulting CPU's node.
+    FirstTouch,
+    /// Deal pages to nodes cyclically.
+    RoundRobin,
+    /// Uniform random node, from the given seed.
+    Random {
+        /// RNG seed (fixed seeds keep experiments reproducible).
+        seed: u64,
+    },
+    /// All pages on one node (buddy-allocator behaviour).
+    WorstCase {
+        /// The node that receives everything.
+        node: NodeId,
+    },
+}
+
+impl PlacementScheme {
+    /// Short label used in experiment output, matching the paper's figure
+    /// labels (`ft-`, `rr-`, `rand-`, `wc-`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlacementScheme::FirstTouch => "ft",
+            PlacementScheme::RoundRobin => "rr",
+            PlacementScheme::Random { .. } => "rand",
+            PlacementScheme::WorstCase { .. } => "wc",
+        }
+    }
+
+    /// All four schemes with defaults, in the paper's figure order.
+    pub fn all(seed: u64) -> [PlacementScheme; 4] {
+        [
+            PlacementScheme::FirstTouch,
+            PlacementScheme::RoundRobin,
+            PlacementScheme::Random { seed },
+            PlacementScheme::WorstCase { node: 0 },
+        ]
+    }
+}
+
+/// Install the chosen scheme as the machine's fault-time placer.
+pub fn install_placement(machine: &mut Machine, scheme: PlacementScheme) {
+    let placer: Box<dyn Placer> = match scheme {
+        PlacementScheme::FirstTouch => Box::new(FirstTouch),
+        PlacementScheme::RoundRobin => {
+            Box::new(RoundRobin { next: 0, nodes: machine.topology().nodes() })
+        }
+        PlacementScheme::Random { seed } => Box::new(RandomPlace {
+            rng: SmallRng::seed_from_u64(seed),
+            nodes: machine.topology().nodes(),
+        }),
+        PlacementScheme::WorstCase { node } => {
+            assert!(node < machine.topology().nodes());
+            Box::new(WorstCase { node })
+        }
+    };
+    machine.set_placer(placer);
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FirstTouch;
+
+impl Placer for FirstTouch {
+    fn place(&mut self, _vpage: u64, _cpu: CpuId, cpu_node: NodeId) -> NodeId {
+        cpu_node
+    }
+
+    fn name(&self) -> &'static str {
+        "first-touch"
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RoundRobin {
+    next: NodeId,
+    nodes: usize,
+}
+
+impl Placer for RoundRobin {
+    fn place(&mut self, _vpage: u64, _cpu: CpuId, _cpu_node: NodeId) -> NodeId {
+        let n = self.next;
+        self.next = (self.next + 1) % self.nodes;
+        n
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+struct RandomPlace {
+    rng: SmallRng,
+    nodes: usize,
+}
+
+impl Placer for RandomPlace {
+    fn place(&mut self, _vpage: u64, _cpu: CpuId, _cpu_node: NodeId) -> NodeId {
+        self.rng.gen_range(0..self.nodes)
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WorstCase {
+    node: NodeId,
+}
+
+impl Placer for WorstCase {
+    fn place(&mut self, _vpage: u64, _cpu: CpuId, _cpu_node: NodeId) -> NodeId {
+        self.node
+    }
+
+    fn name(&self) -> &'static str {
+        "worst-case"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma::{AccessKind, MachineConfig, PAGE_SIZE};
+
+    fn touch_pages(machine: &mut Machine, cpu: CpuId, pages: usize) -> Vec<NodeId> {
+        (0..pages)
+            .map(|_| {
+                let addr = machine.reserve_vspace(PAGE_SIZE);
+                machine.touch(cpu, addr, AccessKind::Read);
+                machine.node_of_vpage(addr >> ccnuma::PAGE_SHIFT).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_nodes() {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        install_placement(&mut m, PlacementScheme::RoundRobin);
+        let homes = touch_pages(&mut m, 0, 8);
+        assert_eq!(homes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn worst_case_stacks_one_node() {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        install_placement(&mut m, PlacementScheme::WorstCase { node: 2 });
+        let homes = touch_pages(&mut m, 0, 6);
+        assert!(homes.iter().all(|&n| n == 2));
+    }
+
+    #[test]
+    fn random_is_seeded_and_reasonably_balanced() {
+        let run = |seed| {
+            let mut m = Machine::new(MachineConfig::tiny_test());
+            install_placement(&mut m, PlacementScheme::Random { seed });
+            touch_pages(&mut m, 0, 64)
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed must reproduce the same placement");
+        let c = run(7);
+        assert_ne!(a, c, "different seeds should differ");
+        // Balance: every node gets something out of 64 pages over 4 nodes.
+        for node in 0..4 {
+            let got = a.iter().filter(|&&n| n == node).count();
+            assert!(got > 0, "node {node} starved: {a:?}");
+        }
+    }
+
+    #[test]
+    fn first_touch_follows_the_faulting_cpu() {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        install_placement(&mut m, PlacementScheme::FirstTouch);
+        let a = m.reserve_vspace(PAGE_SIZE);
+        let b = m.reserve_vspace(PAGE_SIZE);
+        m.touch(0, a, AccessKind::Read); // cpu0 -> node0
+        m.touch(7, b, AccessKind::Read); // cpu7 -> node3
+        assert_eq!(m.node_of_vpage(a >> ccnuma::PAGE_SHIFT), Some(0));
+        assert_eq!(m.node_of_vpage(b >> ccnuma::PAGE_SHIFT), Some(3));
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(PlacementScheme::FirstTouch.label(), "ft");
+        assert_eq!(PlacementScheme::RoundRobin.label(), "rr");
+        assert_eq!(PlacementScheme::Random { seed: 0 }.label(), "rand");
+        assert_eq!(PlacementScheme::WorstCase { node: 0 }.label(), "wc");
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the VM policy layer.
+
+use ccnuma::{AccessKind, Machine, MachineConfig, PAGE_SIZE};
+use proptest::prelude::*;
+use vmm::{install_placement, KernelMigrationConfig, KernelMigrationEngine, PlacementScheme};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Round-robin placement never lets any node get more than one page
+    /// ahead of any other, for any fault order.
+    #[test]
+    fn round_robin_is_maximally_balanced(
+        fault_cpus in proptest::collection::vec(0usize..8, 1..64),
+    ) {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        install_placement(&mut m, PlacementScheme::RoundRobin);
+        let base = m.reserve_vspace(fault_cpus.len() as u64 * PAGE_SIZE);
+        for (p, &cpu) in fault_cpus.iter().enumerate() {
+            m.touch(cpu, base + p as u64 * PAGE_SIZE, AccessKind::Read);
+        }
+        let mut per_node = vec![0i64; 4];
+        for p in 0..fault_cpus.len() as u64 {
+            per_node[m.node_of_vpage(ccnuma::vpage_of(base) + p).unwrap()] += 1;
+        }
+        let max = per_node.iter().max().unwrap();
+        let min = per_node.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "{per_node:?}");
+    }
+
+    /// First-touch always places on the faulting CPU's node (when memory is
+    /// available there).
+    #[test]
+    fn first_touch_places_on_the_faulting_node(
+        fault_cpus in proptest::collection::vec(0usize..8, 1..64),
+    ) {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        install_placement(&mut m, PlacementScheme::FirstTouch);
+        let base = m.reserve_vspace(fault_cpus.len() as u64 * PAGE_SIZE);
+        for (p, &cpu) in fault_cpus.iter().enumerate() {
+            m.touch(cpu, base + p as u64 * PAGE_SIZE, AccessKind::Read);
+            let home = m.node_of_vpage(ccnuma::vpage_of(base) + p as u64).unwrap();
+            prop_assert_eq!(home, m.topology().node_of_cpu(cpu));
+        }
+    }
+
+    /// Whatever the traffic, the kernel engine respects its per-scan bound
+    /// and only moves pages toward nodes that dominate them competitively.
+    #[test]
+    fn kernel_engine_moves_are_justified(
+        traffic in proptest::collection::vec((0usize..8, 0usize..6, 0u64..128), 1..400),
+        max_per_scan in 1usize..8,
+    ) {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        install_placement(&mut m, PlacementScheme::WorstCase { node: 0 });
+        let base = m.reserve_vspace(6 * PAGE_SIZE);
+        for &(cpu, page, line) in &traffic {
+            m.touch(cpu, base + page as u64 * PAGE_SIZE + line * 128, AccessKind::Read);
+        }
+        // Snapshot the competitive view before the scan.
+        let factor = 2.0;
+        let mut justified = std::collections::HashMap::new();
+        for (vpage, frame) in m.mapped_pages() {
+            let home = m.memory().node_of_frame(frame);
+            let (local, rmax, rnode) = m.counters().competitive_view(frame, home);
+            if rmax > local.saturating_add(64) && rmax as f64 > factor * local as f64 {
+                justified.insert(vpage, rnode);
+            }
+        }
+        let before: std::collections::HashMap<u64, usize> = m
+            .mapped_pages()
+            .map(|(vp, f)| (vp, m.memory().node_of_frame(f)))
+            .collect();
+        let mut engine = KernelMigrationEngine::enabled(KernelMigrationConfig {
+            threshold: 64,
+            max_per_scan,
+            scan_period_ns: 0.0,
+            ..Default::default()
+        });
+        let moved = engine.scan(&mut m);
+        prop_assert!(moved <= max_per_scan);
+        for (vp, f) in m.mapped_pages() {
+            let now = m.memory().node_of_frame(f);
+            if now != before[&vp] {
+                prop_assert_eq!(
+                    Some(&now),
+                    justified.get(&vp),
+                    "page {} moved without competitive justification",
+                    vp
+                );
+            }
+        }
+    }
+
+    /// A disabled engine is a strict no-op on placement, for any traffic.
+    #[test]
+    fn disabled_engine_never_changes_placement(
+        traffic in proptest::collection::vec((0usize..8, 0usize..4, 0u64..128), 1..200),
+    ) {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        let base = m.reserve_vspace(4 * PAGE_SIZE);
+        for &(cpu, page, line) in &traffic {
+            m.touch(cpu, base + page as u64 * PAGE_SIZE + line * 128, AccessKind::Write);
+        }
+        let before: Vec<_> = m.mapped_pages().collect();
+        let mut engine = KernelMigrationEngine::disabled();
+        for _ in 0..5 {
+            prop_assert_eq!(engine.scan(&mut m), 0);
+        }
+        let after: Vec<_> = m.mapped_pages().collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Random placement distributes pages over all nodes for large counts,
+    /// regardless of who faults them.
+    #[test]
+    fn random_placement_touches_every_node(seed in any::<u64>()) {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        install_placement(&mut m, PlacementScheme::Random { seed });
+        let pages = 48u64;
+        let base = m.reserve_vspace(pages * PAGE_SIZE);
+        for p in 0..pages {
+            m.touch(0, base + p * PAGE_SIZE, AccessKind::Read);
+        }
+        let mut seen = [false; 4];
+        for p in 0..pages {
+            seen[m.node_of_vpage(ccnuma::vpage_of(base) + p).unwrap()] = true;
+        }
+        // With 48 pages over 4 nodes, every node is hit with probability
+        // 1 - (3/4)^48 per node; treat a miss as a real failure.
+        prop_assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+}

@@ -1,0 +1,104 @@
+//! `xp` — the experiment driver.
+//!
+//! ```text
+//! xp <table1|fig1|fig4|table2|fig5|fig6|ablations|all> [--scale tiny|small|medium]
+//!           [--out DIR]
+//! ```
+//!
+//! Prints each experiment's markdown table to stdout and writes the raw
+//! rows as JSON under the output directory (default `results/`).
+
+use nas::Scale;
+use std::path::PathBuf;
+use xp::Report;
+
+fn parse_scale(s: &str) -> Scale {
+    match s {
+        "tiny" => Scale::Tiny,
+        "small" => Scale::Small,
+        "medium" => Scale::Medium,
+        other => {
+            eprintln!("unknown scale '{other}' (expected tiny|small|medium)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = String::from("all");
+    let mut scale = Scale::Medium;
+    let mut out_dir = PathBuf::from("results");
+    let mut it = args.iter();
+    if let Some(first) = it.next() {
+        command = first.clone();
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--scale needs a value");
+                    std::process::exit(2);
+                });
+                scale = parse_scale(v);
+            }
+            "--out" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a value");
+                    std::process::exit(2);
+                });
+                out_dir = PathBuf::from(v);
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let reports: Vec<Report> = match command.as_str() {
+        "table1" => vec![xp::table1::run()],
+        "fig1" => vec![xp::fig1::run(scale)],
+        "fig4" => vec![xp::fig4::run(scale)],
+        "table2" => vec![xp::table2::run(scale)],
+        "fig5" => vec![xp::fig5::run(scale)],
+        "fig6" => vec![xp::fig6::run(scale)],
+        "ablations" => vec![
+            xp::ablation::latency_ratio(scale),
+            xp::ablation::threshold_sweep(scale),
+            xp::ablation::freeze_toggle(scale),
+            xp::ablation::replication(scale),
+            xp::ablation::machine_size(scale),
+            xp::ablation::scheduler_disruption(scale),
+        ],
+        "all" => vec![
+            xp::table1::run(),
+            xp::fig1::run(scale),
+            xp::fig4::run(scale),
+            xp::table2::run(scale),
+            xp::fig5::run(scale),
+            xp::fig6::run(scale),
+            xp::ablation::latency_ratio(scale),
+            xp::ablation::threshold_sweep(scale),
+            xp::ablation::freeze_toggle(scale),
+            xp::ablation::replication(scale),
+            xp::ablation::machine_size(scale),
+            xp::ablation::scheduler_disruption(scale),
+        ],
+        other => {
+            eprintln!(
+                "unknown command '{other}' \
+                 (expected table1|fig1|fig4|table2|fig5|fig6|ablations|all)"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    for report in &reports {
+        print!("{}", report.to_markdown());
+        match report.save_json(&out_dir) {
+            Ok(path) => eprintln!("[saved {}]", path.display()),
+            Err(e) => eprintln!("[warn: could not save {}: {e}]", report.id),
+        }
+    }
+}

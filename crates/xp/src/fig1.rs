@@ -1,0 +1,121 @@
+//! Figure 1: impact of page placement on the five benchmarks, with and
+//! without the IRIX kernel migration engine.
+//!
+//! For each benchmark, eight bars: {ft, rr, rand, wc} x {IRIX, IRIXmig}.
+//! The paper's shape: worst-case placement slows programs 24%–248% (avg
+//! ~90%); round-robin and random are modest (8%–45%); kernel migration
+//! recovers part but not all of the gap, is a near-no-op under first-touch,
+//! and *hurts* FT (page-level false sharing).
+
+use crate::report::{pct, secs, Report};
+use crate::run_one::{default_engine_configs, run_one};
+use nas::{BenchName, EngineMode, RunConfig, RunResult, Scale};
+use vmm::PlacementScheme;
+
+/// Seed for the random placement scheme (fixed: experiments reproduce).
+pub const RAND_SEED: u64 = 20000;
+
+/// Run the full placement x engine grid for one benchmark.
+///
+/// `with_upmlib` additionally runs the four `*-upmlib` configurations
+/// (Figure 4's extra bars).
+pub fn grid(bench: BenchName, scale: Scale, with_upmlib: bool) -> Vec<RunResult> {
+    let (kcfg, upm_opts) = default_engine_configs();
+    let mut results = Vec::new();
+    for placement in PlacementScheme::all(RAND_SEED) {
+        let mut engines = vec![EngineMode::None, EngineMode::IrixMig(kcfg)];
+        if with_upmlib {
+            engines.push(EngineMode::Upmlib(upm_opts));
+        }
+        for engine in engines {
+            let cfg = RunConfig { placement, engine, ..RunConfig::paper_default() };
+            results.push(run_one(bench, scale, &cfg));
+        }
+    }
+    results
+}
+
+/// The `ft-IRIX` baseline time within a result set.
+pub fn baseline_secs(results: &[RunResult]) -> f64 {
+    results
+        .iter()
+        .find(|r| r.placement == "ft" && r.engine == "IRIX")
+        .expect("grid contains the ft-IRIX baseline")
+        .total_secs
+}
+
+/// Run Figure 1 for all five benchmarks.
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "fig1",
+        "Impact of page placement on the NAS benchmarks (execution time, simulated seconds)",
+        &["Benchmark", "Config", "Time (s)", "vs ft-IRIX", "Verified"],
+    );
+    let mut wc_slowdowns = Vec::new();
+    let mut rr_slowdowns = Vec::new();
+    let mut rand_slowdowns = Vec::new();
+    for bench in BenchName::all() {
+        let results = grid(bench, scale, false);
+        let base = baseline_secs(&results);
+        report.chart(
+            &format!("NAS {} (execution time, simulated seconds)", bench.label()),
+            results
+                .iter()
+                .map(|r| crate::report::Bar { label: r.label(), value: r.total_secs })
+                .collect(),
+        );
+        for r in &results {
+            let ratio = r.total_secs / base;
+            if r.engine == "IRIX" {
+                match r.placement.as_str() {
+                    "wc" => wc_slowdowns.push(ratio),
+                    "rr" => rr_slowdowns.push(ratio),
+                    "rand" => rand_slowdowns.push(ratio),
+                    _ => {}
+                }
+            }
+            report.row(vec![
+                bench.label().into(),
+                r.label(),
+                secs(r.total_secs),
+                pct(ratio),
+                if r.verification.passed { "ok".into() } else { "FAIL".into() },
+            ]);
+        }
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    report.note(format!(
+        "average slowdown without migration: rr {}, rand {}, wc {} (paper: 22%, 23%, 90%)",
+        pct(avg(&rr_slowdowns)),
+        pct(avg(&rand_slowdowns)),
+        pct(avg(&wc_slowdowns)),
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_all_configs() {
+        let results = grid(BenchName::Mg, Scale::Tiny, true);
+        assert_eq!(results.len(), 12);
+        let labels: Vec<_> = results.iter().map(|r| r.label()).collect();
+        for want in ["ft-IRIX", "rr-IRIXmig", "rand-upmlib", "wc-upmlib"] {
+            assert!(labels.contains(&want.to_string()), "{want} missing from {labels:?}");
+        }
+    }
+
+    #[test]
+    fn worst_case_is_slowest_class() {
+        let results = grid(BenchName::Cg, Scale::Small, false);
+        let base = baseline_secs(&results);
+        let wc = results.iter().find(|r| r.label() == "wc-IRIX").unwrap();
+        assert!(
+            wc.total_secs > base,
+            "worst-case ({}) must beat first-touch ({base}) for slowness",
+            wc.total_secs
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Figure 5: the record–replay mechanism on BT and SP under first-touch.
+//!
+//! Four bars per benchmark: ft-IRIX, ft-IRIXmig, ft-upmlib, ft-recrep, with
+//! the recrep bar split into useful time and the non-overlapped migration
+//! overhead (the paper's striped segment).
+//!
+//! Paper shape: record–replay speeds up the *useful computation* (up to 10%
+//! on BT) but its on-critical-path migration overhead outweighs the gain at
+//! normal phase lengths — the total recrep bar is not better than upmlib.
+
+use crate::report::{pct, secs, Report};
+use crate::run_one::{default_engine_configs, run_one};
+use nas::{BenchName, EngineMode, RunConfig, RunResult, Scale};
+use vmm::PlacementScheme;
+
+/// The four Figure 5 configurations for one benchmark.
+pub fn bars(bench: BenchName, scale: Scale) -> Vec<RunResult> {
+    let (kcfg, upm_opts) = default_engine_configs();
+    [
+        EngineMode::None,
+        EngineMode::IrixMig(kcfg),
+        EngineMode::Upmlib(upm_opts),
+        EngineMode::RecRep(upm_opts),
+    ]
+    .into_iter()
+    .map(|engine| {
+        run_one(
+            bench,
+            scale,
+            &RunConfig {
+                placement: PlacementScheme::FirstTouch,
+                engine,
+                ..RunConfig::paper_default()
+            },
+        )
+    })
+    .collect()
+}
+
+/// Run Figure 5 (BT and SP).
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "fig5",
+        "Record-replay on BT and SP, first-touch placement",
+        &[
+            "Benchmark",
+            "Config",
+            "Time (s)",
+            "of which migration overhead (s)",
+            "vs ft-IRIX",
+            "Verified",
+        ],
+    );
+    for bench in [BenchName::Bt, BenchName::Sp] {
+        let results = bars(bench, scale);
+        let base = results[0].total_secs;
+        report.chart(
+            &format!("NAS {} (execution time; recrep bar includes its overhead)", bench.label()),
+            results
+                .iter()
+                .map(|r| crate::report::Bar { label: r.label(), value: r.total_secs })
+                .collect(),
+        );
+        for r in &results {
+            report.row(vec![
+                bench.label().into(),
+                r.label(),
+                secs(r.total_secs),
+                secs(r.recrep_overhead_secs),
+                pct(r.total_secs / base),
+                if r.verification.passed { "ok".into() } else { "FAIL".into() },
+            ]);
+        }
+        let upm = &results[2];
+        let recrep = &results[3];
+        let useful_recrep = recrep.total_secs - recrep.recrep_overhead_secs;
+        report.note(format!(
+            "{}: recrep useful time {} vs upmlib total {} (paper: useful computation up to 10% \
+             faster on BT, but overhead outweighs it)",
+            bench.label(),
+            secs(useful_recrep),
+            secs(upm.total_secs),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recrep_pays_visible_overhead() {
+        let results = bars(BenchName::Bt, Scale::Tiny);
+        let recrep = results.iter().find(|r| r.engine == "recrep").unwrap();
+        assert!(recrep.verification.passed, "recrep must not corrupt the numerics");
+        assert!(
+            recrep.recrep_overhead_secs > 0.0,
+            "record-replay must charge on-critical-path migration overhead"
+        );
+        let upm = results.iter().find(|r| r.engine == "upmlib").unwrap();
+        assert_eq!(upm.recrep_overhead_secs, 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Experiment harness: regenerates every table and figure of *"Is Data
+//! Distribution Necessary in OpenMP?"* on the simulated machine.
+//!
+//! | Experiment | Paper artifact | Function |
+//! |---|---|---|
+//! | Memory-hierarchy latencies | Table 1 | [`table1::run`] |
+//! | Placement sensitivity (4 schemes x IRIX-migration on/off, 5 benchmarks) | Figure 1 | [`fig1::run`] |
+//! | UPMlib distribution emulation | Figure 4 | [`fig4::run`] |
+//! | Residual slowdown + migration timing statistics | Table 2 | [`table2::run`] |
+//! | Record–replay on BT and SP | Figure 5 | [`fig5::run`] |
+//! | Record–replay with 4x-scaled phases | Figure 6 | [`fig6::run`] |
+//! | Remote:local latency-ratio sweep (the paper's §6 claim) | ablation | [`ablation::latency_ratio`] |
+//! | Competitive-threshold sweep | ablation | [`ablation::threshold_sweep`] |
+//! | Page-freezing on/off under false sharing | ablation | [`ablation::freeze_toggle`] |
+//!
+//! Each function returns structured rows and renders a markdown table; the
+//! `xp` binary writes both to stdout and to `results/*.json`.
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod report;
+pub mod run_one;
+pub mod table1;
+pub mod table2;
+
+pub use report::Report;
+pub use run_one::{default_engine_configs, run_one};

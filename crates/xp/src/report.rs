@@ -1,0 +1,158 @@
+//! Structured experiment output: markdown rendering plus JSON persistence.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One rendered experiment: a title, a markdown table, optional bar charts
+/// (the paper's figures are bar charts), notes, and the raw rows for JSON
+/// output.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Experiment id (e.g. `fig1`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows (stringified cells).
+    pub rows: Vec<Vec<String>>,
+    /// Bar charts: `(chart title, bars)`.
+    pub charts: Vec<(String, Vec<Bar>)>,
+    /// Free-form notes (shape checks against the paper).
+    pub notes: Vec<String>,
+}
+
+/// One bar of a rendered chart.
+#[derive(Debug, Clone, Serialize)]
+pub struct Bar {
+    /// Bar label (e.g. `rr-IRIXmig`).
+    pub label: String,
+    /// Bar value (simulated seconds).
+    pub value: f64,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            charts: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Append a bar chart (rendered under the table, in the style of the
+    /// paper's figures).
+    pub fn chart(&mut self, title: &str, bars: Vec<Bar>) {
+        self.charts.push((title.to_string(), bars));
+    }
+
+    /// Render as a markdown section.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        for (title, bars) in &self.charts {
+            out.push_str(&format!("\n```text\n{title}\n"));
+            let max = bars.iter().map(|b| b.value).fold(0.0f64, f64::max).max(1e-300);
+            let label_w = bars.iter().map(|b| b.label.len()).max().unwrap_or(0);
+            for bar in bars {
+                let width = ((bar.value / max) * 50.0).round() as usize;
+                out.push_str(&format!(
+                    "{:<label_w$}  {:7.4} |{}\n",
+                    bar.label,
+                    bar.value,
+                    "#".repeat(width.max(1)),
+                ));
+            }
+            out.push_str("```\n");
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("* {n}\n"));
+            }
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Write the JSON form under `dir/<id>.json`. Returns the path.
+    pub fn save_json(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(serde_json::to_string_pretty(self).expect("report serializes").as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Format a simulated-seconds value for tables.
+pub fn secs(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Format a ratio as a signed percentage (slowdown vs a baseline).
+pub fn pct(ratio: f64) -> String {
+    format!("{:+.1}%", (ratio - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let mut r = Report::new("figX", "demo", &["a", "b"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.note("hello");
+        let md = r.to_markdown();
+        assert!(md.contains("## figX"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("* hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut r = Report::new("x", "t", &["a", "b"]);
+        r.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(pct(1.25), "+25.0%");
+        assert_eq!(pct(0.9), "-10.0%");
+        assert_eq!(secs(1.23456), "1.2346");
+    }
+
+    #[test]
+    fn save_json_roundtrips() {
+        let mut r = Report::new("unit-test-report", "t", &["a"]);
+        r.row(vec!["v".into()]);
+        let dir = std::env::temp_dir().join("ddnomp-report-test");
+        let path = r.save_json(&dir).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("unit-test-report"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Table 2: statistics of the UPMlib engine under the three non-optimal
+//! placement schemes — the residual slowdown in the last 75% of the
+//! iterations (is the memory performance stable once the engine settles?)
+//! and the fraction of page migrations performed after the first iteration
+//! (is the migration cost concentrated at the start?).
+//!
+//! Paper values: residual slowdown always < 2.7%; first-iteration migration
+//! share 100% for CG/FT/MG and >= 78% for BT/SP.
+
+use crate::fig1::RAND_SEED;
+use crate::report::{pct, Report};
+use crate::run_one::{default_engine_configs, run_one};
+use nas::{BenchName, EngineMode, RunConfig, RunResult, Scale};
+use vmm::PlacementScheme;
+
+/// Per-benchmark, per-scheme Table 2 entries.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark.
+    pub bench: BenchName,
+    /// Placement label.
+    pub placement: String,
+    /// Mean per-iteration time over the last 75% of iterations, relative to
+    /// the ft-IRIX run's same statistic.
+    pub last75_slowdown: f64,
+    /// Fraction of distribution migrations in the engine's first
+    /// invocation.
+    pub first_iter_fraction: f64,
+}
+
+/// Compute Table 2 rows for one benchmark.
+pub fn rows_for(bench: BenchName, scale: Scale) -> Vec<Table2Row> {
+    let (_, upm_opts) = default_engine_configs();
+    let ft = run_one(
+        bench,
+        scale,
+        &RunConfig { placement: PlacementScheme::FirstTouch, ..RunConfig::paper_default() },
+    );
+    let ft_last75 = ft.last75_mean_secs();
+    let schemes = [
+        PlacementScheme::RoundRobin,
+        PlacementScheme::Random { seed: RAND_SEED },
+        PlacementScheme::WorstCase { node: 0 },
+    ];
+    schemes
+        .iter()
+        .map(|&placement| {
+            let r: RunResult = run_one(
+                bench,
+                scale,
+                &RunConfig {
+                    placement,
+                    engine: EngineMode::Upmlib(upm_opts),
+                    ..RunConfig::paper_default()
+                },
+            );
+            let stats = r.upm.as_ref().expect("upmlib runs carry stats");
+            Table2Row {
+                bench,
+                placement: placement.label().to_string(),
+                last75_slowdown: r.last75_mean_secs() / ft_last75,
+                first_iter_fraction: stats.first_invocation_fraction(),
+            }
+        })
+        .collect()
+}
+
+/// Run Table 2 for all five benchmarks.
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "table2",
+        "UPMlib statistics: residual slowdown in the last 75% of iterations; share of migrations in the first iteration",
+        &[
+            "Benchmark",
+            "Scheme",
+            "Slowdown, last 75% (vs ft)",
+            "Migrations in first invocation",
+        ],
+    );
+    let mut worst_res = 0.0f64;
+    let mut best_frac = 1.0f64;
+    for bench in BenchName::all() {
+        for row in rows_for(bench, scale) {
+            worst_res = worst_res.max(row.last75_slowdown);
+            best_frac = best_frac.min(row.first_iter_fraction);
+            report.row(vec![
+                bench.label().into(),
+                row.placement,
+                pct(row.last75_slowdown),
+                format!("{:.0}%", row.first_iter_fraction * 100.0),
+            ]);
+        }
+    }
+    report.note(format!(
+        "worst residual slowdown {} (paper: always < 2.7%); lowest first-invocation share {:.0}% (paper: >= 78%)",
+        pct(worst_res),
+        best_frac * 100.0
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residual_slowdown_is_small_once_settled() {
+        // MG Tiny under round-robin + upmlib: after the engine settles, the
+        // steady-state iterations should be close to first-touch speed.
+        let rows = rows_for(BenchName::Mg, Scale::Tiny);
+        let rr = rows.iter().find(|r| r.placement == "rr").unwrap();
+        assert!(
+            rr.last75_slowdown < 1.35,
+            "residual slowdown too large: {}",
+            rr.last75_slowdown
+        );
+        assert!(rr.first_iter_fraction > 0.0);
+    }
+}

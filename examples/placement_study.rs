@@ -1,0 +1,50 @@
+//! Placement study: run one NAS benchmark under all four page-placement
+//! schemes of the paper, with and without the IRIX kernel migration engine,
+//! and print a Figure-1-style comparison.
+//!
+//! ```text
+//! cargo run --release --example placement_study [bt|sp|cg|mg|ft]
+//! ```
+
+use nas::{BenchName, EngineMode, RunConfig, Scale};
+use vmm::{KernelMigrationConfig, PlacementScheme};
+use xp::run_one;
+
+fn main() {
+    let bench = match std::env::args().nth(1).as_deref() {
+        Some("bt") => BenchName::Bt,
+        Some("sp") => BenchName::Sp,
+        Some("cg") | None => BenchName::Cg,
+        Some("mg") => BenchName::Mg,
+        Some("ft") => BenchName::Ft,
+        Some(other) => {
+            eprintln!("unknown benchmark '{other}' (expected bt|sp|cg|mg|ft)");
+            std::process::exit(2);
+        }
+    };
+    println!("NAS {} (scaled), 16 simulated processors", bench.label());
+    println!("{:<14} {:>12} {:>12} {:>10}", "config", "time (s)", "vs ft-IRIX", "remote %");
+
+    let mut baseline = None;
+    for placement in PlacementScheme::all(20000) {
+        for engine in [
+            EngineMode::None,
+            EngineMode::IrixMig(KernelMigrationConfig::default()),
+        ] {
+            let cfg = RunConfig { placement, engine, ..RunConfig::paper_default() };
+            let r = run_one(bench, Scale::Small, &cfg);
+            assert!(r.verification.passed, "{} failed verification", r.label());
+            let base = *baseline.get_or_insert(r.total_secs);
+            println!(
+                "{:<14} {:>12.4} {:>+11.1}% {:>9.1}%",
+                r.label(),
+                r.total_secs,
+                (r.total_secs / base - 1.0) * 100.0,
+                r.remote_fraction * 100.0
+            );
+        }
+    }
+    println!();
+    println!("ft = first-touch, rr = round-robin, rand = random, wc = worst-case (buddy);");
+    println!("IRIX = no migration, IRIXmig = kernel competitive migration engine.");
+}

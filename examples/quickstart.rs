@@ -1,0 +1,66 @@
+//! Quickstart: build a simulated Origin2000, run an OpenMP-style parallel
+//! loop under a deliberately bad page placement, and watch UPMlib repair it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ccnuma::{Machine, MachineConfig, SimArray};
+use omp::{Runtime, Schedule};
+use upmlib::{UpmEngine, UpmOptions};
+use vmm::{install_placement, PlacementScheme};
+
+fn main() {
+    // A 16-processor Origin2000-like machine (8 nodes x 2 CPUs) with caches
+    // scaled to the workload size (see DESIGN.md).
+    let mut machine = Machine::new(MachineConfig::origin2000_16p_scaled());
+
+    // Worst-case placement: every page the program faults lands on node 0,
+    // "the allocation performed by a buddy system" (paper §2.1).
+    install_placement(&mut machine, PlacementScheme::WorstCase { node: 0 });
+
+    let mut rt = Runtime::new(machine);
+
+    // One shared array, 64 pages worth of f64s.
+    let n = 64 * (ccnuma::PAGE_SIZE as usize / 8);
+    let data = SimArray::new(rt.machine_mut(), "data", n, 1.0f64);
+
+    // UPMlib: register the hot array, as the paper's compiler pass would.
+    let mut upm = UpmEngine::new(rt.machine(), UpmOptions::default());
+    upm.memrefcnt(&data);
+
+    println!("machine: {} CPUs on {} nodes", rt.machine().cpus(), rt.machine().topology().nodes());
+    println!("placement policy: {}", rt.machine().placer_name());
+    println!();
+
+    // An iterative parallel computation: each thread repeatedly sweeps its
+    // block of the array (a static schedule pins blocks to threads).
+    for step in 0..6 {
+        let t0 = rt.machine().clock().now_secs();
+        rt.parallel_for(n, Schedule::Static, |par, i| {
+            par.update(&data, i, |v| 0.5 * (v + 1.0));
+            par.flops(2);
+        });
+        let iter_time = rt.machine().clock().now_secs() - t0;
+
+        // The paper's Figure 2 protocol: migrate while the engine finds work.
+        let moved = if upm.is_active() { upm.migrate_memory(rt.machine_mut()) } else { 0 };
+        let stats = rt.machine().aggregate_cpu_stats();
+        println!(
+            "step {step}: {:.3} ms simulated, {} pages migrated, remote fraction so far {:.1}%",
+            iter_time * 1e3,
+            moved,
+            stats.remote_fraction() * 100.0
+        );
+    }
+
+    let stats = upm.stats();
+    println!();
+    println!(
+        "UPMlib moved {} pages total ({}% in its first invocation) and is now {}",
+        stats.total_distribution_migrations(),
+        (stats.first_invocation_fraction() * 100.0) as u32,
+        if upm.is_active() { "still armed" } else { "self-deactivated" }
+    );
+    println!("total simulated time: {:.3} ms", rt.machine().clock().now_secs() * 1e3);
+}

@@ -1,0 +1,89 @@
+//! Record–replay walkthrough: instrument NAS BT exactly as the paper's
+//! Figure 3 does, printing what the mechanism records, schedules, replays
+//! and undoes at each step of the time loop.
+//!
+//! ```text
+//! cargo run --release --example record_replay
+//! ```
+
+use ccnuma::{Machine, MachineConfig};
+use nas::bt::{Bt, BtConfig};
+use nas::common::{NasBenchmark, PhasePoint};
+use nas::Scale;
+use omp::Runtime;
+use upmlib::{UpmEngine, UpmOptions};
+use vmm::{install_placement, PlacementScheme};
+
+fn main() {
+    let mut machine = Machine::new(MachineConfig::origin2000_16p_scaled());
+    install_placement(&mut machine, PlacementScheme::FirstTouch);
+    let mut rt = Runtime::new(machine);
+    let mut bt =
+        Bt::with_config(&mut rt, BtConfig { niter: 5, ..BtConfig::for_scale(Scale::Small) });
+    // The paper sets the critical-page budget to 20.
+    let mut upm = UpmEngine::new(rt.machine(), UpmOptions::paper_recrep());
+    bt.register_hot(&mut upm);
+
+    println!("NAS BT with the paper's Figure 3 instrumentation:");
+    println!("  do step = 1, niter");
+    println!("    compute_rhs; x_solve; y_solve; [record|replay]; z_solve; [record]; add");
+    println!("    step 1: upmlib_migrate_memory   (data distribution)");
+    println!("    step 2: upmlib_record x2 + upmlib_compare_counters");
+    println!("    step>2: upmlib_replay before z_solve, upmlib_undo at end");
+    println!();
+
+    bt.cold_start(&mut rt);
+    upm.reset_counters(rt.machine());
+
+    for step in 0..bt.iterations() {
+        let t0 = rt.machine().clock().now_secs();
+        match step {
+            0 => {
+                let mut noop = |_: &mut Runtime, _: PhasePoint| {};
+                bt.iterate(&mut rt, &mut noop);
+                let moved = upm.migrate_memory(rt.machine_mut());
+                println!("step 1: distribution pass migrated {moved} pages");
+            }
+            1 => {
+                let engine = &mut upm;
+                let mut hook = |rt: &mut Runtime, pp: PhasePoint| {
+                    engine.record(rt.machine());
+                    println!("        recorded counters at {pp:?}");
+                };
+                bt.iterate(&mut rt, &mut hook);
+                let scheduled = upm.compare_counters();
+                println!(
+                    "step 2: compare_counters scheduled {scheduled} migrations per iteration \
+                     (lists {:?})",
+                    upm.replay_list_sizes()
+                );
+            }
+            _ => {
+                let engine = &mut upm;
+                let mut replayed = 0;
+                {
+                    let replayed = &mut replayed;
+                    let mut hook = |rt: &mut Runtime, pp: PhasePoint| {
+                        if matches!(pp, PhasePoint::Before(_)) {
+                            *replayed += engine.replay(rt.machine_mut());
+                        }
+                    };
+                    bt.iterate(&mut rt, &mut hook);
+                }
+                let undone = upm.undo(rt.machine_mut());
+                println!("step {}: replayed {replayed} pages before z_solve, undid {undone} after", step + 1);
+            }
+        }
+        println!("        iteration took {:.3} ms simulated", (rt.machine().clock().now_secs() - t0) * 1e3);
+    }
+
+    let v = bt.verify();
+    let s = upm.stats();
+    println!();
+    println!("verification: {} (update norm {:.3e} from {:.3e})", if v.passed { "PASSED" } else { "FAILED" }, v.value, v.reference);
+    println!(
+        "record-replay moved {} pages total, costing {:.3} ms of on-critical-path migration time",
+        s.total_recrep_migrations(),
+        s.recrep_ns * 1e-6
+    );
+}

@@ -1,0 +1,25 @@
+//! Umbrella crate for the SC'00 "Is Data Distribution Necessary in OpenMP?"
+//! reproduction. Re-exports the workspace crates so examples and integration
+//! tests can use a single dependency.
+//!
+//! The stack, bottom to top:
+//!
+//! * [`ccnuma`] — a deterministic simulated ccNUMA machine (Origin2000-like):
+//!   caches, coherence, NUMA latencies, per-page hardware reference counters,
+//!   memory-module contention.
+//! * [`vmm`] — an IRIX-like virtual memory subsystem: page placement policies
+//!   (first-touch, round-robin, random, worst-case/buddy), MLDs, a migration
+//!   syscall, and the kernel's competitive page migration engine.
+//! * [`omp`] — an OpenMP-like fork/join runtime with worksharing schedules.
+//! * [`upmlib`] — the paper's contribution: a user-level page migration
+//!   engine that emulates data distribution and (via record–replay) data
+//!   redistribution.
+//! * [`nas`] — OpenMP-style NAS benchmark kernels (BT, SP, CG, MG, FT).
+//! * [`xp`] — the experiment harness that regenerates every table and figure.
+
+pub use ccnuma;
+pub use nas;
+pub use omp;
+pub use upmlib;
+pub use vmm;
+pub use xp;

@@ -1,0 +1,56 @@
+//! Determinism: the entire stack — machine, runtime, engines, benchmarks —
+//! must produce bit-identical simulated times and results across runs.
+//! Every experiment in the paper reproduction depends on this.
+
+use nas::{BenchName, EngineMode, RunConfig, Scale};
+use upmlib::UpmOptions;
+use vmm::{KernelMigrationConfig, PlacementScheme};
+use xp::run_one;
+
+fn fingerprint(bench: BenchName, placement: PlacementScheme, engine: EngineMode) -> (f64, Vec<f64>, f64) {
+    let r = run_one(
+        bench,
+        Scale::Tiny,
+        &RunConfig { placement, engine, ..RunConfig::paper_default() },
+    );
+    (r.total_secs, r.per_iter_secs, r.verification.value)
+}
+
+#[test]
+fn plain_runs_are_deterministic() {
+    for bench in BenchName::all() {
+        let a = fingerprint(bench, PlacementScheme::FirstTouch, EngineMode::None);
+        let b = fingerprint(bench, PlacementScheme::FirstTouch, EngineMode::None);
+        assert_eq!(a, b, "{} not deterministic", bench.label());
+    }
+}
+
+#[test]
+fn random_placement_is_deterministic_given_seed() {
+    let a = fingerprint(BenchName::Cg, PlacementScheme::Random { seed: 5 }, EngineMode::None);
+    let b = fingerprint(BenchName::Cg, PlacementScheme::Random { seed: 5 }, EngineMode::None);
+    assert_eq!(a, b);
+    let c = fingerprint(BenchName::Cg, PlacementScheme::Random { seed: 6 }, EngineMode::None);
+    assert_ne!(a.0, c.0, "different placement seeds should change timing");
+    assert_eq!(a.2, c.2, "but never the numerics");
+}
+
+#[test]
+fn engine_runs_are_deterministic() {
+    for engine in [
+        EngineMode::IrixMig(KernelMigrationConfig::default()),
+        EngineMode::Upmlib(UpmOptions::default()),
+        EngineMode::RecRep(UpmOptions::default()),
+    ] {
+        let a = fingerprint(BenchName::Bt, PlacementScheme::RoundRobin, engine.clone());
+        let b = fingerprint(BenchName::Bt, PlacementScheme::RoundRobin, engine.clone());
+        assert_eq!(a, b, "engine {} not deterministic", engine.label());
+    }
+}
+
+#[test]
+fn experiment_reports_are_deterministic() {
+    let a = xp::table1::run();
+    let b = xp::table1::run();
+    assert_eq!(a.rows, b.rows);
+}

@@ -1,0 +1,191 @@
+//! End-to-end integration tests: full benchmark pipelines through the
+//! harness, asserting the paper's qualitative orderings at small scale.
+
+use nas::{BenchName, EngineMode, RunConfig, RunResult, Scale};
+use upmlib::UpmOptions;
+use vmm::{KernelMigrationConfig, PlacementScheme};
+use xp::run_one;
+
+fn run(bench: BenchName, placement: PlacementScheme, engine: EngineMode) -> RunResult {
+    run_one(bench, Scale::Tiny, &RunConfig { placement, engine, ..RunConfig::paper_default() })
+}
+
+fn run_small(bench: BenchName, placement: PlacementScheme, engine: EngineMode) -> RunResult {
+    run_one(bench, Scale::Small, &RunConfig { placement, engine, ..RunConfig::paper_default() })
+}
+
+#[test]
+fn every_benchmark_verifies_under_every_placement() {
+    for bench in BenchName::all() {
+        for placement in PlacementScheme::all(99) {
+            let r = run(bench, placement, EngineMode::None);
+            assert!(
+                r.verification.passed,
+                "{} under {} failed verification: value {} vs reference {}",
+                bench.label(),
+                placement.label(),
+                r.verification.value,
+                r.verification.reference
+            );
+        }
+    }
+}
+
+#[test]
+fn numerics_are_independent_of_placement() {
+    // The verification value must be bit-identical across placements:
+    // placement changes time, never results.
+    for bench in BenchName::all() {
+        let values: Vec<f64> = PlacementScheme::all(7)
+            .into_iter()
+            .map(|p| run(bench, p, EngineMode::None).verification.value)
+            .collect();
+        for v in &values[1..] {
+            assert_eq!(*v, values[0], "{}: {values:?}", bench.label());
+        }
+    }
+}
+
+#[test]
+fn numerics_survive_migration_engines() {
+    for engine in [
+        EngineMode::IrixMig(KernelMigrationConfig::default()),
+        EngineMode::Upmlib(UpmOptions::default()),
+    ] {
+        for bench in BenchName::all() {
+            let plain = run(bench, PlacementScheme::RoundRobin, EngineMode::None);
+            let with_engine = run(bench, PlacementScheme::RoundRobin, engine.clone());
+            assert_eq!(
+                plain.verification.value,
+                with_engine.verification.value,
+                "{} + {:?}: migration must not alter results",
+                bench.label(),
+                engine.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn worst_case_placement_is_slower_than_first_touch() {
+    // Paper Figure 1's core ordering, at a scale with real memory traffic.
+    for bench in [BenchName::Cg, BenchName::Mg, BenchName::Ft] {
+        let ft = run_small(bench, PlacementScheme::FirstTouch, EngineMode::None);
+        let wc = run_small(bench, PlacementScheme::WorstCase { node: 0 }, EngineMode::None);
+        assert!(
+            wc.total_secs > ft.total_secs * 1.2,
+            "{}: wc {} vs ft {}",
+            bench.label(),
+            wc.total_secs,
+            ft.total_secs
+        );
+    }
+}
+
+#[test]
+fn balanced_schemes_are_much_better_than_worst_case() {
+    // "any reasonably balanced page placement scheme makes the performance
+    // impact of mediocre page-level locality modest" (paper §2.2).
+    let bench = BenchName::Mg;
+    let ft = run_small(bench, PlacementScheme::FirstTouch, EngineMode::None);
+    let rr = run_small(bench, PlacementScheme::RoundRobin, EngineMode::None);
+    let wc = run_small(bench, PlacementScheme::WorstCase { node: 0 }, EngineMode::None);
+    let rr_slowdown = rr.total_secs / ft.total_secs;
+    let wc_slowdown = wc.total_secs / ft.total_secs;
+    assert!(
+        wc_slowdown > 1.5 * rr_slowdown,
+        "wc ({wc_slowdown:.2}x) should dwarf rr ({rr_slowdown:.2}x)"
+    );
+}
+
+#[test]
+fn upmlib_settles_worst_case_to_first_touch_speed() {
+    // The paper's headline (Figure 4 / Table 2): with the engine, steady
+    // state is insensitive to the initial placement.
+    for bench in [BenchName::Cg, BenchName::Mg] {
+        let ft = run_small(bench, PlacementScheme::FirstTouch, EngineMode::None);
+        let wc_upm = run_small(
+            bench,
+            PlacementScheme::WorstCase { node: 0 },
+            EngineMode::Upmlib(UpmOptions::default()),
+        );
+        // Compare the final iterations: by then the engine has settled (the
+        // Small runs are short, so earlier iterations still carry the
+        // pre-migration placement and the migration overhead).
+        let settled = |r: &nas::RunResult| *r.per_iter_secs.last().unwrap();
+        assert!(
+            settled(&wc_upm) < settled(&ft) * 1.25,
+            "{}: settled wc-upmlib {} vs settled ft {}",
+            bench.label(),
+            settled(&wc_upm),
+            settled(&ft)
+        );
+    }
+}
+
+#[test]
+fn upmlib_self_deactivates_and_concentrates_migrations_early() {
+    let r = run_small(
+        BenchName::Mg,
+        PlacementScheme::RoundRobin,
+        EngineMode::Upmlib(UpmOptions::default()),
+    );
+    let stats = r.upm.expect("upmlib stats present");
+    assert!(stats.total_distribution_migrations() > 0, "engine must find work under rr");
+    // Table 2: the overwhelming share of migrations happens right after the
+    // first iteration.
+    assert!(
+        stats.first_invocation_fraction() >= 0.78,
+        "first-invocation share {}",
+        stats.first_invocation_fraction()
+    );
+    // Self-deactivation: the last recorded invocation moved nothing.
+    assert_eq!(*stats.migrations_per_invocation.last().unwrap(), 0);
+}
+
+#[test]
+fn recrep_charges_overhead_and_restores_placement() {
+    let r = run_small(
+        BenchName::Bt,
+        PlacementScheme::FirstTouch,
+        EngineMode::RecRep(UpmOptions::default()),
+    );
+    assert!(r.verification.passed);
+    let stats = r.upm.expect("stats");
+    assert!(stats.replay_migrations > 0, "replay must move pages");
+    // Undo mirrors replay (placement restored every iteration).
+    assert_eq!(stats.replay_migrations, stats.undo_migrations);
+    assert!(r.recrep_overhead_secs > 0.0);
+}
+
+#[test]
+fn kernel_engine_helps_worst_case_mg() {
+    // Paper: "Only in one case, MG with worst-case page placement, the IRIX
+    // page migration engine is able to improve performance drastically".
+    let wc = run_small(BenchName::Mg, PlacementScheme::WorstCase { node: 0 }, EngineMode::None);
+    let wc_mig = run_small(
+        BenchName::Mg,
+        PlacementScheme::WorstCase { node: 0 },
+        EngineMode::IrixMig(KernelMigrationConfig::default()),
+    );
+    assert!(
+        wc_mig.total_secs < wc.total_secs * 0.8,
+        "kernel migration should drastically improve MG-wc: {} vs {}",
+        wc_mig.total_secs,
+        wc.total_secs
+    );
+}
+
+#[test]
+fn remote_fraction_reflects_placement() {
+    let ft = run_small(BenchName::Mg, PlacementScheme::FirstTouch, EngineMode::None);
+    let wc = run_small(BenchName::Mg, PlacementScheme::WorstCase { node: 0 }, EngineMode::None);
+    assert!(
+        wc.remote_fraction > ft.remote_fraction,
+        "wc remote {} must exceed ft remote {}",
+        wc.remote_fraction,
+        ft.remote_fraction
+    );
+    // With everything on one of 8 nodes, ~7/8 of misses are remote.
+    assert!(wc.remote_fraction > 0.7, "wc remote fraction {}", wc.remote_fraction);
+}

@@ -1,0 +1,150 @@
+//! Property-based integration tests over the machine + VM subsystem:
+//! frame accounting, migration safety, placement invariants, and the
+//! UPMlib undo involution, under randomized operation sequences.
+
+use ccnuma::{AccessKind, Machine, MachineConfig, PAGE_SIZE};
+use proptest::prelude::*;
+use vmm::{install_placement, MldSet, PlacementScheme, ProcCounters};
+
+/// Operations a random test program can perform.
+#[derive(Debug, Clone)]
+enum Op {
+    /// CPU touches a byte offset within the arena (read or write).
+    Touch { cpu: usize, page: usize, line: usize, write: bool },
+    /// Migrate a page to a node.
+    Migrate { page: usize, node: usize },
+    /// Reset a page's counters.
+    Reset { page: usize },
+}
+
+fn op_strategy(pages: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..8usize, 0..pages, 0..128usize, any::<bool>())
+            .prop_map(|(cpu, page, line, write)| Op::Touch { cpu, page, line, write }),
+        (0..pages, 0..4usize).prop_map(|(page, node)| Op::Migrate { page, node }),
+        (0..pages).prop_map(|page| Op::Reset { page }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frame_accounting_survives_random_op_sequences(
+        ops in proptest::collection::vec(op_strategy(8), 1..200),
+        placement_pick in 0..3usize,
+    ) {
+        let mut machine = Machine::new(MachineConfig::tiny_test());
+        let placement = match placement_pick {
+            0 => PlacementScheme::FirstTouch,
+            1 => PlacementScheme::RoundRobin,
+            _ => PlacementScheme::Random { seed: 11 },
+        };
+        install_placement(&mut machine, placement);
+        let base = machine.reserve_vspace(8 * PAGE_SIZE);
+        let total_frames = machine.memory().total_frames();
+        let mlds = MldSet::for_machine(&machine);
+
+        for op in ops {
+            match op {
+                Op::Touch { cpu, page, line, write } => {
+                    let addr = base + page as u64 * PAGE_SIZE + line as u64 * 128;
+                    let kind = if write { AccessKind::Write } else { AccessKind::Read };
+                    let ns = machine.touch(cpu, addr, kind);
+                    prop_assert!(ns > 0.0 && ns.is_finite());
+                }
+                Op::Migrate { page, node } => {
+                    let vp = ccnuma::vpage_of(base) + page as u64;
+                    // Migrating unmapped pages must fail cleanly; mapped
+                    // ones must succeed (memory is plentiful here).
+                    let mapped = machine.frame_of(vp).is_some();
+                    let result = mlds.migrate_page(&mut machine, vp, mlds.mld(node));
+                    prop_assert_eq!(result.is_ok(), mapped);
+                }
+                Op::Reset { page } => {
+                    let vp = ccnuma::vpage_of(base) + page as u64;
+                    ProcCounters.reset(&machine, vp);
+                }
+            }
+            // Invariant: allocated + free frames == total, always.
+            let free = machine.memory().total_free();
+            let mapped = machine.mapped_pages().count();
+            prop_assert_eq!(free + mapped, total_frames);
+        }
+    }
+
+    #[test]
+    fn touch_latency_is_bounded_by_the_hierarchy(
+        cpu in 0..8usize,
+        page in 0..4usize,
+        line in 0..128usize,
+    ) {
+        let mut machine = Machine::new(MachineConfig::tiny_test());
+        let base = machine.reserve_vspace(4 * PAGE_SIZE);
+        let addr = base + page as u64 * PAGE_SIZE + line as u64 * 128;
+        let cold = machine.touch(cpu, addr, AccessKind::Read);
+        let warm = machine.touch(cpu, addr, AccessKind::Read);
+        // Cold access reaches memory: at least local latency.
+        prop_assert!(cold >= 329.0, "cold {}", cold);
+        // Paper Table 1's ceiling (3 hops) bounds the tiny 4-node machine.
+        prop_assert!(cold <= 862.0, "cold {}", cold);
+        // Warm access hits L1.
+        prop_assert_eq!(warm, 5.5);
+    }
+
+    #[test]
+    fn counters_equal_memory_accesses(
+        lines in proptest::collection::vec((0..8usize, 0..256usize), 1..100),
+    ) {
+        let mut machine = Machine::new(MachineConfig::tiny_test());
+        let base = machine.reserve_vspace(2 * PAGE_SIZE);
+        for &(cpu, line) in &lines {
+            machine.touch(cpu, base + line as u64 * 128, AccessKind::Read);
+        }
+        // Sum of per-page counters == total memory accesses seen by CPUs.
+        let stats = machine.aggregate_cpu_stats();
+        let counted: u64 = machine
+            .mapped_pages()
+            .map(|(_, frame)| {
+                (0..4).map(|n| machine.counters().get(frame, n)).sum::<u64>()
+            })
+            .sum();
+        prop_assert_eq!(counted, stats.mem_accesses());
+    }
+
+    #[test]
+    fn migration_never_loses_page_contents(
+        moves in proptest::collection::vec(0..4usize, 1..20),
+    ) {
+        use ccnuma::SimArray;
+        let mut machine = Machine::new(MachineConfig::tiny_test());
+        let arr = SimArray::from_fn(&mut machine, "a", 2048, |i| i as f64);
+        // Fault the pages in.
+        for i in (0..2048).step_by(16) {
+            arr.get(&mut machine, 0, i);
+        }
+        let vp = ccnuma::vpage_of(arr.vrange().0);
+        for node in moves {
+            machine.migrate_page(vp, node).unwrap();
+        }
+        for i in 0..2048 {
+            prop_assert_eq!(arr.peek(i), i as f64);
+        }
+    }
+}
+
+#[test]
+fn round_robin_balances_within_one_page() {
+    let mut machine = Machine::new(MachineConfig::tiny_test());
+    install_placement(&mut machine, PlacementScheme::RoundRobin);
+    let pages = 32u64;
+    let base = machine.reserve_vspace(pages * PAGE_SIZE);
+    for p in 0..pages {
+        machine.touch(0, base + p * PAGE_SIZE, AccessKind::Read);
+    }
+    let mut per_node = [0usize; 4];
+    for p in 0..pages {
+        per_node[machine.node_of_vpage(ccnuma::vpage_of(base) + p).unwrap()] += 1;
+    }
+    assert!(per_node.iter().all(|&c| c == 8), "{per_node:?}");
+}

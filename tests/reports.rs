@@ -1,0 +1,58 @@
+//! Smoke tests of the experiment reports at Tiny scale: every artifact
+//! renders with the right shape and every embedded run verifies.
+
+use nas::Scale;
+
+#[test]
+fn table1_report_has_six_levels() {
+    let r = xp::table1::run();
+    assert_eq!(r.id, "table1");
+    assert_eq!(r.rows.len(), 6);
+    assert!(r.to_markdown().contains("| L1 cache |"));
+}
+
+#[test]
+fn fig1_report_covers_all_benchmarks_and_configs() {
+    let r = xp::fig1::run(Scale::Tiny);
+    // 5 benchmarks x 4 placements x 2 engines.
+    assert_eq!(r.rows.len(), 40);
+    let verified = r.headers.iter().position(|h| h == "Verified").unwrap();
+    for row in &r.rows {
+        assert_eq!(row[verified], "ok", "{row:?}");
+    }
+    // One bar chart per benchmark.
+    assert_eq!(r.charts.len(), 5);
+    for (_, bars) in &r.charts {
+        assert_eq!(bars.len(), 8);
+        assert!(bars.iter().all(|b| b.value > 0.0));
+    }
+    assert_eq!(r.notes.len(), 1);
+}
+
+#[test]
+fn fig5_report_shape() {
+    let r = xp::fig5::run(Scale::Tiny);
+    assert_eq!(r.rows.len(), 8); // BT and SP x 4 configs
+    let overhead = r
+        .headers
+        .iter()
+        .position(|h| h.contains("migration overhead"))
+        .unwrap();
+    // Only the recrep rows carry overhead.
+    for row in &r.rows {
+        let is_recrep = row[1].contains("recrep");
+        let has_overhead = row[overhead].parse::<f64>().unwrap() > 0.0;
+        assert_eq!(is_recrep, has_overhead, "{row:?}");
+    }
+}
+
+#[test]
+fn reports_save_and_reload_as_json() {
+    let r = xp::table1::run();
+    let dir = std::env::temp_dir().join("ddnomp-report-roundtrip");
+    let path = r.save_json(&dir).unwrap();
+    let text = std::fs::read_to_string(path).unwrap();
+    let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(value["id"], "table1");
+    assert_eq!(value["rows"].as_array().unwrap().len(), 6);
+}
