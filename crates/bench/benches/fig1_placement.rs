@@ -14,9 +14,10 @@ fn bench_fig1(c: &mut Criterion) {
     group.sample_size(10);
     for bench in [BenchName::Cg, BenchName::Mg] {
         for placement in PlacementScheme::all(20000) {
-            for engine in
-                [EngineMode::None, EngineMode::IrixMig(KernelMigrationConfig::default())]
-            {
+            for engine in [
+                EngineMode::None,
+                EngineMode::IrixMig(KernelMigrationConfig::default()),
+            ] {
                 let id = format!("{}-{}-{}", bench.label(), placement.label(), engine.label());
                 group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| {
                     b.iter(|| {

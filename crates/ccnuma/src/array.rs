@@ -40,7 +40,12 @@ impl<T: Copy> SimArray<T> {
     pub fn new(machine: &mut Machine, name: &str, len: usize, init: T) -> Self {
         let bytes = (len * std::mem::size_of::<T>()) as u64;
         let base = machine.reserve_vspace(bytes.max(1));
-        Self { name: name.to_string(), base, data: vec![Cell::new(init); len], chunking: None }
+        Self {
+            name: name.to_string(),
+            base,
+            data: vec![Cell::new(init); len],
+            chunking: None,
+        }
     }
 
     /// Allocate with `chunks` page-aligned chunks: element
@@ -74,7 +79,12 @@ impl<T: Copy> SimArray<T> {
 
     /// Allocate and initialize from a function of the index (host-only
     /// initialization, no simulated accesses).
-    pub fn from_fn(machine: &mut Machine, name: &str, len: usize, mut f: impl FnMut(usize) -> T) -> Self {
+    pub fn from_fn(
+        machine: &mut Machine,
+        name: &str,
+        len: usize,
+        mut f: impl FnMut(usize) -> T,
+    ) -> Self {
         let bytes = (len * std::mem::size_of::<T>()) as u64;
         let base = machine.reserve_vspace(bytes.max(1));
         Self {
@@ -242,7 +252,10 @@ mod tests {
         let a = SimArray::chunk_aligned(&mut m, "a", 64, 4, 0.0f64);
         assert_eq!(a.vaddr_of(0) % PAGE_SIZE, 0);
         assert_eq!(a.vaddr_of(16) % PAGE_SIZE, 0);
-        assert_ne!(crate::vpage_of(a.vaddr_of(15)), crate::vpage_of(a.vaddr_of(16)));
+        assert_ne!(
+            crate::vpage_of(a.vaddr_of(15)),
+            crate::vpage_of(a.vaddr_of(16))
+        );
         // Within a chunk, addresses are contiguous.
         assert_eq!(a.vaddr_of(1) - a.vaddr_of(0), 8);
         // vrange covers all chunks.

@@ -12,10 +12,9 @@
 //! LRU is exact per set (tiny associativities make this cheap).
 
 use crate::LINE_SHIFT;
-use serde::{Deserialize, Serialize};
 
 /// Geometry of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity: usize,
@@ -27,12 +26,18 @@ impl CacheConfig {
     /// R10000 L1: 32 KB, 2-way (split I/D on the real chip; we model the
     /// data side only, since the simulator only sees data accesses).
     pub fn origin_l1() -> Self {
-        Self { capacity: 32 * 1024, ways: 2 }
+        Self {
+            capacity: 32 * 1024,
+            ways: 2,
+        }
     }
 
     /// R10000 board-level L2: 4 MB unified, 2-way.
     pub fn origin_l2() -> Self {
-        Self { capacity: 4 * 1024 * 1024, ways: 2 }
+        Self {
+            capacity: 4 * 1024 * 1024,
+            ways: 2,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -58,7 +63,11 @@ struct Way {
 }
 
 impl Way {
-    const EMPTY: Way = Way { tag: INVALID_TAG, version: 0, stamp: 0 };
+    const EMPTY: Way = Way {
+        tag: INVALID_TAG,
+        version: 0,
+        stamp: 0,
+    };
 }
 
 /// Outcome of a cache probe.
@@ -199,7 +208,10 @@ mod tests {
 
     fn tiny() -> SetAssocCache {
         // 4 sets x 2 ways = 8 lines of 128 B => capacity 1 KB.
-        SetAssocCache::new(CacheConfig { capacity: 1024, ways: 2 })
+        SetAssocCache::new(CacheConfig {
+            capacity: 1024,
+            ways: 2,
+        })
     }
 
     #[test]

@@ -7,10 +7,8 @@
 //! charged overheads (page migrations, fork/join, barriers) advance the clock
 //! directly.
 
-use serde::{Deserialize, Serialize};
-
 /// Monotone simulated time in nanoseconds.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct GlobalClock {
     now_ns: f64,
 }

@@ -19,10 +19,8 @@
 //! one overloaded memory module expensive and balanced traffic nearly free,
 //! which is exactly the asymmetry the paper's Figure 1 exhibits.
 
-use serde::{Deserialize, Serialize};
-
 /// Tunables of the contention model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ContentionConfig {
     /// Memory-module occupancy per access, ns. The Origin2000 Hub + SDRAM
     /// pipeline sustained roughly one access per ~100 ns per module.
@@ -33,7 +31,10 @@ pub struct ContentionConfig {
 
 impl Default for ContentionConfig {
     fn default() -> Self {
-        Self { service_ns: 100.0, max_utilization: 0.95 }
+        Self {
+            service_ns: 100.0,
+            max_utilization: 0.95,
+        }
     }
 }
 
@@ -76,7 +77,7 @@ impl CpuRegionAccount {
 }
 
 /// Result of closing a region.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegionTiming {
     /// Corrected wall time of the region, ns.
     pub wall_ns: f64,
@@ -102,7 +103,10 @@ impl ContentionModel {
 
     /// Fold per-CPU region accounts into a corrected region time.
     pub fn close_region(&self, accounts: &[CpuRegionAccount], nodes: usize) -> RegionTiming {
-        let base_ns = accounts.iter().map(CpuRegionAccount::base_ns).fold(0.0, f64::max);
+        let base_ns = accounts
+            .iter()
+            .map(CpuRegionAccount::base_ns)
+            .fold(0.0, f64::max);
         // Idle region (no work at all): nothing to correct.
         if base_ns <= 0.0 {
             return RegionTiming {
@@ -120,7 +124,9 @@ impl ContentionModel {
         }
         let utilization: Vec<f64> = node_accesses
             .iter()
-            .map(|&a| ((a as f64 * self.config.service_ns) / base_ns).min(self.config.max_utilization))
+            .map(|&a| {
+                ((a as f64 * self.config.service_ns) / base_ns).min(self.config.max_utilization)
+            })
             .collect();
         let extra_per_access: Vec<f64> = utilization
             .iter()
@@ -139,7 +145,12 @@ impl ContentionModel {
             })
             .collect();
         let wall_ns = cpu_ns.iter().copied().fold(0.0, f64::max);
-        RegionTiming { wall_ns, base_ns, utilization, cpu_ns }
+        RegionTiming {
+            wall_ns,
+            base_ns,
+            utilization,
+            cpu_ns,
+        }
     }
 }
 
@@ -147,7 +158,13 @@ impl ContentionModel {
 mod tests {
     use super::*;
 
-    fn acct(nodes: usize, compute: f64, node: usize, accesses: u64, stall: f64) -> CpuRegionAccount {
+    fn acct(
+        nodes: usize,
+        compute: f64,
+        node: usize,
+        accesses: u64,
+        stall: f64,
+    ) -> CpuRegionAccount {
         let mut a = CpuRegionAccount::new(nodes);
         a.compute_ns = compute;
         a.accesses_by_node[node] = accesses;
@@ -166,30 +183,46 @@ mod tests {
     fn balanced_traffic_barely_penalized() {
         let m = ContentionModel::default();
         // 4 CPUs, each hitting its own node with light traffic.
-        let accounts: Vec<_> =
-            (0..4).map(|n| acct(4, 90_000.0, n, 100, 10_000.0)).collect();
+        let accounts: Vec<_> = (0..4)
+            .map(|n| acct(4, 90_000.0, n, 100, 10_000.0))
+            .collect();
         let t = m.close_region(&accounts, 4);
         // u = 100*100/100_000 = 0.1 -> extra ~11 ns/access -> ~1.1% inflation.
-        assert!(t.wall_ns < t.base_ns * 1.03, "wall {} base {}", t.wall_ns, t.base_ns);
+        assert!(
+            t.wall_ns < t.base_ns * 1.03,
+            "wall {} base {}",
+            t.wall_ns,
+            t.base_ns
+        );
     }
 
     #[test]
     fn single_hot_node_is_heavily_penalized() {
         let m = ContentionModel::default();
         // 8 CPUs all hammering node 0.
-        let accounts: Vec<_> =
-            (0..8).map(|_| acct(8, 50_000.0, 0, 600, 50_000.0)).collect();
+        let accounts: Vec<_> = (0..8)
+            .map(|_| acct(8, 50_000.0, 0, 600, 50_000.0))
+            .collect();
         let t = m.close_region(&accounts, 8);
         // u = 4800*100/100_000 capped at 0.95 -> extra = 1900 ns/access.
         assert!(t.utilization[0] > 0.9);
-        assert!(t.wall_ns > t.base_ns * 2.0, "wall {} base {}", t.wall_ns, t.base_ns);
+        assert!(
+            t.wall_ns > t.base_ns * 2.0,
+            "wall {} base {}",
+            t.wall_ns,
+            t.base_ns
+        );
     }
 
     #[test]
     fn hot_node_worse_than_spread_same_traffic() {
         let m = ContentionModel::default();
-        let hot: Vec<_> = (0..8).map(|_| acct(8, 50_000.0, 0, 300, 30_000.0)).collect();
-        let spread: Vec<_> = (0..8).map(|c| acct(8, 50_000.0, c, 300, 30_000.0)).collect();
+        let hot: Vec<_> = (0..8)
+            .map(|_| acct(8, 50_000.0, 0, 300, 30_000.0))
+            .collect();
+        let spread: Vec<_> = (0..8)
+            .map(|c| acct(8, 50_000.0, c, 300, 30_000.0))
+            .collect();
         let t_hot = m.close_region(&hot, 8);
         let t_spread = m.close_region(&spread, 8);
         assert!(t_hot.wall_ns > t_spread.wall_ns);
@@ -197,7 +230,10 @@ mod tests {
 
     #[test]
     fn utilization_is_capped() {
-        let m = ContentionModel::new(ContentionConfig { service_ns: 100.0, max_utilization: 0.9 });
+        let m = ContentionModel::new(ContentionConfig {
+            service_ns: 100.0,
+            max_utilization: 0.9,
+        });
         let accounts = vec![acct(2, 0.0, 0, 1_000_000, 1000.0)];
         let t = m.close_region(&accounts, 2);
         assert!(t.utilization[0] <= 0.9 + 1e-12);

@@ -40,7 +40,11 @@ impl RefCounters {
         hw.resize_with(frames * nodes, || AtomicU16::new(0));
         let mut extended = Vec::with_capacity(frames * nodes);
         extended.resize_with(frames * nodes, || AtomicU64::new(0));
-        Self { nodes, hw, extended }
+        Self {
+            nodes,
+            hw,
+            extended,
+        }
     }
 
     #[inline(always)]
@@ -51,9 +55,10 @@ impl RefCounters {
 
     /// Record one memory access to `frame` from `node`. On hardware-counter
     /// overflow the block is folded into the kernel's extended counter (the
-    /// IRIX overflow-interrupt path).
+    /// IRIX overflow-interrupt path). Returns `true` when this access
+    /// triggered an overflow spill (the observability layer traces these).
     #[inline(always)]
-    pub fn record(&self, frame: usize, node: NodeId) {
+    pub fn record(&self, frame: usize, node: NodeId) -> bool {
         let i = self.idx(frame, node);
         let hw = &self.hw[i];
         // Relaxed is fine: simulated CPUs run sequentially.
@@ -64,8 +69,10 @@ impl RefCounters {
             // hardware counter.
             hw.store(0, Ordering::Relaxed);
             self.extended[i].fetch_add(cur as u64 + 1, Ordering::Relaxed);
+            true
         } else {
             hw.store(cur + 1, Ordering::Relaxed);
+            false
         }
     }
 
@@ -164,6 +171,81 @@ mod tests {
         // ...while the live hardware counter stays within its width.
         assert!(c.hw_value(0, 1) <= COUNTER_MAX);
         assert_eq!(COUNTER_MAX, 2047);
+    }
+
+    #[test]
+    fn record_reports_exactly_the_spilling_access() {
+        let c = RefCounters::new(1, 2);
+        // 2047 accesses saturate the hardware counter without spilling...
+        for _ in 0..COUNTER_MAX {
+            assert!(!c.record(0, 0));
+        }
+        assert_eq!(c.hw_value(0, 0), COUNTER_MAX);
+        // ...the 2048th takes the overflow-interrupt path: the full block
+        // folds into the extended counter and the hw counter restarts.
+        assert!(c.record(0, 0));
+        assert_eq!(c.hw_value(0, 0), 0);
+        assert_eq!(c.get(0, 0), COUNTER_MAX as u64 + 1);
+        // The next access is an ordinary increment again.
+        assert!(!c.record(0, 0));
+        assert_eq!(c.get(0, 0), COUNTER_MAX as u64 + 2);
+    }
+
+    #[test]
+    fn saturation_is_per_counter_not_per_frame() {
+        let c = RefCounters::new(2, 2);
+        for _ in 0..=COUNTER_MAX {
+            c.record(0, 0);
+        }
+        // Node 0's bank spilled; node 1's and frame 1's banks are untouched.
+        assert_eq!(c.hw_value(0, 0), 0);
+        assert_eq!(c.hw_value(0, 1), 0);
+        assert_eq!(c.get(0, 1), 0);
+        assert_eq!(c.get(1, 0), 0);
+    }
+
+    #[test]
+    fn concurrent_record_is_safe_and_bounded() {
+        use std::sync::Arc;
+        // `record` is deliberately a racy load/store pair (the simulated
+        // CPUs run sequentially), but the type is Sync: concurrent use must
+        // stay memory-safe. Racing increments may be lost (overwritten
+        // stores) and racing spills may double-fold a block, so the only
+        // hard bounds are: the hardware counter never leaves its 11-bit
+        // range (every store writes 0 or a value that was < COUNTER_MAX),
+        // and each call contributes at most one full block to the total.
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 10_000;
+        let calls = (THREADS * PER_THREAD) as u64;
+        let c = Arc::new(RefCounters::new(1, 2));
+        let mut spills = 0u64;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    let mut spilled = 0u64;
+                    for _ in 0..PER_THREAD {
+                        if c.record(0, 0) {
+                            spilled += 1;
+                        }
+                    }
+                    spilled
+                })
+            })
+            .collect();
+        for h in handles {
+            spills += h.join().expect("recorder thread must not panic");
+        }
+        assert!(c.hw_value(0, 0) <= COUNTER_MAX);
+        let total = c.get(0, 0);
+        assert!(total > 0);
+        assert!(
+            total <= calls * (COUNTER_MAX as u64 + 1),
+            "each call folds at most one block"
+        );
+        assert!(spills <= calls);
+        // The other bank stayed untouched through all of it.
+        assert_eq!(c.get(0, 1), 0);
     }
 
     #[test]

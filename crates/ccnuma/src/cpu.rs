@@ -10,13 +10,12 @@ use crate::cache::{CacheConfig, SetAssocCache};
 use crate::contention::CpuRegionAccount;
 use crate::stats::CpuStats;
 use crate::topology::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a simulated processor.
 pub type CpuId = usize;
 
 /// Load or store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessKind {
     /// A load.
     Read,

@@ -20,10 +20,8 @@
 //! would be more significant on ccNUMA architectures with higher remote
 //! memory access latencies".
 
-use serde::{Deserialize, Serialize};
-
 /// Per-level access latencies, in nanoseconds of simulated time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencyModel {
     /// L1 hit latency.
     pub l1_ns: f64,

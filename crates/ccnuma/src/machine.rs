@@ -13,8 +13,8 @@
 //! of the access fast path.
 
 use crate::cache::Probe;
-use crate::contention::{ContentionModel, RegionTiming};
 use crate::coherence::Directory;
+use crate::contention::{ContentionModel, RegionTiming};
 use crate::counters::RefCounters;
 use crate::cpu::{AccessKind, CpuContext, CpuId};
 use crate::latency::LatencyModel;
@@ -22,6 +22,7 @@ use crate::memory::{FrameId, PhysicalMemory};
 use crate::stats::{CpuStats, MachineStats};
 use crate::topology::{NodeId, Topology};
 use crate::{CacheConfig, ContentionConfig, GlobalClock, LINE_SHIFT, PAGE_SHIFT};
+use obs::{EventKind, TraceSink, Tracer};
 
 /// Page-placement policy consulted on a page fault.
 ///
@@ -141,8 +142,14 @@ impl MachineConfig {
     /// hide every placement effect the paper measures). See DESIGN.md.
     pub fn origin2000_16p_scaled() -> Self {
         Self {
-            l1: CacheConfig { capacity: 4 * 1024, ways: 2 },
-            l2: CacheConfig { capacity: 32 * 1024, ways: 2 },
+            l1: CacheConfig {
+                capacity: 4 * 1024,
+                ways: 2,
+            },
+            l2: CacheConfig {
+                capacity: 32 * 1024,
+                ways: 2,
+            },
             ..Self::origin2000_16p()
         }
     }
@@ -166,8 +173,14 @@ impl MachineConfig {
         Self {
             topology: Topology::fat_hypercube(4, 2),
             latency: LatencyModel::origin2000(),
-            l1: CacheConfig { capacity: 1024, ways: 2 },
-            l2: CacheConfig { capacity: 8 * 1024, ways: 2 },
+            l1: CacheConfig {
+                capacity: 1024,
+                ways: 2,
+            },
+            l2: CacheConfig {
+                capacity: 8 * 1024,
+                ways: 2,
+            },
             contention: ContentionConfig::default(),
             frames_per_node: 64,
             max_vpages: 256,
@@ -206,6 +219,8 @@ pub struct Machine {
     /// Bump allocator for virtual address space handed to `SimArray`s.
     next_vaddr: u64,
     in_region: bool,
+    /// Observability sink: `TraceSink::Null` unless a trace was requested.
+    trace: TraceSink,
 }
 
 impl Machine {
@@ -214,7 +229,13 @@ impl Machine {
         let nodes = config.topology.nodes();
         let cpus = (0..config.topology.cpus())
             .map(|id| {
-                CpuContext::new(id, config.topology.node_of_cpu(id), config.l1, config.l2, nodes)
+                CpuContext::new(
+                    id,
+                    config.topology.node_of_cpu(id),
+                    config.l1,
+                    config.l2,
+                    nodes,
+                )
             })
             .collect();
         let lines = config.max_vpages << (PAGE_SHIFT - LINE_SHIFT);
@@ -231,6 +252,7 @@ impl Machine {
             contention: ContentionModel::new(config.contention),
             next_vaddr: 0,
             in_region: false,
+            trace: TraceSink::Null,
             config,
         }
     }
@@ -270,6 +292,30 @@ impl Machine {
     /// Machine-wide statistics.
     pub fn stats(&self) -> &MachineStats {
         &self.stats
+    }
+
+    /// Install a trace sink (observability). Returns the previous sink so a
+    /// caller can restore it.
+    pub fn set_trace(&mut self, sink: TraceSink) -> TraceSink {
+        std::mem::replace(&mut self.trace, sink)
+    }
+
+    /// The active trace sink — other layers (vmm, upmlib, omp, nas) emit
+    /// their events through the machine so everything shares one timeline.
+    pub fn trace_mut(&mut self) -> &mut TraceSink {
+        &mut self.trace
+    }
+
+    /// Detach the collected trace, disabling tracing.
+    pub fn take_trace(&mut self) -> Option<Box<Tracer>> {
+        self.trace.take()
+    }
+
+    /// Emit an event stamped with the current simulated time. No-op (one
+    /// branch) when tracing is off.
+    #[inline]
+    pub fn trace_event(&mut self, kind: impl FnOnce() -> EventKind) {
+        self.trace.emit(self.clock.now_ns(), kind);
     }
 
     /// Statistics of one CPU.
@@ -345,7 +391,9 @@ impl Machine {
         if self.page_table[vpage as usize].is_some() {
             return Err(MemError::AlreadyMapped);
         }
-        let frame = self.alloc_best_effort(preferred).ok_or(MemError::OutOfMemory)?;
+        let frame = self
+            .alloc_best_effort(preferred)
+            .ok_or(MemError::OutOfMemory)?;
         self.counters.reset_frame(frame);
         self.page_table[vpage as usize] = Some(frame);
         Ok(self.memory.node_of_frame(frame))
@@ -353,7 +401,9 @@ impl Machine {
 
     /// Unmap a page, freeing its frame and any replicas.
     pub fn unmap_page(&mut self, vpage: u64) -> Result<(), MemError> {
-        let frame = self.page_table[vpage as usize].take().ok_or(MemError::Unmapped)?;
+        let frame = self.page_table[vpage as usize]
+            .take()
+            .ok_or(MemError::Unmapped)?;
         if let Some(frames) = self.replicas.remove(&vpage) {
             for f in frames {
                 self.counters.reset_frame(f);
@@ -405,6 +455,12 @@ impl Machine {
         self.clock.advance(cost);
         self.stats.page_replications += 1;
         self.stats.migration_ns += cost;
+        self.trace
+            .emit(self.clock.now_ns(), || EventKind::PageReplicated {
+                vpage,
+                node: target,
+            });
+        self.trace.inc("page_replications", 1);
         Ok(target)
     }
 
@@ -424,6 +480,9 @@ impl Machine {
             + self.config.migration_percpu_shootdown_ns * self.cpus.len() as f64;
         self.clock.advance(cost);
         self.stats.page_collapses += 1;
+        self.trace
+            .emit(self.clock.now_ns(), || EventKind::PageCollapsed { vpage });
+        self.trace.inc("page_collapses", 1);
         n
     }
 
@@ -438,7 +497,9 @@ impl Machine {
     pub fn page_version_sum(&self, vpage: u64) -> u64 {
         let first_line = vpage << (PAGE_SHIFT - LINE_SHIFT);
         let lines = 1u64 << (PAGE_SHIFT - LINE_SHIFT);
-        (first_line..first_line + lines).map(|l| self.directory.version(l) as u64).sum()
+        (first_line..first_line + lines)
+            .map(|l| self.directory.version(l) as u64)
+            .sum()
     }
 
     /// Migrate `vpage` to `target` (best effort). Charges the full migration
@@ -455,7 +516,9 @@ impl Machine {
         if old_node == target {
             return Ok(target);
         }
-        let new_frame = self.alloc_best_effort(target).ok_or(MemError::OutOfMemory)?;
+        let new_frame = self
+            .alloc_best_effort(target)
+            .ok_or(MemError::OutOfMemory)?;
         let landed = self.memory.node_of_frame(new_frame);
         if landed != target {
             // alloc_best_effort already counted the redirect.
@@ -477,6 +540,13 @@ impl Machine {
         self.clock.advance(cost);
         self.stats.page_migrations += 1;
         self.stats.migration_ns += cost;
+        self.trace
+            .emit(self.clock.now_ns(), || EventKind::PageMigrated {
+                vpage,
+                from: old_node,
+                to: landed,
+            });
+        self.trace.inc("page_migrations", 1);
         Ok(landed)
     }
 
@@ -533,13 +603,23 @@ impl Machine {
         }
         let ctx = &mut self.cpus[cpu];
         ctx.stats.stall_ns += cost;
+        if self.trace.is_active() {
+            self.trace.observe("access_latency_ns", cost as u64);
+        }
         cost
     }
 
     /// Slow path: access reaches memory. Handles demand paging, replica
     /// selection, reference counting, NUMA latency, and cache fills.
     #[cold]
-    fn memory_access(&mut self, cpu: CpuId, vaddr: u64, line: u64, version: u32, kind: AccessKind) -> f64 {
+    fn memory_access(
+        &mut self,
+        cpu: CpuId,
+        vaddr: u64,
+        line: u64,
+        version: u32,
+        kind: AccessKind,
+    ) -> f64 {
         let vpage = vaddr >> PAGE_SHIFT;
         let cpu_node = self.cpus[cpu].node;
         let mut frame = match self.page_table[vpage as usize] {
@@ -570,11 +650,15 @@ impl Machine {
                     // Reads are served by the nearest copy.
                     if let Some(reps) = self.replicas.get(&vpage) {
                         let mut best = frame;
-                        let mut best_hops =
-                            self.config.topology.hops(cpu_node, self.memory.node_of_frame(frame));
+                        let mut best_hops = self
+                            .config
+                            .topology
+                            .hops(cpu_node, self.memory.node_of_frame(frame));
                         for &f in reps {
-                            let h =
-                                self.config.topology.hops(cpu_node, self.memory.node_of_frame(f));
+                            let h = self
+                                .config
+                                .topology
+                                .hops(cpu_node, self.memory.node_of_frame(f));
                             if h < best_hops {
                                 best_hops = h;
                                 best = f;
@@ -588,7 +672,14 @@ impl Machine {
         let home = self.memory.node_of_frame(frame);
         let hops = self.config.topology.hops(cpu_node, home);
         let ns = self.config.latency.memory_ns(hops);
-        self.counters.record(frame, cpu_node);
+        if self.counters.record(frame, cpu_node) {
+            self.trace
+                .emit(self.clock.now_ns(), || EventKind::CounterOverflowSpill {
+                    frame,
+                    node: cpu_node,
+                });
+            self.trace.inc("counter_overflow_spills", 1);
+        }
         let ctx = &mut self.cpus[cpu];
         if hops == 0 {
             ctx.stats.mem_local += 1;
@@ -632,6 +723,9 @@ impl Machine {
         }
         self.clock.advance(self.config.fork_ns);
         self.in_region = true;
+        let region = self.stats.regions;
+        self.trace
+            .emit(self.clock.now_ns(), || EventKind::RegionBegin { region });
     }
 
     /// Close a parallel region: applies the contention correction, advances
@@ -644,7 +738,10 @@ impl Machine {
         let accounts: Vec<_> = self.cpus.iter().map(|c| c.account.clone()).collect();
         let timing = self.contention.close_region(&accounts, nodes);
         self.clock.advance(timing.wall_ns + self.config.barrier_ns);
+        let region = self.stats.regions;
         self.stats.regions += 1;
+        self.trace
+            .emit(self.clock.now_ns(), || EventKind::RegionEnd { region });
         timing
     }
 
@@ -672,7 +769,8 @@ impl Machine {
 
     /// Test helper: map one page on a specific node.
     pub fn map_page_for_test(&mut self, vaddr: u64, node: NodeId) {
-        self.map_page(vaddr >> PAGE_SHIFT, node).expect("map_page_for_test");
+        self.map_page(vaddr >> PAGE_SHIFT, node)
+            .expect("map_page_for_test");
     }
 }
 
@@ -877,7 +975,11 @@ mod tests {
         let primary = m.frame_of(0).unwrap();
         m.replicate_page(0, 3).unwrap();
         m.touch(6, 0, Read); // served by the node-3 replica
-        assert_eq!(m.counters().get(primary, 3), 0, "primary must not be charged");
+        assert_eq!(
+            m.counters().get(primary, 3),
+            0,
+            "primary must not be charged"
+        );
     }
 
     #[test]
@@ -900,7 +1002,11 @@ mod tests {
         assert_eq!(m.replicate_page(0, 2), Ok(2));
         assert_eq!(m.replica_count(0), 0);
         m.replicate_page(0, 1).unwrap();
-        assert_eq!(m.replicate_page(0, 1), Ok(1), "duplicate replica requests are no-ops");
+        assert_eq!(
+            m.replicate_page(0, 1),
+            Ok(1),
+            "duplicate replica requests are no-ops"
+        );
         assert_eq!(m.replica_count(0), 1);
     }
 

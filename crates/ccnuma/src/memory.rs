@@ -7,14 +7,13 @@
 //! lowest-numbered free frame first.
 
 use crate::topology::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Identifier of a physical page frame.
 pub type FrameId = usize;
 
 /// Per-node physical frame pools.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PhysicalMemory {
     frames_per_node: usize,
     nodes: usize,
@@ -30,7 +29,11 @@ impl PhysicalMemory {
         let free = (0..nodes)
             .map(|n| (n * frames_per_node..(n + 1) * frames_per_node).collect())
             .collect();
-        Self { frames_per_node, nodes, free }
+        Self {
+            frames_per_node,
+            nodes,
+            free,
+        }
     }
 
     /// Home node of a frame.

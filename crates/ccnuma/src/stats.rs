@@ -6,10 +6,8 @@
 //! which the experiment harness uses for the striped "migration overhead"
 //! portion of the paper's Figure 5 bars.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-simulated-CPU access statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CpuStats {
     /// L1 hits.
     pub l1_hits: u64,
@@ -57,7 +55,7 @@ impl CpuStats {
 }
 
 /// Machine-wide statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MachineStats {
     /// Pages migrated by any engine (kernel or user-level).
     pub page_migrations: u64,
@@ -92,12 +90,68 @@ mod tests {
     }
 
     #[test]
+    fn remote_fraction_extremes() {
+        let all_remote = CpuStats {
+            mem_remote: 7,
+            ..Default::default()
+        };
+        assert_eq!(all_remote.remote_fraction(), 1.0);
+        let all_local = CpuStats {
+            mem_local: 7,
+            ..Default::default()
+        };
+        assert_eq!(all_local.remote_fraction(), 0.0);
+    }
+
+    #[test]
     fn merge_accumulates() {
-        let mut a = CpuStats { l1_hits: 1, stall_ns: 2.0, ..Default::default() };
-        let b = CpuStats { l1_hits: 2, l2_hits: 5, stall_ns: 3.0, ..Default::default() };
+        let mut a = CpuStats {
+            l1_hits: 1,
+            stall_ns: 2.0,
+            ..Default::default()
+        };
+        let b = CpuStats {
+            l1_hits: 2,
+            l2_hits: 5,
+            stall_ns: 3.0,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.l1_hits, 3);
         assert_eq!(a.l2_hits, 5);
         assert_eq!(a.stall_ns, 5.0);
+    }
+
+    #[test]
+    fn merge_covers_every_field() {
+        let one = CpuStats {
+            l1_hits: 1,
+            l2_hits: 2,
+            mem_local: 3,
+            mem_remote: 4,
+            coherence_misses: 5,
+            stall_ns: 6.0,
+            compute_ns: 7.0,
+        };
+        let mut acc = one;
+        acc.merge(&one);
+        assert_eq!(
+            acc,
+            CpuStats {
+                l1_hits: 2,
+                l2_hits: 4,
+                mem_local: 6,
+                mem_remote: 8,
+                coherence_misses: 10,
+                stall_ns: 12.0,
+                compute_ns: 14.0,
+            }
+        );
+        // Merging a default is the identity, so aggregation can start from
+        // CpuStats::default().
+        let mut from_zero = CpuStats::default();
+        from_zero.merge(&one);
+        assert_eq!(from_zero, one);
+        assert!((from_zero.remote_fraction() - 4.0 / 7.0).abs() < 1e-12);
     }
 }

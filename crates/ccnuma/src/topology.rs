@@ -11,13 +11,11 @@
 //! For the paper's 16-processor runs (8 nodes, 4 routers in a 2-cube) the
 //! maximum distance is 3 hops, matching Table 1 of the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a NUMA node (a memory module plus its local processors).
 pub type NodeId = usize;
 
 /// Interconnect topology: nodes, processors per node, and router layout.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     nodes: usize,
     cpus_per_node: usize,
@@ -32,14 +30,21 @@ impl Topology {
     /// implied by `nodes` is not a power of two (required for a hypercube).
     pub fn fat_hypercube(nodes: usize, cpus_per_node: usize) -> Self {
         assert!(nodes > 0, "topology needs at least one node");
-        assert!(cpus_per_node > 0, "topology needs at least one CPU per node");
+        assert!(
+            cpus_per_node > 0,
+            "topology needs at least one CPU per node"
+        );
         let nodes_per_router = 2usize.min(nodes);
         let routers = nodes.div_ceil(nodes_per_router);
         assert!(
             routers.is_power_of_two(),
             "router count {routers} must be a power of two for a hypercube"
         );
-        Self { nodes, cpus_per_node, nodes_per_router }
+        Self {
+            nodes,
+            cpus_per_node,
+            nodes_per_router,
+        }
     }
 
     /// The Origin2000 configuration used in the paper: 8 nodes x 2 CPUs.

@@ -35,7 +35,12 @@ impl AdiState {
     /// Allocate an `nx x ny x nz x 5` state with a smooth deterministic
     /// initial field and forcing.
     pub fn new(rt: &mut Runtime, prefix: &str, nx: usize, ny: usize, nz: usize) -> Self {
-        let grid = Grid3 { nx, ny, nz, comps: 5 };
+        let grid = Grid3 {
+            nx,
+            ny,
+            nz,
+            comps: 5,
+        };
         let team = rt.threads();
         let m = rt.machine_mut();
         let len = grid.len();
@@ -62,7 +67,11 @@ impl AdiState {
         // by exactly one thread — the alignment that makes both first-touch
         // and page-grain (re)distribution effective. Falls back to dense
         // layout when ny is not divisible by the team size.
-        let chunks = if ny.is_multiple_of(team) { Some(nz * team) } else { None };
+        let chunks = if ny.is_multiple_of(team) {
+            Some(nz * team)
+        } else {
+            None
+        };
         let alloc = |m: &mut ccnuma::Machine, name: String| match chunks {
             Some(chunks) => SimArray::chunk_aligned(m, &name, len, chunks, 0.0),
             None => SimArray::new(m, &name, len, 0.0),
@@ -75,7 +84,12 @@ impl AdiState {
             u.poke(i, 1.0 + wave(c, x, y, z));
             forcing.poke(i, 0.05 * wave(c + 2, y, z, x));
         }
-        Self { grid, u, rhs, forcing }
+        Self {
+            grid,
+            u,
+            rhs,
+            forcing,
+        }
     }
 
     /// Register the three hot arrays (the paper's BT instrumentation).

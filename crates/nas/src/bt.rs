@@ -22,7 +22,7 @@
 
 use crate::adi::AdiState;
 use crate::common::{BenchName, NasBenchmark, PhaseHook, PhasePoint, Scale, Verification};
-use crate::la::{self, Block, BVec};
+use crate::la::{self, BVec, Block};
 use omp::{Runtime, Schedule};
 use upmlib::UpmEngine;
 
@@ -57,7 +57,15 @@ impl BtConfig {
             Scale::Small => (64, 64, 16, 3),
             Scale::Medium => (64, 64, 16, 10),
         };
-        Self { nx, ny, nz, niter, r: 0.2, eps: 0.02, phase_scale: 1 }
+        Self {
+            nx,
+            ny,
+            nz,
+            niter,
+            r: 0.2,
+            eps: 0.02,
+            phase_scale: 1,
+        }
     }
 
     /// The Figure 6 variant: every phase repeated four times.
@@ -110,7 +118,13 @@ impl Bt {
     pub fn with_config(rt: &mut Runtime, cfg: BtConfig) -> Self {
         let state = AdiState::new(rt, "bt", cfg.nx, cfg.ny, cfg.nz);
         let initial_u = state.u.to_vec();
-        Self { cfg, state, initial_u, coupling: coupling(), norms: Vec::new() }
+        Self {
+            cfg,
+            state,
+            initial_u,
+            coupling: coupling(),
+            norms: Vec::new(),
+        }
     }
 
     /// Problem parameters.
@@ -294,7 +308,12 @@ impl NasBenchmark for Bt {
         // invariant, as in the paper's synthetic experiment.)
         let bounded = self.norms.iter().all(|n| n.is_finite());
         let damped = self.cfg.phase_scale > 1 || last <= first * 1.0001;
-        Verification { passed: bounded && damped, value: last, reference: first, epsilon: 1.0 }
+        Verification {
+            passed: bounded && damped,
+            value: last,
+            reference: first,
+            epsilon: 1.0,
+        }
     }
 }
 
@@ -313,7 +332,15 @@ mod tests {
         let mut rt = rt();
         let mut bt = Bt::with_config(
             &mut rt,
-            BtConfig { nx: 6, ny: 6, nz: 6, niter: 1, r: 0.2, eps: 0.02, phase_scale: 1 },
+            BtConfig {
+                nx: 6,
+                ny: 6,
+                nz: 6,
+                niter: 1,
+                r: 0.2,
+                eps: 0.02,
+                phase_scale: 1,
+            },
         );
         bt.state.u.fill(1.0);
         bt.state.forcing.fill(0.0);
@@ -374,11 +401,19 @@ mod tests {
 
     #[test]
     fn scaled_phases_quadruple_the_work() {
-        let mut run = |ps: usize| {
+        let run = |ps: usize| {
             let mut rt = rt();
             let mut bt = Bt::with_config(
                 &mut rt,
-                BtConfig { nx: 8, ny: 8, nz: 8, niter: 1, r: 0.2, eps: 0.02, phase_scale: ps },
+                BtConfig {
+                    nx: 8,
+                    ny: 8,
+                    nz: 8,
+                    niter: 1,
+                    r: 0.2,
+                    eps: 0.02,
+                    phase_scale: ps,
+                },
             );
             bt.cold_start(&mut rt);
             let t0 = rt.machine().clock().now_ns();

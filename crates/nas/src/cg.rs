@@ -41,15 +41,30 @@ impl CgConfig {
     /// Parameters for a scale class.
     pub fn for_scale(scale: Scale) -> Self {
         match scale {
-            Scale::Tiny => {
-                Self { n: 192, nz_per_row: 6, outer: 3, cg_iters: 5, shift: 10.0, seed: 271828 }
-            }
-            Scale::Small => {
-                Self { n: 4000, nz_per_row: 9, outer: 4, cg_iters: 8, shift: 15.0, seed: 271828 }
-            }
-            Scale::Medium => {
-                Self { n: 8000, nz_per_row: 9, outer: 6, cg_iters: 12, shift: 20.0, seed: 271828 }
-            }
+            Scale::Tiny => Self {
+                n: 192,
+                nz_per_row: 6,
+                outer: 3,
+                cg_iters: 5,
+                shift: 10.0,
+                seed: 271828,
+            },
+            Scale::Small => Self {
+                n: 4000,
+                nz_per_row: 9,
+                outer: 4,
+                cg_iters: 8,
+                shift: 15.0,
+                seed: 271828,
+            },
+            Scale::Medium => Self {
+                n: 8000,
+                nz_per_row: 9,
+                outer: 6,
+                cg_iters: 12,
+                shift: 20.0,
+                seed: 271828,
+            },
         }
     }
 }
@@ -202,8 +217,9 @@ impl Cg {
     /// Returns zeta.
     fn outer_iteration(&mut self, rt: &mut Runtime) -> f64 {
         let n = self.cfg.n;
-        let (a, col, x, z, p, q, r) =
-            (&self.a, &self.col, &self.x, &self.z, &self.p, &self.q, &self.r);
+        let (a, col, x, z, p, q, r) = (
+            &self.a, &self.col, &self.x, &self.z, &self.p, &self.q, &self.r,
+        );
         let rowstr = &self.rowstr;
 
         // z = 0, r = x, p = r; rho = r.r
@@ -465,7 +481,11 @@ mod tests {
             cg.iterate(&mut rt, &mut hook);
         }
         let v = cg.verify();
-        assert!(v.passed, "zeta {} vs host reference {}", v.value, v.reference);
+        assert!(
+            v.passed,
+            "zeta {} vs host reference {}",
+            v.value, v.reference
+        );
         assert!(v.value.is_finite());
         // zeta should be settling (successive deltas shrink).
         let z = &cg.zetas;

@@ -2,11 +2,10 @@
 //! verification results, and 3-D grid index helpers.
 
 use omp::Runtime;
-use serde::{Deserialize, Serialize};
 use upmlib::UpmEngine;
 
 /// Benchmark identity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BenchName {
     /// Block-tridiagonal CFD solver.
     Bt,
@@ -34,14 +33,20 @@ impl BenchName {
 
     /// All five benchmarks in the paper's order.
     pub fn all() -> [BenchName; 5] {
-        [BenchName::Bt, BenchName::Sp, BenchName::Cg, BenchName::Mg, BenchName::Ft]
+        [
+            BenchName::Bt,
+            BenchName::Sp,
+            BenchName::Cg,
+            BenchName::Mg,
+            BenchName::Ft,
+        ]
     }
 }
 
 /// Problem-size class. `Tiny` is for unit/integration tests, `Small` for
 /// Criterion benches, `Medium` for the experiment harness (the analogue of
 /// the paper's Class A, scaled to the simulator).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Smallest correct instance; seconds matter (tests).
     Tiny,
@@ -52,7 +57,7 @@ pub enum Scale {
 }
 
 /// Outcome of a benchmark's self-verification.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Verification {
     /// Whether the computed value matched the reference.
     pub passed: bool,
@@ -69,7 +74,12 @@ impl Verification {
     pub fn check(value: f64, reference: f64, epsilon: f64) -> Self {
         let denom = reference.abs().max(1e-300);
         let passed = ((value - reference).abs() / denom) <= epsilon;
-        Self { passed, value, reference, epsilon }
+        Self {
+            passed,
+            value,
+            reference,
+            epsilon,
+        }
     }
 }
 
@@ -122,7 +132,7 @@ pub trait NasBenchmark {
 /// Index helpers for a 3-D grid of `comps` components stored
 /// component-fastest (the Fortran `u(5, nx, ny, nz)` layout of the NAS
 /// codes, linearized with x fastest after components).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Grid3 {
     /// Points along x.
     pub nx: usize,
@@ -137,7 +147,12 @@ pub struct Grid3 {
 impl Grid3 {
     /// A cubic grid.
     pub fn cube(n: usize, comps: usize) -> Self {
-        Self { nx: n, ny: n, nz: n, comps }
+        Self {
+            nx: n,
+            ny: n,
+            nz: n,
+            comps,
+        }
     }
 
     /// Total scalar elements.
@@ -160,7 +175,11 @@ impl Grid3 {
     /// Number of interior points along each axis (excluding one boundary
     /// layer on each side).
     pub fn interior(&self) -> (usize, usize, usize) {
-        (self.nx.saturating_sub(2), self.ny.saturating_sub(2), self.nz.saturating_sub(2))
+        (
+            self.nx.saturating_sub(2),
+            self.ny.saturating_sub(2),
+            self.nz.saturating_sub(2),
+        )
     }
 }
 
@@ -181,7 +200,12 @@ mod tests {
 
     #[test]
     fn grid_indices_are_unique_and_dense() {
-        let g = Grid3 { nx: 3, ny: 2, nz: 2, comps: 2 };
+        let g = Grid3 {
+            nx: 3,
+            ny: 2,
+            nz: 2,
+            comps: 2,
+        };
         let mut seen = vec![false; g.len()];
         for z in 0..g.nz {
             for y in 0..g.ny {

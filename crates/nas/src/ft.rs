@@ -38,9 +38,24 @@ impl FtConfig {
     /// Parameters for a scale class.
     pub fn for_scale(scale: Scale) -> Self {
         match scale {
-            Scale::Tiny => Self { n: 8, niter: 3, alpha: 1e-3, seed: 314159 },
-            Scale::Small => Self { n: 64, niter: 2, alpha: 1e-3, seed: 314159 },
-            Scale::Medium => Self { n: 64, niter: 6, alpha: 1e-3, seed: 314159 },
+            Scale::Tiny => Self {
+                n: 8,
+                niter: 3,
+                alpha: 1e-3,
+                seed: 314159,
+            },
+            Scale::Small => Self {
+                n: 64,
+                niter: 2,
+                alpha: 1e-3,
+                seed: 314159,
+            },
+            Scale::Medium => Self {
+                n: 64,
+                niter: 6,
+                alpha: 1e-3,
+                seed: 314159,
+            },
         }
     }
 }
@@ -68,16 +83,27 @@ impl Ft {
 
     /// Allocate with explicit parameters.
     pub fn with_config(rt: &mut Runtime, cfg: FtConfig) -> Self {
-        assert!(cfg.n.is_power_of_two(), "FT grid edge must be a power of two");
+        assert!(
+            cfg.n.is_power_of_two(),
+            "FT grid edge must be a power of two"
+        );
         let len = cfg.n * cfg.n * cfg.n;
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let host_init: Vec<C64> =
-            (0..len).map(|_| (rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+        let host_init: Vec<C64> = (0..len)
+            .map(|_| (rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
         let m = rt.machine_mut();
         let init = host_init.clone();
         let u0 = SimArray::from_fn(m, "ft.u0", len, |i| init[i]);
         let u1 = SimArray::new(m, "ft.u1", len, (0.0, 0.0));
-        Self { cfg, u0, u1, host_init, checksums: Vec::new(), transformed: false }
+        Self {
+            cfg,
+            u0,
+            u1,
+            host_init,
+            checksums: Vec::new(),
+            transformed: false,
+        }
     }
 
     /// Problem parameters.
@@ -142,7 +168,11 @@ impl Ft {
     /// Squared "wavenumber" of a grid index (symmetric about n/2, as NAS).
     #[inline]
     fn k2(n: usize, i: usize) -> f64 {
-        let k = if i > n / 2 { i as isize - n as isize } else { i as isize };
+        let k = if i > n / 2 {
+            i as isize - n as isize
+        } else {
+            i as isize
+        };
         (k * k) as f64
     }
 
@@ -327,7 +357,11 @@ mod tests {
             ft.iterate(&mut rt, &mut hook);
         }
         let v = ft.verify();
-        assert!(v.passed, "checksum {} vs reference {}", v.value, v.reference);
+        assert!(
+            v.passed,
+            "checksum {} vs reference {}",
+            v.value, v.reference
+        );
     }
 
     #[test]
@@ -344,7 +378,12 @@ mod tests {
     #[test]
     fn simulated_fft3d_roundtrip() {
         let mut rt = rt();
-        let cfg = FtConfig { n: 8, niter: 1, alpha: 1e-3, seed: 1 };
+        let cfg = FtConfig {
+            n: 8,
+            niter: 1,
+            alpha: 1e-3,
+            seed: 1,
+        };
         let ft = Ft::with_config(&mut rt, cfg);
         let before = ft.u0.to_vec();
         Ft::fft3d(&mut rt, &ft.u0, 8, false);

@@ -17,12 +17,11 @@
 use crate::common::{BenchName, NasBenchmark, PhasePoint, Verification};
 use ccnuma::{Machine, MachineConfig};
 use omp::Runtime;
-use serde::{Deserialize, Serialize};
 use upmlib::{UpmEngine, UpmOptions, UpmStats};
 use vmm::{install_placement, KernelMigrationConfig, KernelMigrationEngine, PlacementScheme};
 
 /// Which migration machinery a run uses.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum EngineMode {
     /// No migration at all (the paper's `*-IRIX` bars).
     None,
@@ -57,7 +56,14 @@ pub struct RunConfig {
     pub threads: usize,
     /// Machine to simulate.
     pub machine: MachineConfig,
+    /// Attach an event-trace + metrics sink for this run (see the `obs`
+    /// crate); the collected tracer lands in [`RunResult::trace`].
+    pub trace: bool,
 }
+
+/// Event-ring bound for traced runs: enough for every migration-engine
+/// event of the paper-scale runs; the ring drops oldest past this.
+pub const TRACE_RING_CAPACITY: usize = 1 << 20;
 
 impl RunConfig {
     /// The paper's default platform: 16 processors, first-touch, no
@@ -68,12 +74,13 @@ impl RunConfig {
             engine: EngineMode::None,
             threads: 16,
             machine: MachineConfig::origin2000_16p_scaled(),
+            trace: false,
         }
     }
 }
 
 /// Everything measured by one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Benchmark identity.
     pub bench: BenchName,
@@ -96,6 +103,8 @@ pub struct RunResult {
     /// Simulated seconds spent on record–replay page movement (the striped
     /// overhead segment of the paper's Figure 5).
     pub recrep_overhead_secs: f64,
+    /// Collected event trace + metrics, when [`RunConfig::trace`] was set.
+    pub trace: Option<Box<obs::Tracer>>,
 }
 
 impl RunResult {
@@ -125,6 +134,9 @@ pub fn run_benchmark<B: NasBenchmark>(
 ) -> RunResult {
     let mut machine = Machine::new(cfg.machine.clone());
     install_placement(&mut machine, cfg.placement);
+    if cfg.trace {
+        machine.set_trace(obs::TraceSink::enabled(TRACE_RING_CAPACITY));
+    }
     let mut rt = Runtime::with_threads(machine, cfg.threads);
     if let EngineMode::IrixMig(kcfg) = &cfg.engine {
         rt.set_kernel_migration(KernelMigrationEngine::enabled(*kcfg));
@@ -151,6 +163,8 @@ pub fn run_benchmark<B: NasBenchmark>(
     let iters = bench.iterations();
     let mut per_iter = Vec::with_capacity(iters);
     let t_start = rt.machine().clock().now_secs();
+    let mut prev_migrations = rt.machine().stats().page_migrations;
+    let mut prev_cpu = rt.machine().aggregate_cpu_stats();
     let mut noop = |_: &mut Runtime, _: PhasePoint| {};
     for step in 0..iters {
         let t0 = rt.machine().clock().now_secs();
@@ -190,6 +204,28 @@ pub fn run_benchmark<B: NasBenchmark>(
             (None, _, _) => bench.iterate(&mut rt, &mut noop),
         }
         per_iter.push(rt.machine().clock().now_secs() - t0);
+        if cfg.trace {
+            let migrations = rt.machine().stats().page_migrations - prev_migrations;
+            prev_migrations = rt.machine().stats().page_migrations;
+            let cpu = rt.machine().aggregate_cpu_stats();
+            let local = cpu.mem_local - prev_cpu.mem_local;
+            let remote = cpu.mem_remote - prev_cpu.mem_remote;
+            let stall_ns = cpu.stall_ns - prev_cpu.stall_ns;
+            prev_cpu = cpu;
+            let total = local + remote;
+            let remote_fraction = if total == 0 {
+                0.0
+            } else {
+                remote as f64 / total as f64
+            };
+            rt.machine_mut()
+                .trace_event(|| obs::EventKind::IterationBoundary {
+                    iter: step,
+                    migrations,
+                    remote_fraction,
+                    stall_ns,
+                });
+        }
     }
     let total_secs = rt.machine().clock().now_secs() - t_start;
 
@@ -206,6 +242,7 @@ pub fn run_benchmark<B: NasBenchmark>(
         kernel_migrations: rt.kernel_migration().stats().migrations,
         remote_fraction: agg.remote_fraction(),
         recrep_overhead_secs: upm_stats.map(|s| s.recrep_ns * 1e-9).unwrap_or(0.0),
+        trace: rt.machine_mut().take_trace(),
     }
 }
 
@@ -234,6 +271,7 @@ mod tests {
             kernel_migrations: 0,
             remote_fraction: 0.0,
             recrep_overhead_secs: 0.0,
+            trace: None,
         };
         // Last 75% of 4 iterations = last 3.
         assert!((r.last75_mean_secs() - 5.0 / 3.0).abs() < 1e-12);

@@ -322,7 +322,11 @@ mod tests {
         let mut m: Block = [0.0; 25];
         for r in 0..B {
             for c in 0..B {
-                m[r * B + c] = if r == c { 4.0 } else { 1.0 / (1.0 + (r + 2 * c) as f64) };
+                m[r * B + c] = if r == c {
+                    4.0
+                } else {
+                    1.0 / (1.0 + (r + 2 * c) as f64)
+                };
             }
         }
         let inv = inv5(&m).unwrap();
@@ -330,7 +334,11 @@ mod tests {
         for r in 0..B {
             for c in 0..B {
                 let expect = if r == c { 1.0 } else { 0.0 };
-                assert!(approx(prod[r * B + c], expect, 1e-12), "({r},{c}) = {}", prod[r * B + c]);
+                assert!(
+                    approx(prod[r * B + c], expect, 1e-12),
+                    "({r},{c}) = {}",
+                    prod[r * B + c]
+                );
             }
         }
     }
@@ -381,8 +389,9 @@ mod tests {
         let a: Vec<Block> = (0..n).map(|i| off(i + 100)).collect();
         let bd: Vec<Block> = (0..n).map(mk).collect();
         let c: Vec<Block> = (0..n).map(|i| off(i + 500)).collect();
-        let x_true: Vec<BVec> =
-            (0..n).map(|i| std::array::from_fn(|k| ((i * 5 + k) % 9) as f64 * 0.3 - 1.0)).collect();
+        let x_true: Vec<BVec> = (0..n)
+            .map(|i| std::array::from_fn(|k| ((i * 5 + k) % 9) as f64 * 0.3 - 1.0))
+            .collect();
         // rhs = A x.
         let mut rhs: Vec<BVec> = vec![[0.0; B]; n];
         for i in 0..n {
@@ -429,13 +438,31 @@ mod tests {
     fn penta_solves_known_system() {
         let n = 20;
         // Diagonally dominant pentadiagonal matrix.
-        let e: Vec<f64> = (0..n).map(|i| if i >= 2 { -0.1 - 0.01 * i as f64 } else { 0.0 }).collect();
-        let a: Vec<f64> = (0..n).map(|i| if i >= 1 { -0.5 + 0.02 * i as f64 } else { 0.0 }).collect();
+        let e: Vec<f64> = (0..n)
+            .map(|i| if i >= 2 { -0.1 - 0.01 * i as f64 } else { 0.0 })
+            .collect();
+        let a: Vec<f64> = (0..n)
+            .map(|i| if i >= 1 { -0.5 + 0.02 * i as f64 } else { 0.0 })
+            .collect();
         let d: Vec<f64> = (0..n).map(|i| 4.0 + 0.1 * (i % 5) as f64).collect();
-        let c: Vec<f64> =
-            (0..n).map(|i| if i + 1 < n { -0.4 - 0.01 * i as f64 } else { 0.0 }).collect();
-        let f: Vec<f64> =
-            (0..n).map(|i| if i + 2 < n { 0.2 + 0.005 * i as f64 } else { 0.0 }).collect();
+        let c: Vec<f64> = (0..n)
+            .map(|i| {
+                if i + 1 < n {
+                    -0.4 - 0.01 * i as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let f: Vec<f64> = (0..n)
+            .map(|i| {
+                if i + 2 < n {
+                    0.2 + 0.005 * i as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         let x_true: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64 * 0.25 - 1.0).collect();
         // r = M x.
         let mut r = vec![0.0; n];
@@ -457,7 +484,12 @@ mod tests {
         }
         penta_solve(&e, &a, &d, &c, &f, &mut r).unwrap();
         for i in 0..n {
-            assert!(approx(r[i], x_true[i], 1e-9), "x[{i}] = {} want {}", r[i], x_true[i]);
+            assert!(
+                approx(r[i], x_true[i], 1e-9),
+                "x[{i}] = {} want {}",
+                r[i],
+                x_true[i]
+            );
         }
     }
 
@@ -480,8 +512,9 @@ mod tests {
     #[test]
     fn fft_roundtrip_is_identity() {
         let n = 64;
-        let orig: Vec<C64> =
-            (0..n).map(|i| ((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos())).collect();
+        let orig: Vec<C64> = (0..n)
+            .map(|i| ((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
         let mut data = orig.clone();
         fft_inplace(&mut data, false);
         fft_inplace(&mut data, true);
@@ -504,8 +537,9 @@ mod tests {
     #[test]
     fn fft_parseval() {
         let n = 128;
-        let time: Vec<C64> =
-            (0..n).map(|i| ((i as f64 * 0.7).cos(), (i as f64 * 0.3).sin())).collect();
+        let time: Vec<C64> = (0..n)
+            .map(|i| ((i as f64 * 0.7).cos(), (i as f64 * 0.3).sin()))
+            .collect();
         let mut freq = time.clone();
         fft_inplace(&mut freq, false);
         let e_time: f64 = time.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum();

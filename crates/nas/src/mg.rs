@@ -50,9 +50,27 @@ impl MgConfig {
     /// Parameters for a scale class.
     pub fn for_scale(scale: Scale) -> Self {
         match scale {
-            Scale::Tiny => Self { n: 8, lt: 2, niter: 3, charges: 4, seed: 1618 },
-            Scale::Small => Self { n: 32, lt: 3, niter: 3, charges: 8, seed: 1618 },
-            Scale::Medium => Self { n: 32, lt: 4, niter: 4, charges: 10, seed: 1618 },
+            Scale::Tiny => Self {
+                n: 8,
+                lt: 2,
+                niter: 3,
+                charges: 4,
+                seed: 1618,
+            },
+            Scale::Small => Self {
+                n: 32,
+                lt: 3,
+                niter: 3,
+                charges: 8,
+                seed: 1618,
+            },
+            Scale::Medium => Self {
+                n: 32,
+                lt: 4,
+                niter: 4,
+                charges: 10,
+                seed: 1618,
+            },
         }
     }
 
@@ -111,8 +129,11 @@ impl Mg {
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         for sign in [1.0, -1.0] {
             for _ in 0..cfg.charges {
-                let (x, y, z) =
-                    (rng.gen_range(0..cfg.n), rng.gen_range(0..cfg.n), rng.gen_range(0..cfg.n));
+                let (x, y, z) = (
+                    rng.gen_range(0..cfg.n),
+                    rng.gen_range(0..cfg.n),
+                    rng.gen_range(0..cfg.n),
+                );
                 v.poke(gidx(cfg.n, x, y, z), sign);
             }
         }
@@ -121,7 +142,14 @@ impl Mg {
             let s: f64 = v.to_vec().iter().map(|&x| x * x).sum();
             (s / (cfg.n * cfg.n * cfg.n) as f64).sqrt()
         };
-        Self { cfg, u, r, v, rnm2: Vec::new(), initial_rnm2 }
+        Self {
+            cfg,
+            u,
+            r,
+            v,
+            rnm2: Vec::new(),
+            initial_rnm2,
+        }
     }
 
     /// Problem parameters.
@@ -212,9 +240,8 @@ impl Mg {
                     for dz in -1isize..=1 {
                         for dy in -1isize..=1 {
                             for dx in -1isize..=1 {
-                                let class = (dx != 0) as usize
-                                    + (dy != 0) as usize
-                                    + (dz != 0) as usize;
+                                let class =
+                                    (dx != 0) as usize + (dy != 0) as usize + (dz != 0) as usize;
                                 let i = gidx(
                                     nf,
                                     wrap(xf as isize + dx, nf),
@@ -427,7 +454,11 @@ mod tests {
         Mg::rprj3(&mut rt, &fine, &coarse, m);
         // Weights sum: (0.5 + 6*0.25 + 12*0.125 + 8*0.0625)/4 = 1.
         for i in 0..m * m * m {
-            assert!((coarse.peek(i) - 3.0).abs() < 1e-12, "got {}", coarse.peek(i));
+            assert!(
+                (coarse.peek(i) - 3.0).abs() < 1e-12,
+                "got {}",
+                coarse.peek(i)
+            );
         }
     }
 

@@ -43,7 +43,16 @@ impl SpConfig {
             Scale::Small => (64, 64, 16, 3),
             Scale::Medium => (64, 64, 16, 10),
         };
-        Self { nx, ny, nz, niter, r: 0.2, eps: 0.02, r4: 0.025, phase_scale: 1 }
+        Self {
+            nx,
+            ny,
+            nz,
+            niter,
+            r: 0.2,
+            eps: 0.02,
+            r4: 0.025,
+            phase_scale: 1,
+        }
     }
 
     /// The Figure 6 variant: every phase repeated four times.
@@ -79,7 +88,12 @@ impl Sp {
     pub fn with_config(rt: &mut Runtime, cfg: SpConfig) -> Self {
         let state = AdiState::new(rt, "sp", cfg.nx, cfg.ny, cfg.nz);
         let initial_u = state.u.to_vec();
-        Self { cfg, state, initial_u, norms: Vec::new() }
+        Self {
+            cfg,
+            state,
+            initial_u,
+            norms: Vec::new(),
+        }
     }
 
     /// Problem parameters.
@@ -129,10 +143,16 @@ impl Sp {
                     // Assemble the five bands (diagonally dominant).
                     for k in 0..n {
                         band_d[k] = 1.0 + 2.0 * r + 2.0 * r4 + eps * line_u[k].abs();
-                        band_a[k] =
-                            if k >= 1 { -r - 0.5 * eps * line_u[k - 1] } else { 0.0 };
-                        band_c[k] =
-                            if k + 1 < n { -r - 0.5 * eps * line_u[k + 1] } else { 0.0 };
+                        band_a[k] = if k >= 1 {
+                            -r - 0.5 * eps * line_u[k - 1]
+                        } else {
+                            0.0
+                        };
+                        band_c[k] = if k + 1 < n {
+                            -r - 0.5 * eps * line_u[k + 1]
+                        } else {
+                            0.0
+                        };
                         band_e[k] = if k >= 2 { r4 } else { 0.0 };
                         band_f[k] = if k + 2 < n { r4 } else { 0.0 };
                     }
@@ -218,7 +238,12 @@ impl NasBenchmark for Sp {
         };
         let bounded = self.norms.iter().all(|n| n.is_finite());
         let damped = self.cfg.phase_scale > 1 || last <= first * 1.0001;
-        Verification { passed: bounded && damped, value: last, reference: first, epsilon: 1.0 }
+        Verification {
+            passed: bounded && damped,
+            value: last,
+            reference: first,
+            epsilon: 1.0,
+        }
     }
 }
 
@@ -237,7 +262,16 @@ mod tests {
         let mut rt = rt();
         let mut sp = Sp::with_config(
             &mut rt,
-            SpConfig { nx: 6, ny: 6, nz: 6, niter: 1, r: 0.2, eps: 0.02, r4: 0.025, phase_scale: 1 },
+            SpConfig {
+                nx: 6,
+                ny: 6,
+                nz: 6,
+                niter: 1,
+                r: 0.2,
+                eps: 0.02,
+                r4: 0.025,
+                phase_scale: 1,
+            },
         );
         sp.state.u.fill(1.0);
         sp.state.forcing.fill(0.0);

@@ -2,8 +2,8 @@
 //! arbitrary well-conditioned systems, and the FFT must be unitary.
 
 use nas::la::{
-    block_tridiag_solve, fft_inplace, inv5, matmul5, matvec5, penta_solve, scaled_identity5,
-    BVec, Block, B, C64,
+    block_tridiag_solve, fft_inplace, inv5, matmul5, matvec5, penta_solve, scaled_identity5, BVec,
+    Block, B, C64,
 };
 use proptest::prelude::*;
 

@@ -1,0 +1,129 @@
+//! The event taxonomy: everything the simulator and the two migration
+//! engines can report, stamped with the simulated-nanosecond clock.
+
+use crate::json::Value;
+
+/// One trace record: simulated time plus a typed payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Simulated time in nanoseconds (the `GlobalClock` value at emission).
+    pub t_ns: f64,
+    pub kind: EventKind,
+}
+
+/// Typed payloads for every instrumented site.
+///
+/// Node and CPU ids are plain `usize` here so the crate stays free of
+/// simulator dependencies (ccnuma depends on obs, not the reverse).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A page changed home node (any engine: kernel, UPMlib, or replay).
+    PageMigrated { vpage: u64, from: usize, to: usize },
+    /// The freeze tracker froze a ping-ponging page.
+    PageFrozen { vpage: u64 },
+    /// A competitive-criterion move was vetoed (frozen or cooling page).
+    MoveVetoed { vpage: u64, from: usize, to: usize },
+    /// Record-replay executed one replay list at a phase boundary.
+    ReplayBatch { phase: usize, moved: usize },
+    /// Record-replay undid one replay list (involution check path).
+    Undo { phase: usize, moved: usize },
+    /// A page gained a read replica on `node`.
+    PageReplicated { vpage: u64, node: usize },
+    /// A page's replicas were collapsed back to a single home copy.
+    PageCollapsed { vpage: u64 },
+    /// An 11-bit hardware reference counter saturated and spilled into the
+    /// extended (software) counter.
+    CounterOverflowSpill { frame: usize, node: usize },
+    /// An OpenMP parallel region began (machine-level region protocol).
+    RegionBegin { region: u64 },
+    /// The matching region end.
+    RegionEnd { region: u64 },
+    /// One kernel migration-daemon scan: pages examined and pages moved.
+    KernelScan { scanned: usize, migrated: usize },
+    /// UPMlib turned itself off after an idle invocation (convergence).
+    EngineDeactivated { invocation: usize },
+    /// One outer benchmark iteration finished; aggregates for this iteration.
+    IterationBoundary {
+        iter: usize,
+        migrations: u64,
+        remote_fraction: f64,
+        stall_ns: f64,
+    },
+}
+
+impl EventKind {
+    /// Stable event name used by both exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::PageMigrated { .. } => "PageMigrated",
+            EventKind::PageFrozen { .. } => "PageFrozen",
+            EventKind::MoveVetoed { .. } => "MoveVetoed",
+            EventKind::ReplayBatch { .. } => "ReplayBatch",
+            EventKind::Undo { .. } => "Undo",
+            EventKind::PageReplicated { .. } => "PageReplicated",
+            EventKind::PageCollapsed { .. } => "PageCollapsed",
+            EventKind::CounterOverflowSpill { .. } => "CounterOverflowSpill",
+            EventKind::RegionBegin { .. } => "RegionBegin",
+            EventKind::RegionEnd { .. } => "RegionEnd",
+            EventKind::KernelScan { .. } => "KernelScan",
+            EventKind::EngineDeactivated { .. } => "EngineDeactivated",
+            EventKind::IterationBoundary { .. } => "IterationBoundary",
+        }
+    }
+
+    /// Payload fields as JSON pairs (used by both exporters).
+    pub fn fields(&self) -> Vec<(&'static str, Value)> {
+        match *self {
+            EventKind::PageMigrated { vpage, from, to } => {
+                vec![
+                    ("vpage", vpage.into()),
+                    ("from", from.into()),
+                    ("to", to.into()),
+                ]
+            }
+            EventKind::PageFrozen { vpage } => vec![("vpage", vpage.into())],
+            EventKind::MoveVetoed { vpage, from, to } => {
+                vec![
+                    ("vpage", vpage.into()),
+                    ("from", from.into()),
+                    ("to", to.into()),
+                ]
+            }
+            EventKind::ReplayBatch { phase, moved } => {
+                vec![("phase", phase.into()), ("moved", moved.into())]
+            }
+            EventKind::Undo { phase, moved } => {
+                vec![("phase", phase.into()), ("moved", moved.into())]
+            }
+            EventKind::PageReplicated { vpage, node } => {
+                vec![("vpage", vpage.into()), ("node", node.into())]
+            }
+            EventKind::PageCollapsed { vpage } => vec![("vpage", vpage.into())],
+            EventKind::CounterOverflowSpill { frame, node } => {
+                vec![("frame", frame.into()), ("node", node.into())]
+            }
+            EventKind::RegionBegin { region } | EventKind::RegionEnd { region } => {
+                vec![("region", region.into())]
+            }
+            EventKind::KernelScan { scanned, migrated } => {
+                vec![("scanned", scanned.into()), ("migrated", migrated.into())]
+            }
+            EventKind::EngineDeactivated { invocation } => {
+                vec![("invocation", invocation.into())]
+            }
+            EventKind::IterationBoundary {
+                iter,
+                migrations,
+                remote_fraction,
+                stall_ns,
+            } => {
+                vec![
+                    ("iter", iter.into()),
+                    ("migrations", migrations.into()),
+                    ("remote_fraction", remote_fraction.into()),
+                    ("stall_ns", stall_ns.into()),
+                ]
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Exporters: JSON Lines (one event per line, grep-friendly) and Chrome
+//! trace-event format (open `trace.chrome.json` in Perfetto or
+//! `chrome://tracing`). Both are keyed to simulated time: the Chrome `ts`
+//! field is simulated microseconds, so the trace UI's timeline *is* the
+//! simulated machine's timeline.
+
+use crate::event::{Event, EventKind};
+use crate::json::Value;
+
+/// One compact JSON object per event, newline-delimited.
+pub fn to_jsonl<'a>(events: impl Iterator<Item = &'a Event>) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&event_to_json(event).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// One event as a flat JSON object: `{"t_ns":..,"event":..,<fields>}`.
+pub fn event_to_json(event: &Event) -> Value {
+    let mut pairs = vec![
+        ("t_ns", event.t_ns.into()),
+        ("event", event.kind.name().into()),
+    ];
+    pairs.extend(event.kind.fields());
+    Value::object(pairs)
+}
+
+/// The full Chrome trace-event document (JSON object format).
+///
+/// Mapping: `RegionBegin`/`RegionEnd` become `B`/`E` duration events on one
+/// track, so parallel regions render as spans; everything else is an
+/// instant event (`i`, thread scope). Tracks are one synthetic pid/tid per
+/// event family so Perfetto groups them sensibly.
+pub fn chrome_trace<'a>(events: impl Iterator<Item = &'a Event>, process_name: &str) -> Value {
+    let mut trace_events: Vec<Value> = Vec::new();
+    trace_events.push(Value::object(vec![
+        ("name", "process_name".into()),
+        ("ph", "M".into()),
+        ("pid", 1u64.into()),
+        ("args", Value::object(vec![("name", process_name.into())])),
+    ]));
+    for event in events {
+        let ts_us = event.t_ns / 1000.0;
+        let (ph, tid) = match event.kind {
+            EventKind::RegionBegin { .. } => ("B", 1u64),
+            EventKind::RegionEnd { .. } => ("E", 1u64),
+            EventKind::IterationBoundary { .. } => ("i", 2u64),
+            EventKind::KernelScan { .. } => ("i", 3u64),
+            _ => ("i", 4u64),
+        };
+        let args = Value::Object(
+            event
+                .kind
+                .fields()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        );
+        let mut pairs = vec![
+            ("name", event.kind.name().into()),
+            ("ph", ph.into()),
+            ("ts", ts_us.into()),
+            ("pid", 1u64.into()),
+            ("tid", tid.into()),
+        ];
+        if ph == "i" {
+            pairs.push(("s", "t".into()));
+        }
+        pairs.push(("args", args));
+        trace_events.push(Value::object(pairs));
+    }
+    Value::object(vec![
+        ("traceEvents", Value::Array(trace_events)),
+        ("displayTimeUnit", "ms".into()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                t_ns: 100.0,
+                kind: EventKind::RegionBegin { region: 0 },
+            },
+            Event {
+                t_ns: 150.0,
+                kind: EventKind::PageMigrated {
+                    vpage: 7,
+                    from: 0,
+                    to: 2,
+                },
+            },
+            Event {
+                t_ns: 900.0,
+                kind: EventKind::RegionEnd { region: 0 },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let events = sample_events();
+        let text = to_jsonl(events.iter());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let mig = Value::parse(lines[1]).unwrap();
+        assert_eq!(mig["event"], "PageMigrated");
+        assert_eq!(mig["vpage"].as_u64(), Some(7));
+        assert_eq!(mig["t_ns"].as_f64(), Some(150.0));
+    }
+
+    #[test]
+    fn chrome_trace_has_matched_spans_and_instants() {
+        let events = sample_events();
+        let doc = chrome_trace(events.iter(), "test-run");
+        let entries = doc["traceEvents"].as_array().unwrap();
+        // metadata + 3 events
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries[1]["ph"], "B");
+        assert_eq!(entries[2]["ph"], "i");
+        assert_eq!(entries[3]["ph"], "E");
+        // ts is simulated µs.
+        assert_eq!(entries[1]["ts"].as_f64(), Some(0.1));
+        // The whole document parses back.
+        assert!(Value::parse(&doc.to_string_pretty()).is_ok());
+    }
+}

@@ -1,0 +1,228 @@
+//! A small metrics registry: monotonic counters, last-value gauges, and
+//! log2-bucket histograms (power-of-two latency buckets, like the kernel's
+//! BPF histograms). Everything is keyed by a static name so hot paths never
+//! allocate for the label.
+
+use crate::json::Value;
+use std::collections::BTreeMap;
+
+/// Histogram over `u64` samples with one bucket per power of two:
+/// bucket `i` counts samples `v` with `floor(log2(v)) == i` (bucket 0 also
+/// takes `v == 0`).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn record(&mut self, value: u64) {
+        let idx = 63 - value.max(1).leading_zeros() as usize;
+        self.buckets[idx] += 1;
+        if self.count == 0 || value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(bucket_floor, count)`, where `bucket_floor`
+    /// is the smallest value the bucket admits (`2^i`, or 0 for bucket 0).
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+            .collect()
+    }
+
+    /// Smallest bucket floor such that at least `q` (0..=1) of the samples
+    /// fall in it or below — a coarse quantile, bucket-resolution only.
+    pub fn quantile_floor(&self, q: f64) -> u64 {
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+}
+
+/// Named counters, gauges, and histograms for one traced run.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn inc(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Full registry as one JSON object (for `metrics.json`-style dumps).
+    pub fn to_json(&self) -> Value {
+        let counters = Value::Object(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), (*v).into()))
+                .collect(),
+        );
+        let gauges = Value::Object(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.to_string(), (*v).into()))
+                .collect(),
+        );
+        let histograms = Value::Object(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    let buckets = Value::Array(
+                        h.nonzero_buckets()
+                            .into_iter()
+                            .map(|(floor, count)| {
+                                Value::object(vec![("ge", floor.into()), ("count", count.into())])
+                            })
+                            .collect(),
+                    );
+                    (
+                        k.to_string(),
+                        Value::object(vec![
+                            ("count", h.count().into()),
+                            ("sum", h.sum().into()),
+                            ("min", h.min().into()),
+                            ("max", h.max().into()),
+                            ("mean", h.mean().into()),
+                            ("buckets", buckets),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Value::object(vec![
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1000, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1024);
+        let buckets: std::collections::HashMap<u64, u64> =
+            h.nonzero_buckets().into_iter().collect();
+        assert_eq!(buckets[&0], 2); // 0 and 1
+        assert_eq!(buckets[&2], 2); // 2 and 3
+        assert_eq!(buckets[&4], 1); // 4
+        assert_eq!(buckets[&512], 1); // 1000
+        assert_eq!(buckets[&1024], 1); // 1024
+    }
+
+    #[test]
+    fn quantiles_are_bucket_resolution() {
+        let mut h = Histogram::default();
+        for _ in 0..99 {
+            h.record(8);
+        }
+        h.record(1 << 20);
+        assert_eq!(h.quantile_floor(0.5), 8);
+        assert_eq!(h.quantile_floor(1.0), 1 << 20);
+    }
+
+    #[test]
+    fn registry_round_trips_to_json() {
+        let mut m = MetricsRegistry::new();
+        m.inc("migrations", 3);
+        m.inc("migrations", 2);
+        m.set_gauge("remote_fraction", 0.25);
+        m.observe("latency_ns", 300);
+        assert_eq!(m.counter("migrations"), 5);
+        assert_eq!(m.gauge("remote_fraction"), Some(0.25));
+        let v = m.to_json();
+        assert_eq!(v["counters"]["migrations"].as_u64(), Some(5));
+        assert_eq!(v["histograms"]["latency_ns"]["count"].as_u64(), Some(1));
+    }
+}

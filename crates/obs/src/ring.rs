@@ -1,0 +1,105 @@
+//! Bounded event storage: a ring that keeps the newest events and counts
+//! what it had to drop, so a runaway trace can never exhaust memory.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        // Grow lazily: a large bound must not preallocate a large buffer.
+        EventRing {
+            buf: VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest when full.
+    pub fn push(&mut self, event: Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted so far (0 means the trace is complete).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Oldest-to-newest iteration.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Drain the ring oldest-to-newest, leaving it empty.
+    pub fn drain(&mut self) -> Vec<Event> {
+        self.buf.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(t: f64) -> Event {
+        Event {
+            t_ns: t,
+            kind: EventKind::PageFrozen { vpage: t as u64 },
+        }
+    }
+
+    #[test]
+    fn keeps_newest_and_counts_drops() {
+        let mut ring = EventRing::new(3);
+        for t in 0..5 {
+            ring.push(ev(t as f64));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let ts: Vec<f64> = ring.iter().map(|e| e.t_ns).collect();
+        assert_eq!(ts, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut ring = EventRing::new(0);
+        ring.push(ev(1.0));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.capacity(), 1);
+    }
+
+    #[test]
+    fn drain_empties_in_order() {
+        let mut ring = EventRing::new(8);
+        ring.push(ev(1.0));
+        ring.push(ev(2.0));
+        let events = ring.drain();
+        assert_eq!(events.len(), 2);
+        assert!(ring.is_empty());
+        assert_eq!(events[0].t_ns, 1.0);
+    }
+}

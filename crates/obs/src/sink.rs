@@ -1,0 +1,118 @@
+//! The zero-cost-when-disabled trace sink the simulator hot paths hold.
+//!
+//! `TraceSink::Null` is a unit variant, so every instrumentation site costs
+//! exactly one discriminant branch when tracing is off; event construction
+//! is deferred behind a closure so no payload is built unless the sink is
+//! active. The `Active` variant boxes the tracer to keep the sink one word
+//! plus discriminant inside `Machine`.
+
+use crate::event::{Event, EventKind};
+use crate::metrics::MetricsRegistry;
+use crate::ring::EventRing;
+
+/// Collected trace state: the event ring plus the metrics registry.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    pub ring: EventRing,
+    pub metrics: MetricsRegistry,
+}
+
+impl Tracer {
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            ring: EventRing::new(capacity),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+pub enum TraceSink {
+    /// Tracing off: every emit is a single not-taken branch.
+    #[default]
+    Null,
+    Active(Box<Tracer>),
+}
+
+impl TraceSink {
+    /// An active sink with an event ring of `capacity`.
+    pub fn enabled(capacity: usize) -> Self {
+        TraceSink::Active(Box::new(Tracer::new(capacity)))
+    }
+
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        matches!(self, TraceSink::Active(_))
+    }
+
+    /// Record an event at simulated time `t_ns`. The payload closure only
+    /// runs when the sink is active.
+    #[inline]
+    pub fn emit(&mut self, t_ns: f64, kind: impl FnOnce() -> EventKind) {
+        if let TraceSink::Active(tracer) = self {
+            tracer.ring.push(Event { t_ns, kind: kind() });
+        }
+    }
+
+    /// Bump a named counter.
+    #[inline]
+    pub fn inc(&mut self, name: &'static str, delta: u64) {
+        if let TraceSink::Active(tracer) = self {
+            tracer.metrics.inc(name, delta);
+        }
+    }
+
+    /// Record a histogram sample.
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        if let TraceSink::Active(tracer) = self {
+            tracer.metrics.observe(name, value);
+        }
+    }
+
+    /// Set a named gauge.
+    #[inline]
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        if let TraceSink::Active(tracer) = self {
+            tracer.metrics.set_gauge(name, value);
+        }
+    }
+
+    /// Detach the collected trace, leaving the sink disabled.
+    pub fn take(&mut self) -> Option<Box<Tracer>> {
+        match std::mem::take(self) {
+            TraceSink::Null => None,
+            TraceSink::Active(tracer) => Some(tracer),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_never_runs_the_payload_closure() {
+        let mut sink = TraceSink::Null;
+        let mut ran = false;
+        sink.emit(1.0, || {
+            ran = true;
+            EventKind::PageFrozen { vpage: 0 }
+        });
+        assert!(!ran);
+        assert!(!sink.is_active());
+        assert!(sink.take().is_none());
+    }
+
+    #[test]
+    fn active_sink_collects_events_and_metrics() {
+        let mut sink = TraceSink::enabled(16);
+        sink.emit(5.0, || EventKind::RegionBegin { region: 1 });
+        sink.inc("migrations", 2);
+        sink.observe("latency_ns", 330);
+        let tracer = sink.take().expect("active sink yields a tracer");
+        assert_eq!(tracer.ring.len(), 1);
+        assert_eq!(tracer.metrics.counter("migrations"), 2);
+        assert!(!sink.is_active(), "take() leaves the sink Null");
+    }
+}

@@ -3,11 +3,10 @@
 use crate::schedule::Schedule;
 use ccnuma::contention::RegionTiming;
 use ccnuma::{CpuId, Machine, SimArray};
-use serde::{Deserialize, Serialize};
 use vmm::KernelMigrationEngine;
 
 /// Timing summary of one parallel construct.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RegionSummary {
     /// Wall time of the region after the contention correction, ns.
     pub wall_ns: f64,
@@ -102,7 +101,10 @@ impl Runtime {
 
     /// A runtime with an explicit team size (`OMP_NUM_THREADS`).
     pub fn with_threads(machine: Machine, threads: usize) -> Self {
-        assert!(threads >= 1 && threads <= machine.cpus(), "team size {threads} out of range");
+        assert!(
+            threads >= 1 && threads <= machine.cpus(),
+            "team size {threads} out of range"
+        );
         Self {
             machine,
             kernel: KernelMigrationEngine::disabled(),
@@ -157,7 +159,10 @@ impl Runtime {
     /// Mutable machine access for code that runs *between* regions — page
     /// migration engines, array allocation, placement installation.
     pub fn machine_mut(&mut self) -> &mut Machine {
-        assert!(!self.machine.in_region(), "machine_mut inside a parallel region");
+        assert!(
+            !self.machine.in_region(),
+            "machine_mut inside a parallel region"
+        );
         &mut self.machine
     }
 
@@ -191,7 +196,12 @@ impl Runtime {
             } else {
                 let parts = schedule.static_chunks(n, threads);
                 for (tid, chunks) in parts.iter().enumerate() {
-                    let mut par = Par { machine, cpu: cpus[tid], tid, team: threads };
+                    let mut par = Par {
+                        machine,
+                        cpu: cpus[tid],
+                        tid,
+                        team: threads,
+                    };
                     for &(start, end) in chunks {
                         for i in start..end {
                             body(&mut par, i);
@@ -223,7 +233,12 @@ impl Runtime {
             let parts = schedule.static_chunks(n, threads);
             for (tid, chunks) in parts.iter().enumerate() {
                 let mut acc = identity.clone();
-                let mut par = Par { machine, cpu: cpus[tid], tid, team: threads };
+                let mut par = Par {
+                    machine,
+                    cpu: cpus[tid],
+                    tid,
+                    team: threads,
+                };
                 for &(start, end) in chunks {
                     for i in start..end {
                         acc = body(&mut par, i, acc);
@@ -240,12 +255,20 @@ impl Runtime {
     }
 
     /// `SECTIONS`: disjoint blocks of code assigned to threads round-robin.
-    pub fn parallel_sections(&mut self, sections: &mut [&mut dyn FnMut(&mut Par)]) -> RegionSummary {
+    pub fn parallel_sections(
+        &mut self,
+        sections: &mut [&mut dyn FnMut(&mut Par)],
+    ) -> RegionSummary {
         let cpus = self.cpu_of_thread.clone();
         self.run_region(|machine, threads| {
             for (s, section) in sections.iter_mut().enumerate() {
                 let tid = s % threads;
-                let mut par = Par { machine, cpu: cpus[tid], tid, team: threads };
+                let mut par = Par {
+                    machine,
+                    cpu: cpus[tid],
+                    tid,
+                    team: threads,
+                };
                 section(&mut par);
             }
         })
@@ -256,7 +279,12 @@ impl Runtime {
     pub fn serial<R>(&mut self, body: impl FnOnce(&mut Par) -> R) -> R {
         self.machine.begin_region();
         let cpu = self.cpu_of_thread[0];
-        let mut par = Par { machine: &mut self.machine, cpu, tid: 0, team: 1 };
+        let mut par = Par {
+            machine: &mut self.machine,
+            cpu,
+            tid: 0,
+            team: 1,
+        };
         let r = body(&mut par);
         self.machine.end_region();
         self.regions += 1;
@@ -264,9 +292,31 @@ impl Runtime {
     }
 
     fn run_region(&mut self, work: impl FnOnce(&mut Machine, usize)) -> RegionSummary {
+        // Snapshot only when tracing: the per-region remote-fraction
+        // histogram needs a stats delta across the region.
+        let before = self
+            .machine
+            .trace_mut()
+            .is_active()
+            .then(|| self.machine.aggregate_cpu_stats());
         self.machine.begin_region();
         work(&mut self.machine, self.threads);
         let timing = self.machine.end_region();
+        if let Some(before) = before {
+            let after = self.machine.aggregate_cpu_stats();
+            let local = after.mem_local - before.mem_local;
+            let remote = after.mem_remote - before.mem_remote;
+            let total = local + remote;
+            let fraction = if total == 0 {
+                0.0
+            } else {
+                remote as f64 / total as f64
+            };
+            let trace = self.machine.trace_mut();
+            trace.observe("region_remote_permille", (fraction * 1000.0) as u64);
+            trace.observe("region_wall_ns", timing.wall_ns as u64);
+            trace.set_gauge("last_region_remote_fraction", fraction);
+        }
         let migrations = self.kernel.scan(&mut self.machine);
         self.regions += 1;
         RegionSummary::from_timing(&timing, migrations)
@@ -295,7 +345,12 @@ impl Runtime {
                         .then(a.cmp(&b))
                 })
                 .expect("team is non-empty");
-            let mut par = Par { machine, cpu: cpus[tid], tid, team: threads };
+            let mut par = Par {
+                machine,
+                cpu: cpus[tid],
+                tid,
+                team: threads,
+            };
             for i in next..next + len {
                 body(&mut par, i);
             }
@@ -355,7 +410,11 @@ mod tests {
         for p in 0..8u64 {
             let vp = ccnuma::vpage_of(base) + p;
             let expect_node = (p as usize) / 2;
-            assert_eq!(rt.machine().node_of_vpage(vp), Some(expect_node), "page {p}");
+            assert_eq!(
+                rt.machine().node_of_vpage(vp),
+                Some(expect_node),
+                "page {p}"
+            );
         }
     }
 
@@ -374,7 +433,11 @@ mod tests {
         // 8 threads each compute 1000 flops (2 us): region wall should be
         // ~2 us, not ~16 us.
         let s = rt.parallel_for(8, Schedule::Static, |par, _| par.flops(1000));
-        assert!(s.base_ns >= 2000.0 && s.base_ns < 4000.0, "base {}", s.base_ns);
+        assert!(
+            s.base_ns >= 2000.0 && s.base_ns < 4000.0,
+            "base {}",
+            s.base_ns
+        );
     }
 
     #[test]
@@ -460,7 +523,7 @@ mod tests {
     #[test]
     fn rebinding_moves_first_touch_targets() {
         let mut rt = runtime(); // tiny 4x2 machine, 8 CPUs
-        // Swap the two halves of the team.
+                                // Swap the two halves of the team.
         rt.rebind_threads(&[4, 5, 6, 7, 0, 1, 2, 3]);
         assert_eq!(rt.cpu_of_thread(0), 4);
         let n_per_page = ccnuma::PAGE_SIZE as usize / 8;

@@ -1,10 +1,8 @@
 //! Worksharing schedules: how a `parallel_for` iteration space is divided
 //! among the threads of a team, mirroring OpenMP's `SCHEDULE` clause.
 
-use serde::{Deserialize, Serialize};
-
 /// An OpenMP `SCHEDULE` clause.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Schedule {
     /// `SCHEDULE(STATIC)`: one contiguous block per thread (the default for
     /// the NAS codes, and what their first-touch tuning assumes).
@@ -62,9 +60,9 @@ impl Schedule {
     pub fn next_chunk_len(&self, remaining: usize, threads: usize) -> usize {
         match *self {
             Schedule::Dynamic(chunk) => chunk.max(1).min(remaining),
-            Schedule::Guided(min_chunk) => {
-                (remaining.div_ceil(threads.max(1))).max(min_chunk.max(1)).min(remaining)
-            }
+            Schedule::Guided(min_chunk) => (remaining.div_ceil(threads.max(1)))
+                .max(min_chunk.max(1))
+                .min(remaining),
             Schedule::Static | Schedule::StaticChunk(_) => {
                 panic!("static schedules are precomputed, not dispatched")
             }
@@ -95,7 +93,11 @@ mod tests {
         for n in [0, 1, 7, 16, 17, 100] {
             for threads in [1, 2, 3, 16] {
                 let parts = Schedule::Static.static_chunks(n, threads);
-                assert_eq!(flatten(&parts), (0..n).collect::<Vec<_>>(), "n={n} t={threads}");
+                assert_eq!(
+                    flatten(&parts),
+                    (0..n).collect::<Vec<_>>(),
+                    "n={n} t={threads}"
+                );
             }
         }
     }

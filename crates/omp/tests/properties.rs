@@ -42,9 +42,9 @@ proptest! {
             for chunks in &parts {
                 for &(s, e) in chunks {
                     prop_assert!(s <= e && e <= n);
-                    for i in s..e {
-                        prop_assert!(!seen[i], "iteration {i} assigned twice");
-                        seen[i] = true;
+                    for (i, slot) in seen.iter_mut().enumerate().take(e).skip(s) {
+                        prop_assert!(!*slot, "iteration {i} assigned twice");
+                        *slot = true;
                     }
                 }
             }

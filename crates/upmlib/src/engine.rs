@@ -35,6 +35,9 @@ pub struct UpmEngine {
     pub(crate) undo_list: Vec<(u64, NodeId)>,
     /// Read-only replication state (see `replicate.rs`).
     pub(crate) replication: crate::replicate::ReplicationState,
+    /// Pages whose freeze has already been traced (one PageFrozen event per
+    /// page, not one per vetoed attempt).
+    pub(crate) frozen_traced: std::collections::HashSet<u64>,
 }
 
 /// One migration the record–replay mechanism replays each iteration.
@@ -62,6 +65,7 @@ impl UpmEngine {
             replay_cursor: 0,
             undo_list: Vec::new(),
             replication: crate::replicate::ReplicationState::default(),
+            frozen_traced: std::collections::HashSet::new(),
         }
     }
 
@@ -126,7 +130,11 @@ impl UpmEngine {
         }
         // raccmax / lacc > thr, with lacc == 0 treated as infinitely
         // remote-dominated.
-        let ratio = if local == 0 { f64::INFINITY } else { rmax as f64 / local as f64 };
+        let ratio = if local == 0 {
+            f64::INFINITY
+        } else {
+            rmax as f64 / local as f64
+        };
         (ratio > self.options.thr).then_some((ratio, rnode))
     }
 
@@ -164,12 +172,28 @@ impl UpmEngine {
                 continue;
             }
             if self.options.freeze_ping_pong
-                && !self.freeze.approve(view.vpage, view.home, target, invocation)
+                && !self
+                    .freeze
+                    .approve(view.vpage, view.home, target, invocation)
             {
                 self.stats.vetoed_moves += 1;
+                let (vpage, from) = (view.vpage, view.home);
+                machine.trace_event(|| obs::EventKind::MoveVetoed {
+                    vpage,
+                    from,
+                    to: target,
+                });
+                machine.trace_mut().inc("upm_vetoed_moves", 1);
+                if self.freeze.is_frozen(view.vpage) && self.frozen_traced.insert(view.vpage) {
+                    machine.trace_event(|| obs::EventKind::PageFrozen { vpage });
+                }
                 continue;
             }
-            if self.mlds.migrate_page(machine, view.vpage, self.mlds.mld(target)).is_ok() {
+            if self
+                .mlds
+                .migrate_page(machine, view.vpage, self.mlds.mld(target))
+                .is_ok()
+            {
                 moved += 1;
             }
         }
@@ -182,7 +206,11 @@ impl UpmEngine {
         }
         if moved == 0 {
             self.active = false;
+            machine.trace_event(|| obs::EventKind::EngineDeactivated {
+                invocation: invocation as usize,
+            });
         }
+        machine.trace_mut().inc("upm_invocations", 1);
         moved
     }
 }
@@ -226,7 +254,10 @@ mod tests {
         let moved = upm.migrate_memory(&mut m);
         assert_eq!(moved, 1);
         assert_eq!(m.node_of_vpage(ccnuma::vpage_of(a.vrange().0)), Some(3));
-        assert!(upm.is_active(), "engine stays armed after a productive pass");
+        assert!(
+            upm.is_active(),
+            "engine stays armed after a productive pass"
+        );
     }
 
     #[test]
@@ -253,7 +284,9 @@ mod tests {
         upm.memrefcnt(&a);
         hammer(&mut m, 6, a.vrange().0, 2);
         upm.migrate_memory(&mut m);
-        let view = ProcCounters.read(&m, ccnuma::vpage_of(a.vrange().0)).unwrap();
+        let view = ProcCounters
+            .read(&m, ccnuma::vpage_of(a.vrange().0))
+            .unwrap();
         assert_eq!(view.total(), 0, "hot counters must be reset");
     }
 
@@ -269,7 +302,7 @@ mod tests {
         m.touch(0, base, AccessKind::Read);
         hammer(&mut m, 6, base, 2);
         assert_eq!(upm.migrate_memory(&mut m), 1); // 0 -> 3
-        // Iteration 2: node 0 dominates (false sharing flip).
+                                                   // Iteration 2: node 0 dominates (false sharing flip).
         hammer(&mut m, 0, base, 2);
         assert_eq!(upm.migrate_memory(&mut m), 0, "reverse move vetoed");
         assert_eq!(upm.stats().vetoed_moves, 1);
@@ -284,8 +317,13 @@ mod tests {
     fn min_accesses_suppresses_noise() {
         let mut m = Machine::new(MachineConfig::tiny_test());
         let a = SimArray::new(&mut m, "a", (PAGE_SIZE / 8) as usize, 0.0f64);
-        let mut upm =
-            UpmEngine::new(&m, UpmOptions { min_accesses: 50, ..Default::default() });
+        let mut upm = UpmEngine::new(
+            &m,
+            UpmOptions {
+                min_accesses: 50,
+                ..Default::default()
+            },
+        );
         upm.memrefcnt(&a);
         let base = a.vrange().0;
         m.touch(0, base, AccessKind::Read);
@@ -313,7 +351,13 @@ mod tests {
         // Freezing would veto an immediate reversal; this is a later epoch,
         // but the tracker is conservative — disable freezing to observe the
         // re-learning in isolation.
-        let mut upm2 = UpmEngine::new(&m, UpmOptions { freeze_ping_pong: false, ..Default::default() });
+        let mut upm2 = UpmEngine::new(
+            &m,
+            UpmOptions {
+                freeze_ping_pong: false,
+                ..Default::default()
+            },
+        );
         upm2.memrefcnt(&a);
         assert_eq!(upm2.migrate_memory(&mut m), 1);
         assert_eq!(m.node_of_vpage(ccnuma::vpage_of(a.vrange().0)), Some(0));

@@ -54,9 +54,7 @@ impl UpmEngine {
             let mut candidates: Vec<(f64, ReplayEntry)> = Vec::new();
             for view_after in after {
                 // Match by vpage; a page unmapped at `before` has no trace.
-                let Some(view_before) =
-                    before.iter().find(|v| v.vpage == view_after.vpage)
-                else {
+                let Some(view_before) = before.iter().find(|v| v.vpage == view_after.vpage) else {
                     continue;
                 };
                 let delta = phase_delta(view_before, view_after);
@@ -68,7 +66,11 @@ impl UpmEngine {
                 }
                 candidates.push((
                     ratio,
-                    ReplayEntry { vpage: delta.vpage, target, original_home: delta.home },
+                    ReplayEntry {
+                        vpage: delta.vpage,
+                        target,
+                        original_home: delta.home,
+                    },
                 ));
             }
             // "the pages are sorted in descending order according to the
@@ -81,7 +83,8 @@ impl UpmEngine {
             });
             candidates.truncate(self.options.critical_pages);
             scheduled += candidates.len();
-            self.replay_lists.push(candidates.into_iter().map(|(_, e)| e).collect());
+            self.replay_lists
+                .push(candidates.into_iter().map(|(_, e)| e).collect());
         }
         self.recordings.clear();
         scheduled
@@ -100,7 +103,10 @@ impl UpmEngine {
             if machine.node_of_vpage(entry.vpage) == Some(entry.target) {
                 continue;
             }
-            if self.mlds.migrate_page(machine, entry.vpage, self.mlds.mld(entry.target)).is_ok()
+            if self
+                .mlds
+                .migrate_page(machine, entry.vpage, self.mlds.mld(entry.target))
+                .is_ok()
             {
                 self.undo_list.push((entry.vpage, entry.original_home));
                 moved += 1;
@@ -108,6 +114,9 @@ impl UpmEngine {
         }
         self.stats.replay_migrations += moved as u64;
         self.stats.recrep_ns += machine.stats().migration_ns - ns_before;
+        let phase = self.replay_cursor - 1;
+        machine.trace_event(|| obs::EventKind::ReplayBatch { phase, moved });
+        machine.trace_mut().inc("replay_batches", 1);
         moved
     }
 
@@ -121,13 +130,20 @@ impl UpmEngine {
             if machine.node_of_vpage(vpage) == Some(home) {
                 continue;
             }
-            if self.mlds.migrate_page(machine, vpage, self.mlds.mld(home)).is_ok() {
+            if self
+                .mlds
+                .migrate_page(machine, vpage, self.mlds.mld(home))
+                .is_ok()
+            {
                 moved += 1;
             }
         }
+        let phase = self.replay_cursor;
         self.replay_cursor = 0;
         self.stats.undo_migrations += moved as u64;
         self.stats.recrep_ns += machine.stats().migration_ns - ns_before;
+        machine.trace_event(|| obs::EventKind::Undo { phase, moved });
+        machine.trace_mut().inc("undo_batches", 1);
         moved
     }
 
@@ -209,8 +225,16 @@ mod tests {
 
     #[test]
     fn phase_delta_isolates_the_phase() {
-        let before = PageView { vpage: 1, home: 0, counts: vec![100u64, 0, 5, 0] };
-        let after = PageView { vpage: 1, home: 0, counts: vec![110, 0, 250, 0] };
+        let before = PageView {
+            vpage: 1,
+            home: 0,
+            counts: vec![100u64, 0, 5, 0],
+        };
+        let after = PageView {
+            vpage: 1,
+            home: 0,
+            counts: vec![110, 0, 250, 0],
+        };
         let d = phase_delta(&before, &after);
         assert_eq!(d.counts, vec![10, 0, 245, 0]);
         let (local, rmax, rnode) = d.competitive_view();
@@ -228,7 +252,10 @@ mod tests {
         }
         let mut upm = UpmEngine::new(
             &m,
-            UpmOptions { critical_pages: 3, ..Default::default() },
+            UpmOptions {
+                critical_pages: 3,
+                ..Default::default()
+            },
         );
         upm.memrefcnt(&a);
         upm.record(&m);
@@ -278,6 +305,10 @@ mod tests {
         assert_eq!(s.replay_migrations, 1);
         assert_eq!(s.undo_migrations, 1);
         let expected = 2.0 * m.config().migration_cost_ns();
-        assert!((s.recrep_ns - expected).abs() < 1e-6, "recrep_ns {}", s.recrep_ns);
+        assert!(
+            (s.recrep_ns - expected).abs() < 1e-6,
+            "recrep_ns {}",
+            s.recrep_ns
+        );
     }
 }

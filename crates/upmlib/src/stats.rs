@@ -6,10 +6,8 @@
 //! experiment harness's timing; (b) comes from
 //! [`UpmStats::first_invocation_fraction`].
 
-use serde::{Deserialize, Serialize};
-
 /// Cumulative statistics of one [`crate::UpmEngine`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct UpmStats {
     /// Pages moved by `migrate_memory`, indexed by invocation (invocation 0
     /// is the one after the first iteration).
@@ -60,7 +58,10 @@ mod tests {
 
     #[test]
     fn first_invocation_fraction() {
-        let s = UpmStats { migrations_per_invocation: vec![90, 10], ..Default::default() };
+        let s = UpmStats {
+            migrations_per_invocation: vec![90, 10],
+            ..Default::default()
+        };
         assert!((s.first_invocation_fraction() - 0.9).abs() < 1e-12);
         assert_eq!(s.total_distribution_migrations(), 100);
     }
@@ -69,5 +70,43 @@ mod tests {
     fn no_migrations_counts_as_all_first() {
         let s = UpmStats::default();
         assert_eq!(s.first_invocation_fraction(), 1.0);
+        // Invocations that all moved zero pages are the same edge case: the
+        // total is zero, so the fraction must not divide by it.
+        let idle = UpmStats {
+            migrations_per_invocation: vec![0, 0, 0],
+            ..Default::default()
+        };
+        assert_eq!(idle.first_invocation_fraction(), 1.0);
+    }
+
+    #[test]
+    fn single_invocation_is_all_first() {
+        let s = UpmStats {
+            migrations_per_invocation: vec![42],
+            ..Default::default()
+        };
+        assert_eq!(s.first_invocation_fraction(), 1.0);
+        assert_eq!(s.total_distribution_migrations(), 42);
+    }
+
+    #[test]
+    fn late_only_migrations_are_zero_fraction() {
+        // A quiet first invocation followed by real work: fraction 0, the
+        // opposite extreme of the paper's measured 78%-100%.
+        let s = UpmStats {
+            migrations_per_invocation: vec![0, 10],
+            ..Default::default()
+        };
+        assert_eq!(s.first_invocation_fraction(), 0.0);
+    }
+
+    #[test]
+    fn recrep_totals_sum_replay_and_undo() {
+        let s = UpmStats {
+            replay_migrations: 8,
+            undo_migrations: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.total_recrep_migrations(), 13);
     }
 }

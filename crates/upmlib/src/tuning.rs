@@ -4,10 +4,8 @@
 //! ("we use an environment variable which instructs the mechanism to move
 //! only the n most critical pages"); here they are a plain options struct.
 
-use serde::{Deserialize, Serialize};
-
 /// Tuning knobs of the UPMlib engine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UpmOptions {
     /// Competitive-criterion threshold `thr`: a page is eligible for
     /// migration when `max_remote_accesses / local_accesses > thr`.
@@ -27,14 +25,22 @@ pub struct UpmOptions {
 
 impl Default for UpmOptions {
     fn default() -> Self {
-        Self { thr: 2.0, min_accesses: 8, critical_pages: 20, freeze_ping_pong: true }
+        Self {
+            thr: 2.0,
+            min_accesses: 8,
+            critical_pages: 20,
+            freeze_ping_pong: true,
+        }
     }
 }
 
 impl UpmOptions {
     /// The configuration used in the paper's record–replay experiments.
     pub fn paper_recrep() -> Self {
-        Self { critical_pages: 20, ..Default::default() }
+        Self {
+            critical_pages: 20,
+            ..Default::default()
+        }
     }
 }
 

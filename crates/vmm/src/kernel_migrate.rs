@@ -27,11 +27,10 @@
 //!   clock by the machine.
 
 use ccnuma::Machine;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Tunables of the kernel engine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelMigrationConfig {
     /// A remote node must beat the home node by this many counted accesses
     /// to trigger the migration interrupt.
@@ -68,7 +67,7 @@ impl Default for KernelMigrationConfig {
 }
 
 /// Per-run statistics of the kernel engine.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelMigrationStats {
     /// Scans performed.
     pub scans: u64,
@@ -139,7 +138,9 @@ impl KernelMigrationEngine {
         // Collect candidates: (priority, vpage, target-node).
         let mut candidates: Vec<(u64, u64, usize)> = Vec::new();
         let mut dampened = 0u64;
+        let mut scanned = 0usize;
         for (vpage, frame) in machine.mapped_pages() {
+            scanned += 1;
             let home = machine.memory().node_of_frame(frame);
             let (local, rmax, rnode) = machine.counters().competitive_view(frame, home);
             let crosses = rmax > local.saturating_add(self.config.threshold as u64);
@@ -168,6 +169,8 @@ impl KernelMigrationEngine {
                 migrated += 1;
             }
         }
+        machine.trace_event(|| obs::EventKind::KernelScan { scanned, migrated });
+        machine.trace_mut().inc("kernel_scans", 1);
         if self.config.aging {
             let frames: Vec<_> = machine.mapped_pages().map(|(_, f)| f).collect();
             for frame in frames {
@@ -257,7 +260,7 @@ mod tests {
         });
         hammer_remote(&mut m, base, 2);
         assert_eq!(engine.scan(&mut m), 1); // -> node 3
-        // Now node 0 hammers it back hard; dampening must hold it on node 3.
+                                            // Now node 0 hammers it back hard; dampening must hold it on node 3.
         for line in 0..(PAGE_SIZE / 128) {
             m.touch(0, base + line * 128, AccessKind::Write);
             m.touch(0, base + line * 128, AccessKind::Read);

@@ -18,10 +18,9 @@
 
 use ccnuma::machine::MemError;
 use ccnuma::{Machine, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// One MLD: a handle on the physical memory of one node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Mld {
     node: NodeId,
 }
@@ -34,7 +33,7 @@ impl Mld {
 }
 
 /// The per-process MLD namespace: one MLD per node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MldSet {
     mlds: Vec<Mld>,
 }
@@ -43,7 +42,11 @@ impl MldSet {
     /// Create the full namespace for a machine (one MLD per node, as the
     /// paper's runtime does).
     pub fn for_machine(machine: &Machine) -> Self {
-        Self { mlds: (0..machine.topology().nodes()).map(|node| Mld { node }).collect() }
+        Self {
+            mlds: (0..machine.topology().nodes())
+                .map(|node| Mld { node })
+                .collect(),
+        }
     }
 
     /// Number of MLDs (= nodes).
@@ -139,7 +142,9 @@ mod tests {
         // Map only pages 0 and 2 of the range by touching them.
         m.touch(0, base, AccessKind::Read);
         m.touch(0, base + 2 * PAGE_SIZE, AccessKind::Read);
-        let moved = mlds.migrate_range(&mut m, base, 4 * PAGE_SIZE, mlds.mld(2)).unwrap();
+        let moved = mlds
+            .migrate_range(&mut m, base, 4 * PAGE_SIZE, mlds.mld(2))
+            .unwrap();
         assert_eq!(moved, 2);
         assert_eq!(m.node_of_vpage(ccnuma::vpage_of(base)), Some(2));
         assert_eq!(m.node_of_vpage(ccnuma::vpage_of(base) + 1), None);

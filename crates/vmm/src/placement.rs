@@ -23,10 +23,9 @@ use ccnuma::machine::Placer;
 use ccnuma::{CpuId, Machine, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Which placement scheme to install — the experiment-level knob.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlacementScheme {
     /// IRIX default: place on the faulting CPU's node.
     FirstTouch,
@@ -71,9 +70,10 @@ impl PlacementScheme {
 pub fn install_placement(machine: &mut Machine, scheme: PlacementScheme) {
     let placer: Box<dyn Placer> = match scheme {
         PlacementScheme::FirstTouch => Box::new(FirstTouch),
-        PlacementScheme::RoundRobin => {
-            Box::new(RoundRobin { next: 0, nodes: machine.topology().nodes() })
-        }
+        PlacementScheme::RoundRobin => Box::new(RoundRobin {
+            next: 0,
+            nodes: machine.topology().nodes(),
+        }),
         PlacementScheme::Random { seed } => Box::new(RandomPlace {
             rng: SmallRng::seed_from_u64(seed),
             nodes: machine.topology().nodes(),

@@ -9,10 +9,9 @@
 //! to redirect.
 
 use ccnuma::{Machine, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// Snapshot of one page's counters as user code sees them.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PageView {
     /// Virtual page number.
     pub vpage: u64,
@@ -55,14 +54,20 @@ impl ProcCounters {
     pub fn read(&self, machine: &Machine, vpage: u64) -> Option<PageView> {
         let frame = machine.frame_of(vpage)?;
         let home = machine.memory().node_of_frame(frame);
-        Some(PageView { vpage, home, counts: machine.counters().snapshot(frame) })
+        Some(PageView {
+            vpage,
+            home,
+            counts: machine.counters().snapshot(frame),
+        })
     }
 
     /// Read every mapped page of a byte range.
     pub fn read_range(&self, machine: &Machine, base: u64, len: u64) -> Vec<PageView> {
         let first = ccnuma::vpage_of(base);
         let last = ccnuma::vpage_of(base + len.saturating_sub(1));
-        (first..=last).filter_map(|vp| self.read(machine, vp)).collect()
+        (first..=last)
+            .filter_map(|vp| self.read(machine, vp))
+            .collect()
     }
 
     /// Zero the counters of one mapped page (UPMlib does this between

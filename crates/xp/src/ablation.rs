@@ -28,7 +28,12 @@ pub fn latency_ratio(scale: Scale) -> Report {
     let mut report = Report::new(
         "ablation-latency-ratio",
         "Random-placement slowdown vs the machine's remote:local latency ratio (CG)",
-        &["Remote:local ratio", "ft time (s)", "rand time (s)", "rand slowdown"],
+        &[
+            "Remote:local ratio",
+            "ft time (s)",
+            "rand time (s)",
+            "rand slowdown",
+        ],
     );
     for ratio in [1.7, 3.0, 5.0, 8.0] {
         let mut machine = MachineConfig::origin2000_16p_scaled();
@@ -46,11 +51,14 @@ pub fn latency_ratio(scale: Scale) -> Report {
                     engine: EngineMode::None,
                     threads: 16,
                     machine: machine.clone(),
+                    trace: false,
                 },
             )
         };
         let ft = run(PlacementScheme::FirstTouch);
-        let rand = run(PlacementScheme::Random { seed: crate::fig1::RAND_SEED });
+        let rand = run(PlacementScheme::Random {
+            seed: crate::fig1::RAND_SEED,
+        });
         report.row(vec![
             format!("{ratio:.1}:1"),
             secs(ft.total_secs),
@@ -72,15 +80,25 @@ pub fn threshold_sweep(scale: Scale) -> Report {
     let mut report = Report::new(
         "ablation-threshold",
         "UPMlib competitive threshold `thr` sweep (CG, random placement)",
-        &["thr", "Time (s)", "Settled time/iter (s)", "Total migrations"],
+        &[
+            "thr",
+            "Time (s)",
+            "Settled time/iter (s)",
+            "Total migrations",
+        ],
     );
     for thr in [1.2, 2.0, 8.0, 32.0] {
-        let opts = UpmOptions { thr, ..Default::default() };
+        let opts = UpmOptions {
+            thr,
+            ..Default::default()
+        };
         let r = run_one(
             BenchName::Cg,
             scale,
             &RunConfig {
-                placement: PlacementScheme::Random { seed: crate::fig1::RAND_SEED },
+                placement: PlacementScheme::Random {
+                    seed: crate::fig1::RAND_SEED,
+                },
                 engine: EngineMode::Upmlib(opts),
                 ..RunConfig::paper_default()
             },
@@ -109,7 +127,13 @@ pub fn freeze_toggle(_scale: Scale) -> Report {
     let mut report = Report::new(
         "ablation-freeze",
         "Ping-pong freezing on/off (alternating-dominance kernel, first-touch placement)",
-        &["Freezing", "Time (s)", "Total migrations", "Invocations", "Frozen pages"],
+        &[
+            "Freezing",
+            "Time (s)",
+            "Total migrations",
+            "Invocations",
+            "Frozen pages",
+        ],
     );
     let run = |freeze: bool| {
         let mut machine = Machine::new(MachineConfig::origin2000_16p_scaled());
@@ -119,7 +143,10 @@ pub fn freeze_toggle(_scale: Scale) -> Report {
         let shared = SimArray::new(rt.machine_mut(), "shared", len, 0.0f64);
         let mut upm = UpmEngine::new(
             rt.machine(),
-            UpmOptions { freeze_ping_pong: freeze, ..Default::default() },
+            UpmOptions {
+                freeze_ping_pong: freeze,
+                ..Default::default()
+            },
         );
         upm.memrefcnt(&shared);
         // Odd iterations reverse the index mapping, so every page's
@@ -161,7 +188,6 @@ pub fn freeze_toggle(_scale: Scale) -> Report {
     report
 }
 
-
 /// Read-only replication (the paper's §1.2 sketch): a broadcast-pattern
 /// kernel — every thread reads a shared coefficient table every iteration
 /// while updating its own partition — run with UPMlib migration alone vs
@@ -188,8 +214,9 @@ pub fn replication(_scale: Scale) -> Report {
         // working array (64 pages).
         let table_len = 16 * (ccnuma::PAGE_SIZE as usize / 8);
         let work_len = 64 * (ccnuma::PAGE_SIZE as usize / 8);
-        let table =
-            SimArray::from_fn(rt.machine_mut(), "table", table_len, |i| 1.0 + (i % 97) as f64);
+        let table = SimArray::from_fn(rt.machine_mut(), "table", table_len, |i| {
+            1.0 + (i % 97) as f64
+        });
         let work = SimArray::new(rt.machine_mut(), "work", work_len, 0.0f64);
         let mut upm = UpmEngine::new(rt.machine(), UpmOptions::default());
         upm.memrefcnt(&table);
@@ -217,7 +244,11 @@ pub fn replication(_scale: Scale) -> Report {
         }
         let elapsed = rt.machine().clock().now_secs() - t0;
         let stats = upm.stats();
-        (elapsed, stats.replications, stats.total_distribution_migrations())
+        (
+            elapsed,
+            stats.replications,
+            stats.total_distribution_migrations(),
+        )
     };
     for (label, replicate) in [("migration only", false), ("migration + replication", true)] {
         let (elapsed, replicas, migrations) = run(replicate);
@@ -270,11 +301,14 @@ pub fn machine_size(_scale: Scale) -> Report {
                     engine: EngineMode::None,
                     threads: nodes * 2,
                     machine: machine.clone(),
+                    trace: false,
                 },
             )
         };
         let ft = run(PlacementScheme::FirstTouch);
-        let rand = run(PlacementScheme::Random { seed: crate::fig1::RAND_SEED });
+        let rand = run(PlacementScheme::Random {
+            seed: crate::fig1::RAND_SEED,
+        });
         let wc = run(PlacementScheme::WorstCase { node: 0 });
         report.row(vec![
             format!("{}", nodes * 2),
@@ -375,6 +409,7 @@ mod tests {
                         engine: EngineMode::None,
                         threads: 16,
                         machine: machine.clone(),
+                        trace: false,
                     },
                 )
                 .total_secs
@@ -383,6 +418,9 @@ mod tests {
         };
         let at_origin = slow(1.7);
         let at_5x = slow(5.0);
-        assert!(at_5x > at_origin, "5x ratio slowdown {at_5x} <= origin {at_origin}");
+        assert!(
+            at_5x > at_origin,
+            "5x ratio slowdown {at_5x} <= origin {at_origin}"
+        );
     }
 }

@@ -1,8 +1,8 @@
 //! `xp` — the experiment driver.
 //!
 //! ```text
-//! xp <table1|fig1|fig4|table2|fig5|fig6|ablations|all> [--scale tiny|small|medium]
-//!           [--out DIR]
+//! xp [COMMAND] [--scale tiny|small|medium] [--out DIR] [--trace DIR]
+//! xp trace <bt|sp|cg|mg|ft> [--scale tiny|small|medium] [--out DIR]
 //! ```
 //!
 //! Prints each experiment's markdown table to stdout and writes the raw
@@ -12,48 +12,91 @@ use nas::Scale;
 use std::path::PathBuf;
 use xp::Report;
 
+const COMMANDS: &str = "table1|fig1|fig4|table2|fig5|fig6|ablations|all|trace";
+
+const USAGE: &str = "\
+xp — experiment driver for the data-distribution study
+
+usage:
+  xp [COMMAND] [--scale tiny|small|medium] [--out DIR] [--trace DIR]
+  xp trace <bt|sp|cg|mg|ft> [--scale tiny|small|medium] [--out DIR]
+
+commands:
+  table1     memory-hierarchy latencies (paper Table 1)
+  fig1       placement sensitivity grid (Figure 1)
+  fig4       UPMlib distribution engine (Figure 4)
+  table2     residual slowdown + migration timing (Table 2)
+  fig5       record-replay on BT and SP (Figure 5)
+  fig6       record-replay with lengthened phases (Figure 6)
+  ablations  sensitivity studies beyond the paper
+  all        everything above (default)
+  trace      run one benchmark with event tracing; writes trace.jsonl and
+             trace.chrome.json (open in Perfetto) under the output dir
+
+options:
+  --scale tiny|small|medium  problem scale (default medium)
+  --out DIR                  output directory for reports (default results/)
+  --trace DIR                also record an event trace of every run into
+                             DIR (commands other than trace)
+  -h, --help                 show this help
+";
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("run `xp --help` for usage");
+    std::process::exit(2);
+}
+
 fn parse_scale(s: &str) -> Scale {
     match s {
         "tiny" => Scale::Tiny,
         "small" => Scale::Small,
         "medium" => Scale::Medium,
-        other => {
-            eprintln!("unknown scale '{other}' (expected tiny|small|medium)");
-            std::process::exit(2);
-        }
+        other => die(&format!(
+            "unknown scale '{other}' (expected tiny|small|medium)"
+        )),
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut command = String::from("all");
+    let mut positionals: Vec<String> = Vec::new();
     let mut scale = Scale::Medium;
     let mut out_dir = PathBuf::from("results");
+    let mut trace_dir: Option<PathBuf> = None;
     let mut it = args.iter();
-    if let Some(first) = it.next() {
-        command = first.clone();
-    }
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return;
+            }
             "--scale" => {
-                let v = it.next().unwrap_or_else(|| {
-                    eprintln!("--scale needs a value");
-                    std::process::exit(2);
-                });
+                let v = it.next().unwrap_or_else(|| die("--scale needs a value"));
                 scale = parse_scale(v);
             }
             "--out" => {
-                let v = it.next().unwrap_or_else(|| {
-                    eprintln!("--out needs a value");
-                    std::process::exit(2);
-                });
+                let v = it.next().unwrap_or_else(|| die("--out needs a value"));
                 out_dir = PathBuf::from(v);
             }
-            other => {
-                eprintln!("unknown argument '{other}'");
-                std::process::exit(2);
+            "--trace" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--trace needs a directory"));
+                trace_dir = Some(PathBuf::from(v));
             }
+            flag if flag.starts_with('-') => die(&format!("unknown flag '{flag}'")),
+            other => positionals.push(other.to_string()),
         }
+    }
+    let command = positionals.first().cloned().unwrap_or_else(|| "all".into());
+    if command != "trace" {
+        if let Some(extra) = positionals.get(1) {
+            die(&format!("unexpected argument '{extra}'"));
+        }
+        xp::trace::set_dir(trace_dir);
+    } else if trace_dir.is_some() {
+        die("--trace applies to the other commands; `xp trace` always writes its trace");
     }
 
     let reports: Vec<Report> = match command.as_str() {
@@ -85,13 +128,21 @@ fn main() {
             xp::ablation::machine_size(scale),
             xp::ablation::scheduler_disruption(scale),
         ],
-        other => {
-            eprintln!(
-                "unknown command '{other}' \
-                 (expected table1|fig1|fig4|table2|fig5|fig6|ablations|all)"
-            );
-            std::process::exit(2);
+        "trace" => {
+            let name = positionals
+                .get(1)
+                .unwrap_or_else(|| die("trace needs a benchmark (expected bt|sp|cg|mg|ft)"));
+            if let Some(extra) = positionals.get(2) {
+                die(&format!("unexpected argument '{extra}'"));
+            }
+            let bench = xp::trace::parse_bench(name).unwrap_or_else(|| {
+                die(&format!(
+                    "unknown benchmark '{name}' (expected bt|sp|cg|mg|ft)"
+                ))
+            });
+            vec![xp::trace::run(bench, scale, &out_dir)]
         }
+        other => die(&format!("unknown command '{other}' (expected {COMMANDS})")),
     };
 
     for report in &reports {

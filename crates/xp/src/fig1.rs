@@ -28,7 +28,11 @@ pub fn grid(bench: BenchName, scale: Scale, with_upmlib: bool) -> Vec<RunResult>
             engines.push(EngineMode::Upmlib(upm_opts));
         }
         for engine in engines {
-            let cfg = RunConfig { placement, engine, ..RunConfig::paper_default() };
+            let cfg = RunConfig {
+                placement,
+                engine,
+                ..RunConfig::paper_default()
+            };
             results.push(run_one(bench, scale, &cfg));
         }
     }
@@ -61,7 +65,10 @@ pub fn run(scale: Scale) -> Report {
             &format!("NAS {} (execution time, simulated seconds)", bench.label()),
             results
                 .iter()
-                .map(|r| crate::report::Bar { label: r.label(), value: r.total_secs })
+                .map(|r| crate::report::Bar {
+                    label: r.label(),
+                    value: r.total_secs,
+                })
                 .collect(),
         );
         for r in &results {
@@ -79,7 +86,11 @@ pub fn run(scale: Scale) -> Report {
                 r.label(),
                 secs(r.total_secs),
                 pct(ratio),
-                if r.verification.passed { "ok".into() } else { "FAIL".into() },
+                if r.verification.passed {
+                    "ok".into()
+                } else {
+                    "FAIL".into()
+                },
             ]);
         }
     }
@@ -103,7 +114,10 @@ mod tests {
         assert_eq!(results.len(), 12);
         let labels: Vec<_> = results.iter().map(|r| r.label()).collect();
         for want in ["ft-IRIX", "rr-IRIXmig", "rand-upmlib", "wc-upmlib"] {
-            assert!(labels.contains(&want.to_string()), "{want} missing from {labels:?}");
+            assert!(
+                labels.contains(&want.to_string()),
+                "{want} missing from {labels:?}"
+            );
         }
     }
 

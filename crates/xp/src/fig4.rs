@@ -15,17 +15,30 @@ pub fn run(scale: Scale) -> Report {
     let mut report = Report::new(
         "fig4",
         "Performance of the UPMlib page migration engine under the four placement schemes",
-        &["Benchmark", "Config", "Time (s)", "vs ft-IRIX", "UPM migrations", "Verified"],
+        &[
+            "Benchmark",
+            "Config",
+            "Time (s)",
+            "vs ft-IRIX",
+            "UPM migrations",
+            "Verified",
+        ],
     );
     let mut upm_slow: Vec<(String, f64)> = Vec::new();
     for bench in BenchName::all() {
         let results = grid(bench, scale, true);
         let base = baseline_secs(&results);
         report.chart(
-            &format!("NAS {} with UPMlib (execution time, simulated seconds)", bench.label()),
+            &format!(
+                "NAS {} with UPMlib (execution time, simulated seconds)",
+                bench.label()
+            ),
             results
                 .iter()
-                .map(|r| crate::report::Bar { label: r.label(), value: r.total_secs })
+                .map(|r| crate::report::Bar {
+                    label: r.label(),
+                    value: r.total_secs,
+                })
                 .collect(),
         );
         for r in &results {
@@ -44,13 +57,20 @@ pub fn run(scale: Scale) -> Report {
                 secs(r.total_secs),
                 pct(ratio),
                 migrations,
-                if r.verification.passed { "ok".into() } else { "FAIL".into() },
+                if r.verification.passed {
+                    "ok".into()
+                } else {
+                    "FAIL".into()
+                },
             ]);
         }
     }
     for scheme in ["rr", "rand", "wc"] {
-        let v: Vec<f64> =
-            upm_slow.iter().filter(|(s, _)| s == scheme).map(|&(_, r)| r).collect();
+        let v: Vec<f64> = upm_slow
+            .iter()
+            .filter(|(s, _)| s == scheme)
+            .map(|&(_, r)| r)
+            .collect();
         if !v.is_empty() {
             let avg = v.iter().sum::<f64>() / v.len() as f64;
             let paper = match scheme {

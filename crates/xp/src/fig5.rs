@@ -55,10 +55,16 @@ pub fn run(scale: Scale) -> Report {
         let results = bars(bench, scale);
         let base = results[0].total_secs;
         report.chart(
-            &format!("NAS {} (execution time; recrep bar includes its overhead)", bench.label()),
+            &format!(
+                "NAS {} (execution time; recrep bar includes its overhead)",
+                bench.label()
+            ),
             results
                 .iter()
-                .map(|r| crate::report::Bar { label: r.label(), value: r.total_secs })
+                .map(|r| crate::report::Bar {
+                    label: r.label(),
+                    value: r.total_secs,
+                })
                 .collect(),
         );
         for r in &results {
@@ -68,7 +74,11 @@ pub fn run(scale: Scale) -> Report {
                 secs(r.total_secs),
                 secs(r.recrep_overhead_secs),
                 pct(r.total_secs / base),
-                if r.verification.passed { "ok".into() } else { "FAIL".into() },
+                if r.verification.passed {
+                    "ok".into()
+                } else {
+                    "FAIL".into()
+                },
             ]);
         }
         let upm = &results[2];
@@ -93,7 +103,10 @@ mod tests {
     fn recrep_pays_visible_overhead() {
         let results = bars(BenchName::Bt, Scale::Tiny);
         let recrep = results.iter().find(|r| r.engine == "recrep").unwrap();
-        assert!(recrep.verification.passed, "recrep must not corrupt the numerics");
+        assert!(
+            recrep.verification.passed,
+            "recrep must not corrupt the numerics"
+        );
         assert!(
             recrep.recrep_overhead_secs > 0.0,
             "record-replay must charge on-critical-path migration overhead"

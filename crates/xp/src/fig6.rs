@@ -16,9 +16,9 @@
 //! analysis.
 
 use crate::report::{pct, secs, Report};
-use crate::run_one::default_engine_configs;
-use nas::bt::{Bt, BtConfig};
-use nas::{run_benchmark, EngineMode, RunConfig, RunResult, Scale};
+use crate::run_one::{default_engine_configs, run_bt_custom};
+use nas::bt::BtConfig;
+use nas::{EngineMode, RunConfig, RunResult, Scale};
 use vmm::PlacementScheme;
 
 /// Run BT at a given phase scale under one engine mode.
@@ -28,8 +28,11 @@ pub fn run_bt_at(scale: Scale, phase_scale: usize, engine: EngineMode) -> RunRes
         engine,
         ..RunConfig::paper_default()
     };
-    let bt_cfg = BtConfig { phase_scale, ..BtConfig::for_scale(scale) };
-    run_benchmark(|rt| Bt::with_config(rt, bt_cfg), &cfg)
+    let bt_cfg = BtConfig {
+        phase_scale,
+        ..BtConfig::for_scale(scale)
+    };
+    run_bt_custom(bt_cfg, &cfg)
 }
 
 /// Run Figure 6: the paper's 4x experiment plus a wider sweep.
@@ -50,7 +53,10 @@ pub fn run(scale: Scale) -> Report {
     for phase_scale in [1usize, 4, 16] {
         let upm = run_bt_at(scale, phase_scale, EngineMode::Upmlib(upm_opts));
         let rec = run_bt_at(scale, phase_scale, EngineMode::RecRep(upm_opts));
-        assert!(upm.verification.passed && rec.verification.passed, "fig6 runs must verify");
+        assert!(
+            upm.verification.passed && rec.verification.passed,
+            "fig6 runs must verify"
+        );
         let ratio = rec.total_secs / upm.total_secs;
         ratios.push(ratio);
         report.row(vec![

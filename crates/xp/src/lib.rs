@@ -25,6 +25,7 @@ pub mod report;
 pub mod run_one;
 pub mod table1;
 pub mod table2;
+pub mod trace;
 
 pub use report::Report;
 pub use run_one::{default_engine_configs, run_one};

@@ -1,13 +1,13 @@
 //! Structured experiment output: markdown rendering plus JSON persistence.
 
-use serde::Serialize;
+use obs::json::Value;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// One rendered experiment: a title, a markdown table, optional bar charts
 /// (the paper's figures are bar charts), notes, and the raw rows for JSON
 /// output.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     /// Experiment id (e.g. `fig1`).
     pub id: String,
@@ -24,7 +24,7 @@ pub struct Report {
 }
 
 /// One bar of a rendered chart.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Bar {
     /// Bar label (e.g. `rr-IRIXmig`).
     pub label: String,
@@ -73,7 +73,11 @@ impl Report {
         }
         for (title, bars) in &self.charts {
             out.push_str(&format!("\n```text\n{title}\n"));
-            let max = bars.iter().map(|b| b.value).fold(0.0f64, f64::max).max(1e-300);
+            let max = bars
+                .iter()
+                .map(|b| b.value)
+                .fold(0.0f64, f64::max)
+                .max(1e-300);
             let label_w = bars.iter().map(|b| b.label.len()).max().unwrap_or(0);
             for bar in bars {
                 let width = ((bar.value / max) * 50.0).round() as usize;
@@ -96,12 +100,49 @@ impl Report {
         out
     }
 
+    /// The JSON form of the report.
+    pub fn to_json(&self) -> Value {
+        let rows = Value::Array(
+            self.rows
+                .iter()
+                .map(|row| Value::Array(row.iter().map(|c| c.as_str().into()).collect()))
+                .collect(),
+        );
+        let charts = Value::Array(
+            self.charts
+                .iter()
+                .map(|(title, bars)| {
+                    let bars = Value::Array(
+                        bars.iter()
+                            .map(|b| {
+                                Value::object(vec![
+                                    ("label", b.label.as_str().into()),
+                                    ("value", b.value.into()),
+                                ])
+                            })
+                            .collect(),
+                    );
+                    Value::object(vec![("title", title.as_str().into()), ("bars", bars)])
+                })
+                .collect(),
+        );
+        Value::object(vec![
+            ("id", self.id.as_str().into()),
+            ("title", self.title.as_str().into()),
+            ("headers", self.headers.clone().into()),
+            ("rows", rows),
+            ("charts", charts),
+            ("notes", self.notes.clone().into()),
+        ])
+    }
+
     /// Write the JSON form under `dir/<id>.json`. Returns the path.
     pub fn save_json(&self, dir: &Path) -> std::io::Result<PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
         let mut f = std::fs::File::create(&path)?;
-        f.write_all(serde_json::to_string_pretty(self).expect("report serializes").as_bytes())?;
+        f.write_all(self.to_json().to_string_pretty().as_bytes())?;
+        f.write_all(b"\n")?;
         Ok(path)
     }
 }

@@ -1,5 +1,8 @@
 //! Dispatcher: run one named benchmark at one scale under one
-//! configuration.
+//! configuration. Every experiment routes its runs through this module, so
+//! the `--trace DIR` plumbing (see [`crate::trace`]) hooks in here: when a
+//! trace directory is installed each run executes with the `obs` sink
+//! attached and its events are dumped on completion.
 
 use nas::bt::{Bt, BtConfig};
 use nas::cg::{Cg, CgConfig};
@@ -10,31 +13,49 @@ use nas::{run_benchmark, BenchName, RunConfig, RunResult, Scale};
 use upmlib::UpmOptions;
 use vmm::KernelMigrationConfig;
 
+fn finish(result: RunResult) -> RunResult {
+    crate::trace::dump(&result);
+    result
+}
+
 /// Run `bench` at `scale` under `cfg`.
 pub fn run_one(bench: BenchName, scale: Scale, cfg: &RunConfig) -> RunResult {
-    match bench {
-        BenchName::Bt => run_benchmark(|rt| Bt::new(rt, scale), cfg),
-        BenchName::Sp => run_benchmark(|rt| Sp::new(rt, scale), cfg),
-        BenchName::Cg => run_benchmark(|rt| Cg::new(rt, scale), cfg),
-        BenchName::Mg => run_benchmark(|rt| Mg::new(rt, scale), cfg),
-        BenchName::Ft => run_benchmark(|rt| Ft::new(rt, scale), cfg),
-    }
+    let cfg = crate::trace::arm(cfg);
+    finish(match bench {
+        BenchName::Bt => run_benchmark(|rt| Bt::new(rt, scale), &cfg),
+        BenchName::Sp => run_benchmark(|rt| Sp::new(rt, scale), &cfg),
+        BenchName::Cg => run_benchmark(|rt| Cg::new(rt, scale), &cfg),
+        BenchName::Mg => run_benchmark(|rt| Mg::new(rt, scale), &cfg),
+        BenchName::Ft => run_benchmark(|rt| Ft::new(rt, scale), &cfg),
+    })
+}
+
+/// Run BT with an explicit problem configuration (Figure 6's lengthened
+/// phases).
+pub fn run_bt_custom(bt_cfg: BtConfig, cfg: &RunConfig) -> RunResult {
+    let cfg = crate::trace::arm(cfg);
+    finish(run_benchmark(|rt| Bt::with_config(rt, bt_cfg), &cfg))
 }
 
 /// Run BT with 4x-lengthened phases (the Figure 6 synthetic experiment).
 pub fn run_bt_scaled(scale: Scale, cfg: &RunConfig) -> RunResult {
-    run_benchmark(|rt| Bt::with_config(rt, BtConfig::for_scale(scale).scaled_phases()), cfg)
+    run_bt_custom(BtConfig::for_scale(scale).scaled_phases(), cfg)
 }
 
 /// Run CG with an explicit problem configuration (used by the weak-scaling
 /// machine-size ablation).
 pub fn run_cg_custom(cg_cfg: CgConfig, cfg: &RunConfig) -> RunResult {
-    run_benchmark(|rt| Cg::with_config(rt, cg_cfg), cfg)
+    let cfg = crate::trace::arm(cfg);
+    finish(run_benchmark(|rt| Cg::with_config(rt, cg_cfg), &cfg))
 }
 
 /// Run SP with 4x-lengthened phases.
 pub fn run_sp_scaled(scale: Scale, cfg: &RunConfig) -> RunResult {
-    run_benchmark(|rt| Sp::with_config(rt, SpConfig::for_scale(scale).scaled_phases()), cfg)
+    let cfg = crate::trace::arm(cfg);
+    finish(run_benchmark(
+        |rt| Sp::with_config(rt, SpConfig::for_scale(scale).scaled_phases()),
+        &cfg,
+    ))
 }
 
 /// The default engine tunables used across experiments (one place, so every

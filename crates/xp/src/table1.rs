@@ -39,7 +39,11 @@ pub fn measure(machine: &mut Machine) -> Table1 {
         machine.map_page_for_test(spill + p * PAGE_SIZE, 0);
     }
     for i in 0..l1_lines * 2 {
-        machine.touch(0, spill + (i * LINE_SIZE) % (4 * PAGE_SIZE), AccessKind::Read);
+        machine.touch(
+            0,
+            spill + (i * LINE_SIZE) % (4 * PAGE_SIZE),
+            AccessKind::Read,
+        );
     }
     let l2_ns = machine.touch(0, base, AccessKind::Read);
 
@@ -51,7 +55,12 @@ pub fn measure(machine: &mut Machine) -> Table1 {
         machine.map_page_for_test(va, node);
         remote_ns.push(machine.touch(0, va, AccessKind::Read));
     }
-    Table1 { l1_ns, l2_ns, local_ns, remote_ns }
+    Table1 {
+        l1_ns,
+        l2_ns,
+        local_ns,
+        remote_ns,
+    }
 }
 
 /// Run the Table 1 experiment and render it.
@@ -63,9 +72,24 @@ pub fn run() -> Report {
         "Access latency to the levels of the memory hierarchy (measured on the simulated machine)",
         &["Level", "Distance in hops", "Latency (ns)", "Paper (ns)"],
     );
-    r.row(vec!["L1 cache".into(), "0".into(), format!("{:.1}", t.l1_ns), "5.5".into()]);
-    r.row(vec!["L2 cache".into(), "0".into(), format!("{:.1}", t.l2_ns), "56.9".into()]);
-    r.row(vec!["local memory".into(), "0".into(), format!("{:.0}", t.local_ns), "329".into()]);
+    r.row(vec![
+        "L1 cache".into(),
+        "0".into(),
+        format!("{:.1}", t.l1_ns),
+        "5.5".into(),
+    ]);
+    r.row(vec![
+        "L2 cache".into(),
+        "0".into(),
+        format!("{:.1}", t.l2_ns),
+        "56.9".into(),
+    ]);
+    r.row(vec![
+        "local memory".into(),
+        "0".into(),
+        format!("{:.0}", t.local_ns),
+        "329".into(),
+    ]);
     for (i, ns) in t.remote_ns.iter().enumerate() {
         let paper = ["564", "759", "862"][i];
         r.row(vec![

@@ -34,7 +34,10 @@ pub fn rows_for(bench: BenchName, scale: Scale) -> Vec<Table2Row> {
     let ft = run_one(
         bench,
         scale,
-        &RunConfig { placement: PlacementScheme::FirstTouch, ..RunConfig::paper_default() },
+        &RunConfig {
+            placement: PlacementScheme::FirstTouch,
+            ..RunConfig::paper_default()
+        },
     );
     let ft_last75 = ft.last75_mean_secs();
     let schemes = [

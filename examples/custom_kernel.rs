@@ -22,10 +22,26 @@ const STEPS: usize = 48;
 fn sweep(rt: &mut Runtime, src: &SimArray<f64>, dst: &SimArray<f64>) {
     rt.parallel_for(N, Schedule::Static, |par, y| {
         for x in 0..N {
-            let up = if y > 0 { par.get(src, (y - 1) * N + x) } else { 0.0 };
-            let down = if y + 1 < N { par.get(src, (y + 1) * N + x) } else { 0.0 };
-            let left = if x > 0 { par.get(src, y * N + x - 1) } else { 0.0 };
-            let right = if x + 1 < N { par.get(src, y * N + x + 1) } else { 0.0 };
+            let up = if y > 0 {
+                par.get(src, (y - 1) * N + x)
+            } else {
+                0.0
+            };
+            let down = if y + 1 < N {
+                par.get(src, (y + 1) * N + x)
+            } else {
+                0.0
+            };
+            let left = if x > 0 {
+                par.get(src, y * N + x - 1)
+            } else {
+                0.0
+            };
+            let right = if x + 1 < N {
+                par.get(src, y * N + x + 1)
+            } else {
+                0.0
+            };
             par.set(dst, y * N + x, 0.25 * (up + down + left + right));
             par.flops(4);
         }
@@ -81,7 +97,13 @@ fn main() {
     ] {
         let (secs, last, checksum) = run(placement, upmlib);
         checksums.push(checksum);
-        println!("{:<22} {:>12.3} {:>15.3} {:>12.4}", label, secs * 1e3, last * 1e3, checksum);
+        println!(
+            "{:<22} {:>12.3} {:>15.3} {:>12.4}",
+            label,
+            secs * 1e3,
+            last * 1e3,
+            checksum
+        );
     }
     assert!(
         checksums.windows(2).all(|w| w[0] == w[1]),

@@ -23,7 +23,10 @@ fn main() {
         }
     };
     println!("NAS {} (scaled), 16 simulated processors", bench.label());
-    println!("{:<14} {:>12} {:>12} {:>10}", "config", "time (s)", "vs ft-IRIX", "remote %");
+    println!(
+        "{:<14} {:>12} {:>12} {:>10}",
+        "config", "time (s)", "vs ft-IRIX", "remote %"
+    );
 
     let mut baseline = None;
     for placement in PlacementScheme::all(20000) {
@@ -31,7 +34,11 @@ fn main() {
             EngineMode::None,
             EngineMode::IrixMig(KernelMigrationConfig::default()),
         ] {
-            let cfg = RunConfig { placement, engine, ..RunConfig::paper_default() };
+            let cfg = RunConfig {
+                placement,
+                engine,
+                ..RunConfig::paper_default()
+            };
             let r = run_one(bench, Scale::Small, &cfg);
             assert!(r.verification.passed, "{} failed verification", r.label());
             let base = *baseline.get_or_insert(r.total_secs);

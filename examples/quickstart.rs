@@ -29,7 +29,11 @@ fn main() {
     let mut upm = UpmEngine::new(rt.machine(), UpmOptions::default());
     upm.memrefcnt(&data);
 
-    println!("machine: {} CPUs on {} nodes", rt.machine().cpus(), rt.machine().topology().nodes());
+    println!(
+        "machine: {} CPUs on {} nodes",
+        rt.machine().cpus(),
+        rt.machine().topology().nodes()
+    );
     println!("placement policy: {}", rt.machine().placer_name());
     println!();
 
@@ -44,7 +48,11 @@ fn main() {
         let iter_time = rt.machine().clock().now_secs() - t0;
 
         // The paper's Figure 2 protocol: migrate while the engine finds work.
-        let moved = if upm.is_active() { upm.migrate_memory(rt.machine_mut()) } else { 0 };
+        let moved = if upm.is_active() {
+            upm.migrate_memory(rt.machine_mut())
+        } else {
+            0
+        };
         let stats = rt.machine().aggregate_cpu_stats();
         println!(
             "step {step}: {:.3} ms simulated, {} pages migrated, remote fraction so far {:.1}%",
@@ -60,7 +68,14 @@ fn main() {
         "UPMlib moved {} pages total ({}% in its first invocation) and is now {}",
         stats.total_distribution_migrations(),
         (stats.first_invocation_fraction() * 100.0) as u32,
-        if upm.is_active() { "still armed" } else { "self-deactivated" }
+        if upm.is_active() {
+            "still armed"
+        } else {
+            "self-deactivated"
+        }
     );
-    println!("total simulated time: {:.3} ms", rt.machine().clock().now_secs() * 1e3);
+    println!(
+        "total simulated time: {:.3} ms",
+        rt.machine().clock().now_secs() * 1e3
+    );
 }

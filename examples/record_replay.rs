@@ -18,8 +18,13 @@ fn main() {
     let mut machine = Machine::new(MachineConfig::origin2000_16p_scaled());
     install_placement(&mut machine, PlacementScheme::FirstTouch);
     let mut rt = Runtime::new(machine);
-    let mut bt =
-        Bt::with_config(&mut rt, BtConfig { niter: 5, ..BtConfig::for_scale(Scale::Small) });
+    let mut bt = Bt::with_config(
+        &mut rt,
+        BtConfig {
+            niter: 5,
+            ..BtConfig::for_scale(Scale::Small)
+        },
+    );
     // The paper sets the critical-page budget to 20.
     let mut upm = UpmEngine::new(rt.machine(), UpmOptions::paper_recrep());
     bt.register_hot(&mut upm);
@@ -71,16 +76,27 @@ fn main() {
                     bt.iterate(&mut rt, &mut hook);
                 }
                 let undone = upm.undo(rt.machine_mut());
-                println!("step {}: replayed {replayed} pages before z_solve, undid {undone} after", step + 1);
+                println!(
+                    "step {}: replayed {replayed} pages before z_solve, undid {undone} after",
+                    step + 1
+                );
             }
         }
-        println!("        iteration took {:.3} ms simulated", (rt.machine().clock().now_secs() - t0) * 1e3);
+        println!(
+            "        iteration took {:.3} ms simulated",
+            (rt.machine().clock().now_secs() - t0) * 1e3
+        );
     }
 
     let v = bt.verify();
     let s = upm.stats();
     println!();
-    println!("verification: {} (update norm {:.3e} from {:.3e})", if v.passed { "PASSED" } else { "FAILED" }, v.value, v.reference);
+    println!(
+        "verification: {} (update norm {:.3e} from {:.3e})",
+        if v.passed { "PASSED" } else { "FAILED" },
+        v.value,
+        v.reference
+    );
     println!(
         "record-replay moved {} pages total, costing {:.3} ms of on-critical-path migration time",
         s.total_recrep_migrations(),

@@ -7,11 +7,19 @@ use upmlib::UpmOptions;
 use vmm::{KernelMigrationConfig, PlacementScheme};
 use xp::run_one;
 
-fn fingerprint(bench: BenchName, placement: PlacementScheme, engine: EngineMode) -> (f64, Vec<f64>, f64) {
+fn fingerprint(
+    bench: BenchName,
+    placement: PlacementScheme,
+    engine: EngineMode,
+) -> (f64, Vec<f64>, f64) {
     let r = run_one(
         bench,
         Scale::Tiny,
-        &RunConfig { placement, engine, ..RunConfig::paper_default() },
+        &RunConfig {
+            placement,
+            engine,
+            ..RunConfig::paper_default()
+        },
     );
     (r.total_secs, r.per_iter_secs, r.verification.value)
 }
@@ -27,10 +35,22 @@ fn plain_runs_are_deterministic() {
 
 #[test]
 fn random_placement_is_deterministic_given_seed() {
-    let a = fingerprint(BenchName::Cg, PlacementScheme::Random { seed: 5 }, EngineMode::None);
-    let b = fingerprint(BenchName::Cg, PlacementScheme::Random { seed: 5 }, EngineMode::None);
+    let a = fingerprint(
+        BenchName::Cg,
+        PlacementScheme::Random { seed: 5 },
+        EngineMode::None,
+    );
+    let b = fingerprint(
+        BenchName::Cg,
+        PlacementScheme::Random { seed: 5 },
+        EngineMode::None,
+    );
     assert_eq!(a, b);
-    let c = fingerprint(BenchName::Cg, PlacementScheme::Random { seed: 6 }, EngineMode::None);
+    let c = fingerprint(
+        BenchName::Cg,
+        PlacementScheme::Random { seed: 6 },
+        EngineMode::None,
+    );
     assert_ne!(a.0, c.0, "different placement seeds should change timing");
     assert_eq!(a.2, c.2, "but never the numerics");
 }

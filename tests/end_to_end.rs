@@ -7,11 +7,27 @@ use vmm::{KernelMigrationConfig, PlacementScheme};
 use xp::run_one;
 
 fn run(bench: BenchName, placement: PlacementScheme, engine: EngineMode) -> RunResult {
-    run_one(bench, Scale::Tiny, &RunConfig { placement, engine, ..RunConfig::paper_default() })
+    run_one(
+        bench,
+        Scale::Tiny,
+        &RunConfig {
+            placement,
+            engine,
+            ..RunConfig::paper_default()
+        },
+    )
 }
 
 fn run_small(bench: BenchName, placement: PlacementScheme, engine: EngineMode) -> RunResult {
-    run_one(bench, Scale::Small, &RunConfig { placement, engine, ..RunConfig::paper_default() })
+    run_one(
+        bench,
+        Scale::Small,
+        &RunConfig {
+            placement,
+            engine,
+            ..RunConfig::paper_default()
+        },
+    )
 }
 
 #[test]
@@ -71,7 +87,11 @@ fn worst_case_placement_is_slower_than_first_touch() {
     // Paper Figure 1's core ordering, at a scale with real memory traffic.
     for bench in [BenchName::Cg, BenchName::Mg, BenchName::Ft] {
         let ft = run_small(bench, PlacementScheme::FirstTouch, EngineMode::None);
-        let wc = run_small(bench, PlacementScheme::WorstCase { node: 0 }, EngineMode::None);
+        let wc = run_small(
+            bench,
+            PlacementScheme::WorstCase { node: 0 },
+            EngineMode::None,
+        );
         assert!(
             wc.total_secs > ft.total_secs * 1.2,
             "{}: wc {} vs ft {}",
@@ -89,7 +109,11 @@ fn balanced_schemes_are_much_better_than_worst_case() {
     let bench = BenchName::Mg;
     let ft = run_small(bench, PlacementScheme::FirstTouch, EngineMode::None);
     let rr = run_small(bench, PlacementScheme::RoundRobin, EngineMode::None);
-    let wc = run_small(bench, PlacementScheme::WorstCase { node: 0 }, EngineMode::None);
+    let wc = run_small(
+        bench,
+        PlacementScheme::WorstCase { node: 0 },
+        EngineMode::None,
+    );
     let rr_slowdown = rr.total_secs / ft.total_secs;
     let wc_slowdown = wc.total_secs / ft.total_secs;
     assert!(
@@ -131,7 +155,10 @@ fn upmlib_self_deactivates_and_concentrates_migrations_early() {
         EngineMode::Upmlib(UpmOptions::default()),
     );
     let stats = r.upm.expect("upmlib stats present");
-    assert!(stats.total_distribution_migrations() > 0, "engine must find work under rr");
+    assert!(
+        stats.total_distribution_migrations() > 0,
+        "engine must find work under rr"
+    );
     // Table 2: the overwhelming share of migrations happens right after the
     // first iteration.
     assert!(
@@ -162,7 +189,11 @@ fn recrep_charges_overhead_and_restores_placement() {
 fn kernel_engine_helps_worst_case_mg() {
     // Paper: "Only in one case, MG with worst-case page placement, the IRIX
     // page migration engine is able to improve performance drastically".
-    let wc = run_small(BenchName::Mg, PlacementScheme::WorstCase { node: 0 }, EngineMode::None);
+    let wc = run_small(
+        BenchName::Mg,
+        PlacementScheme::WorstCase { node: 0 },
+        EngineMode::None,
+    );
     let wc_mig = run_small(
         BenchName::Mg,
         PlacementScheme::WorstCase { node: 0 },
@@ -179,7 +210,11 @@ fn kernel_engine_helps_worst_case_mg() {
 #[test]
 fn remote_fraction_reflects_placement() {
     let ft = run_small(BenchName::Mg, PlacementScheme::FirstTouch, EngineMode::None);
-    let wc = run_small(BenchName::Mg, PlacementScheme::WorstCase { node: 0 }, EngineMode::None);
+    let wc = run_small(
+        BenchName::Mg,
+        PlacementScheme::WorstCase { node: 0 },
+        EngineMode::None,
+    );
     assert!(
         wc.remote_fraction > ft.remote_fraction,
         "wc remote {} must exceed ft remote {}",
@@ -187,5 +222,9 @@ fn remote_fraction_reflects_placement() {
         ft.remote_fraction
     );
     // With everything on one of 8 nodes, ~7/8 of misses are remote.
-    assert!(wc.remote_fraction > 0.7, "wc remote fraction {}", wc.remote_fraction);
+    assert!(
+        wc.remote_fraction > 0.7,
+        "wc remote fraction {}",
+        wc.remote_fraction
+    );
 }

@@ -29,16 +29,15 @@ fn hot_coverage(mut bench: impl NasBenchmark, mut rt: Runtime) -> f64 {
     let machine = rt.machine();
     let in_hot = |vpage: u64| {
         upm.hot_areas().iter().any(|&(base, len)| {
-            len > 0
-                && vpage >= ccnuma::vpage_of(base)
-                && vpage <= ccnuma::vpage_of(base + len - 1)
+            len > 0 && vpage >= ccnuma::vpage_of(base) && vpage <= ccnuma::vpage_of(base + len - 1)
         })
     };
     let mut total = 0u64;
     let mut hot = 0u64;
     for (vpage, frame) in machine.mapped_pages() {
-        let page_total: u64 =
-            (0..machine.topology().nodes()).map(|n| machine.counters().get(frame, n)).sum();
+        let page_total: u64 = (0..machine.topology().nodes())
+            .map(|n| machine.counters().get(frame, n))
+            .sum();
         total += page_total;
         if in_hot(vpage) {
             hot += page_total;

@@ -10,7 +10,12 @@ use vmm::{install_placement, MldSet, PlacementScheme, ProcCounters};
 #[derive(Debug, Clone)]
 enum Op {
     /// CPU touches a byte offset within the arena (read or write).
-    Touch { cpu: usize, page: usize, line: usize, write: bool },
+    Touch {
+        cpu: usize,
+        page: usize,
+        line: usize,
+        write: bool,
+    },
     /// Migrate a page to a node.
     Migrate { page: usize, node: usize },
     /// Reset a page's counters.
@@ -19,8 +24,14 @@ enum Op {
 
 fn op_strategy(pages: usize) -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..8usize, 0..pages, 0..128usize, any::<bool>())
-            .prop_map(|(cpu, page, line, write)| Op::Touch { cpu, page, line, write }),
+        (0..8usize, 0..pages, 0..128usize, any::<bool>()).prop_map(|(cpu, page, line, write)| {
+            Op::Touch {
+                cpu,
+                page,
+                line,
+                write,
+            }
+        }),
         (0..pages, 0..4usize).prop_map(|(page, node)| Op::Migrate { page, node }),
         (0..pages).prop_map(|page| Op::Reset { page }),
     ]

@@ -55,7 +55,13 @@ fn setup() -> (Runtime, ThreePhase, UpmEngine) {
     install_placement(&mut machine, PlacementScheme::FirstTouch);
     let mut rt = Runtime::new(machine);
     let prog = ThreePhase::new(&mut rt);
-    let mut upm = UpmEngine::new(rt.machine(), UpmOptions { critical_pages: 256, ..Default::default() });
+    let mut upm = UpmEngine::new(
+        rt.machine(),
+        UpmOptions {
+            critical_pages: 256,
+            ..Default::default()
+        },
+    );
     upm.memrefcnt(&prog.data);
     // Cold start on phase A, so first-touch distributes by A's mapping.
     prog.phase_a(&mut rt);
@@ -148,7 +154,13 @@ fn distribution_then_recording_compose() {
     install_placement(&mut machine, PlacementScheme::WorstCase { node: 0 });
     let mut rt = Runtime::new(machine);
     let prog = ThreePhase::new(&mut rt);
-    let mut upm = UpmEngine::new(rt.machine(), UpmOptions { critical_pages: 256, ..Default::default() });
+    let mut upm = UpmEngine::new(
+        rt.machine(),
+        UpmOptions {
+            critical_pages: 256,
+            ..Default::default()
+        },
+    );
     upm.memrefcnt(&prog.data);
     prog.phase_a(&mut rt); // cold start: everything lands on node 0
     upm.reset_counters(rt.machine());
@@ -161,7 +173,10 @@ fn distribution_then_recording_compose() {
     let distributed: Vec<_> = (ccnuma::vpage_of(base)..ccnuma::vpage_of(base + len - 1) + 1)
         .map(|vp| rt.machine().node_of_vpage(vp).unwrap())
         .collect();
-    assert!(distributed.iter().any(|&n| n != 0), "pages must have left node 0");
+    assert!(
+        distributed.iter().any(|&n| n != 0),
+        "pages must have left node 0"
+    );
 
     // Iteration 2: record around phase B.
     prog.phase_a(&mut rt);

@@ -54,7 +54,10 @@ fn replication_accelerates_broadcast_reads() {
         replicated < plain,
         "replication must win on a broadcast table: {replicated} vs {plain}"
     );
-    assert_eq!(data_plain, data_replicated, "replication must not change results");
+    assert_eq!(
+        data_plain, data_replicated,
+        "replication must not change results"
+    );
 }
 
 #[test]
@@ -69,10 +72,12 @@ fn a_late_write_collapses_and_stays_correct() {
         }
         upm.replicate_readonly(rt.machine_mut());
     }
-    assert!(upm.stats().replications > 0, "the table must have been replicated");
+    assert!(
+        upm.stats().replications > 0,
+        "the table must have been replicated"
+    );
     let (tbase, tlen) = table.vrange();
-    let replicated_pages: usize = (ccnuma::vpage_of(tbase)
-        ..=ccnuma::vpage_of(tbase + tlen - 1))
+    let replicated_pages: usize = (ccnuma::vpage_of(tbase)..=ccnuma::vpage_of(tbase + tlen - 1))
         .map(|vp| rt.machine().replica_count(vp))
         .sum();
     assert!(replicated_pages > 0);

@@ -52,7 +52,7 @@ fn reports_save_and_reload_as_json() {
     let dir = std::env::temp_dir().join("ddnomp-report-roundtrip");
     let path = r.save_json(&dir).unwrap();
     let text = std::fs::read_to_string(path).unwrap();
-    let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let value = obs::json::Value::parse(&text).unwrap();
     assert_eq!(value["id"], "table1");
     assert_eq!(value["rows"].as_array().unwrap().len(), 6);
 }

@@ -1,0 +1,75 @@
+//! End-to-end check of the observability pipeline: the `xp trace` run path
+//! must produce a non-empty JSON Lines trace, a parseable Chrome trace,
+//! and an event stream whose per-iteration migration counts agree with
+//! UPMlib's own statistics.
+
+use nas::{BenchName, Scale};
+use obs::export::{chrome_trace, to_jsonl};
+use obs::json::Value;
+use obs::EventKind;
+
+#[test]
+fn trace_run_exports_and_matches_upm_stats() {
+    let (result, tracer) = xp::trace::run_traced(BenchName::Cg, Scale::Tiny);
+    assert!(result.verification.passed, "traced CG run must verify");
+    assert_eq!(tracer.ring.dropped(), 0, "tiny run must fit in the ring");
+
+    // JSON Lines export: non-empty, one valid object per line, every line
+    // carrying a timestamp and an event name.
+    let jsonl = to_jsonl(tracer.ring.iter());
+    assert!(!jsonl.is_empty(), "trace.jsonl must not be empty");
+    for line in jsonl.lines() {
+        let v = Value::parse(line).expect("each trace line parses as JSON");
+        assert!(
+            v["event"].as_str().is_some(),
+            "line has an event name: {line}"
+        );
+        assert!(v["t_ns"].as_f64().is_some(), "line has a timestamp: {line}");
+    }
+
+    // Chrome trace export: a valid JSON document with a traceEvents array
+    // (metadata record plus every event) keyed to simulated microseconds.
+    let doc = chrome_trace(tracer.ring.iter(), "cg-tiny");
+    let parsed = Value::parse(&doc.to_string_pretty()).expect("chrome trace parses");
+    let entries = parsed["traceEvents"]
+        .as_array()
+        .expect("traceEvents is an array");
+    assert_eq!(entries.len(), tracer.ring.len() + 1);
+
+    // Reconstruct per-iteration migration counts from the event stream:
+    // PageMigrated events seen before the i-th IterationBoundary belong to
+    // iteration i. Only UPMlib moves pages in this configuration, so the
+    // counts must match the engine's migrations_per_invocation (iterations
+    // past the engine's self-deactivation contribute trailing zeros).
+    let mut per_iter: Vec<u64> = Vec::new();
+    let mut current = 0u64;
+    for event in tracer.ring.iter() {
+        match event.kind {
+            EventKind::PageMigrated { .. } => current += 1,
+            EventKind::IterationBoundary {
+                iter, migrations, ..
+            } => {
+                assert_eq!(iter, per_iter.len(), "boundaries arrive in order");
+                assert_eq!(
+                    migrations, current,
+                    "boundary aggregate must match the event stream"
+                );
+                per_iter.push(current);
+                current = 0;
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(per_iter.len(), result.per_iter_secs.len());
+    let upm = result.upm.as_ref().expect("upmlib run records stats");
+    let invocations = &upm.migrations_per_invocation;
+    assert!(!invocations.is_empty(), "the engine must have been invoked");
+    assert!(invocations[0] > 0, "round-robin CG must migrate pages");
+    for (i, &counted) in per_iter.iter().enumerate() {
+        let expected = invocations.get(i).copied().unwrap_or(0);
+        assert_eq!(
+            counted, expected,
+            "iteration {i}: trace counted {counted}, UpmStats says {expected}"
+        );
+    }
+}
