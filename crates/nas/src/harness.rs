@@ -14,7 +14,7 @@
 //!   iteration 2 followed by `compare_counters`; `replay` at the phase
 //!   points and `undo` at the end of every later iteration.
 
-use crate::common::{BenchName, NasBenchmark, PhasePoint, Verification};
+use crate::common::{BenchName, NasBenchmark, PhaseHook, PhasePoint, Verification};
 use ccnuma::{Machine, MachineConfig};
 use omp::Runtime;
 use upmlib::{UpmEngine, UpmOptions, UpmStats};
@@ -126,68 +126,184 @@ impl RunResult {
     }
 }
 
-/// Run one benchmark under one configuration. `make` allocates the
-/// benchmark's arrays on the freshly configured machine.
-pub fn run_benchmark<B: NasBenchmark>(
-    make: impl FnOnce(&mut Runtime) -> B,
-    cfg: &RunConfig,
-) -> RunResult {
-    let mut machine = Machine::new(cfg.machine.clone());
-    install_placement(&mut machine, cfg.placement);
-    if cfg.trace {
-        machine.set_trace(obs::TraceSink::enabled(TRACE_RING_CAPACITY));
-    }
-    let mut rt = Runtime::with_threads(machine, cfg.threads);
-    if let EngineMode::IrixMig(kcfg) = &cfg.engine {
-        rt.set_kernel_migration(KernelMigrationEngine::enabled(*kcfg));
-    }
-    let mut bench = make(&mut rt);
-    let mut upm = match &cfg.engine {
-        EngineMode::Upmlib(opts) | EngineMode::RecRep(opts) => {
-            let mut engine = UpmEngine::new(rt.machine(), *opts);
-            bench.register_hot(&mut engine);
-            Some(engine)
+/// One benchmark run in steppable form. The kernel scheduler preempts jobs
+/// at iteration boundaries — and, through the extra phase hook accepted by
+/// [`BenchRun::step_with`], at region boundaries inside an iteration — so
+/// the timed loop of [`run_benchmark`] is exposed one iteration at a time.
+///
+/// The cold-start iteration is lazy: it executes on the first
+/// [`BenchRun::step`], after the scheduler has installed the job's initial
+/// CPU binding, so a space-shared job first-touches its pages inside its
+/// partition rather than across the whole machine.
+pub struct BenchRun {
+    rt: Runtime,
+    bench: Box<dyn NasBenchmark>,
+    upm: Option<UpmEngine>,
+    recrep: bool,
+    trace: bool,
+    placement_label: String,
+    engine_label: String,
+    started: bool,
+    step: usize,
+    iters: usize,
+    per_iter_secs: Vec<f64>,
+    t_start: f64,
+    prev_migrations: u64,
+    prev_cpu: ccnuma::CpuStats,
+}
+
+impl BenchRun {
+    /// Build a run: configure the machine, install the placement policy and
+    /// the engines, and allocate the benchmark via `make`. No simulated
+    /// work happens until the first [`BenchRun::step`].
+    pub fn new<B: NasBenchmark + 'static>(
+        make: impl FnOnce(&mut Runtime) -> B,
+        cfg: &RunConfig,
+    ) -> Self {
+        let mut machine = Machine::new(cfg.machine.clone());
+        install_placement(&mut machine, cfg.placement);
+        if cfg.trace {
+            machine.set_trace(obs::TraceSink::enabled(TRACE_RING_CAPACITY));
         }
-        _ => None,
-    };
-    let recrep = matches!(cfg.engine, EngineMode::RecRep(_));
-
-    // Cold-start iteration: executed, then discarded (paper §2.1).
-    bench.cold_start(&mut rt);
-    if let Some(engine) = &upm {
-        // Reference monitoring starts with the timed run (upmlib reads and
-        // resets the counters per observation window).
-        engine.reset_counters(rt.machine());
+        let mut rt = Runtime::with_threads(machine, cfg.threads);
+        if let EngineMode::IrixMig(kcfg) = &cfg.engine {
+            rt.set_kernel_migration(KernelMigrationEngine::enabled(*kcfg));
+        }
+        let bench: Box<dyn NasBenchmark> = Box::new(make(&mut rt));
+        let upm = match &cfg.engine {
+            EngineMode::Upmlib(opts) | EngineMode::RecRep(opts) => {
+                let mut engine = UpmEngine::new(rt.machine(), *opts);
+                bench.register_hot(&mut engine);
+                Some(engine)
+            }
+            _ => None,
+        };
+        let iters = bench.iterations();
+        Self {
+            rt,
+            bench,
+            upm,
+            recrep: matches!(cfg.engine, EngineMode::RecRep(_)),
+            trace: cfg.trace,
+            placement_label: cfg.placement.label().to_string(),
+            engine_label: cfg.engine.label().to_string(),
+            started: false,
+            step: 0,
+            iters,
+            per_iter_secs: Vec::with_capacity(iters),
+            t_start: 0.0,
+            prev_migrations: 0,
+            prev_cpu: ccnuma::CpuStats::default(),
+        }
     }
 
-    let iters = bench.iterations();
-    let mut per_iter = Vec::with_capacity(iters);
-    let t_start = rt.machine().clock().now_secs();
-    let mut prev_migrations = rt.machine().stats().page_migrations;
-    let mut prev_cpu = rt.machine().aggregate_cpu_stats();
-    let mut noop = |_: &mut Runtime, _: PhasePoint| {};
-    for step in 0..iters {
-        let t0 = rt.machine().clock().now_secs();
-        match (&mut upm, recrep, step) {
+    /// Cold-start iteration: executed, then discarded (paper §2.1).
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.bench.cold_start(&mut self.rt);
+        if let Some(engine) = &self.upm {
+            // Reference monitoring starts with the timed run (upmlib reads
+            // and resets the counters per observation window).
+            engine.reset_counters(self.rt.machine());
+        }
+        self.t_start = self.rt.machine().clock().now_secs();
+        self.prev_migrations = self.rt.machine().stats().page_migrations;
+        self.prev_cpu = self.rt.machine().aggregate_cpu_stats();
+    }
+
+    /// Whether every timed iteration has run.
+    pub fn is_done(&self) -> bool {
+        self.step >= self.iters
+    }
+
+    /// Timed iterations completed so far.
+    pub fn steps_done(&self) -> usize {
+        self.step
+    }
+
+    /// Benchmark identity.
+    pub fn bench_name(&self) -> BenchName {
+        self.bench.name()
+    }
+
+    /// The runtime (clock, statistics, current binding).
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// Mutable runtime access — the scheduler's rebind/resize entry point.
+    pub fn runtime_mut(&mut self) -> &mut Runtime {
+        &mut self.rt
+    }
+
+    /// The UPMlib engine, when one is attached.
+    pub fn upm(&self) -> Option<&UpmEngine> {
+        self.upm.as_ref()
+    }
+
+    /// Scheduler-aware UPMlib response, forget-and-relearn flavour: re-arm
+    /// the engine so the next observation windows re-learn the placement
+    /// under the new thread binding. No-op without an engine.
+    pub fn rearm_upm(&mut self) {
+        if let Some(engine) = &mut self.upm {
+            engine.reactivate(self.rt.machine());
+        }
+    }
+
+    /// Scheduler-aware UPMlib response, record–replay flavour: replay the
+    /// tuned placement under the new binding ("page migration follows
+    /// thread migration"), falling back to forget-and-relearn when the
+    /// thread moves induce no consistent node map. Returns pages moved.
+    pub fn upm_follow_rebind(&mut self, old: &[usize], new: &[usize]) -> usize {
+        match &mut self.upm {
+            Some(engine) => engine.follow_rebind(self.rt.machine_mut(), old, new),
+            None => 0,
+        }
+    }
+
+    /// Run one timed iteration (running the cold start first if this is
+    /// the first step). Returns the iteration's simulated seconds.
+    pub fn step(&mut self) -> f64 {
+        let mut noop = |_: &mut Runtime, _: PhasePoint| {};
+        self.step_with(&mut noop)
+    }
+
+    /// [`BenchRun::step`] with an extra phase hook, invoked at the
+    /// benchmark's phase-transition points in addition to the engine
+    /// protocol hooks — the scheduler's intra-iteration yield points (a
+    /// quantum expiring mid-iteration stages its rebinding here via
+    /// `Runtime::request_rebind`).
+    pub fn step_with(&mut self, extra: &mut PhaseHook<'_>) -> f64 {
+        self.ensure_started();
+        assert!(self.step < self.iters, "stepping a finished run");
+        let t0 = self.rt.machine().clock().now_secs();
+        let recrep = self.recrep;
+        let step = self.step;
+        let Self { rt, bench, upm, .. } = self;
+        match (upm.as_mut(), recrep, step) {
             // Figure 2 protocol: migrate after iteration 1 and while the
             // engine keeps finding work.
             (Some(engine), false, _) => {
-                bench.iterate(&mut rt, &mut noop);
+                bench.iterate(rt, extra);
                 if engine.is_active() {
                     engine.migrate_memory(rt.machine_mut());
                 }
             }
             // Figure 3 protocol, first iteration: distribution pass.
             (Some(engine), true, 0) => {
-                bench.iterate(&mut rt, &mut noop);
+                bench.iterate(rt, extra);
                 engine.migrate_memory(rt.machine_mut());
             }
             // Figure 3 protocol, second iteration: record phases.
             (Some(engine), true, 1) => {
-                let mut hook = |rt: &mut Runtime, _pp: PhasePoint| {
+                let mut hook = |rt: &mut Runtime, pp: PhasePoint| {
                     engine.record(rt.machine());
+                    extra(rt, pp);
                 };
-                bench.iterate(&mut rt, &mut hook);
+                bench.iterate(rt, &mut hook);
                 engine.compare_counters();
             }
             // Figure 3 protocol, later iterations: replay + undo.
@@ -196,29 +312,32 @@ pub fn run_benchmark<B: NasBenchmark>(
                     if matches!(pp, PhasePoint::Before(_)) {
                         engine.replay(rt.machine_mut());
                     }
+                    extra(rt, pp);
                 };
-                bench.iterate(&mut rt, &mut hook);
+                bench.iterate(rt, &mut hook);
                 engine.undo(rt.machine_mut());
             }
             // Plain / IRIXmig runs.
-            (None, _, _) => bench.iterate(&mut rt, &mut noop),
+            (None, _, _) => bench.iterate(rt, extra),
         }
-        per_iter.push(rt.machine().clock().now_secs() - t0);
-        if cfg.trace {
-            let migrations = rt.machine().stats().page_migrations - prev_migrations;
-            prev_migrations = rt.machine().stats().page_migrations;
-            let cpu = rt.machine().aggregate_cpu_stats();
-            let local = cpu.mem_local - prev_cpu.mem_local;
-            let remote = cpu.mem_remote - prev_cpu.mem_remote;
-            let stall_ns = cpu.stall_ns - prev_cpu.stall_ns;
-            prev_cpu = cpu;
+        let elapsed = self.rt.machine().clock().now_secs() - t0;
+        self.per_iter_secs.push(elapsed);
+        if self.trace {
+            let migrations = self.rt.machine().stats().page_migrations - self.prev_migrations;
+            self.prev_migrations = self.rt.machine().stats().page_migrations;
+            let cpu = self.rt.machine().aggregate_cpu_stats();
+            let local = cpu.mem_local - self.prev_cpu.mem_local;
+            let remote = cpu.mem_remote - self.prev_cpu.mem_remote;
+            let stall_ns = cpu.stall_ns - self.prev_cpu.stall_ns;
+            self.prev_cpu = cpu;
             let total = local + remote;
             let remote_fraction = if total == 0 {
                 0.0
             } else {
                 remote as f64 / total as f64
             };
-            rt.machine_mut()
+            self.rt
+                .machine_mut()
                 .trace_event(|| obs::EventKind::IterationBoundary {
                     iter: step,
                     migrations,
@@ -226,24 +345,53 @@ pub fn run_benchmark<B: NasBenchmark>(
                     stall_ns,
                 });
         }
+        self.step += 1;
+        elapsed
     }
-    let total_secs = rt.machine().clock().now_secs() - t_start;
 
-    let agg = rt.machine().aggregate_cpu_stats();
-    let upm_stats = upm.as_ref().map(|e| e.stats().clone());
-    RunResult {
-        bench: bench.name(),
-        placement: cfg.placement.label().to_string(),
-        engine: cfg.engine.label().to_string(),
-        total_secs,
-        per_iter_secs: per_iter,
-        verification: bench.verify(),
-        upm: upm_stats.clone(),
-        kernel_migrations: rt.kernel_migration().stats().migrations,
-        remote_fraction: agg.remote_fraction(),
-        recrep_overhead_secs: upm_stats.map(|s| s.recrep_ns * 1e-9).unwrap_or(0.0),
-        trace: rt.machine_mut().take_trace(),
+    /// Finish the run: verification, statistics, trace detachment.
+    pub fn finish(mut self) -> RunResult {
+        self.ensure_started(); // a zero-iteration run still cold-starts
+        let total_secs = self.rt.machine().clock().now_secs() - self.t_start;
+        let agg = self.rt.machine().aggregate_cpu_stats();
+        let upm_stats = self.upm.as_ref().map(|e| e.stats().clone());
+        RunResult {
+            bench: self.bench.name(),
+            placement: self.placement_label,
+            engine: self.engine_label,
+            total_secs,
+            per_iter_secs: self.per_iter_secs,
+            verification: self.bench.verify(),
+            upm: upm_stats.clone(),
+            kernel_migrations: self.rt.kernel_migration().stats().migrations,
+            remote_fraction: agg.remote_fraction(),
+            recrep_overhead_secs: upm_stats.map(|s| s.recrep_ns * 1e-9).unwrap_or(0.0),
+            trace: self.rt.machine_mut().take_trace(),
+        }
     }
+}
+
+impl std::fmt::Debug for BenchRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchRun")
+            .field("bench", &self.bench.name())
+            .field("step", &self.step)
+            .field("iters", &self.iters)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Run one benchmark under one configuration. `make` allocates the
+/// benchmark's arrays on the freshly configured machine.
+pub fn run_benchmark<B: NasBenchmark + 'static>(
+    make: impl FnOnce(&mut Runtime) -> B,
+    cfg: &RunConfig,
+) -> RunResult {
+    let mut run = BenchRun::new(make, cfg);
+    while !run.is_done() {
+        run.step();
+    }
+    run.finish()
 }
 
 #[cfg(test)]

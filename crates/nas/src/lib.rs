@@ -40,4 +40,4 @@ pub mod mg;
 pub mod sp;
 
 pub use common::{BenchName, NasBenchmark, PhasePoint, Scale, Verification};
-pub use harness::{run_benchmark, EngineMode, RunConfig, RunResult};
+pub use harness::{run_benchmark, BenchRun, EngineMode, RunConfig, RunResult};

@@ -49,6 +49,19 @@ pub enum EventKind {
         remote_fraction: f64,
         stall_ns: f64,
     },
+    /// A job entered the kernel scheduler's run queue.
+    JobArrived { job: usize },
+    /// A scheduling quantum ended; `scheduled` jobs held CPUs during it.
+    QuantumExpired { quantum: u64, scheduled: usize },
+    /// The scheduler moved one thread of a job to a different CPU.
+    ThreadMigrated {
+        job: usize,
+        thread: usize,
+        from: usize,
+        to: usize,
+    },
+    /// The scheduler shrank or grew a job's OpenMP team.
+    TeamResized { job: usize, from: usize, to: usize },
 }
 
 impl EventKind {
@@ -68,6 +81,10 @@ impl EventKind {
             EventKind::KernelScan { .. } => "KernelScan",
             EventKind::EngineDeactivated { .. } => "EngineDeactivated",
             EventKind::IterationBoundary { .. } => "IterationBoundary",
+            EventKind::JobArrived { .. } => "JobArrived",
+            EventKind::QuantumExpired { .. } => "QuantumExpired",
+            EventKind::ThreadMigrated { .. } => "ThreadMigrated",
+            EventKind::TeamResized { .. } => "TeamResized",
         }
     }
 
@@ -122,6 +139,30 @@ impl EventKind {
                     ("migrations", migrations.into()),
                     ("remote_fraction", remote_fraction.into()),
                     ("stall_ns", stall_ns.into()),
+                ]
+            }
+            EventKind::JobArrived { job } => vec![("job", job.into())],
+            EventKind::QuantumExpired { quantum, scheduled } => {
+                vec![("quantum", quantum.into()), ("scheduled", scheduled.into())]
+            }
+            EventKind::ThreadMigrated {
+                job,
+                thread,
+                from,
+                to,
+            } => {
+                vec![
+                    ("job", job.into()),
+                    ("thread", thread.into()),
+                    ("from", from.into()),
+                    ("to", to.into()),
+                ]
+            }
+            EventKind::TeamResized { job, from, to } => {
+                vec![
+                    ("job", job.into()),
+                    ("from", from.into()),
+                    ("to", to.into()),
                 ]
             }
         }

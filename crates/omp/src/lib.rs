@@ -25,5 +25,5 @@
 pub mod runtime;
 pub mod schedule;
 
-pub use runtime::{Par, RegionSummary, Runtime};
+pub use runtime::{Par, RegionSummary, Runtime, REDUCTION_BLOCKS};
 pub use schedule::Schedule;

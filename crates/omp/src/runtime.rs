@@ -78,6 +78,14 @@ impl Par<'_> {
     }
 }
 
+/// Number of fixed reduction blocks: [`Runtime::parallel_reduce`] splits
+/// the iteration space into this many blocks and combines the block
+/// partials in block order regardless of team size (teams larger than
+/// this use one block per thread), so reduction results are bit-identical
+/// across team sizes and mid-run resizes — like a deterministic-reduction
+/// OpenMP runtime.
+pub const REDUCTION_BLOCKS: usize = 16;
+
 /// The OpenMP-like runtime: a machine plus a thread team plus the kernel
 /// migration engine hook.
 pub struct Runtime {
@@ -89,6 +97,13 @@ pub struct Runtime {
     /// remap it (multiprogramming disturbance, the scenario the paper
     /// defers to its companion work on multiprogrammed machines).
     cpu_of_thread: Vec<CpuId>,
+    /// A rebinding staged by the scheduler while the program is running,
+    /// applied at the next region-boundary yield point (see
+    /// [`Runtime::request_rebind`]).
+    pending_binding: Option<Vec<CpuId>>,
+    /// Rebindings applied at yield points (deferred `request_rebind`s only;
+    /// immediate `rebind_threads`/`resize_team` calls are not counted).
+    rebinds_applied: u64,
 }
 
 impl Runtime {
@@ -111,6 +126,18 @@ impl Runtime {
             threads,
             regions: 0,
             cpu_of_thread: (0..threads).collect(),
+            pending_binding: None,
+            rebinds_applied: 0,
+        }
+    }
+
+    /// Panic unless `binding` is a set of distinct, valid CPUs.
+    fn validate_binding(&self, binding: &[CpuId]) {
+        let mut seen = vec![false; self.machine.cpus()];
+        for &cpu in binding {
+            assert!(cpu < self.machine.cpus(), "cpu {cpu} out of range");
+            assert!(!seen[cpu], "cpu {cpu} bound twice");
+            seen[cpu] = true;
         }
     }
 
@@ -122,18 +149,73 @@ impl Runtime {
     /// system intervenes and preempts or migrates threads").
     pub fn rebind_threads(&mut self, perm: &[CpuId]) {
         assert_eq!(perm.len(), self.threads, "one CPU per thread");
-        let mut seen = vec![false; self.machine.cpus()];
-        for &cpu in perm {
-            assert!(cpu < self.machine.cpus(), "cpu {cpu} out of range");
-            assert!(!seen[cpu], "cpu {cpu} bound twice");
-            seen[cpu] = true;
-        }
+        self.validate_binding(perm);
         self.cpu_of_thread = perm.to_vec();
+    }
+
+    /// Shrink or grow the team to `binding.len()` threads bound to the given
+    /// CPUs — the space-sharing scheduler's dynamic-partitioning move.
+    /// Worksharing in subsequent constructs divides iterations among the new
+    /// team; pages first-touched by the old team keep their homes (that
+    /// mismatch is exactly the disturbance the multiprogramming experiments
+    /// measure). Must be called between parallel constructs.
+    pub fn resize_team(&mut self, binding: &[CpuId]) {
+        assert!(
+            !self.machine.in_region(),
+            "resize_team inside a parallel region"
+        );
+        assert!(
+            !binding.is_empty() && binding.len() <= self.machine.cpus(),
+            "team size {} out of range",
+            binding.len()
+        );
+        self.validate_binding(binding);
+        self.threads = binding.len();
+        self.cpu_of_thread = binding.to_vec();
+        // A pending rebinding for the old team shape no longer applies.
+        self.pending_binding = None;
+    }
+
+    /// Stage a rebinding to be applied at the next region-boundary yield
+    /// point (the start of the next parallel construct or serial section).
+    /// This is the scheduler's preemption hook: a quantum can expire while
+    /// an iteration is in flight, and the thread migration then takes effect
+    /// at the next boundary rather than mid-region — the granularity at
+    /// which IRIX actually stops a gang. Validated immediately; replaces any
+    /// previously staged rebinding.
+    pub fn request_rebind(&mut self, perm: &[CpuId]) {
+        assert_eq!(perm.len(), self.threads, "one CPU per thread");
+        self.validate_binding(perm);
+        self.pending_binding = Some(perm.to_vec());
+    }
+
+    /// Apply a staged rebinding, if any. Called at every region-boundary
+    /// yield point; also usable directly by a scheduler that has descheduled
+    /// the job and wants the staged binding to land before the next quantum.
+    pub fn apply_pending_rebind(&mut self) -> bool {
+        match self.pending_binding.take() {
+            Some(binding) => {
+                self.cpu_of_thread = binding;
+                self.rebinds_applied += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Rebindings applied at yield points so far.
+    pub fn rebinds_applied(&self) -> u64 {
+        self.rebinds_applied
     }
 
     /// Current CPU binding of a thread.
     pub fn cpu_of_thread(&self, tid: usize) -> CpuId {
         self.cpu_of_thread[tid]
+    }
+
+    /// The team's full CPU binding, indexed by thread id.
+    pub fn binding(&self) -> &[CpuId] {
+        &self.cpu_of_thread
     }
 
     /// Enable/replace the kernel migration engine (`DSM_MIGRATION=ON`).
@@ -189,6 +271,7 @@ impl Runtime {
         schedule: Schedule,
         mut body: impl FnMut(&mut Par, usize),
     ) -> RegionSummary {
+        self.apply_pending_rebind();
         let cpus = self.cpu_of_thread.clone();
         self.run_region(|machine, threads| {
             if schedule.is_dynamic() {
@@ -212,9 +295,19 @@ impl Runtime {
         })
     }
 
-    /// `PARALLEL DO` with a `REDUCTION` clause: each thread folds its
-    /// iterations into a private accumulator starting from `identity`;
-    /// accumulators are combined with `combine` at the join.
+    /// `PARALLEL DO` with a `REDUCTION` clause: threads fold their
+    /// iterations into private block accumulators starting from
+    /// `identity`; accumulators are combined with `combine` at the join.
+    ///
+    /// The reduction is *deterministic across team sizes*: iterations are
+    /// partitioned into a fixed number of blocks
+    /// ([`REDUCTION_BLOCKS`], or the team size if larger) and the block
+    /// partials are combined in block order, so a team of 8 and a team of
+    /// 16 produce bit-identical results — and a run whose team is resized
+    /// mid-flight (the multiprogramming scheduler shrinks and grows
+    /// teams) still matches its fixed-size reference. With a 16-thread
+    /// team this degenerates to exactly one block per thread, i.e. the
+    /// classic per-thread `REDUCTION` combine order.
     pub fn parallel_reduce<T: Clone>(
         &mut self,
         n: usize,
@@ -223,28 +316,36 @@ impl Runtime {
         mut body: impl FnMut(&mut Par, usize, T) -> T,
         mut combine: impl FnMut(T, T) -> T,
     ) -> (T, RegionSummary) {
-        let mut partials: Vec<Option<T>> = vec![None; self.threads];
+        self.apply_pending_rebind();
+        let blocks = REDUCTION_BLOCKS.max(self.threads);
+        let mut partials: Vec<Option<T>> = vec![None; blocks];
         let cpus = self.cpu_of_thread.clone();
         let summary = self.run_region(|machine, threads| {
             assert!(
                 !schedule.is_dynamic(),
                 "reductions are supported on static schedules (as in the NAS codes)"
             );
-            let parts = schedule.static_chunks(n, threads);
-            for (tid, chunks) in parts.iter().enumerate() {
-                let mut acc = identity.clone();
+            let parts = schedule.static_chunks(n, blocks);
+            for (tid, &cpu) in cpus.iter().enumerate().take(threads) {
+                // Thread `tid` owns a contiguous run of blocks, so its
+                // iteration range (and memory traffic) is identical to the
+                // plain per-thread static schedule.
+                let (b0, b1) = (tid * blocks / threads, (tid + 1) * blocks / threads);
                 let mut par = Par {
                     machine,
-                    cpu: cpus[tid],
+                    cpu,
                     tid,
                     team: threads,
                 };
-                for &(start, end) in chunks {
-                    for i in start..end {
-                        acc = body(&mut par, i, acc);
+                for (b, chunks) in parts.iter().enumerate().take(b1).skip(b0) {
+                    let mut acc = identity.clone();
+                    for &(start, end) in chunks {
+                        for i in start..end {
+                            acc = body(&mut par, i, acc);
+                        }
                     }
+                    partials[b] = Some(acc);
                 }
-                partials[tid] = Some(acc);
             }
         });
         let mut result = identity;
@@ -259,6 +360,7 @@ impl Runtime {
         &mut self,
         sections: &mut [&mut dyn FnMut(&mut Par)],
     ) -> RegionSummary {
+        self.apply_pending_rebind();
         let cpus = self.cpu_of_thread.clone();
         self.run_region(|machine, threads| {
             for (s, section) in sections.iter_mut().enumerate() {
@@ -277,6 +379,7 @@ impl Runtime {
     /// Sequential program text between parallel constructs, executed by the
     /// master thread (CPU 0) with full simulation of its accesses.
     pub fn serial<R>(&mut self, body: impl FnOnce(&mut Par) -> R) -> R {
+        self.apply_pending_rebind();
         self.machine.begin_region();
         let cpu = self.cpu_of_thread[0];
         let mut par = Par {
@@ -535,6 +638,71 @@ mod tests {
         // follows the binding, not the thread id.
         let (base, _) = a.vrange();
         assert_eq!(rt.machine().node_of_vpage(ccnuma::vpage_of(base)), Some(2));
+    }
+
+    #[test]
+    fn resize_team_shrinks_and_grows() {
+        let mut rt = runtime(); // 8 CPUs
+        rt.resize_team(&[0, 1, 2, 3]);
+        assert_eq!(rt.threads(), 4);
+        let mut owner = vec![usize::MAX; 40];
+        rt.parallel_for(40, Schedule::Static, |par, i| owner[i] = par.tid);
+        assert!(owner.iter().all(|&t| t < 4));
+        rt.resize_team(&[4, 5, 6, 7, 0, 1]);
+        assert_eq!(rt.threads(), 6);
+        assert_eq!(rt.cpu_of_thread(0), 4);
+        assert_eq!(rt.binding(), &[4, 5, 6, 7, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn resize_team_rejects_duplicates() {
+        let mut rt = runtime();
+        rt.resize_team(&[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "team size 0 out of range")]
+    fn resize_team_rejects_empty() {
+        let mut rt = runtime();
+        rt.resize_team(&[]);
+    }
+
+    #[test]
+    fn requested_rebind_applies_at_next_region_boundary() {
+        let mut rt = runtime();
+        rt.request_rebind(&[4, 5, 6, 7, 0, 1, 2, 3]);
+        // Staged, not yet applied.
+        assert_eq!(rt.cpu_of_thread(0), 0);
+        assert_eq!(rt.rebinds_applied(), 0);
+        let mut cpu_of_t0 = usize::MAX;
+        rt.parallel_for(8, Schedule::Static, |par, _| {
+            if par.tid == 0 {
+                cpu_of_t0 = par.cpu;
+            }
+        });
+        // The region itself already ran on the new binding.
+        assert_eq!(cpu_of_t0, 4);
+        assert_eq!(rt.cpu_of_thread(0), 4);
+        assert_eq!(rt.rebinds_applied(), 1);
+    }
+
+    #[test]
+    fn resize_team_clears_stale_pending_rebind() {
+        let mut rt = runtime();
+        rt.request_rebind(&[4, 5, 6, 7, 0, 1, 2, 3]);
+        rt.resize_team(&[2, 3]);
+        // The stale 8-thread rebinding must not land on the 2-thread team.
+        rt.parallel_for(4, Schedule::Static, |_, _| {});
+        assert_eq!(rt.binding(), &[2, 3]);
+        assert_eq!(rt.rebinds_applied(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one CPU per thread")]
+    fn request_rebind_checks_arity() {
+        let mut rt = runtime();
+        rt.request_rebind(&[0, 1]);
     }
 
     #[test]

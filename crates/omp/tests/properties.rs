@@ -8,6 +8,22 @@ fn runtime() -> Runtime {
     Runtime::new(Machine::new(MachineConfig::tiny_test()))
 }
 
+/// The first `take` entries of a seed-determined Fisher–Yates shuffle of
+/// `0..cpus` — a valid distinct CPU binding for a `take`-thread team.
+fn permutation(seed: u64, cpus: usize, take: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..cpus).collect();
+    let mut state = seed | 1;
+    for i in (1..cpus).rev() {
+        // xorshift64 step per swap: cheap, deterministic, seed-sensitive.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        order.swap(i, (state as usize) % (i + 1));
+    }
+    order.truncate(take);
+    order
+}
+
 fn schedule_strategy() -> impl Strategy<Value = Schedule> {
     prop_oneof![
         Just(Schedule::Static),
@@ -88,26 +104,49 @@ proptest! {
             |par, i, acc| acc + par.get(&a, i),
             |x, y| x + y,
         );
-        // Reference: per-thread block partials folded in thread order —
-        // the reduction's defined summation order.
-        let threads = rt.threads();
-        let block = n.div_ceil(threads).max(1);
+        // Reference: fixed-block partials folded in block order — the
+        // reduction's defined summation order, independent of team size.
+        let blocks = omp::REDUCTION_BLOCKS.max(rt.threads());
+        let block = n.div_ceil(blocks).max(1);
         let mut expect = 0.0;
-        for t in 0..threads {
-            let (s, e) = ((t * block).min(n), ((t + 1) * block).min(n));
+        for b in 0..blocks {
+            let (s, e) = ((b * block).min(n), ((b + 1) * block).min(n));
             let mut acc = 0.0;
             for v in &values[s..e] {
                 acc += v;
             }
             if s < e {
                 expect += acc;
-            } else {
-                // Empty blocks contribute the identity, which the runtime
-                // also folds in.
-                expect += 0.0;
             }
         }
         prop_assert_eq!(sum, expect);
+    }
+
+    #[test]
+    fn reduction_is_bitwise_invariant_under_team_size(
+        values in proptest::collection::vec(-1000.0f64..1000.0, 1..300),
+        threads in 1usize..8,
+    ) {
+        // The fixed-block reduction order makes the result identical no
+        // matter how many threads run it — the property a scheduler-driven
+        // team resize relies on.
+        let n = values.len();
+        let run = |team: usize| {
+            let mut rt = runtime();
+            let binding: Vec<usize> = (0..team).collect();
+            rt.resize_team(&binding);
+            let vals = values.clone();
+            let a = SimArray::from_fn(rt.machine_mut(), "a", n, |i| vals[i]);
+            let (sum, _) = rt.parallel_reduce(
+                n,
+                Schedule::Static,
+                0.0,
+                |par, i, acc| acc + par.get(&a, i),
+                |x, y| x + y,
+            );
+            sum
+        };
+        prop_assert_eq!(run(threads).to_bits(), run(1).to_bits());
     }
 
     #[test]
@@ -117,6 +156,79 @@ proptest! {
             rt.parallel_for(4, Schedule::Static, |par, _| par.flops(1));
         }
         prop_assert_eq!(rt.regions(), constructs as u64);
+    }
+
+    #[test]
+    fn rebind_installs_exactly_the_permutation(
+        seed in any::<u64>(),
+        team in 1usize..9,
+    ) {
+        let mut rt = Runtime::with_threads(Machine::new(MachineConfig::tiny_test()), team);
+        let cpus = rt.machine().topology().cpus();
+        let perm = permutation(seed, cpus, team);
+        rt.rebind_threads(&perm);
+        prop_assert_eq!(rt.binding(), perm.as_slice());
+        for (tid, &cpu) in perm.iter().enumerate() {
+            prop_assert_eq!(rt.cpu_of_thread(tid), cpu);
+        }
+        // The binding stays a valid assignment: distinct, in-range CPUs.
+        let mut seen = vec![false; cpus];
+        for &cpu in rt.binding() {
+            prop_assert!(cpu < cpus, "cpu {} out of range", cpu);
+            prop_assert!(!seen[cpu], "cpu {} bound twice", cpu);
+            seen[cpu] = true;
+        }
+        // The team still runs worksharing correctly after the rebind.
+        let mut seen_iter = [0u32; 40];
+        rt.parallel_for(40, Schedule::Static, |_, i| seen_iter[i] += 1);
+        prop_assert!(seen_iter.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn rebind_rejects_wrong_arity(
+        seed in any::<u64>(),
+        team in 1usize..9,
+        delta in 1usize..4,
+    ) {
+        let mut rt = Runtime::with_threads(Machine::new(MachineConfig::tiny_test()), team);
+        let cpus = rt.machine().topology().cpus();
+        // Too short (when possible) and too long must both panic.
+        if team > delta {
+            let short = permutation(seed, cpus, team - delta);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                rt.rebind_threads(&short)
+            }));
+            prop_assert!(r.is_err(), "short binding accepted");
+        }
+        if team + delta <= cpus {
+            let long = permutation(seed, cpus, team + delta);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                rt.rebind_threads(&long)
+            }));
+            prop_assert!(r.is_err(), "long binding accepted");
+        }
+    }
+
+    #[test]
+    fn rebind_rejects_duplicate_and_out_of_range_cpus(
+        seed in any::<u64>(),
+        team in 2usize..9,
+        dup_at in 0usize..8,
+    ) {
+        let mut rt = Runtime::with_threads(Machine::new(MachineConfig::tiny_test()), team);
+        let cpus = rt.machine().topology().cpus();
+        let mut dup = permutation(seed, cpus, team);
+        dup[dup_at % team] = dup[(dup_at + 1) % team];
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.rebind_threads(&dup)
+        }));
+        prop_assert!(r.is_err(), "duplicate CPU accepted: {:?}", dup);
+        let mut oob = permutation(seed, cpus, team);
+        oob[dup_at % team] = cpus;
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.rebind_threads(&oob)
+        }));
+        prop_assert!(r.is_err(), "out-of-range CPU accepted: {:?}", oob);
     }
 
     #[test]

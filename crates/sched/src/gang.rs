@@ -1,0 +1,75 @@
+//! Gang scheduling: one job at a time owns the whole machine.
+//!
+//! The classic coscheduling discipline (and IRIX's behaviour for jobs that
+//! request it): all threads of a team run simultaneously or not at all, so
+//! quanta are dealt to whole jobs round-robin. Each job always lands on
+//! the same CPUs, so gang scheduling induces *no* thread migration — its
+//! cost is purely the wait for the machine, which is why the paper treats
+//! it as the locality-friendly baseline among time-sharing disciplines.
+
+use crate::policy::{Assignment, JobRequest, Policy};
+
+/// Round-robin whole-machine gang scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gang;
+
+impl Policy for Gang {
+    fn name(&self) -> &'static str {
+        "gang"
+    }
+
+    fn assign(&mut self, quantum: u64, jobs: &[JobRequest], cpus: usize) -> Vec<Assignment> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let req = jobs[(quantum as usize) % jobs.len()];
+        let team = req.threads.min(cpus).max(1);
+        vec![Assignment {
+            job: req.job,
+            cpus: (0..team).collect(),
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::validate_assignments;
+
+    fn reqs(n: usize) -> Vec<JobRequest> {
+        (0..n).map(|job| JobRequest { job, threads: 16 }).collect()
+    }
+
+    #[test]
+    fn rotates_whole_machine_round_robin() {
+        let mut gang = Gang;
+        let jobs = reqs(3);
+        for q in 0..9 {
+            let asg = gang.assign(q, &jobs, 16);
+            validate_assignments(&asg, &jobs, 16);
+            assert_eq!(asg.len(), 1);
+            assert_eq!(asg[0].job, (q as usize) % 3);
+            assert_eq!(asg[0].cpus, (0..16).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn binding_is_stable_per_job() {
+        let mut gang = Gang;
+        let jobs = reqs(2);
+        let first = gang.assign(0, &jobs, 16);
+        let again = gang.assign(2, &jobs, 16);
+        assert_eq!(first, again, "a gang must keep its CPUs across quanta");
+    }
+
+    #[test]
+    fn caps_team_at_machine_size() {
+        let mut gang = Gang;
+        let jobs = vec![JobRequest {
+            job: 0,
+            threads: 64,
+        }];
+        let asg = gang.assign(0, &jobs, 8);
+        assert_eq!(asg[0].cpus.len(), 8);
+    }
+}

@@ -1,0 +1,49 @@
+//! A simulated IRIX-like kernel scheduler: time-sharing the ccNUMA machine
+//! among multiple concurrent NAS jobs.
+//!
+//! The paper's strongest argument against static data distribution is that
+//! a `DISTRIBUTE` directive is meaningless once "the operating system
+//! intervenes and preempts or migrates threads": under multiprogramming the
+//! kernel moves threads across nodes, first-touch placement goes stale, and
+//! only dynamic page migration can follow. This crate supplies the missing
+//! operating system:
+//!
+//! * [`job::Job`] — one NAS benchmark instance with its own OpenMP team and
+//!   its own address space (a private simulated machine image), wrapped in
+//!   the steppable [`nas::BenchRun`] harness;
+//! * [`scheduler::Scheduler`] — a quantum-driven loop on a global simulated
+//!   clock: each quantum a pluggable [`policy::Policy`] grants disjoint CPU
+//!   sets to runnable jobs, the scheduler applies the grants (shrinking,
+//!   growing, or rebinding teams through `omp::Runtime`), and the jobs run
+//!   until their budget for the quantum is consumed;
+//! * three policies — [`gang::Gang`] (one job at a time on the whole
+//!   machine, round-robin), [`space::SpaceSharing`] (stable contiguous
+//!   partitions, repartitioned when jobs finish), and
+//!   [`timeshare::TimeSharing`] (partitions that rotate across the machine
+//!   every quantum — naive time-sharing with thread migration);
+//! * [`job::UpmResponse`] — the scheduler-aware UPMlib modes: after the
+//!   scheduler rebinds a team, the migration engine either re-arms and
+//!   re-learns the placement (forget-and-relearn) or immediately replays
+//!   the tuned placement under the new binding ("page migration follows
+//!   thread migration").
+//!
+//! Preemption is cooperative: jobs yield at iteration boundaries (the
+//! scheduler's preemption points) and expose region-boundary yield points
+//! via [`nas::BenchRun::step_with`] plus `omp::Runtime::request_rebind`.
+//! See DESIGN.md §10 for the model and its deviations from real IRIX.
+
+pub mod gang;
+pub mod job;
+pub mod outcome;
+pub mod policy;
+pub mod scheduler;
+pub mod space;
+pub mod timeshare;
+
+pub use gang::Gang;
+pub use job::{Job, JobSpec, UpmResponse};
+pub use outcome::{JobOutcome, SchedOutcome};
+pub use policy::{validate_assignments, Assignment, JobRequest, Policy};
+pub use scheduler::{SchedConfig, Scheduler};
+pub use space::SpaceSharing;
+pub use timeshare::TimeSharing;

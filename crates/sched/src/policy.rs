@@ -1,0 +1,154 @@
+//! The scheduling-policy interface: each quantum, a policy maps the
+//! runnable job set to disjoint CPU grants.
+
+use std::collections::HashSet;
+
+/// One runnable job's standing request, as the policy sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRequest {
+    /// Job id.
+    pub job: usize,
+    /// Team size the job asked for at submission.
+    pub threads: usize,
+}
+
+/// CPUs granted to one job for one quantum: `cpus[i]` is the physical CPU
+/// thread `i` runs on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// Job id (must be in the runnable set passed to the policy).
+    pub job: usize,
+    /// Granted CPUs, one per thread; the team is resized to this length.
+    pub cpus: Vec<usize>,
+}
+
+/// A pluggable scheduling policy.
+///
+/// Invariants every policy must uphold (checked by
+/// [`validate_assignments`] each quantum and by the crate's property
+/// tests): no CPU is granted to two jobs within a quantum, every granted
+/// job is runnable, grants are non-empty, and every runnable job is
+/// scheduled at least once in any window of `jobs.len()` consecutive
+/// quanta with an unchanged runnable set (no starvation).
+pub trait Policy {
+    /// Policy label used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Decide CPU grants for quantum number `quantum` given the runnable
+    /// set and the machine's CPU count.
+    fn assign(&mut self, quantum: u64, jobs: &[JobRequest], cpus: usize) -> Vec<Assignment>;
+}
+
+/// Panic if `asg` double-books a CPU, grants an out-of-range CPU, grants a
+/// job not in `jobs`, or hands out an empty grant.
+pub fn validate_assignments(asg: &[Assignment], jobs: &[JobRequest], cpus: usize) {
+    let runnable: HashSet<usize> = jobs.iter().map(|r| r.job).collect();
+    let mut granted = HashSet::new();
+    let mut used = HashSet::new();
+    for a in asg {
+        assert!(
+            runnable.contains(&a.job),
+            "policy granted CPUs to job {} which is not runnable",
+            a.job
+        );
+        assert!(
+            granted.insert(a.job),
+            "policy granted job {} twice in one quantum",
+            a.job
+        );
+        assert!(!a.cpus.is_empty(), "empty CPU grant for job {}", a.job);
+        for &c in &a.cpus {
+            assert!(c < cpus, "cpu {c} out of range (machine has {cpus})");
+            assert!(used.insert(c), "cpu {c} double-booked within a quantum");
+        }
+    }
+}
+
+/// Equal contiguous shares of the machine for the runnable jobs, in job
+/// order: `(start, len)` per job. The partition both space-sharing and
+/// time-sharing derive their grants from. A job never gets more CPUs than
+/// it requested; leftovers from the division go to the earlier jobs.
+pub(crate) fn equal_shares(jobs: &[JobRequest], cpus: usize) -> Vec<(usize, usize)> {
+    let k = jobs.len();
+    assert!(k > 0, "no runnable jobs to partition for");
+    assert!(
+        k <= cpus,
+        "more runnable jobs ({k}) than CPUs ({cpus}): partitioning unsupported"
+    );
+    let base = cpus / k;
+    let extra = cpus % k;
+    let mut start = 0;
+    let mut shares = Vec::with_capacity(k);
+    for (i, req) in jobs.iter().enumerate() {
+        let share = base + usize::from(i < extra);
+        shares.push((start, share.min(req.threads).max(1)));
+        start += share;
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reqs(threads: &[usize]) -> Vec<JobRequest> {
+        threads
+            .iter()
+            .enumerate()
+            .map(|(job, &threads)| JobRequest { job, threads })
+            .collect()
+    }
+
+    #[test]
+    fn equal_shares_cover_disjoint_ranges() {
+        let shares = equal_shares(&reqs(&[16, 16, 16]), 16);
+        assert_eq!(shares, vec![(0, 6), (6, 5), (11, 5)]);
+        let shares = equal_shares(&reqs(&[16, 16]), 16);
+        assert_eq!(shares, vec![(0, 8), (8, 8)]);
+    }
+
+    #[test]
+    fn equal_shares_cap_at_requested_threads() {
+        let shares = equal_shares(&reqs(&[2, 16]), 16);
+        assert_eq!(shares, vec![(0, 2), (8, 8)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-booked")]
+    fn validate_rejects_double_booking() {
+        let jobs = reqs(&[4, 4]);
+        let asg = vec![
+            Assignment {
+                job: 0,
+                cpus: vec![0, 1],
+            },
+            Assignment {
+                job: 1,
+                cpus: vec![1, 2],
+            },
+        ];
+        validate_assignments(&asg, &jobs, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "not runnable")]
+    fn validate_rejects_unknown_job() {
+        let jobs = reqs(&[4]);
+        let asg = vec![Assignment {
+            job: 7,
+            cpus: vec![0],
+        }];
+        validate_assignments(&asg, &jobs, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn validate_rejects_out_of_range_cpu() {
+        let jobs = reqs(&[4]);
+        let asg = vec![Assignment {
+            job: 0,
+            cpus: vec![8],
+        }];
+        validate_assignments(&asg, &jobs, 8);
+    }
+}

@@ -1,0 +1,442 @@
+//! The quantum-driven scheduler loop.
+//!
+//! A global simulated clock advances one quantum at a time. Each quantum
+//! the policy maps the runnable job set to disjoint CPU grants; the
+//! scheduler applies each grant — shrinking, growing, or rebinding the
+//! job's OpenMP team through `omp::Runtime`, firing the job's
+//! scheduler-aware UPMlib response — and then lets the job consume its
+//! CPU-time budget by stepping timed iterations on its own machine.
+//!
+//! Preemption is cooperative at iteration granularity: an iteration that
+//! outlives the quantum leaves the job's budget negative, and the job pays
+//! that debt out of its next grant before stepping again — the simulated
+//! analogue of a thread being descheduled mid-iteration. CPU grants are
+//! checked every quantum (no CPU double-booked, only runnable jobs
+//! scheduled) via [`crate::policy::validate_assignments`].
+
+use crate::job::{Job, JobSpec, UpmResponse};
+use crate::outcome::{JobOutcome, SchedOutcome};
+use crate::policy::{JobRequest, Policy};
+use obs::{EventKind, TraceSink};
+
+/// Scheduler tunables.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Quantum length in simulated ns. IRIX time-shares at 10–100 ms; the
+    /// right value for an experiment is a few iterations of the smallest
+    /// job, so the scheduler preempts mid-run but not every instant.
+    pub quantum_ns: f64,
+    /// Collect the scheduler's event trace (JobArrived, QuantumExpired,
+    /// ThreadMigrated, TeamResized).
+    pub trace: bool,
+    /// Event-ring bound for the scheduler trace.
+    pub trace_capacity: usize,
+    /// Safety valve: panic if the schedule exceeds this many quanta
+    /// (a policy that starves a job would otherwise spin forever).
+    pub max_quanta: u64,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            quantum_ns: 10.0e6,
+            trace: false,
+            trace_capacity: 1 << 18,
+            max_quanta: 1_000_000,
+        }
+    }
+}
+
+/// The kernel scheduler: owns the jobs and the global clock.
+pub struct Scheduler {
+    cfg: SchedConfig,
+    policy: Box<dyn Policy>,
+    jobs: Vec<Job>,
+    trace: TraceSink,
+    now_ns: f64,
+    quantum: u64,
+    thread_migrations: u64,
+    team_resizes: u64,
+}
+
+impl Scheduler {
+    pub fn new(policy: Box<dyn Policy>, cfg: SchedConfig) -> Self {
+        let trace = if cfg.trace {
+            TraceSink::enabled(cfg.trace_capacity)
+        } else {
+            TraceSink::Null
+        };
+        Scheduler {
+            cfg,
+            policy,
+            jobs: Vec::new(),
+            trace,
+            now_ns: 0.0,
+            quantum: 0,
+            thread_migrations: 0,
+            team_resizes: 0,
+        }
+    }
+
+    /// Admit a job; returns its id. All jobs must target machines with the
+    /// same CPU count (they share the physical processors).
+    pub fn submit(&mut self, spec: JobSpec) -> usize {
+        let id = self.jobs.len();
+        let arrival = spec.arrival_ns;
+        let job = Job::new(id, spec);
+        if let Some(first) = self.jobs.first() {
+            assert_eq!(
+                first.run.runtime().machine().topology().cpus(),
+                job.run.runtime().machine().topology().cpus(),
+                "all jobs must share one machine size"
+            );
+        }
+        self.trace
+            .emit(arrival, || EventKind::JobArrived { job: id });
+        self.jobs.push(job);
+        id
+    }
+
+    /// Threads moved between CPUs so far, all jobs.
+    pub fn thread_migrations(&self) -> u64 {
+        self.thread_migrations
+    }
+
+    /// Run quanta until every job finishes; consume the scheduler and
+    /// report.
+    pub fn run_to_completion(mut self) -> SchedOutcome {
+        assert!(!self.jobs.is_empty(), "no jobs submitted");
+        let cpus = self.jobs[0].run.runtime().machine().topology().cpus();
+        let quantum_ns = self.cfg.quantum_ns;
+        while self.jobs.iter().any(|j| !j.is_done()) {
+            assert!(
+                self.quantum < self.cfg.max_quanta,
+                "schedule exceeded {} quanta: a job is starving or the quantum is too short; jobs: {:?}",
+                self.cfg.max_quanta,
+                self.jobs
+                    .iter()
+                    .map(|j| (j.id, j.is_done(), j.run.steps_done(), j.budget_ns))
+                    .collect::<Vec<_>>()
+            );
+            let runnable: Vec<JobRequest> = self
+                .jobs
+                .iter()
+                .filter(|j| !j.is_done() && j.spec.arrival_ns <= self.now_ns)
+                .map(|j| JobRequest {
+                    job: j.id,
+                    threads: j.spec.config.threads,
+                })
+                .collect();
+            if runnable.is_empty() {
+                // Idle quantum: every unfinished job is still in the future.
+                self.now_ns += quantum_ns;
+                self.quantum += 1;
+                continue;
+            }
+            let assignments = self.policy.assign(self.quantum, &runnable, cpus);
+            crate::policy::validate_assignments(&assignments, &runnable, cpus);
+            let scheduled = assignments.len();
+            for a in &assignments {
+                self.apply_binding(a.job, &a.cpus);
+                {
+                    let job = &mut self.jobs[a.job];
+                    job.budget_ns += quantum_ns;
+                    job.quanta_run += 1;
+                }
+                loop {
+                    let job = &mut self.jobs[a.job];
+                    if job.budget_ns <= 0.0 || job.run.is_done() {
+                        break;
+                    }
+                    let ns = job.run.step() * 1e9;
+                    job.budget_ns -= ns;
+                    job.cpu_ns += ns;
+                    // A response deferred while the job could not step may
+                    // fire now that an iteration completed.
+                    self.fire_response(a.job);
+                }
+                let job = &mut self.jobs[a.job];
+                if job.run.is_done() && job.finish_ns.is_none() {
+                    job.finish_ns = Some(self.now_ns + quantum_ns);
+                }
+            }
+            let q = self.quantum;
+            self.trace
+                .emit(self.now_ns + quantum_ns, || EventKind::QuantumExpired {
+                    quantum: q,
+                    scheduled,
+                });
+            self.now_ns += quantum_ns;
+            self.quantum += 1;
+        }
+        self.report()
+    }
+
+    /// Install `cpus` as the job's binding: resize if the team size
+    /// changes, rebind (counting per-thread migrations) if only the CPUs
+    /// change, and fire the job's UPMlib response on any change.
+    fn apply_binding(&mut self, id: usize, cpus: &[usize]) {
+        let now = self.now_ns;
+        let job = &mut self.jobs[id];
+        if job.binding == cpus {
+            return;
+        }
+        let old = std::mem::replace(&mut job.binding, cpus.to_vec());
+        if old.len() != cpus.len() {
+            self.trace.emit(now, || EventKind::TeamResized {
+                job: id,
+                from: old.len(),
+                to: cpus.len(),
+            });
+            job.team_resizes += 1;
+            self.team_resizes += 1;
+            job.run.runtime_mut().resize_team(cpus);
+        } else {
+            for (thread, (&from, &to)) in old.iter().zip(cpus).enumerate() {
+                if from != to {
+                    self.trace.emit(now, || EventKind::ThreadMigrated {
+                        job: id,
+                        thread,
+                        from,
+                        to,
+                    });
+                    job.thread_migrations += 1;
+                    self.thread_migrations += 1;
+                }
+            }
+            job.run.runtime_mut().rebind_threads(cpus);
+        }
+        // Queue the UPMlib response. Rebinds arriving faster than the job
+        // can step coalesce: the deferred response runs from the binding
+        // before the oldest unanswered rebind to whatever the binding is
+        // when it fires.
+        if job.response_old.is_none() {
+            job.response_old = Some(old);
+        }
+        self.fire_response(id);
+    }
+
+    /// Fire the job's pending UPMlib response, if it has one and has
+    /// completed an iteration since the last one fired. The response may
+    /// move pages (the follow-threads replay); that work runs on the
+    /// job's machine and advances its clock, so it is billed against the
+    /// job's budget like any other consumed CPU time. Gating on a
+    /// completed step bounds total response cost by (iterations x
+    /// hot-set move cost): a scheduler that rotates bindings faster than
+    /// the job can afford to chase them cannot starve it.
+    fn fire_response(&mut self, id: usize) {
+        let job = &mut self.jobs[id];
+        if job.spec.response == UpmResponse::None {
+            job.response_old = None;
+            return;
+        }
+        if job.response_old.is_none() || job.run.steps_done() <= job.steps_at_last_response {
+            return;
+        }
+        let old = job.response_old.take().expect("pending response");
+        job.steps_at_last_response = job.run.steps_done();
+        // Iteration work is measured inside `step` and must not be
+        // double-charged, hence the clock delta around the response only.
+        let t0 = job.run.runtime().machine().clock().now_ns();
+        match job.spec.response {
+            UpmResponse::None => unreachable!("cleared above"),
+            UpmResponse::ForgetRelearn => job.run.rearm_upm(),
+            UpmResponse::FollowThreads => {
+                let new = job.binding.clone();
+                job.run.upm_follow_rebind(&old, &new);
+            }
+        }
+        let response_ns = job.run.runtime().machine().clock().now_ns() - t0;
+        job.budget_ns -= response_ns;
+        job.cpu_ns += response_ns;
+    }
+
+    fn report(mut self) -> SchedOutcome {
+        let makespan_secs = self.now_ns * 1e-9;
+        let jobs = std::mem::take(&mut self.jobs)
+            .into_iter()
+            .map(|job| JobOutcome {
+                job: job.id,
+                bench: job.spec.bench,
+                arrival_secs: job.spec.arrival_ns * 1e-9,
+                turnaround_secs: (job.finish_ns.expect("job finished before report")
+                    - job.spec.arrival_ns)
+                    * 1e-9,
+                cpu_secs: job.cpu_ns * 1e-9,
+                quanta_run: job.quanta_run,
+                thread_migrations: job.thread_migrations,
+                team_resizes: job.team_resizes,
+                result: job.run.finish(),
+            })
+            .collect();
+        SchedOutcome {
+            policy: self.policy.name().to_string(),
+            quanta: self.quantum,
+            makespan_secs,
+            thread_migrations: self.thread_migrations,
+            team_resizes: self.team_resizes,
+            jobs,
+            trace: self.trace.take(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("policy", &self.policy.name())
+            .field("jobs", &self.jobs.len())
+            .field("quantum", &self.quantum)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gang, SpaceSharing, TimeSharing};
+    use ccnuma::MachineConfig;
+    use nas::{BenchName, EngineMode, RunConfig, Scale};
+    use vmm::PlacementScheme;
+
+    fn tiny_spec(bench: BenchName) -> JobSpec {
+        JobSpec::new(
+            bench,
+            Scale::Tiny,
+            RunConfig {
+                placement: PlacementScheme::FirstTouch,
+                engine: EngineMode::None,
+                threads: 8,
+                machine: MachineConfig::tiny_test(),
+                trace: false,
+            },
+        )
+    }
+
+    fn sched(policy: Box<dyn Policy>) -> Scheduler {
+        Scheduler::new(
+            policy,
+            SchedConfig {
+                // Tiny-scale jobs last ~2 ms; a 50 us quantum gives each
+                // job tens of quanta and several time-sharing rotations.
+                quantum_ns: 0.05e6,
+                trace: true,
+                ..SchedConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn gang_runs_jobs_to_completion_without_migration() {
+        let mut s = sched(Box::new(Gang));
+        s.submit(tiny_spec(BenchName::Cg));
+        s.submit(tiny_spec(BenchName::Mg));
+        let out = s.run_to_completion();
+        assert_eq!(out.policy, "gang");
+        assert_eq!(out.jobs.len(), 2);
+        assert_eq!(out.thread_migrations, 0, "gangs keep their CPUs");
+        for j in &out.jobs {
+            assert!(j.result.verification.passed, "{:?} must verify", j.bench);
+            assert!(j.turnaround_secs > 0.0);
+            assert!(j.cpu_secs > 0.0);
+            assert!(j.turnaround_secs + 1e-12 >= j.cpu_secs);
+        }
+        assert!(out.makespan_secs >= out.jobs[0].turnaround_secs);
+    }
+
+    #[test]
+    fn space_sharing_shrinks_then_grows_teams() {
+        let mut s = sched(Box::new(SpaceSharing));
+        s.submit(tiny_spec(BenchName::Cg));
+        s.submit(tiny_spec(BenchName::Mg));
+        let out = s.run_to_completion();
+        assert_eq!(out.thread_migrations, 0, "partitions are stable");
+        // Both jobs were shrunk from 8 to 4 threads at admission; the
+        // survivor grows back to 8 when the other finishes.
+        assert!(out.team_resizes >= 2, "both jobs resized at least once");
+        let survivor = out
+            .jobs
+            .iter()
+            .max_by(|a, b| a.turnaround_secs.total_cmp(&b.turnaround_secs))
+            .unwrap();
+        assert!(survivor.team_resizes >= 2, "survivor shrank then grew");
+        for j in &out.jobs {
+            assert!(j.result.verification.passed);
+        }
+    }
+
+    #[test]
+    fn time_sharing_migrates_threads_every_quantum() {
+        let mut s = sched(Box::new(TimeSharing::default()));
+        s.submit(tiny_spec(BenchName::Cg));
+        s.submit(tiny_spec(BenchName::Mg));
+        let out = s.run_to_completion();
+        assert!(
+            out.thread_migrations > 0,
+            "rotation must move threads between quanta"
+        );
+        for j in &out.jobs {
+            assert!(j.result.verification.passed);
+        }
+    }
+
+    #[test]
+    fn trace_thread_migrated_events_match_reported_count() {
+        let mut s = sched(Box::new(TimeSharing::default()));
+        s.submit(tiny_spec(BenchName::Cg));
+        s.submit(tiny_spec(BenchName::Mg));
+        let out = s.run_to_completion();
+        let tracer = out.trace.as_ref().expect("tracing was on");
+        let migrated = tracer
+            .ring
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ThreadMigrated { .. }))
+            .count() as u64;
+        assert_eq!(migrated, out.thread_migrations);
+        let arrived = tracer
+            .ring
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::JobArrived { .. }))
+            .count();
+        assert_eq!(arrived, 2);
+        let quanta = tracer
+            .ring
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::QuantumExpired { .. }))
+            .count() as u64;
+        assert_eq!(quanta, out.quanta);
+    }
+
+    #[test]
+    fn late_arrival_waits_for_its_clock_time() {
+        let mut s = sched(Box::new(Gang));
+        s.submit(tiny_spec(BenchName::Cg));
+        s.submit(tiny_spec(BenchName::Mg).arriving_at_ns(2.0e6));
+        let out = s.run_to_completion();
+        // Turnaround is measured from arrival, and the late job cannot
+        // have started before it.
+        assert!(out.jobs[1].arrival_secs > 0.0);
+        assert!(out.jobs[1].turnaround_secs > 0.0);
+        assert!(out.makespan_secs * 1e9 >= 2.0e6);
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let run = || {
+            let mut s = sched(Box::new(TimeSharing::default()));
+            s.submit(tiny_spec(BenchName::Cg));
+            s.submit(tiny_spec(BenchName::Mg));
+            let out = s.run_to_completion();
+            (
+                out.quanta,
+                out.thread_migrations,
+                out.makespan_secs.to_bits(),
+                out.jobs
+                    .iter()
+                    .map(|j| j.turnaround_secs.to_bits())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

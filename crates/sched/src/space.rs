@@ -1,0 +1,88 @@
+//! Space sharing (dynamic partitioning): every runnable job runs every
+//! quantum, each inside its own stable contiguous CPU partition.
+//!
+//! The machine is divided into equal contiguous chunks, one per runnable
+//! job in job order; teams are shrunk to their partition. The partition
+//! only changes when the runnable set changes (a job finishes or arrives),
+//! at which point survivors grow into the reclaimed CPUs — the dynamic
+//! repartitioning of IRIX's Miser/processor-set style scheduling. Because
+//! partitions are contiguous and stable, threads never move between
+//! quanta and first-touch locality inside a partition survives.
+
+use crate::policy::{equal_shares, Assignment, JobRequest, Policy};
+
+/// Equal contiguous partitions, repartitioned when the runnable set changes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpaceSharing;
+
+impl Policy for SpaceSharing {
+    fn name(&self) -> &'static str {
+        "space"
+    }
+
+    fn assign(&mut self, _quantum: u64, jobs: &[JobRequest], cpus: usize) -> Vec<Assignment> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        equal_shares(jobs, cpus)
+            .into_iter()
+            .zip(jobs)
+            .map(|((start, len), req)| Assignment {
+                job: req.job,
+                cpus: (start..start + len).collect(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::validate_assignments;
+
+    fn reqs(threads: &[usize]) -> Vec<JobRequest> {
+        threads
+            .iter()
+            .enumerate()
+            .map(|(job, &threads)| JobRequest { job, threads })
+            .collect()
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_stable() {
+        let mut sp = SpaceSharing;
+        let jobs = reqs(&[16, 16]);
+        let first = sp.assign(0, &jobs, 16);
+        validate_assignments(&first, &jobs, 16);
+        assert_eq!(first[0].cpus, (0..8).collect::<Vec<_>>());
+        assert_eq!(first[1].cpus, (8..16).collect::<Vec<_>>());
+        // Same runnable set, later quantum: identical grants, no migration.
+        assert_eq!(sp.assign(17, &jobs, 16), first);
+    }
+
+    #[test]
+    fn survivor_grows_after_a_job_finishes() {
+        let mut sp = SpaceSharing;
+        let both = reqs(&[16, 16]);
+        let before = sp.assign(0, &both, 16);
+        assert_eq!(before[1].cpus.len(), 8);
+        let alone = vec![JobRequest {
+            job: 1,
+            threads: 16,
+        }];
+        let after = sp.assign(1, &alone, 16);
+        validate_assignments(&after, &alone, 16);
+        assert_eq!(after[0].job, 1);
+        assert_eq!(after[0].cpus.len(), 16, "survivor reclaims the machine");
+    }
+
+    #[test]
+    fn three_jobs_share_sixteen_cpus() {
+        let mut sp = SpaceSharing;
+        let jobs = reqs(&[16, 16, 16]);
+        let asg = sp.assign(0, &jobs, 16);
+        validate_assignments(&asg, &jobs, 16);
+        let sizes: Vec<usize> = asg.iter().map(|a| a.cpus.len()).collect();
+        assert_eq!(sizes, vec![6, 5, 5]);
+    }
+}

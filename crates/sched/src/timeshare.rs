@@ -1,0 +1,163 @@
+//! Naive time-sharing with thread migration: every runnable job runs every
+//! quantum, but the partition assignment rotates across the machine, so
+//! threads migrate between nodes as the schedule progresses.
+//!
+//! This models the behaviour the paper holds against static distribution:
+//! a priority-driven kernel scheduler that moves threads between
+//! processors for load balance, with no regard for memory affinity. The
+//! grants are the same equal contiguous chunks as space sharing, but
+//! shifted by `stride` CPUs once every `period` quanta (mod the machine),
+//! so every thread periodically changes CPU — and home node — while the
+//! page placement stays wherever first touch (or the migration engine)
+//! left it. A real kernel degrades affinity occasionally (when its load
+//! balancer fires), not on every tick; `period` sets how many quanta a
+//! binding survives between rotations.
+//!
+//! The default stride of 2 equals the Origin2000's CPUs-per-node, so a
+//! rotation moves whole node populations to the next node: threads that
+//! shared a node keep sharing one, which is exactly the case where the
+//! record–replay UPMlib response ([`crate::job::UpmResponse::FollowThreads`])
+//! can replay the old placement under the new binding.
+
+use crate::policy::{equal_shares, Assignment, JobRequest, Policy};
+
+/// Rotating-partition time-sharing.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeSharing {
+    /// CPUs the partition shifts by at each rotation.
+    pub stride: usize,
+    /// Quanta between rotations (a binding survives this many quanta).
+    pub period: u64,
+}
+
+impl Default for TimeSharing {
+    fn default() -> Self {
+        // Shift by one Origin2000 node, once every 16 quanta: threads keep
+        // their CPUs long enough for a migration engine to amortize moving
+        // the hot pages after them, as under a real load balancer that
+        // fires occasionally rather than every tick.
+        TimeSharing {
+            stride: 2,
+            period: 16,
+        }
+    }
+}
+
+impl Policy for TimeSharing {
+    fn name(&self) -> &'static str {
+        "timeshare"
+    }
+
+    fn assign(&mut self, quantum: u64, jobs: &[JobRequest], cpus: usize) -> Vec<Assignment> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let rotation = (quantum / self.period.max(1)) as usize;
+        let offset = rotation.wrapping_mul(self.stride) % cpus;
+        equal_shares(jobs, cpus)
+            .into_iter()
+            .zip(jobs)
+            .map(|((start, len), req)| Assignment {
+                job: req.job,
+                cpus: (0..len).map(|i| (start + offset + i) % cpus).collect(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::validate_assignments;
+
+    fn reqs(n: usize) -> Vec<JobRequest> {
+        (0..n).map(|job| JobRequest { job, threads: 16 }).collect()
+    }
+
+    #[test]
+    fn rotation_stays_disjoint_and_moves_every_thread() {
+        let mut ts = TimeSharing {
+            stride: 2,
+            period: 1,
+        };
+        let jobs = reqs(2);
+        let mut prev: Option<Vec<Assignment>> = None;
+        for q in 0..24 {
+            let asg = ts.assign(q, &jobs, 16);
+            validate_assignments(&asg, &jobs, 16);
+            if let Some(prev) = prev {
+                for (now, before) in asg.iter().zip(&prev) {
+                    let moved = now
+                        .cpus
+                        .iter()
+                        .zip(&before.cpus)
+                        .filter(|(a, b)| a != b)
+                        .count();
+                    assert_eq!(moved, now.cpus.len(), "every thread migrates each rotation");
+                }
+            }
+            prev = Some(asg);
+        }
+    }
+
+    #[test]
+    fn binding_survives_a_period_then_rotates() {
+        let ts = TimeSharing::default();
+        let mut ts2 = ts;
+        let jobs = reqs(2);
+        let base = ts2.assign(0, &jobs, 16);
+        // Same binding for every quantum of the first period...
+        for q in 1..ts.period {
+            assert_eq!(
+                ts2.assign(q, &jobs, 16),
+                base,
+                "binding stable within a period"
+            );
+        }
+        // ...then every thread moves at the period boundary.
+        let rotated = ts2.assign(ts.period, &jobs, 16);
+        for (now, before) in rotated.iter().zip(&base) {
+            let moved = now
+                .cpus
+                .iter()
+                .zip(&before.cpus)
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(moved, now.cpus.len());
+        }
+    }
+
+    #[test]
+    fn stride_two_maps_nodes_onto_nodes() {
+        // With 2 CPUs per node, a stride-2 rotation of an even-sized,
+        // even-aligned chunk maps each node's thread pair onto one node.
+        let mut ts = TimeSharing {
+            stride: 2,
+            period: 1,
+        };
+        let jobs = reqs(2);
+        let before = ts.assign(0, &jobs, 16);
+        let after = ts.assign(1, &jobs, 16);
+        for (b, a) in before.iter().zip(&after) {
+            for (pair_b, pair_a) in b.cpus.chunks(2).zip(a.cpus.chunks(2)) {
+                assert_eq!(pair_b[0] / 2, pair_b[1] / 2, "pair shares a node before");
+                assert_eq!(pair_a[0] / 2, pair_a[1] / 2, "pair shares a node after");
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_wraps_around_the_machine() {
+        let mut ts = TimeSharing {
+            stride: 2,
+            period: 1,
+        };
+        let jobs = reqs(2);
+        // After 8 quanta the offset is 16 % 16 = 0 again.
+        assert_eq!(ts.assign(0, &jobs, 16), ts.assign(8, &jobs, 16));
+        // Mid-cycle (offset 10), job 0's chunk [10..18) wraps through CPU 0.
+        let asg = ts.assign(5, &jobs, 16);
+        validate_assignments(&asg, &jobs, 16);
+        assert!(asg[0].cpus.contains(&0));
+    }
+}

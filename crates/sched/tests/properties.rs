@@ -1,0 +1,93 @@
+//! Property tests of the scheduling policies: within any quantum no CPU is
+//! granted twice, and over any window of `jobs.len()` consecutive quanta
+//! with an unchanged runnable set, every runnable job is scheduled.
+
+use proptest::prelude::*;
+use sched::{validate_assignments, Gang, JobRequest, Policy, SpaceSharing, TimeSharing};
+use std::collections::HashSet;
+
+fn make_policy(tag: u8, stride: usize, period: u64) -> Box<dyn Policy> {
+    match tag % 3 {
+        0 => Box::new(Gang),
+        1 => Box::new(SpaceSharing),
+        _ => Box::new(TimeSharing { stride, period }),
+    }
+}
+
+fn requests(threads: &[usize]) -> Vec<JobRequest> {
+    threads
+        .iter()
+        .enumerate()
+        .map(|(job, &threads)| JobRequest { job, threads })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn no_cpu_double_booked_within_a_quantum(
+        tag in 0u8..3,
+        stride in 1usize..5,
+        period in 1u64..5,
+        threads in proptest::collection::vec(1usize..17, 1..5),
+        cpus in 8usize..17,
+        start in 0u64..64,
+    ) {
+        let mut policy = make_policy(tag, stride, period);
+        let jobs = requests(&threads);
+        for q in start..start + 32 {
+            let asg = policy.assign(q, &jobs, cpus);
+            // Panics on double-booking, out-of-range CPUs, unknown or
+            // duplicate jobs, empty grants.
+            validate_assignments(&asg, &jobs, cpus);
+            prop_assert!(!asg.is_empty(), "{} scheduled nothing", policy.name());
+        }
+    }
+
+    #[test]
+    fn every_runnable_job_is_eventually_scheduled(
+        tag in 0u8..3,
+        stride in 1usize..5,
+        period in 1u64..5,
+        threads in proptest::collection::vec(1usize..17, 1..5),
+        cpus in 8usize..17,
+        start in 0u64..64,
+    ) {
+        let mut policy = make_policy(tag, stride, period);
+        let jobs = requests(&threads);
+        // Any window of jobs.len() consecutive quanta covers every job.
+        let mut scheduled = HashSet::new();
+        for q in start..start + jobs.len() as u64 {
+            for a in policy.assign(q, &jobs, cpus) {
+                scheduled.insert(a.job);
+            }
+        }
+        for req in &jobs {
+            prop_assert!(
+                scheduled.contains(&req.job),
+                "{} starved job {} over a {}-quantum window from {}",
+                policy.name(), req.job, jobs.len(), start
+            );
+        }
+    }
+
+    #[test]
+    fn grants_never_exceed_the_request(
+        tag in 0u8..3,
+        stride in 1usize..5,
+        period in 1u64..5,
+        threads in proptest::collection::vec(1usize..17, 1..5),
+        cpus in 8usize..17,
+    ) {
+        let mut policy = make_policy(tag, stride, period);
+        let jobs = requests(&threads);
+        for q in 0..16u64 {
+            for a in policy.assign(q, &jobs, cpus) {
+                prop_assert!(
+                    a.cpus.len() <= jobs[a.job].threads,
+                    "{} granted {} CPUs to a job requesting {}",
+                    policy.name(), a.cpus.len(), jobs[a.job].threads
+                );
+            }
+        }
+    }
+}

@@ -95,10 +95,88 @@ impl UpmEngine {
     /// that the reference pattern changed underneath it, e.g. after the OS
     /// scheduler rebinds threads to different processors (the
     /// multiprogramming scenario the paper defers to its companion work).
-    /// Also restarts the observation window.
+    /// Restarts the observation window and thaws the ping-pong freezer:
+    /// the rebind legitimately changes every page's dominant node, so
+    /// oscillation observed under the old binding is no longer evidence
+    /// that a page is unstable — keeping pages frozen across rebinds would
+    /// permanently lock the placement to wherever the first rotation left
+    /// it.
     pub fn reactivate(&mut self, machine: &Machine) {
         self.active = true;
         self.reset_counters(machine);
+        self.freeze.thaw();
+        self.frozen_traced.clear();
+    }
+
+    /// Scheduler-aware response to a thread migration: replay the tuned
+    /// placement under the new binding instead of forgetting it. Threads
+    /// moved `old[t] -> new[t]`; every hot page homed on a node that lost
+    /// its threads is migrated to the node those threads moved to — "page
+    /// migration follows thread migration", the behaviour the paper's
+    /// companion work on multiprogrammed machines builds on.
+    ///
+    /// The replay is only well-defined when the thread moves induce a
+    /// consistent node→node map (every thread leaving node A lands on the
+    /// same node B) and the team size is unchanged. Otherwise — a team
+    /// resize, or threads of one node scattered — the engine falls back to
+    /// forget-and-relearn ([`Self::reactivate`]) and returns 0.
+    ///
+    /// Either way the engine ends re-armed with a fresh observation window,
+    /// so the competitive mechanism cleans up whatever the replay missed.
+    pub fn follow_rebind(&mut self, machine: &mut Machine, old: &[usize], new: &[usize]) -> usize {
+        let moved = match self.rebind_node_map(machine, old, new) {
+            Some(map) => self.replay_node_map(machine, &map),
+            None => 0,
+        };
+        self.reactivate(machine);
+        moved
+    }
+
+    /// The node→node map induced by a thread rebinding, if consistent.
+    fn rebind_node_map(
+        &self,
+        machine: &Machine,
+        old: &[usize],
+        new: &[usize],
+    ) -> Option<Vec<Option<NodeId>>> {
+        if old.len() != new.len() || old.is_empty() {
+            return None;
+        }
+        let topo = machine.topology();
+        let mut map: Vec<Option<NodeId>> = vec![None; topo.nodes()];
+        for (&o, &n) in old.iter().zip(new) {
+            let (from, to) = (topo.node_of_cpu(o), topo.node_of_cpu(n));
+            match map[from] {
+                None => map[from] = Some(to),
+                Some(prev) if prev == to => {}
+                Some(_) => return None, // threads of one node scattered
+            }
+        }
+        Some(map)
+    }
+
+    /// Migrate every hot page through `map` (old home node → new home node).
+    fn replay_node_map(&mut self, machine: &mut Machine, map: &[Option<NodeId>]) -> usize {
+        let migration_ns_before = machine.stats().migration_ns;
+        let mut moved = 0usize;
+        for view in self.hot_page_views(machine) {
+            let Some(target) = map[view.home] else {
+                continue;
+            };
+            if target == view.home {
+                continue;
+            }
+            if self
+                .mlds
+                .migrate_page(machine, view.vpage, self.mlds.mld(target))
+                .is_ok()
+            {
+                moved += 1;
+            }
+        }
+        self.stats.rebind_replays += moved as u64;
+        self.stats.rebind_replay_ns += machine.stats().migration_ns - migration_ns_before;
+        moved
     }
 
     /// Engine statistics (Table 2 inputs).
@@ -361,6 +439,62 @@ mod tests {
         upm2.memrefcnt(&a);
         assert_eq!(upm2.migrate_memory(&mut m), 1);
         assert_eq!(m.node_of_vpage(ccnuma::vpage_of(a.vrange().0)), Some(0));
+    }
+
+    #[test]
+    fn follow_rebind_replays_placement_under_new_binding() {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        let a = SimArray::new(&mut m, "a", 2 * (PAGE_SIZE / 8) as usize, 0.0f64);
+        let mut upm = UpmEngine::new(&m, UpmOptions::default());
+        upm.memrefcnt(&a);
+        let base = a.vrange().0;
+        // Page 0 tuned to node 3 (cpu 6/7), page 1 to node 0 (cpu 0/1):
+        // first touch places each page on its dominant accessor's node.
+        hammer(&mut m, 6, base, 2);
+        hammer(&mut m, 0, base + PAGE_SIZE, 2);
+        assert_eq!(m.node_of_vpage(ccnuma::vpage_of(base)), Some(3));
+        assert_eq!(m.node_of_vpage(ccnuma::vpage_of(base + PAGE_SIZE)), Some(0));
+        // The OS swaps the node-0 and node-3 pairs: 0,1<->6,7 (2,3<->4,5).
+        let old: Vec<usize> = (0..8).collect();
+        let new = vec![6, 7, 4, 5, 2, 3, 0, 1];
+        let moved = upm.follow_rebind(&mut m, &old, &new);
+        assert_eq!(moved, 2, "both tuned pages follow their threads");
+        assert_eq!(m.node_of_vpage(ccnuma::vpage_of(base)), Some(0));
+        assert_eq!(m.node_of_vpage(ccnuma::vpage_of(base + PAGE_SIZE)), Some(3));
+        assert_eq!(upm.stats().rebind_replays, 2);
+        assert!(upm.stats().rebind_replay_ns > 0.0);
+        assert!(upm.is_active(), "engine is re-armed after the replay");
+    }
+
+    #[test]
+    fn follow_rebind_falls_back_on_inconsistent_map() {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        let a = SimArray::new(&mut m, "a", (PAGE_SIZE / 8) as usize, 0.0f64);
+        let mut upm = UpmEngine::new(&m, UpmOptions::default());
+        upm.memrefcnt(&a);
+        hammer(&mut m, 6, a.vrange().0, 2);
+        upm.migrate_memory(&mut m);
+        upm.migrate_memory(&mut m); // quiescent -> deactivates
+        assert!(!upm.is_active());
+        // Threads of node 0 (cpus 0,1) land on different nodes: no
+        // consistent map, so nothing replays — but the engine re-arms.
+        let old: Vec<usize> = (0..8).collect();
+        let new = vec![2, 4, 0, 1, 3, 5, 6, 7];
+        assert_eq!(upm.follow_rebind(&mut m, &old, &new), 0);
+        assert_eq!(upm.stats().rebind_replays, 0);
+        assert!(upm.is_active(), "fallback is forget-and-relearn");
+    }
+
+    #[test]
+    fn follow_rebind_rejects_team_resize() {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        let a = SimArray::new(&mut m, "a", (PAGE_SIZE / 8) as usize, 0.0f64);
+        let mut upm = UpmEngine::new(&m, UpmOptions::default());
+        upm.memrefcnt(&a);
+        hammer(&mut m, 6, a.vrange().0, 2);
+        upm.migrate_memory(&mut m);
+        assert_eq!(upm.follow_rebind(&mut m, &[0, 1, 2, 3], &[0, 1]), 0);
+        assert!(upm.is_active());
     }
 
     #[test]

@@ -57,6 +57,17 @@ impl FreezeTracker {
         self.last_move.insert(vpage, (from, to, invocation));
         true
     }
+
+    /// Forget all freeze state: every frozen page thaws and the move
+    /// history clears. Called when the engine re-arms after a scheduler
+    /// rebind — the threads moved, so a page that ping-ponged under the
+    /// old binding has a legitimately different dominant node now, and the
+    /// old oscillation history is evidence about a placement that no
+    /// longer exists.
+    pub fn thaw(&mut self) {
+        self.frozen.clear();
+        self.last_move.clear();
+    }
 }
 
 #[cfg(test)]

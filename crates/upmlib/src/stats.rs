@@ -27,6 +27,11 @@ pub struct UpmStats {
     pub vetoed_moves: u64,
     /// Read-only replicas created by the replication mechanism.
     pub replications: u64,
+    /// Pages moved by `follow_rebind` — the scheduler-aware record–replay of
+    /// an old placement after the OS migrated the job's threads.
+    pub rebind_replays: u64,
+    /// Simulated ns charged for `follow_rebind` moves.
+    pub rebind_replay_ns: f64,
 }
 
 impl UpmStats {

@@ -57,7 +57,7 @@ pub fn latency_ratio(scale: Scale) -> Report {
         };
         let ft = run(PlacementScheme::FirstTouch);
         let rand = run(PlacementScheme::Random {
-            seed: crate::fig1::RAND_SEED,
+            seed: crate::seed::get(),
         });
         report.row(vec![
             format!("{ratio:.1}:1"),
@@ -97,7 +97,7 @@ pub fn threshold_sweep(scale: Scale) -> Report {
             scale,
             &RunConfig {
                 placement: PlacementScheme::Random {
-                    seed: crate::fig1::RAND_SEED,
+                    seed: crate::seed::get(),
                 },
                 engine: EngineMode::Upmlib(opts),
                 ..RunConfig::paper_default()
@@ -307,7 +307,7 @@ pub fn machine_size(_scale: Scale) -> Report {
         };
         let ft = run(PlacementScheme::FirstTouch);
         let rand = run(PlacementScheme::Random {
-            seed: crate::fig1::RAND_SEED,
+            seed: crate::seed::get(),
         });
         let wc = run(PlacementScheme::WorstCase { node: 0 });
         report.row(vec![

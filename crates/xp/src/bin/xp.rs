@@ -1,24 +1,27 @@
 //! `xp` — the experiment driver.
 //!
 //! ```text
-//! xp [COMMAND] [--scale tiny|small|medium] [--out DIR] [--trace DIR]
+//! xp [COMMAND] [--scale tiny|small|medium] [--seed N] [--out DIR] [--trace DIR]
 //! xp trace <bt|sp|cg|mg|ft> [--scale tiny|small|medium] [--out DIR]
 //! ```
 //!
-//! Prints each experiment's markdown table to stdout and writes the raw
-//! rows as JSON under the output directory (default `results/`).
+//! Prints each experiment's markdown table to stdout, writes the raw rows
+//! as JSON under the output directory (default `results/`), and records
+//! per-experiment timing in `results/bench_summary.json`.
 
 use nas::Scale;
 use std::path::PathBuf;
+use std::time::Instant;
+use xp::summary::SummaryEntry;
 use xp::Report;
 
-const COMMANDS: &str = "table1|fig1|fig4|table2|fig5|fig6|ablations|all|trace";
+const COMMANDS: &str = "table1|fig1|fig4|table2|fig5|fig6|ablations|multiprog|all|trace";
 
 const USAGE: &str = "\
 xp — experiment driver for the data-distribution study
 
 usage:
-  xp [COMMAND] [--scale tiny|small|medium] [--out DIR] [--trace DIR]
+  xp [COMMAND] [--scale tiny|small|medium] [--seed N] [--out DIR] [--trace DIR]
   xp trace <bt|sp|cg|mg|ft> [--scale tiny|small|medium] [--out DIR]
 
 commands:
@@ -29,12 +32,16 @@ commands:
   fig5       record-replay on BT and SP (Figure 5)
   fig6       record-replay with lengthened phases (Figure 6)
   ablations  sensitivity studies beyond the paper
+  multiprog  job mixes under the kernel scheduler: per-job slowdown per
+             policy (gang/space/timeshare) x engine variant
   all        everything above (default)
   trace      run one benchmark with event tracing; writes trace.jsonl and
              trace.chrome.json (open in Perfetto) under the output dir
 
 options:
   --scale tiny|small|medium  problem scale (default medium)
+  --seed N                   experiment seed for seeded components such as
+                             random placement (default 20000)
   --out DIR                  output directory for reports (default results/)
   --trace DIR                also record an event trace of every run into
                              DIR (commands other than trace)
@@ -58,6 +65,10 @@ fn parse_scale(s: &str) -> Scale {
     }
 }
 
+/// One experiment to run: its summary id plus the closure producing its
+/// reports.
+type Job = (&'static str, Box<dyn FnOnce() -> Vec<Report>>);
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positionals: Vec<String> = Vec::new();
@@ -74,6 +85,13 @@ fn main() {
             "--scale" => {
                 let v = it.next().unwrap_or_else(|| die("--scale needs a value"));
                 scale = parse_scale(v);
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| die("--seed needs a value"));
+                let seed = v
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| die(&format!("--seed needs an integer, got '{v}'")));
+                xp::seed::set(seed);
             }
             "--out" => {
                 let v = it.next().unwrap_or_else(|| die("--out needs a value"));
@@ -99,35 +117,40 @@ fn main() {
         die("--trace applies to the other commands; `xp trace` always writes its trace");
     }
 
-    let reports: Vec<Report> = match command.as_str() {
-        "table1" => vec![xp::table1::run()],
-        "fig1" => vec![xp::fig1::run(scale)],
-        "fig4" => vec![xp::fig4::run(scale)],
-        "table2" => vec![xp::table2::run(scale)],
-        "fig5" => vec![xp::fig5::run(scale)],
-        "fig6" => vec![xp::fig6::run(scale)],
-        "ablations" => vec![
-            xp::ablation::latency_ratio(scale),
-            xp::ablation::threshold_sweep(scale),
-            xp::ablation::freeze_toggle(scale),
-            xp::ablation::replication(scale),
-            xp::ablation::machine_size(scale),
-            xp::ablation::scheduler_disruption(scale),
-        ],
-        "all" => vec![
-            xp::table1::run(),
-            xp::fig1::run(scale),
-            xp::fig4::run(scale),
-            xp::table2::run(scale),
-            xp::fig5::run(scale),
-            xp::fig6::run(scale),
-            xp::ablation::latency_ratio(scale),
-            xp::ablation::threshold_sweep(scale),
-            xp::ablation::freeze_toggle(scale),
-            xp::ablation::replication(scale),
-            xp::ablation::machine_size(scale),
-            xp::ablation::scheduler_disruption(scale),
-        ],
+    let table1: Job = ("table1", Box::new(|| vec![xp::table1::run()]));
+    let fig1: Job = ("fig1", Box::new(move || vec![xp::fig1::run(scale)]));
+    let fig4: Job = ("fig4", Box::new(move || vec![xp::fig4::run(scale)]));
+    let table2: Job = ("table2", Box::new(move || vec![xp::table2::run(scale)]));
+    let fig5: Job = ("fig5", Box::new(move || vec![xp::fig5::run(scale)]));
+    let fig6: Job = ("fig6", Box::new(move || vec![xp::fig6::run(scale)]));
+    let ablations: Job = (
+        "ablations",
+        Box::new(move || {
+            vec![
+                xp::ablation::latency_ratio(scale),
+                xp::ablation::threshold_sweep(scale),
+                xp::ablation::freeze_toggle(scale),
+                xp::ablation::replication(scale),
+                xp::ablation::machine_size(scale),
+                xp::ablation::scheduler_disruption(scale),
+            ]
+        }),
+    );
+    let multiprog: Job = (
+        "multiprog",
+        Box::new(move || vec![xp::multiprog::run(scale)]),
+    );
+
+    let jobs: Vec<Job> = match command.as_str() {
+        "table1" => vec![table1],
+        "fig1" => vec![fig1],
+        "fig4" => vec![fig4],
+        "table2" => vec![table2],
+        "fig5" => vec![fig5],
+        "fig6" => vec![fig6],
+        "ablations" => vec![ablations],
+        "multiprog" => vec![multiprog],
+        "all" => vec![table1, fig1, fig4, table2, fig5, fig6, ablations, multiprog],
         "trace" => {
             let name = positionals
                 .get(1)
@@ -140,10 +163,28 @@ fn main() {
                     "unknown benchmark '{name}' (expected bt|sp|cg|mg|ft)"
                 ))
             });
-            vec![xp::trace::run(bench, scale, &out_dir)]
+            let out = out_dir.clone();
+            vec![(
+                "trace",
+                Box::new(move || vec![xp::trace::run(bench, scale, &out)]),
+            )]
         }
         other => die(&format!("unknown command '{other}' (expected {COMMANDS})")),
     };
+
+    let mut entries: Vec<SummaryEntry> = Vec::new();
+    let mut reports: Vec<Report> = Vec::new();
+    for (id, job) in jobs {
+        xp::summary::take_sim_secs();
+        let t0 = Instant::now();
+        let mut produced = job();
+        entries.push(SummaryEntry {
+            id: id.to_string(),
+            sim_secs: xp::summary::take_sim_secs(),
+            wall_secs: t0.elapsed().as_secs_f64(),
+        });
+        reports.append(&mut produced);
+    }
 
     for report in &reports {
         print!("{}", report.to_markdown());
@@ -151,5 +192,14 @@ fn main() {
             Ok(path) => eprintln!("[saved {}]", path.display()),
             Err(e) => eprintln!("[warn: could not save {}: {e}]", report.id),
         }
+    }
+    let scale_label = match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+    };
+    match xp::summary::write(&out_dir, scale_label, xp::seed::get(), &entries) {
+        Ok(path) => eprintln!("[saved {}]", path.display()),
+        Err(e) => eprintln!("[warn: could not save bench_summary.json: {e}]"),
     }
 }

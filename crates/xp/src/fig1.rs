@@ -12,17 +12,15 @@ use crate::run_one::{default_engine_configs, run_one};
 use nas::{BenchName, EngineMode, RunConfig, RunResult, Scale};
 use vmm::PlacementScheme;
 
-/// Seed for the random placement scheme (fixed: experiments reproduce).
-pub const RAND_SEED: u64 = 20000;
-
 /// Run the full placement x engine grid for one benchmark.
 ///
 /// `with_upmlib` additionally runs the four `*-upmlib` configurations
-/// (Figure 4's extra bars).
+/// (Figure 4's extra bars). The random placement scheme draws from the
+/// global experiment seed ([`crate::seed`]).
 pub fn grid(bench: BenchName, scale: Scale, with_upmlib: bool) -> Vec<RunResult> {
     let (kcfg, upm_opts) = default_engine_configs();
     let mut results = Vec::new();
-    for placement in PlacementScheme::all(RAND_SEED) {
+    for placement in PlacementScheme::all(crate::seed::get()) {
         let mut engines = vec![EngineMode::None, EngineMode::IrixMig(kcfg)];
         if with_upmlib {
             engines.push(EngineMode::Upmlib(upm_opts));

@@ -21,8 +21,11 @@ pub mod fig1;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod multiprog;
 pub mod report;
 pub mod run_one;
+pub mod seed;
+pub mod summary;
 pub mod table1;
 pub mod table2;
 pub mod trace;

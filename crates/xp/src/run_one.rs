@@ -15,6 +15,7 @@ use vmm::KernelMigrationConfig;
 
 fn finish(result: RunResult) -> RunResult {
     crate::trace::dump(&result);
+    crate::summary::add_sim_secs(result.total_secs);
     result
 }
 

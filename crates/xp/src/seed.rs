@@ -1,0 +1,38 @@
+//! The global experiment seed (the binary's `--seed N` flag).
+//!
+//! One seed feeds every seeded component of a run — today the random page
+//! placement scheme — so experiments stay deterministic for a given seed
+//! but are sweepable across seeds. The default, [`DEFAULT_SEED`], is the
+//! value every published table in EXPERIMENTS.md was generated with.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The seed used when `--seed` is not given (documented in EXPERIMENTS.md).
+pub const DEFAULT_SEED: u64 = 20000;
+
+static SEED: AtomicU64 = AtomicU64::new(DEFAULT_SEED);
+
+/// Install the experiment seed (the binary calls this before dispatching).
+pub fn set(seed: u64) {
+    SEED.store(seed, Ordering::Relaxed);
+}
+
+/// The current experiment seed.
+pub fn get() -> u64 {
+    SEED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_then_set_then_read() {
+        // Single test so no other seed test races this one.
+        assert_eq!(get(), DEFAULT_SEED);
+        set(777);
+        assert_eq!(get(), 777);
+        set(DEFAULT_SEED);
+        assert_eq!(get(), DEFAULT_SEED);
+    }
+}

@@ -1,0 +1,113 @@
+//! The machine-readable run summary (`results/bench_summary.json`): one
+//! entry per experiment with simulated seconds and host wall-clock, so
+//! future changes have a performance trajectory to compare against.
+//!
+//! Simulated seconds accumulate in a process-global counter:
+//! [`crate::run_one`] adds each run's total, and the multiprogramming
+//! experiment adds its schedules' makespans. The binary snapshots the
+//! counter around each experiment with [`take_sim_secs`] and writes the
+//! collected entries with [`write`].
+
+use obs::json::Value;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+static SIM_SECS: Mutex<f64> = Mutex::new(0.0);
+
+/// Credit simulated seconds to the experiment currently running.
+pub fn add_sim_secs(secs: f64) {
+    *SIM_SECS.lock().unwrap() += secs;
+}
+
+/// Snapshot and reset the accumulated simulated seconds.
+pub fn take_sim_secs() -> f64 {
+    std::mem::take(&mut *SIM_SECS.lock().unwrap())
+}
+
+/// One experiment's timing entry.
+#[derive(Debug, Clone)]
+pub struct SummaryEntry {
+    /// Experiment id (the report id, e.g. `fig1`).
+    pub id: String,
+    /// Simulated seconds across every run the experiment dispatched.
+    pub sim_secs: f64,
+    /// Host wall-clock seconds the experiment took.
+    pub wall_secs: f64,
+}
+
+/// Write `dir/bench_summary.json`. Returns the path.
+pub fn write(
+    dir: &Path,
+    scale: &str,
+    seed: u64,
+    entries: &[SummaryEntry],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let experiments = Value::Array(
+        entries
+            .iter()
+            .map(|e| {
+                Value::object(vec![
+                    ("id", e.id.as_str().into()),
+                    ("sim_secs", e.sim_secs.into()),
+                    ("wall_secs", e.wall_secs.into()),
+                ])
+            })
+            .collect(),
+    );
+    let doc = Value::object(vec![
+        ("scale", scale.into()),
+        ("seed", seed.into()),
+        ("experiments", experiments),
+        (
+            "total_sim_secs",
+            entries.iter().map(|e| e.sim_secs).sum::<f64>().into(),
+        ),
+        (
+            "total_wall_secs",
+            entries.iter().map(|e| e.wall_secs).sum::<f64>().into(),
+        ),
+    ]);
+    let path = dir.join("bench_summary.json");
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(doc.to_string_pretty().as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_takes_and_resets() {
+        take_sim_secs();
+        add_sim_secs(1.5);
+        add_sim_secs(0.5);
+        assert!((take_sim_secs() - 2.0).abs() < 1e-12);
+        assert_eq!(take_sim_secs(), 0.0);
+    }
+
+    #[test]
+    fn summary_file_shape() {
+        let dir = std::env::temp_dir().join("ddnomp-summary-test");
+        let entries = vec![
+            SummaryEntry {
+                id: "fig1".into(),
+                sim_secs: 12.0,
+                wall_secs: 0.3,
+            },
+            SummaryEntry {
+                id: "multiprog".into(),
+                sim_secs: 30.0,
+                wall_secs: 1.1,
+            },
+        ];
+        let path = write(&dir, "tiny", 20000, &entries).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"seed\": 20000"));
+        assert!(text.contains("\"id\": \"multiprog\""));
+        assert!(text.contains("total_sim_secs"));
+    }
+}

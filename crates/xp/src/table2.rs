@@ -7,7 +7,6 @@
 //! Paper values: residual slowdown always < 2.7%; first-iteration migration
 //! share 100% for CG/FT/MG and >= 78% for BT/SP.
 
-use crate::fig1::RAND_SEED;
 use crate::report::{pct, Report};
 use crate::run_one::{default_engine_configs, run_one};
 use nas::{BenchName, EngineMode, RunConfig, RunResult, Scale};
@@ -42,7 +41,9 @@ pub fn rows_for(bench: BenchName, scale: Scale) -> Vec<Table2Row> {
     let ft_last75 = ft.last75_mean_secs();
     let schemes = [
         PlacementScheme::RoundRobin,
-        PlacementScheme::Random { seed: RAND_SEED },
+        PlacementScheme::Random {
+            seed: crate::seed::get(),
+        },
         PlacementScheme::WorstCase { node: 0 },
     ];
     schemes

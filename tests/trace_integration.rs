@@ -1,12 +1,14 @@
 //! End-to-end check of the observability pipeline: the `xp trace` run path
 //! must produce a non-empty JSON Lines trace, a parseable Chrome trace,
 //! and an event stream whose per-iteration migration counts agree with
-//! UPMlib's own statistics.
+//! UPMlib's own statistics — and the scheduler's trace must agree with its
+//! own migration accounting.
 
 use nas::{BenchName, Scale};
 use obs::export::{chrome_trace, to_jsonl};
 use obs::json::Value;
 use obs::EventKind;
+use sched::{JobSpec, SchedConfig, Scheduler, TimeSharing};
 
 #[test]
 fn trace_run_exports_and_matches_upm_stats() {
@@ -72,4 +74,83 @@ fn trace_run_exports_and_matches_upm_stats() {
             "iteration {i}: trace counted {counted}, UpmStats says {expected}"
         );
     }
+}
+
+#[test]
+fn scheduler_trace_agrees_with_migration_accounting() {
+    // A tiny time-sharing schedule with tracing on: the event stream must
+    // agree with the scheduler's own accounting — one ThreadMigrated event
+    // per counted thread migration, one QuantumExpired per quantum, one
+    // JobArrived per submitted job — and the scheduler events must survive
+    // the JSON Lines exporter.
+    let mut s = Scheduler::new(
+        Box::new(TimeSharing::default()),
+        SchedConfig {
+            quantum_ns: xp::multiprog::quantum_ns(Scale::Tiny),
+            trace: true,
+            ..SchedConfig::default()
+        },
+    );
+    let variant = &xp::multiprog::engine_variants()[0];
+    for bench in [BenchName::Cg, BenchName::Mg, BenchName::Cg, BenchName::Mg] {
+        s.submit(
+            JobSpec::new(
+                bench,
+                Scale::Tiny,
+                xp::multiprog::job_config(&variant.engine),
+            )
+            .with_response(variant.response),
+        );
+    }
+    let out = s.run_to_completion();
+    let tracer = out.trace.as_ref().expect("tracing was enabled");
+    assert_eq!(
+        tracer.ring.dropped(),
+        0,
+        "tiny schedule must fit in the ring"
+    );
+
+    let count = |pred: &dyn Fn(&EventKind) -> bool| {
+        tracer.ring.iter().filter(|e| pred(&e.kind)).count() as u64
+    };
+    assert!(
+        out.thread_migrations > 0,
+        "time sharing must migrate threads"
+    );
+    assert_eq!(
+        count(&|k| matches!(k, EventKind::ThreadMigrated { .. })),
+        out.thread_migrations,
+        "one ThreadMigrated event per counted migration"
+    );
+    assert_eq!(
+        out.jobs.iter().map(|j| j.thread_migrations).sum::<u64>(),
+        out.thread_migrations,
+        "per-job migration counts sum to the schedule total"
+    );
+    assert_eq!(
+        count(&|k| matches!(k, EventKind::QuantumExpired { .. })),
+        out.quanta,
+        "one QuantumExpired event per quantum"
+    );
+    assert_eq!(
+        count(&|k| matches!(k, EventKind::JobArrived { .. })),
+        out.jobs.len() as u64,
+        "one JobArrived event per submitted job"
+    );
+    assert_eq!(
+        count(&|k| matches!(k, EventKind::TeamResized { .. })),
+        out.team_resizes,
+        "one TeamResized event per counted resize"
+    );
+
+    // The scheduler's event kinds round-trip through the exporter.
+    let jsonl = to_jsonl(tracer.ring.iter());
+    let mut seen_migrated = false;
+    for line in jsonl.lines() {
+        let v = Value::parse(line).expect("each scheduler trace line parses as JSON");
+        if v["event"].as_str() == Some("ThreadMigrated") {
+            seen_migrated = true;
+        }
+    }
+    assert!(seen_migrated, "ThreadMigrated events appear in the export");
 }
