@@ -216,12 +216,17 @@ mod tests {
         // and each call contributes at most one full block to the total.
         const THREADS: usize = 4;
         const PER_THREAD: usize = 10_000;
+        const JOIN_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
         let calls = (THREADS * PER_THREAD) as u64;
         let c = Arc::new(RefCounters::new(1, 2));
-        let mut spills = 0u64;
+        // Every recorder reports through the channel before exiting;
+        // `recv_timeout` turns a wedged recorder into a test failure
+        // instead of a hung test run.
+        let (tx, rx) = std::sync::mpsc::channel::<u64>();
         let handles: Vec<_> = (0..THREADS)
             .map(|_| {
                 let c = Arc::clone(&c);
+                let tx = tx.clone();
                 std::thread::spawn(move || {
                     let mut spilled = 0u64;
                     for _ in 0..PER_THREAD {
@@ -229,12 +234,21 @@ mod tests {
                             spilled += 1;
                         }
                     }
-                    spilled
+                    tx.send(spilled).expect("main thread waits on the channel");
                 })
             })
             .collect();
+        drop(tx);
+        let mut spills = 0u64;
+        for _ in 0..THREADS {
+            spills += rx
+                .recv_timeout(JOIN_TIMEOUT)
+                .expect("a recorder thread wedged or died");
+        }
         for h in handles {
-            spills += h.join().expect("recorder thread must not panic");
+            // Reporting is each recorder's last act, so these joins cannot
+            // block.
+            h.join().expect("recorder thread must not panic");
         }
         assert!(c.hw_value(0, 0) <= COUNTER_MAX);
         let total = c.get(0, 0);
@@ -246,6 +260,13 @@ mod tests {
         assert!(spills <= calls);
         // The other bank stayed untouched through all of it.
         assert_eq!(c.get(0, 1), 0);
+        // Back on one thread the counter is exact again: the racy window is
+        // over, so a known number of records advances the total by exactly
+        // that much.
+        for _ in 0..100 {
+            c.record(0, 0);
+        }
+        assert_eq!(c.get(0, 0), total + 100, "single-threaded totals are exact");
     }
 
     #[test]

@@ -1,0 +1,29 @@
+//! Host-parallel experiment executor.
+//!
+//! The experiment grids of the paper — benchmark x placement x engine x
+//! scale x seed — are embarrassingly parallel on the host: every cell
+//! builds its own simulated machine and never touches another cell's
+//! state. This crate supplies the one missing piece, a dependency-free
+//! work-stealing thread pool whose contract is built around the
+//! repository's determinism guarantee:
+//!
+//! * **Deterministic merge order.** [`Pool::run`] returns results in
+//!   submission order, whatever the worker count or stealing schedule.
+//!   Downstream report builders consume the merged vector, so a
+//!   single-threaded and a `--jobs N` run produce byte-identical output.
+//! * **Panic isolation.** Each job runs under `catch_unwind`; a panicking
+//!   job yields a [`JobPanic`] in its slot while sibling jobs keep
+//!   running. A failed experiment cell becomes a failed row, not a dead
+//!   run.
+//! * **No unscoped threads.** Workers are `std::thread::scope` threads,
+//!   joined before [`Pool::run`] returns — no detached threads outliving
+//!   the experiment, nothing to leak on the error path.
+//!
+//! The pool is deliberately a *vendored-shim style* implementation: plain
+//! `Mutex<VecDeque>` per-worker queues with FIFO stealing, not lock-free
+//! Chase–Lev deques. Experiment cells run for milliseconds to minutes, so
+//! queue overhead is noise; simplicity and auditability win.
+
+pub mod pool;
+
+pub use pool::{Job, JobPanic, Pool};

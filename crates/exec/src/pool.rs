@@ -1,0 +1,233 @@
+//! The scoped-thread work-stealing pool.
+//!
+//! Jobs are dealt round-robin onto per-worker deques. A worker pops from
+//! the back of its own deque (LIFO — the most recently dealt job is the
+//! most cache-warm) and steals from the front of the other deques (FIFO —
+//! stealing the oldest job minimizes contention with the owner). Because
+//! submitted jobs never enqueue new jobs, "every deque is empty" is a
+//! stable exit condition: a worker that observes it can retire while
+//! in-flight jobs finish on their own workers.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// A unit of work: runs once, on some worker thread, producing a `T`.
+pub type Job<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// One worker's deque of `(submission index, job)` pairs.
+type JobDeque<'a, T> = Mutex<VecDeque<(usize, Job<'a, T>)>>;
+
+/// One job's result slot, filled exactly once by whichever worker ran it.
+type ResultSlot<T> = Mutex<Option<Result<T, JobPanic>>>;
+
+/// A job that panicked instead of producing a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The job's submission index.
+    pub index: usize,
+    /// The panic payload, stringified (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+/// The worker-count policy of one executor instance.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Pool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The host's available parallelism (1 when it cannot be probed).
+    pub fn available() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute every job and return the results **in submission order**,
+    /// regardless of worker count or stealing schedule. Slot `i` holds
+    /// `Ok` with job `i`'s value, or `Err` with its panic payload.
+    pub fn run<'a, T: Send>(&self, jobs: Vec<Job<'a, T>>) -> Vec<Result<T, JobPanic>> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(n);
+        let queues: Vec<JobDeque<'a, T>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, job) in jobs.into_iter().enumerate() {
+            queues[i % workers].lock().unwrap().push_back((i, job));
+        }
+        let slots: Vec<ResultSlot<T>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            // The calling thread doubles as worker 0; extra workers are
+            // scoped threads joined before `run` returns.
+            for me in 1..workers {
+                let queues = &queues;
+                let slots = &slots;
+                s.spawn(move || worker_loop(me, queues, slots));
+            }
+            worker_loop(0, &queues, &slots);
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every submitted job runs exactly once")
+            })
+            .collect()
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::new(Pool::available())
+    }
+}
+
+fn worker_loop<T: Send>(me: usize, queues: &[JobDeque<'_, T>], slots: &[ResultSlot<T>]) {
+    loop {
+        let job = queues[me]
+            .lock()
+            .unwrap()
+            .pop_back()
+            .or_else(|| steal(me, queues));
+        let Some((index, job)) = job else { return };
+        let result = catch_unwind(AssertUnwindSafe(job)).map_err(|payload| JobPanic {
+            index,
+            message: panic_message(payload.as_ref()),
+        });
+        *slots[index].lock().unwrap() = Some(result);
+    }
+}
+
+/// Steal the oldest job from the first non-empty sibling deque, scanning
+/// from the thief's right-hand neighbour around the ring.
+fn steal<'a, T>(me: usize, queues: &[JobDeque<'a, T>]) -> Option<(usize, Job<'a, T>)> {
+    let n = queues.len();
+    (1..n)
+        .map(|d| (me + d) % n)
+        .find_map(|victim| queues[victim].lock().unwrap().pop_front())
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn boxed_jobs(n: usize) -> Vec<Job<'static, usize>> {
+        (0..n)
+            .map(|i| Box::new(move || i * 3) as Job<'static, usize>)
+            .collect()
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        assert!(Pool::new(4).run::<()>(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn results_arrive_in_submission_order() {
+        for workers in [1, 2, 3, 8, 64] {
+            let out = Pool::new(workers).run(boxed_jobs(23));
+            let values: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(values, (0..23).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn worker_count_clamps_to_one() {
+        assert_eq!(Pool::new(0).workers(), 1);
+        assert!(Pool::available() >= 1);
+    }
+
+    #[test]
+    fn more_workers_than_jobs() {
+        let out = Pool::new(16).run(boxed_jobs(3));
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn caller_thread_participates() {
+        // With one worker there is no spawned thread at all: the job runs
+        // on the calling thread.
+        let caller = std::thread::current().id();
+        let out = Pool::new(1).run(vec![
+            Box::new(move || std::thread::current().id() == caller) as Job<'static, bool>,
+        ]);
+        assert_eq!(out, vec![Ok(true)]);
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_poison_siblings() {
+        let ran = AtomicUsize::new(0);
+        let jobs: Vec<Job<'_, usize>> = (0..10usize)
+            .map(|i| {
+                let ran = &ran;
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    if i == 4 {
+                        panic!("cell {i} exploded");
+                    }
+                    i
+                }) as Job<'_, usize>
+            })
+            .collect();
+        let out = Pool::new(3).run(jobs);
+        // Hide the expected panic's backtrace noise is not worth a global
+        // hook; just check the contract.
+        assert_eq!(ran.load(Ordering::SeqCst), 10, "siblings must all run");
+        for (i, slot) in out.iter().enumerate() {
+            if i == 4 {
+                let err = slot.as_ref().unwrap_err();
+                assert_eq!(err.index, 4);
+                assert!(err.message.contains("cell 4 exploded"), "{}", err.message);
+            } else {
+                assert_eq!(slot.as_ref().unwrap(), &i);
+            }
+        }
+    }
+
+    #[test]
+    fn borrows_from_the_caller_are_allowed() {
+        // The 'a lifetime on Job lets cells capture &data from the caller.
+        let data = [10usize, 20, 30];
+        let jobs: Vec<Job<'_, usize>> = data
+            .iter()
+            .map(|&v| Box::new(move || v + 1) as Job<'_, usize>)
+            .collect();
+        let out = Pool::new(2).run(jobs);
+        let values: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(values, vec![11, 21, 31]);
+    }
+}

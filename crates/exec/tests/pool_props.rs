@@ -1,0 +1,99 @@
+//! Property tests for the work-stealing pool — the determinism contract
+//! the differential `parallel ≡ serial` experiment suite stands on:
+//!
+//! * every submitted job runs exactly once;
+//! * the merged result order is the submission order, independent of
+//!   worker count and stealing schedule;
+//! * a panicking job never poisons its siblings.
+
+use exec::{Job, Pool};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Build jobs that tally their own execution count and return `i * 7`,
+/// sleeping `delays_us[i]` first so different cases exercise different
+/// stealing schedules.
+fn tallied_jobs<'a>(
+    counts: &'a [AtomicUsize],
+    delays_us: &'a [u64],
+    panic_at: Option<usize>,
+) -> Vec<Job<'a, usize>> {
+    (0..counts.len())
+        .map(|i| {
+            let counts = &counts[i];
+            let delay = delays_us[i];
+            Box::new(move || {
+                if delay > 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(delay));
+                }
+                counts.fetch_add(1, Ordering::SeqCst);
+                if panic_at == Some(i) {
+                    panic!("planned failure in job {i}");
+                }
+                i * 7
+            }) as Job<'a, usize>
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_job_runs_exactly_once(
+        workers in 1usize..9,
+        njobs in 0usize..40,
+        delay_seed in 0u64..1000,
+    ) {
+        let counts: Vec<AtomicUsize> = (0..njobs).map(|_| AtomicUsize::new(0)).collect();
+        let delays: Vec<u64> = (0..njobs as u64)
+            .map(|i| (delay_seed.wrapping_mul(i + 1)) % 50)
+            .collect();
+        let out = Pool::new(workers).run(tallied_jobs(&counts, &delays, None));
+        prop_assert_eq!(out.len(), njobs);
+        for (i, c) in counts.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::SeqCst), 1, "job {} ran a wrong number of times", i);
+        }
+    }
+
+    #[test]
+    fn merge_order_is_independent_of_workers_and_schedule(
+        workers in 2usize..9,
+        njobs in 1usize..40,
+        delay_seed in 0u64..1000,
+    ) {
+        let counts: Vec<AtomicUsize> = (0..njobs).map(|_| AtomicUsize::new(0)).collect();
+        let zero: Vec<u64> = vec![0; njobs];
+        let serial = Pool::new(1).run(tallied_jobs(&counts, &zero, None));
+        let delays: Vec<u64> = (0..njobs as u64)
+            .map(|i| (delay_seed.wrapping_mul(7 * i + 3)) % 50)
+            .collect();
+        let parallel = Pool::new(workers).run(tallied_jobs(&counts, &delays, None));
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn a_panicking_job_never_poisons_siblings(
+        workers in 1usize..9,
+        njobs in 1usize..30,
+        which in 0usize..30,
+    ) {
+        let panic_at = which % njobs;
+        let counts: Vec<AtomicUsize> = (0..njobs).map(|_| AtomicUsize::new(0)).collect();
+        let zero: Vec<u64> = vec![0; njobs];
+        let out = Pool::new(workers).run(tallied_jobs(&counts, &zero, Some(panic_at)));
+        for (i, slot) in out.iter().enumerate() {
+            if i == panic_at {
+                let err = slot.as_ref().expect_err("planned panic must surface as Err");
+                prop_assert_eq!(err.index, i);
+                prop_assert!(
+                    err.message.contains("planned failure"),
+                    "unexpected payload: {}", err.message
+                );
+            } else {
+                prop_assert_eq!(slot.as_ref().ok().copied(), Some(i * 7), "sibling {} poisoned", i);
+            }
+            prop_assert_eq!(counts[i].load(Ordering::SeqCst), 1);
+        }
+    }
+}

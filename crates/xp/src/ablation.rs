@@ -9,12 +9,17 @@
 //! * [`freeze_toggle`] — the ping-pong freezing defense (§3.2): with
 //!   freezing disabled, page-level false sharing keeps the engine migrating
 //!   forever and burning migration cost.
+//!
+//! The sweeps are [`CellPlan`]s (each sweep point an independent machine);
+//! [`scheduler_disruption`] is a single evolving timeline and stays
+//! serial.
 
+use crate::cells::CellPlan;
 use crate::report::{pct, secs, Report};
 use crate::run_one::run_one;
 use ccnuma::{LatencyModel, MachineConfig};
 use nas::{BenchName, EngineMode, RunConfig, RunResult, Scale};
-use upmlib::UpmOptions;
+use upmlib::{UpmOptions, UpmStats};
 use vmm::PlacementScheme;
 
 /// Balanced-placement slowdown as a function of the remote:local latency
@@ -35,36 +40,57 @@ pub fn latency_ratio(scale: Scale) -> Report {
             "rand slowdown",
         ],
     );
-    for ratio in [1.7, 3.0, 5.0, 8.0] {
+    const RATIOS: [f64; 4] = [1.7, 3.0, 5.0, 8.0];
+    let mut plan = CellPlan::new();
+    for ratio in RATIOS {
         let mut machine = MachineConfig::origin2000_16p_scaled();
         machine.latency = if ratio <= 1.75 {
             LatencyModel::origin2000()
         } else {
             LatencyModel::with_remote_ratio(ratio)
         };
-        let run = |placement| -> RunResult {
-            run_one(
-                BenchName::Cg,
-                scale,
-                &RunConfig {
-                    placement,
-                    engine: EngineMode::None,
-                    threads: 16,
-                    machine: machine.clone(),
-                    trace: false,
+        for placement in [
+            PlacementScheme::FirstTouch,
+            PlacementScheme::Random {
+                seed: crate::seed::get(),
+            },
+        ] {
+            let machine = machine.clone();
+            plan.add(
+                format!("cg-ratio{ratio:.1}:{}", placement.label()),
+                move || {
+                    run_one(
+                        BenchName::Cg,
+                        scale,
+                        &RunConfig {
+                            placement,
+                            engine: EngineMode::None,
+                            threads: 16,
+                            machine,
+                            trace: false,
+                        },
+                    )
                 },
-            )
-        };
-        let ft = run(PlacementScheme::FirstTouch);
-        let rand = run(PlacementScheme::Random {
-            seed: crate::seed::get(),
-        });
-        report.row(vec![
-            format!("{ratio:.1}:1"),
-            secs(ft.total_secs),
-            secs(rand.total_secs),
-            pct(rand.total_secs / ft.total_secs),
-        ]);
+            );
+        }
+    }
+    let outputs = plan.execute();
+    for (ratio, pair) in RATIOS.into_iter().zip(outputs.chunks(2)) {
+        match (&pair[0].value, &pair[1].value) {
+            (Ok(ft), Ok(rand)) => report.row(vec![
+                format!("{ratio:.1}:1"),
+                secs(ft.total_secs),
+                secs(rand.total_secs),
+                pct(rand.total_secs / ft.total_secs),
+            ]),
+            (ft, rand) => {
+                for (cell, value) in pair.iter().zip([ft, rand]) {
+                    if let Err(p) = value {
+                        report.failed_row(&cell.id, &p.message);
+                    }
+                }
+            }
+        }
     }
     report.note(
         "the slowdown grows with the ratio — the paper's argument that the Origin2000's \
@@ -87,22 +113,35 @@ pub fn threshold_sweep(scale: Scale) -> Report {
             "Total migrations",
         ],
     );
-    for thr in [1.2, 2.0, 8.0, 32.0] {
+    const THRS: [f64; 4] = [1.2, 2.0, 8.0, 32.0];
+    let mut plan = CellPlan::new();
+    for thr in THRS {
         let opts = UpmOptions {
             thr,
             ..Default::default()
         };
-        let r = run_one(
-            BenchName::Cg,
-            scale,
-            &RunConfig {
-                placement: PlacementScheme::Random {
-                    seed: crate::seed::get(),
+        plan.add(format!("cg-thr{thr}:rand-upmlib"), move || {
+            run_one(
+                BenchName::Cg,
+                scale,
+                &RunConfig {
+                    placement: PlacementScheme::Random {
+                        seed: crate::seed::get(),
+                    },
+                    engine: EngineMode::Upmlib(opts),
+                    ..RunConfig::paper_default()
                 },
-                engine: EngineMode::Upmlib(opts),
-                ..RunConfig::paper_default()
-            },
-        );
+            )
+        });
+    }
+    for (thr, cell) in THRS.into_iter().zip(plan.execute()) {
+        let r = match &cell.value {
+            Ok(r) => r,
+            Err(p) => {
+                report.failed_row(&cell.id, &p.message);
+                continue;
+            }
+        };
         let stats = r.upm.as_ref().expect("upmlib stats");
         report.row(vec![
             format!("{thr}"),
@@ -122,7 +161,7 @@ pub fn threshold_sweep(scale: Scale) -> Report {
 pub fn freeze_toggle(_scale: Scale) -> Report {
     use ccnuma::{Machine, SimArray};
     use omp::{Runtime, Schedule};
-    use upmlib::{UpmEngine, UpmOptions};
+    use upmlib::UpmEngine;
 
     let mut report = Report::new(
         "ablation-freeze",
@@ -135,7 +174,7 @@ pub fn freeze_toggle(_scale: Scale) -> Report {
             "Frozen pages",
         ],
     );
-    let run = |freeze: bool| {
+    let run = |freeze: bool| -> (f64, UpmStats) {
         let mut machine = Machine::new(MachineConfig::origin2000_16p_scaled());
         vmm::install_placement(&mut machine, PlacementScheme::FirstTouch);
         let mut rt = Runtime::new(machine);
@@ -171,11 +210,24 @@ pub fn freeze_toggle(_scale: Scale) -> Report {
         }
         (rt.machine().clock().now_secs() - t0, upm.stats().clone())
     };
+    let mut plan = CellPlan::new();
     for freeze in [true, false] {
-        let (elapsed, stats) = run(freeze);
+        plan.add(
+            format!("freeze-{}", if freeze { "on" } else { "off" }),
+            move || run(freeze),
+        );
+    }
+    for (freeze, cell) in [true, false].into_iter().zip(plan.execute()) {
+        let (elapsed, stats) = match &cell.value {
+            Ok(v) => v,
+            Err(p) => {
+                report.failed_row(&cell.id, &p.message);
+                continue;
+            }
+        };
         report.row(vec![
             if freeze { "on".into() } else { "off".into() },
-            secs(elapsed),
+            secs(*elapsed),
             stats.total_distribution_migrations().to_string(),
             stats.migrations_per_invocation.len().to_string(),
             stats.frozen_pages.to_string(),
@@ -199,7 +251,7 @@ pub fn freeze_toggle(_scale: Scale) -> Report {
 pub fn replication(_scale: Scale) -> Report {
     use ccnuma::{Machine, SimArray};
     use omp::{Runtime, Schedule};
-    use upmlib::{UpmEngine, UpmOptions};
+    use upmlib::UpmEngine;
 
     let mut report = Report::new(
         "ablation-replication",
@@ -250,11 +302,23 @@ pub fn replication(_scale: Scale) -> Report {
             stats.total_distribution_migrations(),
         )
     };
-    for (label, replicate) in [("migration only", false), ("migration + replication", true)] {
-        let (elapsed, replicas, migrations) = run(replicate);
+    const CONFIGS: [(&str, bool); 2] =
+        [("migration only", false), ("migration + replication", true)];
+    let mut plan = CellPlan::new();
+    for (label, replicate) in CONFIGS {
+        plan.add(label, move || run(replicate));
+    }
+    for ((label, _), cell) in CONFIGS.into_iter().zip(plan.execute()) {
+        let (elapsed, replicas, migrations) = match &cell.value {
+            Ok(v) => v,
+            Err(p) => {
+                report.failed_row(&cell.id, &p.message);
+                continue;
+            }
+        };
         report.row(vec![
             label.into(),
-            secs(elapsed),
+            secs(*elapsed),
             replicas.to_string(),
             migrations.to_string(),
         ]);
@@ -279,9 +343,10 @@ pub fn machine_size(_scale: Scale) -> Report {
         "Placement sensitivity vs machine size (CG weak-scaled: 500 rows/CPU; 2 CPUs per node)",
         &["CPUs", "Max hops", "ft (s)", "rand slowdown", "wc slowdown"],
     );
-    for nodes in [4usize, 8, 16, 32] {
+    const NODES: [usize; 4] = [4, 8, 16, 32];
+    let mut plan = CellPlan::new();
+    for nodes in NODES {
         let machine = MachineConfig::origin2000_scaled_nodes(nodes);
-        let diameter = machine.topology.diameter();
         // Weak scaling: constant per-processor working set, as the paper's
         // §2.2 extrapolation presumes ("reasonable scaling of the problem
         // size").
@@ -293,30 +358,53 @@ pub fn machine_size(_scale: Scale) -> Report {
             shift: 20.0,
             seed: 271828,
         };
-        let run = |placement| -> RunResult {
-            crate::run_one::run_cg_custom(
-                cg_cfg,
-                &RunConfig {
-                    placement,
-                    engine: EngineMode::None,
-                    threads: nodes * 2,
-                    machine: machine.clone(),
-                    trace: false,
+        for placement in [
+            PlacementScheme::FirstTouch,
+            PlacementScheme::Random {
+                seed: crate::seed::get(),
+            },
+            PlacementScheme::WorstCase { node: 0 },
+        ] {
+            let machine = machine.clone();
+            plan.add(
+                format!("cg-{}cpu:{}", nodes * 2, placement.label()),
+                move || {
+                    crate::run_one::run_cg_custom(
+                        cg_cfg,
+                        &RunConfig {
+                            placement,
+                            engine: EngineMode::None,
+                            threads: nodes * 2,
+                            machine,
+                            trace: false,
+                        },
+                    )
                 },
-            )
-        };
-        let ft = run(PlacementScheme::FirstTouch);
-        let rand = run(PlacementScheme::Random {
-            seed: crate::seed::get(),
-        });
-        let wc = run(PlacementScheme::WorstCase { node: 0 });
-        report.row(vec![
-            format!("{}", nodes * 2),
-            format!("{diameter}"),
-            secs(ft.total_secs),
-            pct(rand.total_secs / ft.total_secs),
-            pct(wc.total_secs / ft.total_secs),
-        ]);
+            );
+        }
+    }
+    let outputs = plan.execute();
+    for (nodes, chunk) in NODES.into_iter().zip(outputs.chunks(3)) {
+        let diameter = MachineConfig::origin2000_scaled_nodes(nodes)
+            .topology
+            .diameter();
+        let ok: Vec<Option<&RunResult>> = chunk.iter().map(|c| c.ok()).collect();
+        match (ok[0], ok[1], ok[2]) {
+            (Some(ft), Some(rand), Some(wc)) => report.row(vec![
+                format!("{}", nodes * 2),
+                format!("{diameter}"),
+                secs(ft.total_secs),
+                pct(rand.total_secs / ft.total_secs),
+                pct(wc.total_secs / ft.total_secs),
+            ]),
+            _ => {
+                for cell in chunk {
+                    if let Err(p) = &cell.value {
+                        report.failed_row(&cell.id, &p.message);
+                    }
+                }
+            }
+        }
     }
     report.note(
         "both balanced-scheme and worst-case penalties grow with machine size: more remote          hops per access and, for worst-case, more processors contending for one memory          module — the paper's §2.2 extrapolation, verified",
@@ -330,10 +418,13 @@ pub fn machine_size(_scale: Scale) -> Report {
 /// work). After UPMlib settles, the OS rebinds every thread to a different
 /// node's CPU; the tuned placement is suddenly wrong. Re-arming the engine
 /// (`reactivate`) lets it re-learn the new binding within an iteration.
+///
+/// One machine evolving through a timeline — inherently serial, so no
+/// cell plan here.
 pub fn scheduler_disruption(_scale: Scale) -> Report {
     use ccnuma::{Machine, SimArray};
     use omp::{Runtime, Schedule};
-    use upmlib::{UpmEngine, UpmOptions};
+    use upmlib::UpmEngine;
 
     let mut report = Report::new(
         "ablation-scheduler",

@@ -1,13 +1,17 @@
 //! `xp` — the experiment driver.
 //!
 //! ```text
-//! xp [COMMAND] [--scale tiny|small|medium] [--seed N] [--out DIR] [--trace DIR]
+//! xp [COMMAND] [--scale tiny|small|medium] [--seed N] [--jobs N] [--out DIR] [--trace DIR]
 //! xp trace <bt|sp|cg|mg|ft> [--scale tiny|small|medium] [--out DIR]
 //! ```
 //!
 //! Prints each experiment's markdown table to stdout, writes the raw rows
 //! as JSON under the output directory (default `results/`), and records
 //! per-experiment timing in `results/bench_summary.json`.
+//!
+//! Experiment cells run on a host-parallel worker pool (`--jobs N`,
+//! default: available parallelism); reports are byte-identical for every
+//! jobs count (see `crates/xp/src/cells.rs`).
 
 use nas::Scale;
 use std::path::PathBuf;
@@ -21,7 +25,7 @@ const USAGE: &str = "\
 xp — experiment driver for the data-distribution study
 
 usage:
-  xp [COMMAND] [--scale tiny|small|medium] [--seed N] [--out DIR] [--trace DIR]
+  xp [COMMAND] [--scale tiny|small|medium] [--seed N] [--jobs N] [--out DIR] [--trace DIR]
   xp trace <bt|sp|cg|mg|ft> [--scale tiny|small|medium] [--out DIR]
 
 commands:
@@ -42,6 +46,9 @@ options:
   --scale tiny|small|medium  problem scale (default medium)
   --seed N                   experiment seed for seeded components such as
                              random placement (default 20000)
+  --jobs N                   worker threads for experiment cells (default:
+                             available parallelism; reports are identical
+                             for every N)
   --out DIR                  output directory for reports (default results/)
   --trace DIR                also record an event trace of every run into
                              DIR (commands other than trace)
@@ -92,6 +99,15 @@ fn main() {
                     .parse::<u64>()
                     .unwrap_or_else(|_| die(&format!("--seed needs an integer, got '{v}'")));
                 xp::seed::set(seed);
+            }
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| die("--jobs needs a value"));
+                let jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die(&format!("--jobs needs a positive integer, got '{v}'")));
+                xp::jobs::set(jobs);
             }
             "--out" => {
                 let v = it.next().unwrap_or_else(|| die("--out needs a value"));
@@ -176,12 +192,16 @@ fn main() {
     let mut reports: Vec<Report> = Vec::new();
     for (id, job) in jobs {
         xp::summary::take_sim_secs();
+        xp::summary::take_wall();
         let t0 = Instant::now();
         let mut produced = job();
+        let (cells_wall_secs, pool_wall_secs) = xp::summary::take_wall();
         entries.push(SummaryEntry {
             id: id.to_string(),
             sim_secs: xp::summary::take_sim_secs(),
             wall_secs: t0.elapsed().as_secs_f64(),
+            cells_wall_secs,
+            pool_wall_secs,
         });
         reports.append(&mut produced);
     }
@@ -198,7 +218,13 @@ fn main() {
         Scale::Small => "small",
         Scale::Medium => "medium",
     };
-    match xp::summary::write(&out_dir, scale_label, xp::seed::get(), &entries) {
+    match xp::summary::write(
+        &out_dir,
+        scale_label,
+        xp::seed::get(),
+        xp::jobs::get(),
+        &entries,
+    ) {
         Ok(path) => eprintln!("[saved {}]", path.display()),
         Err(e) => eprintln!("[warn: could not save bench_summary.json: {e}]"),
     }

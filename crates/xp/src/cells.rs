@@ -1,0 +1,256 @@
+//! The `CellPlan → execute → Report` pipeline every experiment runs on.
+//!
+//! An experiment is a grid of independent **cells** — `(benchmark,
+//! placement, engine, scale, seed)` points, each of which builds its own
+//! simulated machine. A [`CellPlan`] is the ordered list of those cells;
+//! [`CellPlan::execute`] fans them out over the [`exec`] work-stealing
+//! pool (`--jobs N` workers, see [`crate::jobs`]) and hands back one
+//! [`CellOutput`] per cell **in plan order**, so the report a caller
+//! builds from the outputs is byte-identical whatever the worker count.
+//!
+//! The pipeline preserves the two process-global side channels that used
+//! to be updated mid-run, by making them cell-local and re-playing them
+//! at merge time in plan order:
+//!
+//! * **Simulated seconds** ([`crate::summary`]): `add_sim_secs` calls made
+//!   while a cell runs are credited to that cell's context and added to
+//!   the global accumulator at merge, so the final sum is a fixed-order
+//!   float reduction — bit-identical across worker counts.
+//! * **Trace dumps** ([`crate::trace`]): `--trace DIR` dumps are buffered
+//!   per cell and written at merge, so trace file sequence numbers follow
+//!   plan order, not scheduling order.
+//!
+//! Each cell additionally runs under `catch_unwind`: a panicking cell
+//! surfaces as an `Err` output (a failed *row* in the report), never a
+//! dead run, and never poisons sibling cells.
+
+use exec::{Job, JobPanic, Pool};
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// Per-cell context, installed on the worker thread for the duration of
+/// one cell: collects what the cell's runs credit to the process-globals.
+#[derive(Default)]
+struct CellCtx {
+    sim_secs: f64,
+    traces: Vec<crate::trace::PendingTrace>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<CellCtx>> = const { RefCell::new(None) };
+}
+
+/// Credit simulated seconds to the active cell, if any. Returns `false`
+/// when no cell is active (caller falls back to the process-global).
+pub(crate) fn credit_sim_secs(secs: f64) -> bool {
+    CTX.with(|ctx| match ctx.borrow_mut().as_mut() {
+        Some(c) => {
+            c.sim_secs += secs;
+            true
+        }
+        None => false,
+    })
+}
+
+/// Defer a trace dump to the active cell's buffer, if any. Returns the
+/// trace back when no cell is active (caller writes it immediately).
+pub(crate) fn defer_trace(trace: crate::trace::PendingTrace) -> Option<crate::trace::PendingTrace> {
+    CTX.with(|ctx| match ctx.borrow_mut().as_mut() {
+        Some(c) => {
+            c.traces.push(trace);
+            None
+        }
+        None => Some(trace),
+    })
+}
+
+/// What one executed cell produced, before the merge replays its side
+/// effects.
+struct CellRun<T> {
+    value: Result<T, String>,
+    sim_secs: f64,
+    traces: Vec<crate::trace::PendingTrace>,
+    wall_secs: f64,
+}
+
+/// One merged cell result, in plan order.
+#[derive(Debug)]
+pub struct CellOutput<T> {
+    /// The cell's plan id (e.g. `cg:wc-upmlib`).
+    pub id: String,
+    /// The cell's value, or the panic that killed it.
+    pub value: Result<T, JobPanic>,
+    /// Host wall-clock seconds the cell took on its worker.
+    pub wall_secs: f64,
+}
+
+impl<T> CellOutput<T> {
+    /// The value, panicking with the cell's id on a failed cell — for
+    /// callers (tests, helper APIs) that require a complete grid.
+    pub fn expect_ok(self) -> T {
+        match self.value {
+            Ok(v) => v,
+            Err(p) => panic!("cell {} failed: {}", self.id, p.message),
+        }
+    }
+
+    /// The value as `Option`, dropping the panic.
+    pub fn ok(&self) -> Option<&T> {
+        self.value.as_ref().ok()
+    }
+}
+
+/// An ordered list of independent experiment cells.
+pub struct CellPlan<'a, T> {
+    cells: Vec<(String, Job<'a, T>)>,
+}
+
+impl<'a, T: Send + 'a> Default for CellPlan<'a, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a, T: Send + 'a> CellPlan<'a, T> {
+    /// An empty plan.
+    pub fn new() -> Self {
+        CellPlan { cells: Vec::new() }
+    }
+
+    /// Append a cell. `id` names the cell in failed rows and diagnostics;
+    /// the position in the plan is the cell's canonical merge position.
+    pub fn add(&mut self, id: impl Into<String>, job: impl FnOnce() -> T + Send + 'a) {
+        self.cells.push((id.into(), Box::new(job)));
+    }
+
+    /// Number of cells planned.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Execute on a pool sized by [`crate::jobs::get`].
+    pub fn execute(self) -> Vec<CellOutput<T>> {
+        self.execute_on(&Pool::new(crate::jobs::get()))
+    }
+
+    /// Execute every cell on `pool` and merge: outputs come back in plan
+    /// order, each cell's deferred sim-seconds and trace dumps are
+    /// replayed in plan order, and the plan's wall-clock statistics are
+    /// credited to [`crate::summary`].
+    pub fn execute_on(self, pool: &Pool) -> Vec<CellOutput<T>> {
+        let (ids, jobs): (Vec<String>, Vec<Job<'a, T>>) = self.cells.into_iter().unzip();
+        let wrapped: Vec<Job<'a, CellRun<T>>> = jobs
+            .into_iter()
+            .map(|job| {
+                Box::new(move || {
+                    let t0 = Instant::now();
+                    CTX.with(|ctx| *ctx.borrow_mut() = Some(CellCtx::default()));
+                    let value =
+                        catch_unwind(AssertUnwindSafe(job)).map_err(|p| panic_message(p.as_ref()));
+                    let ctx = CTX
+                        .with(|ctx| ctx.borrow_mut().take())
+                        .expect("cell context installed above");
+                    CellRun {
+                        value,
+                        sim_secs: ctx.sim_secs,
+                        traces: ctx.traces,
+                        wall_secs: t0.elapsed().as_secs_f64(),
+                    }
+                }) as Job<'a, CellRun<T>>
+            })
+            .collect();
+        let t0 = Instant::now();
+        let runs = pool.run(wrapped);
+        crate::summary::add_pool_wall(t0.elapsed().as_secs_f64());
+        runs.into_iter()
+            .zip(ids)
+            .enumerate()
+            .map(|(index, (run, id))| {
+                // The wrapper catches the cell's panic itself, so a pool-level
+                // Err means the *wrapper* died — re-surface it as a message.
+                let run = run.unwrap_or_else(|p| CellRun {
+                    value: Err(p.message),
+                    sim_secs: 0.0,
+                    traces: Vec::new(),
+                    wall_secs: 0.0,
+                });
+                crate::summary::add_sim_secs(run.sim_secs);
+                crate::summary::add_cell_wall(run.wall_secs);
+                for trace in run.traces {
+                    crate::trace::write_pending(trace);
+                }
+                CellOutput {
+                    id,
+                    value: run.value.map_err(|message| JobPanic { index, message }),
+                    wall_secs: run.wall_secs,
+                }
+            })
+            .collect()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_follow_plan_order_for_any_worker_count() {
+        for workers in [1usize, 2, 7] {
+            let mut plan = CellPlan::new();
+            for i in 0..13usize {
+                plan.add(format!("cell-{i}"), move || i * i);
+            }
+            let out = plan.execute_on(&Pool::new(workers));
+            let values: Vec<usize> = out.into_iter().map(|c| c.expect_ok()).collect();
+            assert_eq!(values, (0..13).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn sim_secs_are_replayed_in_plan_order() {
+        // Whatever order cells finish in, the merged accumulator sees the
+        // same fixed-order float sum.
+        let total = |workers: usize| {
+            crate::summary::take_sim_secs();
+            let mut plan = CellPlan::new();
+            for i in 0..20usize {
+                plan.add(format!("c{i}"), move || {
+                    crate::summary::add_sim_secs(0.1 + (i as f64) * 1e-13);
+                });
+            }
+            plan.execute_on(&Pool::new(workers));
+            crate::summary::take_sim_secs().to_bits()
+        };
+        assert_eq!(total(1), total(5));
+    }
+
+    #[test]
+    fn a_failed_cell_is_an_err_output_not_a_dead_plan() {
+        let mut plan = CellPlan::new();
+        plan.add("good-1", || 1usize);
+        plan.add("bad", || panic!("boom"));
+        plan.add("good-2", || 2usize);
+        let out = plan.execute_on(&Pool::new(2));
+        assert_eq!(out[0].ok(), Some(&1));
+        let err = out[1].value.as_ref().unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(err.message.contains("boom"));
+        assert_eq!(out[2].ok(), Some(&2));
+    }
+}

@@ -6,35 +6,72 @@
 //! ~90%); round-robin and random are modest (8%–45%); kernel migration
 //! recovers part but not all of the gap, is a near-no-op under first-touch,
 //! and *hurts* FT (page-level false sharing).
+//!
+//! Execution model: the benchmark x placement x engine grid is a
+//! [`CellPlan`] — every cell an independent simulated machine — fanned out
+//! over the host pool and merged in plan order (see [`crate::cells`]).
 
+use crate::cells::{CellOutput, CellPlan};
 use crate::report::{pct, secs, Report};
 use crate::run_one::{default_engine_configs, run_one};
 use nas::{BenchName, EngineMode, RunConfig, RunResult, Scale};
 use vmm::PlacementScheme;
 
-/// Run the full placement x engine grid for one benchmark.
+/// Append one benchmark's placement x engine cells to `plan`, in the
+/// canonical order (placement-major, engine-minor). Adds
+/// [`grid_width`]`(with_upmlib)` cells.
 ///
-/// `with_upmlib` additionally runs the four `*-upmlib` configurations
+/// `with_upmlib` additionally plans the four `*-upmlib` configurations
 /// (Figure 4's extra bars). The random placement scheme draws from the
 /// global experiment seed ([`crate::seed`]).
-pub fn grid(bench: BenchName, scale: Scale, with_upmlib: bool) -> Vec<RunResult> {
+pub fn plan_grid(
+    plan: &mut CellPlan<'_, RunResult>,
+    bench: BenchName,
+    scale: Scale,
+    with_upmlib: bool,
+) {
     let (kcfg, upm_opts) = default_engine_configs();
-    let mut results = Vec::new();
     for placement in PlacementScheme::all(crate::seed::get()) {
         let mut engines = vec![EngineMode::None, EngineMode::IrixMig(kcfg)];
         if with_upmlib {
             engines.push(EngineMode::Upmlib(upm_opts));
         }
         for engine in engines {
+            let id = format!(
+                "{}:{}-{}",
+                bench.label().to_ascii_lowercase(),
+                placement.label(),
+                engine.label()
+            );
             let cfg = RunConfig {
                 placement,
                 engine,
                 ..RunConfig::paper_default()
             };
-            results.push(run_one(bench, scale, &cfg));
+            plan.add(id, move || run_one(bench, scale, &cfg));
         }
     }
-    results
+}
+
+/// Cells [`plan_grid`] appends per benchmark.
+pub fn grid_width(with_upmlib: bool) -> usize {
+    if with_upmlib {
+        12
+    } else {
+        8
+    }
+}
+
+/// Run the full placement x engine grid for one benchmark (host-parallel).
+/// Panics if any cell panicked — callers that want per-cell failure
+/// isolation consume [`plan_grid`] outputs directly.
+pub fn grid(bench: BenchName, scale: Scale, with_upmlib: bool) -> Vec<RunResult> {
+    let mut plan = CellPlan::new();
+    plan_grid(&mut plan, bench, scale, with_upmlib);
+    plan.execute()
+        .into_iter()
+        .map(CellOutput::expect_ok)
+        .collect()
 }
 
 /// The `ft-IRIX` baseline time within a result set.
@@ -53,25 +90,42 @@ pub fn run(scale: Scale) -> Report {
         "Impact of page placement on the NAS benchmarks (execution time, simulated seconds)",
         &["Benchmark", "Config", "Time (s)", "vs ft-IRIX", "Verified"],
     );
+    let mut plan = CellPlan::new();
+    for bench in BenchName::all() {
+        plan_grid(&mut plan, bench, scale, false);
+    }
+    let outputs = plan.execute();
     let mut wc_slowdowns = Vec::new();
     let mut rr_slowdowns = Vec::new();
     let mut rand_slowdowns = Vec::new();
-    for bench in BenchName::all() {
-        let results = grid(bench, scale, false);
-        let base = baseline_secs(&results);
+    for (bench, chunk) in BenchName::all()
+        .into_iter()
+        .zip(outputs.chunks(grid_width(false)))
+    {
+        let ok: Vec<&RunResult> = chunk.iter().filter_map(CellOutput::ok).collect();
+        let base = ok
+            .iter()
+            .find(|r| r.placement == "ft" && r.engine == "IRIX")
+            .map(|r| r.total_secs);
         report.chart(
             &format!("NAS {} (execution time, simulated seconds)", bench.label()),
-            results
-                .iter()
+            ok.iter()
                 .map(|r| crate::report::Bar {
                     label: r.label(),
                     value: r.total_secs,
                 })
                 .collect(),
         );
-        for r in &results {
-            let ratio = r.total_secs / base;
-            if r.engine == "IRIX" {
+        for cell in chunk {
+            let r = match &cell.value {
+                Ok(r) => r,
+                Err(p) => {
+                    report.failed_row(&cell.id, &p.message);
+                    continue;
+                }
+            };
+            let ratio = base.map(|b| r.total_secs / b);
+            if let (Some(ratio), "IRIX") = (ratio, r.engine.as_str()) {
                 match r.placement.as_str() {
                     "wc" => wc_slowdowns.push(ratio),
                     "rr" => rr_slowdowns.push(ratio),
@@ -83,7 +137,7 @@ pub fn run(scale: Scale) -> Report {
                 bench.label().into(),
                 r.label(),
                 secs(r.total_secs),
-                pct(ratio),
+                ratio.map(pct).unwrap_or_else(|| "-".into()),
                 if r.verification.passed {
                     "ok".into()
                 } else {
@@ -93,12 +147,14 @@ pub fn run(scale: Scale) -> Report {
         }
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    report.note(format!(
-        "average slowdown without migration: rr {}, rand {}, wc {} (paper: 22%, 23%, 90%)",
-        pct(avg(&rr_slowdowns)),
-        pct(avg(&rand_slowdowns)),
-        pct(avg(&wc_slowdowns)),
-    ));
+    if !wc_slowdowns.is_empty() && !rr_slowdowns.is_empty() && !rand_slowdowns.is_empty() {
+        report.note(format!(
+            "average slowdown without migration: rr {}, rand {}, wc {} (paper: 22%, 23%, 90%)",
+            pct(avg(&rr_slowdowns)),
+            pct(avg(&rand_slowdowns)),
+            pct(avg(&wc_slowdowns)),
+        ));
+    }
     report
 }
 
@@ -109,7 +165,7 @@ mod tests {
     #[test]
     fn grid_covers_all_configs() {
         let results = grid(BenchName::Mg, Scale::Tiny, true);
-        assert_eq!(results.len(), 12);
+        assert_eq!(results.len(), grid_width(true));
         let labels: Vec<_> = results.iter().map(|r| r.label()).collect();
         for want in ["ft-IRIX", "rr-IRIXmig", "rand-upmlib", "wc-upmlib"] {
             assert!(

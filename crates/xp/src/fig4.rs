@@ -6,9 +6,10 @@
 //! (rand), ~14% (wc) — and under first-touch UPMlib even *gains* 6–22% on
 //! most codes by fixing the pages first-touch put in the wrong place.
 
-use crate::fig1::{baseline_secs, grid};
+use crate::cells::{CellOutput, CellPlan};
+use crate::fig1::{grid_width, plan_grid};
 use crate::report::{pct, secs, Report};
-use nas::{BenchName, Scale};
+use nas::{BenchName, RunResult, Scale};
 
 /// Run Figure 4 for all five benchmarks.
 pub fn run(scale: Scale) -> Report {
@@ -24,27 +25,46 @@ pub fn run(scale: Scale) -> Report {
             "Verified",
         ],
     );
-    let mut upm_slow: Vec<(String, f64)> = Vec::new();
+    let mut plan = CellPlan::new();
     for bench in BenchName::all() {
-        let results = grid(bench, scale, true);
-        let base = baseline_secs(&results);
+        plan_grid(&mut plan, bench, scale, true);
+    }
+    let outputs = plan.execute();
+    let mut upm_slow: Vec<(String, f64)> = Vec::new();
+    for (bench, chunk) in BenchName::all()
+        .into_iter()
+        .zip(outputs.chunks(grid_width(true)))
+    {
+        let ok: Vec<&RunResult> = chunk.iter().filter_map(CellOutput::ok).collect();
+        let base = ok
+            .iter()
+            .find(|r| r.placement == "ft" && r.engine == "IRIX")
+            .map(|r| r.total_secs);
         report.chart(
             &format!(
                 "NAS {} with UPMlib (execution time, simulated seconds)",
                 bench.label()
             ),
-            results
-                .iter()
+            ok.iter()
                 .map(|r| crate::report::Bar {
                     label: r.label(),
                     value: r.total_secs,
                 })
                 .collect(),
         );
-        for r in &results {
-            let ratio = r.total_secs / base;
-            if r.engine == "upmlib" && r.placement != "ft" {
-                upm_slow.push((r.placement.clone(), ratio));
+        for cell in chunk {
+            let r = match &cell.value {
+                Ok(r) => r,
+                Err(p) => {
+                    report.failed_row(&cell.id, &p.message);
+                    continue;
+                }
+            };
+            let ratio = base.map(|b| r.total_secs / b);
+            if let Some(ratio) = ratio {
+                if r.engine == "upmlib" && r.placement != "ft" {
+                    upm_slow.push((r.placement.clone(), ratio));
+                }
             }
             let migrations = r
                 .upm
@@ -55,7 +75,7 @@ pub fn run(scale: Scale) -> Report {
                 bench.label().into(),
                 r.label(),
                 secs(r.total_secs),
-                pct(ratio),
+                ratio.map(pct).unwrap_or_else(|| "-".into()),
                 migrations,
                 if r.verification.passed {
                     "ok".into()
@@ -89,8 +109,8 @@ pub fn run(scale: Scale) -> Report {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::fig1;
+    use nas::{BenchName, Scale};
 
     #[test]
     fn upmlib_recovers_worst_case() {

@@ -8,33 +8,49 @@
 //! on BT) but its on-critical-path migration overhead outweighs the gain at
 //! normal phase lengths — the total recrep bar is not better than upmlib.
 
+use crate::cells::{CellOutput, CellPlan};
 use crate::report::{pct, secs, Report};
 use crate::run_one::{default_engine_configs, run_one};
 use nas::{BenchName, EngineMode, RunConfig, RunResult, Scale};
 use vmm::PlacementScheme;
 
-/// The four Figure 5 configurations for one benchmark.
-pub fn bars(bench: BenchName, scale: Scale) -> Vec<RunResult> {
+/// The benchmarks of the figure.
+pub const BENCHES: [BenchName; 2] = [BenchName::Bt, BenchName::Sp];
+
+/// Cells per benchmark: the four engine modes.
+pub const CELLS_PER_BENCH: usize = 4;
+
+/// Append one benchmark's four Figure 5 cells to `plan`, in bar order.
+pub fn plan_bars(plan: &mut CellPlan<'_, RunResult>, bench: BenchName, scale: Scale) {
     let (kcfg, upm_opts) = default_engine_configs();
-    [
+    for engine in [
         EngineMode::None,
         EngineMode::IrixMig(kcfg),
         EngineMode::Upmlib(upm_opts),
         EngineMode::RecRep(upm_opts),
-    ]
-    .into_iter()
-    .map(|engine| {
-        run_one(
-            bench,
-            scale,
-            &RunConfig {
-                placement: PlacementScheme::FirstTouch,
-                engine,
-                ..RunConfig::paper_default()
-            },
-        )
-    })
-    .collect()
+    ] {
+        let id = format!(
+            "{}:ft-{}",
+            bench.label().to_ascii_lowercase(),
+            engine.label()
+        );
+        let cfg = RunConfig {
+            placement: PlacementScheme::FirstTouch,
+            engine,
+            ..RunConfig::paper_default()
+        };
+        plan.add(id, move || run_one(bench, scale, &cfg));
+    }
+}
+
+/// The four Figure 5 configurations for one benchmark (host-parallel).
+pub fn bars(bench: BenchName, scale: Scale) -> Vec<RunResult> {
+    let mut plan = CellPlan::new();
+    plan_bars(&mut plan, bench, scale);
+    plan.execute()
+        .into_iter()
+        .map(CellOutput::expect_ok)
+        .collect()
 }
 
 /// Run Figure 5 (BT and SP).
@@ -51,29 +67,41 @@ pub fn run(scale: Scale) -> Report {
             "Verified",
         ],
     );
-    for bench in [BenchName::Bt, BenchName::Sp] {
-        let results = bars(bench, scale);
-        let base = results[0].total_secs;
+    let mut plan = CellPlan::new();
+    for bench in BENCHES {
+        plan_bars(&mut plan, bench, scale);
+    }
+    let outputs = plan.execute();
+    for (bench, chunk) in BENCHES.into_iter().zip(outputs.chunks(CELLS_PER_BENCH)) {
+        let ok: Vec<&RunResult> = chunk.iter().filter_map(CellOutput::ok).collect();
+        let base = ok.iter().find(|r| r.engine == "IRIX").map(|r| r.total_secs);
         report.chart(
             &format!(
                 "NAS {} (execution time; recrep bar includes its overhead)",
                 bench.label()
             ),
-            results
-                .iter()
+            ok.iter()
                 .map(|r| crate::report::Bar {
                     label: r.label(),
                     value: r.total_secs,
                 })
                 .collect(),
         );
-        for r in &results {
+        for cell in chunk {
+            let r = match &cell.value {
+                Ok(r) => r,
+                Err(p) => {
+                    report.failed_row(&cell.id, &p.message);
+                    continue;
+                }
+            };
             report.row(vec![
                 bench.label().into(),
                 r.label(),
                 secs(r.total_secs),
                 secs(r.recrep_overhead_secs),
-                pct(r.total_secs / base),
+                base.map(|b| pct(r.total_secs / b))
+                    .unwrap_or_else(|| "-".into()),
                 if r.verification.passed {
                     "ok".into()
                 } else {
@@ -81,16 +109,18 @@ pub fn run(scale: Scale) -> Report {
                 },
             ]);
         }
-        let upm = &results[2];
-        let recrep = &results[3];
-        let useful_recrep = recrep.total_secs - recrep.recrep_overhead_secs;
-        report.note(format!(
-            "{}: recrep useful time {} vs upmlib total {} (paper: useful computation up to 10% \
-             faster on BT, but overhead outweighs it)",
-            bench.label(),
-            secs(useful_recrep),
-            secs(upm.total_secs),
-        ));
+        let upm = ok.iter().find(|r| r.engine == "upmlib");
+        let recrep = ok.iter().find(|r| r.engine == "recrep");
+        if let (Some(upm), Some(recrep)) = (upm, recrep) {
+            let useful_recrep = recrep.total_secs - recrep.recrep_overhead_secs;
+            report.note(format!(
+                "{}: recrep useful time {} vs upmlib total {} (paper: useful computation up to 10% \
+                 faster on BT, but overhead outweighs it)",
+                bench.label(),
+                secs(useful_recrep),
+                secs(upm.total_secs),
+            ));
+        }
     }
     report
 }

@@ -15,11 +15,15 @@
 //! to (and crossing of) break-even; EXPERIMENTS.md discusses the scale
 //! analysis.
 
+use crate::cells::CellPlan;
 use crate::report::{pct, secs, Report};
 use crate::run_one::{default_engine_configs, run_bt_custom};
 use nas::bt::BtConfig;
 use nas::{EngineMode, RunConfig, RunResult, Scale};
 use vmm::PlacementScheme;
+
+/// The phase-scale sweep points.
+pub const PHASE_SCALES: [usize; 3] = [1, 4, 16];
 
 /// Run BT at a given phase scale under one engine mode.
 pub fn run_bt_at(scale: Scale, phase_scale: usize, engine: EngineMode) -> RunResult {
@@ -49,10 +53,29 @@ pub fn run(scale: Scale) -> Report {
             "recrep vs upmlib",
         ],
     );
+    let mut plan = CellPlan::new();
+    for phase_scale in PHASE_SCALES {
+        for engine in [EngineMode::Upmlib(upm_opts), EngineMode::RecRep(upm_opts)] {
+            plan.add(
+                format!("bt{phase_scale}x:ft-{}", engine.label()),
+                move || run_bt_at(scale, phase_scale, engine),
+            );
+        }
+    }
+    let outputs = plan.execute();
     let mut ratios = Vec::new();
-    for phase_scale in [1usize, 4, 16] {
-        let upm = run_bt_at(scale, phase_scale, EngineMode::Upmlib(upm_opts));
-        let rec = run_bt_at(scale, phase_scale, EngineMode::RecRep(upm_opts));
+    for (phase_scale, pair) in PHASE_SCALES.into_iter().zip(outputs.chunks(2)) {
+        let (upm, rec) = match (&pair[0].value, &pair[1].value) {
+            (Ok(upm), Ok(rec)) => (upm, rec),
+            (upm, rec) => {
+                for (cell, value) in pair.iter().zip([upm, rec]) {
+                    if let Err(p) = value {
+                        report.failed_row(&cell.id, &p.message);
+                    }
+                }
+                continue;
+            }
+        };
         assert!(
             upm.verification.passed && rec.verification.passed,
             "fig6 runs must verify"
@@ -67,14 +90,16 @@ pub fn run(scale: Scale) -> Report {
             pct(ratio),
         ]);
     }
-    report.note(format!(
-        "recrep's position improves monotonically with phase length ({} -> {} -> {}); the paper \
-         crosses break-even at 4x on Class A, where per-page phase traffic is ~30x larger \
-         relative to the serial migration cost (see EXPERIMENTS.md)",
-        pct(ratios[0]),
-        pct(ratios[1]),
-        pct(ratios[2]),
-    ));
+    if ratios.len() == PHASE_SCALES.len() {
+        report.note(format!(
+            "recrep's position improves monotonically with phase length ({} -> {} -> {}); the paper \
+             crosses break-even at 4x on Class A, where per-page phase traffic is ~30x larger \
+             relative to the serial migration cost (see EXPERIMENTS.md)",
+            pct(ratios[0]),
+            pct(ratios[1]),
+            pct(ratios[2]),
+        ));
+    }
     report
 }
 

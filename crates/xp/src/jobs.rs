@@ -1,0 +1,41 @@
+//! The host worker count (the binary's `--jobs N` flag).
+//!
+//! Like [`crate::seed`], this is a process-global knob installed once at
+//! startup: every [`crate::cells::CellPlan`] execution draws its pool size
+//! from here. `0` means "not set" and resolves to the host's available
+//! parallelism, so `xp` saturates the machine by default while tests can
+//! pin an explicit count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Install the worker count (the binary calls this before dispatching).
+/// `set(0)` restores the default (available parallelism).
+pub fn set(jobs: usize) {
+    JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The effective worker count: the installed value, or the host's
+/// available parallelism when none was installed.
+pub fn get() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => exec::Pool::available(),
+        n => n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_then_set_then_reset() {
+        // Single test so no other jobs test races this one.
+        assert!(get() >= 1);
+        set(3);
+        assert_eq!(get(), 3);
+        set(0);
+        assert!(get() >= 1);
+    }
+}

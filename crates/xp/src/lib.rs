@@ -17,10 +17,12 @@
 //! `xp` binary writes both to stdout and to `results/*.json`.
 
 pub mod ablation;
+pub mod cells;
 pub mod fig1;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod jobs;
 pub mod multiprog;
 pub mod report;
 pub mod run_one;
@@ -30,5 +32,6 @@ pub mod table1;
 pub mod table2;
 pub mod trace;
 
+pub use cells::{CellOutput, CellPlan};
 pub use report::Report;
 pub use run_one::{default_engine_configs, run_one};

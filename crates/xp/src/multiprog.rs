@@ -10,6 +10,7 @@
 //! pages back to the threads. Gang scheduling and space sharing bracket the
 //! comparison from the locality-friendly side.
 
+use crate::cells::CellPlan;
 use crate::report::{pct, secs, Report};
 use crate::run_one::{default_engine_configs, run_one};
 use nas::{BenchName, EngineMode, RunConfig, Scale};
@@ -222,23 +223,56 @@ pub fn run(scale: Scale) -> Report {
     // multiprogramming cost this strategy?", not "how far is it from its
     // own (engine-tuned) dedicated run", which would penalize UPMlib for
     // being faster than first-touch when dedicated.
-    let mut dedicated: BTreeMap<String, f64> = BTreeMap::new();
-    let variants = engine_variants();
+    // Phase 1: the dedicated baselines, one cell per distinct benchmark.
+    // A missing baseline makes every slowdown of that benchmark
+    // uncomputable, so a baseline failure is fatal (`expect_ok`), unlike
+    // the per-schedule cells below.
+    let mut bench_order: Vec<BenchName> = Vec::new();
     for mix in mixes() {
         for &bench in mix.benches {
-            dedicated
-                .entry(bench.label().to_string())
-                .or_insert_with(|| {
-                    run_one(bench, scale, &job_config(&EngineMode::None)).total_secs
-                });
+            if !bench_order.contains(&bench) {
+                bench_order.push(bench);
+            }
         }
     }
+    let mut base_plan = CellPlan::new();
+    for &bench in &bench_order {
+        base_plan.add(
+            format!("dedicated:{}", bench.label().to_ascii_lowercase()),
+            move || run_one(bench, scale, &job_config(&EngineMode::None)).total_secs,
+        );
+    }
+    let mut dedicated: BTreeMap<String, f64> = BTreeMap::new();
+    for (bench, cell) in bench_order.iter().zip(base_plan.execute()) {
+        dedicated.insert(bench.label().to_string(), cell.expect_ok());
+    }
+    // Phase 2: one cell per (mix, policy, engine variant) schedule.
+    let variants = engine_variants();
+    let mut plan = CellPlan::new();
+    for mix in mixes() {
+        for kind in PolicyKind::all() {
+            for variant in variants.clone() {
+                plan.add(
+                    format!("{}:{}-{}", mix.name, kind.label(), variant.label),
+                    move || run_schedule(&mix, kind, &variant, scale),
+                );
+            }
+        }
+    }
+    let mut outputs = plan.execute().into_iter();
     // (mix, policy, engine) -> mean slowdown, for the qualitative notes.
     let mut mean_slowdown: BTreeMap<(String, &'static str, &'static str), f64> = BTreeMap::new();
     for mix in mixes() {
         for kind in PolicyKind::all() {
             for variant in &variants {
-                let outcome = run_schedule(&mix, kind, variant, scale);
+                let cell = outputs.next().expect("one cell per (mix, policy, variant)");
+                let outcome = match &cell.value {
+                    Ok(o) => o,
+                    Err(p) => {
+                        report.failed_row(&cell.id, &p.message);
+                        continue;
+                    }
+                };
                 let mut slowdowns = Vec::new();
                 for j in &outcome.jobs {
                     let base = dedicated[j.bench.label()];
@@ -274,23 +308,27 @@ pub fn run(scale: Scale) -> Report {
         }
     }
     for mix in mixes() {
-        let get =
-            |engine: &'static str| mean_slowdown[&(mix.name.to_string(), "timeshare", engine)];
-        let none = get("IRIX");
-        let relearn = get("upmlib-relearn");
-        let follow = get("upmlib-follow");
-        report.note(format!(
-            "{}: time-sharing mean slowdown {} (no migration) vs {} (upmlib re-arm) vs {} (upmlib follow) — {}",
-            mix.name,
-            pct(none),
-            pct(relearn),
-            pct(follow),
-            if none > relearn {
-                "static first-touch degrades more; scheduler-aware migration recovers"
-            } else {
-                "migration does not pay off here (jobs too short for the rotation period)"
-            }
-        ));
+        let get = |engine: &'static str| {
+            mean_slowdown
+                .get(&(mix.name.to_string(), "timeshare", engine))
+                .copied()
+        };
+        if let (Some(none), Some(relearn), Some(follow)) =
+            (get("IRIX"), get("upmlib-relearn"), get("upmlib-follow"))
+        {
+            report.note(format!(
+                "{}: time-sharing mean slowdown {} (no migration) vs {} (upmlib re-arm) vs {} (upmlib follow) — {}",
+                mix.name,
+                pct(none),
+                pct(relearn),
+                pct(follow),
+                if none > relearn {
+                    "static first-touch degrades more; scheduler-aware migration recovers"
+                } else {
+                    "migration does not pay off here (jobs too short for the rotation period)"
+                }
+            ));
+        }
     }
     report.note(format!(
         "quantum {:.2} ms on the simulated clock; seed {}; slowdown = turnaround / dedicated first-touch run of the benchmark (no engine, whole machine)",

@@ -56,6 +56,27 @@ impl Report {
         self.notes.push(text.into());
     }
 
+    /// Append the row for an experiment cell that panicked instead of
+    /// producing a result: the cell id in the first column, `PANIC:` plus
+    /// the (truncated) payload in the last, `-` in between. The executor's
+    /// panic isolation turns a dead cell into this row, not a dead run.
+    pub fn failed_row(&mut self, id: &str, message: &str) {
+        let mut msg: String = message.chars().take(60).collect();
+        if msg.len() < message.len() {
+            msg.push('…');
+        }
+        let mut cells = vec!["-".to_string(); self.headers.len()];
+        if let Some(first) = cells.first_mut() {
+            *first = id.to_string();
+        }
+        if self.headers.len() > 1 {
+            if let Some(last) = cells.last_mut() {
+                *last = format!("PANIC: {msg}");
+            }
+        }
+        self.rows.push(cells);
+    }
+
     /// Append a bar chart (rendered under the table, in the style of the
     /// paper's figures).
     pub fn chart(&mut self, title: &str, bars: Vec<Bar>) {

@@ -1,12 +1,26 @@
 //! The machine-readable run summary (`results/bench_summary.json`): one
-//! entry per experiment with simulated seconds and host wall-clock, so
-//! future changes have a performance trajectory to compare against.
+//! entry per experiment with simulated seconds, host wall-clock, and the
+//! host-parallel executor's speedup estimate, so future changes have a
+//! performance trajectory to compare against.
 //!
 //! Simulated seconds accumulate in a process-global counter:
 //! [`crate::run_one`] adds each run's total, and the multiprogramming
-//! experiment adds its schedules' makespans. The binary snapshots the
+//! experiment adds its schedules' makespans. When the call happens inside
+//! an executing experiment cell, the credit is buffered in the cell's
+//! context and replayed in canonical plan order at merge time (see
+//! [`crate::cells`]), so the accumulated float sum is bit-identical
+//! whatever `--jobs` count ran the cells. The binary snapshots the
 //! counter around each experiment with [`take_sim_secs`] and writes the
 //! collected entries with [`write`].
+//!
+//! Wall-clock bookkeeping for the speedup estimate: each cell reports the
+//! wall seconds it spent on its worker ([`add_cell_wall`]) and each plan
+//! reports the wall seconds its pool was open ([`add_pool_wall`]). An
+//! experiment that took `wall_secs` overall would therefore have taken
+//! about `wall_secs - pool_wall + cells_wall` serially, and
+//! `speedup_vs_serial` is that estimate divided by `wall_secs` — ~1.0 for
+//! `--jobs 1` runs, approaching the worker count for cell-dominated
+//! experiments.
 
 use obs::json::Value;
 use std::io::Write;
@@ -14,15 +28,36 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 static SIM_SECS: Mutex<f64> = Mutex::new(0.0);
+/// `(cells_wall, pool_wall)` accumulated since the last [`take_wall`].
+static WALL: Mutex<(f64, f64)> = Mutex::new((0.0, 0.0));
 
-/// Credit simulated seconds to the experiment currently running.
+/// Credit simulated seconds to the experiment currently running. Inside a
+/// cell, the credit is deferred to the cell's merge (canonical order).
 pub fn add_sim_secs(secs: f64) {
+    if crate::cells::credit_sim_secs(secs) {
+        return;
+    }
     *SIM_SECS.lock().unwrap() += secs;
 }
 
 /// Snapshot and reset the accumulated simulated seconds.
 pub fn take_sim_secs() -> f64 {
     std::mem::take(&mut *SIM_SECS.lock().unwrap())
+}
+
+/// Credit one cell's on-worker wall seconds (called at plan merge).
+pub fn add_cell_wall(secs: f64) {
+    WALL.lock().unwrap().0 += secs;
+}
+
+/// Credit one plan's pool-open wall seconds (called at plan merge).
+pub fn add_pool_wall(secs: f64) {
+    WALL.lock().unwrap().1 += secs;
+}
+
+/// Snapshot and reset the `(cells_wall, pool_wall)` accumulators.
+pub fn take_wall() -> (f64, f64) {
+    std::mem::take(&mut *WALL.lock().unwrap())
 }
 
 /// One experiment's timing entry.
@@ -34,6 +69,28 @@ pub struct SummaryEntry {
     pub sim_secs: f64,
     /// Host wall-clock seconds the experiment took.
     pub wall_secs: f64,
+    /// Sum of per-cell on-worker wall seconds (0 for cell-less
+    /// experiments).
+    pub cells_wall_secs: f64,
+    /// Wall seconds the experiment's pools were open.
+    pub pool_wall_secs: f64,
+}
+
+impl SummaryEntry {
+    /// Estimated serial wall seconds: the non-pool part of the experiment
+    /// plus every cell's own wall time.
+    pub fn serial_estimate_secs(&self) -> f64 {
+        (self.wall_secs - self.pool_wall_secs).max(0.0) + self.cells_wall_secs
+    }
+
+    /// Estimated wall-clock speedup of this run over a `--jobs 1` run.
+    pub fn speedup_vs_serial(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.serial_estimate_secs() / self.wall_secs
+        } else {
+            1.0
+        }
+    }
 }
 
 /// Write `dir/bench_summary.json`. Returns the path.
@@ -41,6 +98,7 @@ pub fn write(
     dir: &Path,
     scale: &str,
     seed: u64,
+    jobs: usize,
     entries: &[SummaryEntry],
 ) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
@@ -52,21 +110,33 @@ pub fn write(
                     ("id", e.id.as_str().into()),
                     ("sim_secs", e.sim_secs.into()),
                     ("wall_secs", e.wall_secs.into()),
+                    ("cells_wall_secs", e.cells_wall_secs.into()),
+                    ("serial_estimate_secs", e.serial_estimate_secs().into()),
+                    ("speedup_vs_serial", e.speedup_vs_serial().into()),
                 ])
             })
             .collect(),
     );
+    let total_wall: f64 = entries.iter().map(|e| e.wall_secs).sum();
+    let total_serial: f64 = entries.iter().map(|e| e.serial_estimate_secs()).sum();
     let doc = Value::object(vec![
         ("scale", scale.into()),
         ("seed", seed.into()),
+        ("jobs", jobs.into()),
         ("experiments", experiments),
         (
             "total_sim_secs",
             entries.iter().map(|e| e.sim_secs).sum::<f64>().into(),
         ),
+        ("total_wall_secs", total_wall.into()),
+        ("serial_estimate_secs", total_serial.into()),
         (
-            "total_wall_secs",
-            entries.iter().map(|e| e.wall_secs).sum::<f64>().into(),
+            "speedup_vs_serial",
+            if total_wall > 0.0 {
+                (total_serial / total_wall).into()
+            } else {
+                1.0.into()
+            },
         ),
     ]);
     let path = dir.join("bench_summary.json");
@@ -90,6 +160,47 @@ mod tests {
     }
 
     #[test]
+    fn wall_accumulators_take_and_reset() {
+        take_wall();
+        add_cell_wall(2.0);
+        add_cell_wall(1.0);
+        add_pool_wall(1.5);
+        assert_eq!(take_wall(), (3.0, 1.5));
+        assert_eq!(take_wall(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn speedup_estimate_shapes() {
+        // Serial run: pool open as long as the cells ran -> ~1x.
+        let serial = SummaryEntry {
+            id: "fig1".into(),
+            sim_secs: 1.0,
+            wall_secs: 10.0,
+            cells_wall_secs: 9.0,
+            pool_wall_secs: 9.0,
+        };
+        assert!((serial.speedup_vs_serial() - 1.0).abs() < 1e-12);
+        // 4 workers, perfectly parallel cells: 36s of cell work in 9s.
+        let parallel = SummaryEntry {
+            id: "fig1".into(),
+            sim_secs: 1.0,
+            wall_secs: 10.0,
+            cells_wall_secs: 36.0,
+            pool_wall_secs: 9.0,
+        };
+        assert!((parallel.speedup_vs_serial() - 3.7).abs() < 1e-12);
+        // No cells at all (table1): estimate equals the wall -> 1x.
+        let plain = SummaryEntry {
+            id: "table1".into(),
+            sim_secs: 0.0,
+            wall_secs: 0.5,
+            cells_wall_secs: 0.0,
+            pool_wall_secs: 0.0,
+        };
+        assert!((plain.speedup_vs_serial() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn summary_file_shape() {
         let dir = std::env::temp_dir().join("ddnomp-summary-test");
         let entries = vec![
@@ -97,17 +208,23 @@ mod tests {
                 id: "fig1".into(),
                 sim_secs: 12.0,
                 wall_secs: 0.3,
+                cells_wall_secs: 0.9,
+                pool_wall_secs: 0.25,
             },
             SummaryEntry {
                 id: "multiprog".into(),
                 sim_secs: 30.0,
                 wall_secs: 1.1,
+                cells_wall_secs: 2.0,
+                pool_wall_secs: 1.0,
             },
         ];
-        let path = write(&dir, "tiny", 20000, &entries).unwrap();
+        let path = write(&dir, "tiny", 20000, 4, &entries).unwrap();
         let text = std::fs::read_to_string(path).unwrap();
         assert!(text.contains("\"seed\": 20000"));
+        assert!(text.contains("\"jobs\": 4"));
         assert!(text.contains("\"id\": \"multiprog\""));
         assert!(text.contains("total_sim_secs"));
+        assert!(text.contains("speedup_vs_serial"));
     }
 }

@@ -7,6 +7,7 @@
 //! Paper values: residual slowdown always < 2.7%; first-iteration migration
 //! share 100% for CG/FT/MG and >= 78% for BT/SP.
 
+use crate::cells::{CellOutput, CellPlan};
 use crate::report::{pct, Report};
 use crate::run_one::{default_engine_configs, run_one};
 use nas::{BenchName, EngineMode, RunConfig, RunResult, Scale};
@@ -27,18 +28,25 @@ pub struct Table2Row {
     pub first_iter_fraction: f64,
 }
 
-/// Compute Table 2 rows for one benchmark.
-pub fn rows_for(bench: BenchName, scale: Scale) -> Vec<Table2Row> {
+/// Cells [`plan_for`] appends per benchmark: the ft-IRIX reference run
+/// plus the three non-optimal schemes under UPMlib.
+pub const CELLS_PER_BENCH: usize = 4;
+
+/// Append one benchmark's Table 2 cells to `plan`: first the ft-IRIX
+/// reference, then rr/rand/wc under UPMlib.
+pub fn plan_for(plan: &mut CellPlan<'_, RunResult>, bench: BenchName, scale: Scale) {
     let (_, upm_opts) = default_engine_configs();
-    let ft = run_one(
-        bench,
-        scale,
-        &RunConfig {
-            placement: PlacementScheme::FirstTouch,
-            ..RunConfig::paper_default()
-        },
-    );
-    let ft_last75 = ft.last75_mean_secs();
+    let bench_l = bench.label().to_ascii_lowercase();
+    plan.add(format!("{bench_l}:ft-IRIX"), move || {
+        run_one(
+            bench,
+            scale,
+            &RunConfig {
+                placement: PlacementScheme::FirstTouch,
+                ..RunConfig::paper_default()
+            },
+        )
+    });
     let schemes = [
         PlacementScheme::RoundRobin,
         PlacementScheme::Random {
@@ -46,27 +54,52 @@ pub fn rows_for(bench: BenchName, scale: Scale) -> Vec<Table2Row> {
         },
         PlacementScheme::WorstCase { node: 0 },
     ];
+    for placement in schemes {
+        plan.add(
+            format!("{bench_l}:{}-upmlib", placement.label()),
+            move || {
+                run_one(
+                    bench,
+                    scale,
+                    &RunConfig {
+                        placement,
+                        engine: EngineMode::Upmlib(upm_opts),
+                        ..RunConfig::paper_default()
+                    },
+                )
+            },
+        );
+    }
+}
+
+/// Build one benchmark's rows from its executed cells (ft first).
+fn merge_rows(bench: BenchName, ft: &RunResult, schemes: &[&RunResult]) -> Vec<Table2Row> {
+    let ft_last75 = ft.last75_mean_secs();
     schemes
         .iter()
-        .map(|&placement| {
-            let r: RunResult = run_one(
-                bench,
-                scale,
-                &RunConfig {
-                    placement,
-                    engine: EngineMode::Upmlib(upm_opts),
-                    ..RunConfig::paper_default()
-                },
-            );
+        .map(|r| {
             let stats = r.upm.as_ref().expect("upmlib runs carry stats");
             Table2Row {
                 bench,
-                placement: placement.label().to_string(),
+                placement: r.placement.clone(),
                 last75_slowdown: r.last75_mean_secs() / ft_last75,
                 first_iter_fraction: stats.first_invocation_fraction(),
             }
         })
         .collect()
+}
+
+/// Compute Table 2 rows for one benchmark (host-parallel; panics on a
+/// failed cell — `run` consumes the plan with per-cell failure isolation).
+pub fn rows_for(bench: BenchName, scale: Scale) -> Vec<Table2Row> {
+    let mut plan = CellPlan::new();
+    plan_for(&mut plan, bench, scale);
+    let results: Vec<RunResult> = plan
+        .execute()
+        .into_iter()
+        .map(CellOutput::expect_ok)
+        .collect();
+    merge_rows(bench, &results[0], &results[1..].iter().collect::<Vec<_>>())
 }
 
 /// Run Table 2 for all five benchmarks.
@@ -81,15 +114,43 @@ pub fn run(scale: Scale) -> Report {
             "Migrations in first invocation",
         ],
     );
+    let mut plan = CellPlan::new();
+    for bench in BenchName::all() {
+        plan_for(&mut plan, bench, scale);
+    }
+    let outputs = plan.execute();
     let mut worst_res = 0.0f64;
     let mut best_frac = 1.0f64;
-    for bench in BenchName::all() {
-        for row in rows_for(bench, scale) {
+    for (bench, chunk) in BenchName::all()
+        .into_iter()
+        .zip(outputs.chunks(CELLS_PER_BENCH))
+    {
+        let ft = match &chunk[0].value {
+            Ok(r) => r,
+            Err(p) => {
+                // Without the reference run no slowdown is computable:
+                // every row of this benchmark degrades to a failure note.
+                for cell in chunk {
+                    report.failed_row(&cell.id, &p.message);
+                }
+                continue;
+            }
+        };
+        for cell in &chunk[1..] {
+            let r = match &cell.value {
+                Ok(r) => r,
+                Err(p) => {
+                    report.failed_row(&cell.id, &p.message);
+                    continue;
+                }
+            };
+            let rows = merge_rows(bench, ft, &[r]);
+            let row = &rows[0];
             worst_res = worst_res.max(row.last75_slowdown);
             best_frac = best_frac.min(row.first_iter_fraction);
             report.row(vec![
                 bench.label().into(),
-                row.placement,
+                row.placement.clone(),
                 pct(row.last75_slowdown),
                 format!("{:.0}%", row.first_iter_fraction * 100.0),
             ]);

@@ -46,21 +46,54 @@ pub(crate) fn arm(cfg: &RunConfig) -> RunConfig {
     cfg
 }
 
-/// If a trace directory is installed and the run collected a trace, write
-/// it out. The tracer stays on the result so callers that requested
-/// tracing themselves keep access to it.
+/// A trace dump captured mid-run but not yet written: the file name's
+/// sequence number is assigned at write time, so dumps deferred by the
+/// cell executor land on disk in canonical plan order whatever the worker
+/// count (see [`crate::cells`]).
+pub(crate) struct PendingTrace {
+    bench: String,
+    label: String,
+    tracer: Box<Tracer>,
+}
+
+impl std::fmt::Debug for PendingTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingTrace")
+            .field("bench", &self.bench)
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+/// If a trace directory is installed and the run collected a trace, stage
+/// it for writing: deferred to the merge when a cell is executing,
+/// written immediately otherwise. The tracer stays on the result so
+/// callers that requested tracing themselves keep access to it.
 pub(crate) fn dump(result: &RunResult) {
-    let Some(dir) = dir() else { return };
+    if dir().is_none() {
+        return;
+    }
     let Some(tracer) = result.trace.as_deref() else {
         return;
     };
+    let pending = PendingTrace {
+        bench: result.bench.label().to_ascii_lowercase(),
+        label: result.label(),
+        tracer: Box::new(tracer.clone()),
+    };
+    if let Some(pending) = crate::cells::defer_trace(pending) {
+        write_pending(pending);
+    }
+}
+
+/// Write a staged trace under the installed directory, taking the next
+/// file sequence number. No-op when the directory was uninstalled in the
+/// meantime.
+pub(crate) fn write_pending(pending: PendingTrace) {
+    let Some(dir) = dir() else { return };
     let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
-    let stem = format!(
-        "trace-{seq:03}-{}-{}",
-        result.bench.label().to_ascii_lowercase(),
-        result.label()
-    );
-    match write_files(&dir, &stem, tracer) {
+    let stem = format!("trace-{seq:03}-{}-{}", pending.bench, pending.label);
+    match write_files(&dir, &stem, &pending.tracer) {
         Ok((jsonl, _)) => eprintln!("[trace {}]", jsonl.display()),
         Err(e) => eprintln!("[warn: could not write trace {stem}: {e}]"),
     }

@@ -1,0 +1,79 @@
+//! Golden-report regression tests: the tiny-scale JSON reports are pinned
+//! byte-for-byte against fixtures under `tests/golden/`.
+//!
+//! The simulator is deterministic, so any diff here is a behaviour change,
+//! not noise. After an *intentional* change (new column, different model
+//! constants), regenerate the fixtures and commit them together with the
+//! change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_reports
+//! ```
+
+use nas::Scale;
+use std::path::PathBuf;
+use xp::Report;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check(name: &str, report: Report) {
+    let rendered = report.to_json().to_string_pretty() + "\n";
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden fixture {}: {e}\n\
+             regenerate with `UPDATE_GOLDEN=1 cargo test --test golden_reports`",
+            path.display()
+        )
+    });
+    if rendered != expected {
+        let diff_line = rendered
+            .lines()
+            .zip(expected.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| {
+                format!(
+                    "first differing line {}:\n  got:      {}\n  expected: {}",
+                    i + 1,
+                    rendered.lines().nth(i).unwrap_or(""),
+                    expected.lines().nth(i).unwrap_or(""),
+                )
+            })
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: got {}, expected {}",
+                    rendered.lines().count(),
+                    expected.lines().count()
+                )
+            });
+        panic!(
+            "report {name} drifted from its golden fixture.\n{diff_line}\n\
+             if the change is intentional, regenerate with \
+             `UPDATE_GOLDEN=1 cargo test --test golden_reports` and commit the fixture"
+        );
+    }
+}
+
+#[test]
+fn fig1_tiny_matches_golden() {
+    check("fig1_tiny.json", xp::fig1::run(Scale::Tiny));
+}
+
+#[test]
+fn fig4_tiny_matches_golden() {
+    check("fig4_tiny.json", xp::fig4::run(Scale::Tiny));
+}
+
+#[test]
+fn table2_tiny_matches_golden() {
+    check("table2_tiny.json", xp::table2::run(Scale::Tiny));
+}
