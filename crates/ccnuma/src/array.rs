@@ -22,6 +22,72 @@ use crate::cpu::{AccessKind, CpuId};
 use crate::machine::Machine;
 use std::cell::Cell;
 
+/// The address layout of a [`SimArray`], detached from its data.
+///
+/// Static analysis (the `lint` crate) needs to compute element addresses for
+/// arrays it never touches at runtime; `ArrayLayout` carries exactly the
+/// fields that determine [`SimArray::vaddr_of`] so the index→address map can
+/// be replayed without the array (or the machine) in hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayLayout {
+    name: String,
+    base: u64,
+    elem_bytes: usize,
+    len: usize,
+    /// `(elems_per_chunk, chunk_stride_elems)` for chunk-aligned arrays.
+    chunking: Option<(usize, usize)>,
+}
+
+impl ArrayLayout {
+    /// Array name (matches [`SimArray::name`]).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size of one element in bytes.
+    pub fn elem_bytes(&self) -> usize {
+        self.elem_bytes
+    }
+
+    /// Simulated virtual address of element `i` — identical to
+    /// [`SimArray::vaddr_of`] on the array this layout was taken from.
+    #[inline]
+    pub fn vaddr_of(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        match self.chunking {
+            None => self.base + (i * self.elem_bytes) as u64,
+            Some((per_chunk, stride)) => {
+                let chunk = i / per_chunk;
+                let offset = i % per_chunk;
+                self.base + ((chunk * stride + offset) * self.elem_bytes) as u64
+            }
+        }
+    }
+
+    /// The `(base, byte_len)` virtual range, including chunk padding —
+    /// identical to [`SimArray::vrange`].
+    pub fn vrange(&self) -> (u64, u64) {
+        let bytes = match self.chunking {
+            None => self.len * self.elem_bytes,
+            Some((per_chunk, stride)) => {
+                let chunks = self.len.div_ceil(per_chunk);
+                chunks * stride * self.elem_bytes
+            }
+        };
+        (self.base, bytes as u64)
+    }
+}
+
 /// A simulated shared array of `T`.
 pub struct SimArray<T> {
     name: String,
@@ -98,6 +164,17 @@ impl<T: Copy> SimArray<T> {
     /// Array name (diagnostics, hot-area registration).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// A detached copy of this array's address layout, for static analysis.
+    pub fn layout(&self) -> ArrayLayout {
+        ArrayLayout {
+            name: self.name.clone(),
+            base: self.base,
+            elem_bytes: std::mem::size_of::<T>(),
+            len: self.data.len(),
+            chunking: self.chunking,
+        }
     }
 
     /// Element count.
@@ -265,6 +342,23 @@ mod tests {
         // Data plane is unaffected by the address layout.
         a.poke(63, 9.0);
         assert_eq!(a.get(&mut m, 0, 63), 9.0);
+    }
+
+    #[test]
+    fn layout_mirrors_array_addresses() {
+        let mut m = Machine::new(MachineConfig::tiny_test());
+        let dense = SimArray::<f64>::new(&mut m, "d", 37, 0.0);
+        let chunked = SimArray::chunk_aligned(&mut m, "c", 64, 4, 0.0f64);
+        for a in [&dense, &chunked] {
+            let l = a.layout();
+            assert_eq!(l.name(), a.name());
+            assert_eq!(l.len(), a.len());
+            assert_eq!(l.elem_bytes(), 8);
+            assert_eq!(l.vrange(), a.vrange());
+            for i in 0..a.len() {
+                assert_eq!(l.vaddr_of(i), a.vaddr_of(i), "elem {i}");
+            }
+        }
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod memory;
 pub mod stats;
 pub mod topology;
 
-pub use array::SimArray;
+pub use array::{ArrayLayout, SimArray};
 pub use cache::{CacheConfig, SetAssocCache};
 pub use clock::GlobalClock;
 pub use coherence::Directory;

@@ -396,6 +396,7 @@ impl Machine {
             .ok_or(MemError::OutOfMemory)?;
         self.counters.reset_frame(frame);
         self.page_table[vpage as usize] = Some(frame);
+        debug_assert_eq!(self.check_invariants(), Ok(()));
         Ok(self.memory.node_of_frame(frame))
     }
 
@@ -412,6 +413,62 @@ impl Machine {
         }
         self.counters.reset_frame(frame);
         self.memory.free(frame);
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+        Ok(())
+    }
+
+    /// Verify the page-table/frame bookkeeping invariants that the rest of
+    /// the stack — the migration engines and the static analyzer in the
+    /// `lint` crate — builds on:
+    ///
+    /// 1. every frame referenced by the page table or a replica list is
+    ///    allocated, and referenced exactly once;
+    /// 2. every allocated frame is referenced (no leaks);
+    /// 3. replicas belong to mapped pages and each copy of a page (primary
+    ///    plus replicas) lives on a distinct node.
+    ///
+    /// Page operations re-check this in `debug_assert!`s; release builds
+    /// skip the scan. Returns `Err(description)` on the first violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        for (vp, frame) in self.page_table.iter().enumerate() {
+            if let Some(f) = *frame {
+                if !self.memory.is_allocated(f) {
+                    return Err(format!("vpage {vp} maps free frame {f}"));
+                }
+                if !seen.insert(f) {
+                    return Err(format!("frame {f} referenced twice (vpage {vp})"));
+                }
+            }
+        }
+        for (&vp, reps) in &self.replicas {
+            let Some(primary) = self.page_table.get(vp as usize).copied().flatten() else {
+                return Err(format!("replica list for unmapped vpage {vp}"));
+            };
+            let mut nodes = std::collections::HashSet::new();
+            nodes.insert(self.memory.node_of_frame(primary));
+            for &f in reps {
+                if !self.memory.is_allocated(f) {
+                    return Err(format!("replica of vpage {vp} on free frame {f}"));
+                }
+                if !seen.insert(f) {
+                    return Err(format!(
+                        "frame {f} referenced twice (replica of vpage {vp})"
+                    ));
+                }
+                let node = self.memory.node_of_frame(f);
+                if !nodes.insert(node) {
+                    return Err(format!("vpage {vp} has two copies on node {node}"));
+                }
+            }
+        }
+        let allocated = self.memory.total_frames() - self.memory.total_free();
+        if allocated != seen.len() {
+            return Err(format!(
+                "{allocated} frames allocated but {} referenced (leak)",
+                seen.len()
+            ));
+        }
         Ok(())
     }
 
@@ -461,6 +518,7 @@ impl Machine {
                 node: target,
             });
         self.trace.inc("page_replications", 1);
+        debug_assert_eq!(self.check_invariants(), Ok(()));
         Ok(target)
     }
 
@@ -483,6 +541,7 @@ impl Machine {
         self.trace
             .emit(self.clock.now_ns(), || EventKind::PageCollapsed { vpage });
         self.trace.inc("page_collapses", 1);
+        debug_assert_eq!(self.check_invariants(), Ok(()));
         n
     }
 
@@ -547,6 +606,7 @@ impl Machine {
                 to: landed,
             });
         self.trace.inc("page_migrations", 1);
+        debug_assert_eq!(self.check_invariants(), Ok(()));
         Ok(landed)
     }
 
@@ -1019,6 +1079,58 @@ mod tests {
         assert_eq!(m.page_version_sum(0), v0, "reads leave versions alone");
         m.touch(0, 0, Write);
         assert_eq!(m.page_version_sum(0), v0 + 1);
+    }
+
+    #[test]
+    fn invariants_hold_through_page_operations() {
+        let mut m = machine();
+        m.map_page(0, 0).unwrap();
+        m.map_page(1, 1).unwrap();
+        m.replicate_page(0, 2).unwrap();
+        m.migrate_page(1, 3).unwrap();
+        m.collapse_page(0);
+        m.unmap_page(1).unwrap();
+        assert_eq!(m.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn invariants_detect_corruption() {
+        // Negative test: hand-corrupt the private bookkeeping and check the
+        // invariant scan names each violation.
+        let mut m = machine();
+        m.map_page(0, 0).unwrap();
+        m.map_page(1, 1).unwrap();
+
+        // Double-mapped frame.
+        let saved = m.page_table[1];
+        m.page_table[1] = m.page_table[0];
+        assert!(m
+            .check_invariants()
+            .is_err_and(|e| e.contains("referenced twice")));
+        m.page_table[1] = saved;
+
+        // Leaked frame: allocated but unreachable from the page table.
+        let saved = m.page_table[1].take();
+        assert!(m.check_invariants().is_err_and(|e| e.contains("leak")));
+        m.page_table[1] = saved;
+
+        // Replica list for an unmapped page.
+        m.replicas.insert(7, Vec::new());
+        assert!(m
+            .check_invariants()
+            .is_err_and(|e| e.contains("unmapped vpage 7")));
+        m.replicas.remove(&7);
+
+        // Replica on the same node as the primary.
+        let dup = m.memory.alloc_on(0).unwrap();
+        m.replicas.insert(0, vec![dup]);
+        assert!(m
+            .check_invariants()
+            .is_err_and(|e| e.contains("two copies on node 0")));
+        m.replicas.remove(&0);
+        m.memory.free(dup);
+
+        assert_eq!(m.check_invariants(), Ok(()));
     }
 
     #[test]

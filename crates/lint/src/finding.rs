@@ -1,0 +1,335 @@
+//! Typed lint findings: stable codes, severities, allowlist handling and
+//! deny-set parsing.
+//!
+//! Every finding carries a stable code (`L001`-style) and a stable key
+//! (`"CODE bench site subject"`) so that allowlists and CI deny gates keep
+//! working when messages are reworded.
+
+use obs::json::Value;
+use std::collections::BTreeSet;
+
+/// Stable lint codes. The numeric part never changes meaning; retired codes
+/// are not reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// `L001`: two different threads write the same element inside one
+    /// parallel region.
+    WriteWriteRace,
+    /// `L002`: one thread reads an element another thread writes inside the
+    /// same parallel region.
+    ReadWriteRace,
+    /// `L003`: writes from distinct threads land in the same cache line
+    /// (line size [`ccnuma::LINE_SIZE`]) inside one parallel region.
+    FalseSharing,
+    /// `L004`: the symbolic replay of the UPMlib competitive-migration loop
+    /// predicts this page will ping-pong between two nodes and be frozen.
+    PredictedFrozen,
+    /// `L005`: a page is first-touched by a thread on a node that is not
+    /// the page's dominant accessor during the timed iterations.
+    FirstTouchMismatch,
+    /// `L006`: upper bound on the latency a perfect per-phase migration of
+    /// this phase's pages could save (informational).
+    MigrationBenefit,
+    /// `L007`: a page's dominant accessing node changes between two
+    /// consecutive phases of one iteration (migration ping-pong fuel).
+    DominantFlip,
+    /// `L008`: a reduction whose partial-sum partition depends on the team
+    /// size, so results are not bit-reproducible across team sizes.
+    TeamSensitiveReduction,
+}
+
+/// Severity attached to each code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory output; never fails a gate by category.
+    Info,
+    /// Suspicious but possibly benign; allowlistable.
+    Warning,
+    /// Almost certainly a correctness bug.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in JSON and human rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl Code {
+    /// The stable `L00x` code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::WriteWriteRace => "L001",
+            Code::ReadWriteRace => "L002",
+            Code::FalseSharing => "L003",
+            Code::PredictedFrozen => "L004",
+            Code::FirstTouchMismatch => "L005",
+            Code::MigrationBenefit => "L006",
+            Code::DominantFlip => "L007",
+            Code::TeamSensitiveReduction => "L008",
+        }
+    }
+
+    /// Parse an `L00x` code string.
+    pub fn parse(s: &str) -> Option<Code> {
+        Code::all().into_iter().find(|c| c.as_str() == s)
+    }
+
+    /// One-line title of the lint.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::WriteWriteRace => "write-write data race",
+            Code::ReadWriteRace => "read-write data race",
+            Code::FalseSharing => "false sharing within a cache line",
+            Code::PredictedFrozen => "predicted ping-pong page (would be frozen)",
+            Code::FirstTouchMismatch => "first touch on non-dominant node",
+            Code::MigrationBenefit => "static migration-benefit bound",
+            Code::DominantFlip => "dominant node flips between phases",
+            Code::TeamSensitiveReduction => "reduction not team-size reproducible",
+        }
+    }
+
+    /// Severity of the code.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::WriteWriteRace | Code::ReadWriteRace => Severity::Error,
+            Code::FalseSharing
+            | Code::PredictedFrozen
+            | Code::FirstTouchMismatch
+            | Code::TeamSensitiveReduction => Severity::Warning,
+            Code::MigrationBenefit | Code::DominantFlip => Severity::Info,
+        }
+    }
+
+    /// Deny-gate category the code belongs to.
+    pub fn category(self) -> &'static str {
+        match self {
+            Code::WriteWriteRace | Code::ReadWriteRace => "races",
+            Code::FalseSharing => "false-sharing",
+            Code::PredictedFrozen | Code::FirstTouchMismatch | Code::DominantFlip => "numa",
+            Code::MigrationBenefit => "perf",
+            Code::TeamSensitiveReduction => "determinism",
+        }
+    }
+
+    /// All codes, in numeric order.
+    pub fn all() -> [Code; 8] {
+        [
+            Code::WriteWriteRace,
+            Code::ReadWriteRace,
+            Code::FalseSharing,
+            Code::PredictedFrozen,
+            Code::FirstTouchMismatch,
+            Code::MigrationBenefit,
+            Code::DominantFlip,
+            Code::TeamSensitiveReduction,
+        ]
+    }
+}
+
+/// One lint finding, aggregated per (code, benchmark, site, subject).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// The stable lint code.
+    pub code: Code,
+    /// Benchmark label (`BT`, `SP`, `CG`, `MG`, `FT`).
+    pub bench: String,
+    /// Where the finding anchors: a loop name, a phase name, or a phase
+    /// transition `a->b`.
+    pub site: String,
+    /// What it is about — usually an array name, `*` for cross-array sites.
+    pub subject: String,
+    /// How many elements / lines / pages are affected.
+    pub count: u64,
+    /// Human-readable explanation with a concrete example.
+    pub message: String,
+}
+
+impl Finding {
+    /// The severity of this finding (derived from the code).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// Stable identity used by allowlists: `"CODE bench site subject"`.
+    pub fn key(&self) -> String {
+        format!(
+            "{} {} {} {}",
+            self.code.as_str(),
+            self.bench,
+            self.site,
+            self.subject
+        )
+    }
+
+    /// JSON rendering (via the `obs` JSON model).
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("code", self.code.as_str().into()),
+            ("severity", self.severity().as_str().into()),
+            ("title", self.code.title().into()),
+            ("bench", self.bench.as_str().into()),
+            ("site", self.site.as_str().into()),
+            ("subject", self.subject.as_str().into()),
+            ("count", self.count.into()),
+            ("message", self.message.as_str().into()),
+        ])
+    }
+
+    /// One-line human rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{} {:<7} [{}] {}/{}: {}",
+            self.code.as_str(),
+            self.severity().as_str(),
+            self.bench,
+            self.site,
+            self.subject,
+            self.message
+        )
+    }
+}
+
+/// A checked-in list of finding keys that are understood and accepted.
+///
+/// Format: one [`Finding::key`] per line; blank lines and `#` comments are
+/// ignored.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    keys: BTreeSet<String>,
+}
+
+impl Allowlist {
+    /// An empty allowlist (nothing is waived).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Parse allowlist text.
+    pub fn from_text(text: &str) -> Self {
+        let keys = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        Self { keys }
+    }
+
+    /// Load an allowlist file.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(Self::from_text(&std::fs::read_to_string(path)?))
+    }
+
+    /// Whether `finding` is waived.
+    pub fn allows(&self, finding: &Finding) -> bool {
+        self.keys.contains(&finding.key())
+    }
+
+    /// Number of waived keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the list waives nothing.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Parse a `--deny` specification: a comma-separated list of categories
+/// (`races`, `false-sharing`, `numa`, `perf`, `determinism`, `all`) and/or
+/// raw codes (`L003`).
+pub fn parse_deny(spec: &str) -> Result<BTreeSet<Code>, String> {
+    let mut deny = BTreeSet::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if part == "all" {
+            deny.extend(Code::all());
+        } else if let Some(code) = Code::parse(part) {
+            deny.insert(code);
+        } else {
+            let matched: Vec<Code> = Code::all()
+                .into_iter()
+                .filter(|c| c.category() == part)
+                .collect();
+            if matched.is_empty() {
+                return Err(format!(
+                    "unknown deny category or code `{part}` (categories: races, \
+                     false-sharing, numa, perf, determinism, all; codes: L001..L008)"
+                ));
+            }
+            deny.extend(matched);
+        }
+    }
+    Ok(deny)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for code in Code::all() {
+            assert_eq!(Code::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(Code::parse("L999"), None);
+    }
+
+    #[test]
+    fn deny_categories_expand() {
+        let races = parse_deny("races").unwrap();
+        assert_eq!(
+            races.into_iter().collect::<Vec<_>>(),
+            vec![Code::WriteWriteRace, Code::ReadWriteRace]
+        );
+        let mixed = parse_deny("false-sharing,L008").unwrap();
+        assert!(mixed.contains(&Code::FalseSharing));
+        assert!(mixed.contains(&Code::TeamSensitiveReduction));
+        assert_eq!(parse_deny("all").unwrap().len(), 8);
+        assert!(parse_deny("bogus").is_err());
+    }
+
+    #[test]
+    fn allowlist_matches_keys_and_skips_comments() {
+        let f = Finding {
+            code: Code::FalseSharing,
+            bench: "BT".into(),
+            site: "z_solve".into(),
+            subject: "bt.rhs".into(),
+            count: 3,
+            message: "irrelevant".into(),
+        };
+        let allow = Allowlist::from_text("# comment\n\nL003 BT z_solve bt.rhs\n");
+        assert!(allow.allows(&f));
+        assert_eq!(allow.len(), 1);
+        let other = Allowlist::from_text("L003 SP z_solve sp.rhs\n");
+        assert!(!other.allows(&f));
+    }
+
+    #[test]
+    fn key_is_stable_under_message_changes() {
+        let mut f = Finding {
+            code: Code::WriteWriteRace,
+            bench: "CG".into(),
+            site: "spmv".into(),
+            subject: "cg.q".into(),
+            count: 1,
+            message: "v1".into(),
+        };
+        let k = f.key();
+        f.message = "reworded".into();
+        f.count = 99;
+        assert_eq!(f.key(), k);
+        assert_eq!(k, "L001 CG spmv cg.q");
+    }
+}

@@ -15,9 +15,22 @@
 //! paper's compiler instrumentation registers for BT (its Figure 2).
 
 use crate::common::Grid3;
-use ccnuma::SimArray;
+use crate::model::LoopModel;
+use ccnuma::{AccessKind, SimArray};
 use omp::{Par, Runtime, Schedule};
 use upmlib::UpmEngine;
+
+/// Axis of a directional ADI sweep — the access-model mirror of the
+/// private `Axis` enums in `bt`/`sp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepAxis {
+    /// Line solves along x (parallel over z).
+    X,
+    /// Line solves along y (parallel over z).
+    Y,
+    /// Line solves along z (parallel over y — the slab-crossing phase).
+    Z,
+}
 
 /// Grid state shared by BT and SP.
 pub struct AdiState {
@@ -174,6 +187,126 @@ impl AdiState {
     pub fn read_u5(&self, par: &mut Par<'_>, x: usize, y: usize, z: usize) -> [f64; 5] {
         let g = self.grid;
         std::array::from_fn(|c| par.get(&self.u, g.idx(c, x, y, z)))
+    }
+
+    /// Static access model of [`AdiState::compute_rhs`] (exactly the reads
+    /// and writes the simulated loop body performs per z-plane).
+    pub fn compute_rhs_model(&self) -> LoopModel {
+        let g = self.grid;
+        let (u, rhs, forcing) = (self.u.layout(), self.rhs.layout(), self.forcing.layout());
+        LoopModel::parallel("compute_rhs", g.nz, Schedule::Static, move |z, emit| {
+            let zm = (z + g.nz - 1) % g.nz;
+            let zp = (z + 1) % g.nz;
+            for y in 0..g.ny {
+                let ym = (y + g.ny - 1) % g.ny;
+                let yp = (y + 1) % g.ny;
+                for x in 0..g.nx {
+                    let xm = (x + g.nx - 1) % g.nx;
+                    let xp = (x + 1) % g.nx;
+                    for c in 0..5 {
+                        for i in [
+                            g.idx(c, x, y, z),
+                            g.idx(c, xm, y, z),
+                            g.idx(c, xp, y, z),
+                            g.idx(c, x, ym, z),
+                            g.idx(c, x, yp, z),
+                            g.idx(c, x, y, zm),
+                            g.idx(c, x, y, zp),
+                        ] {
+                            emit(u.vaddr_of(i), AccessKind::Read);
+                        }
+                        emit(forcing.vaddr_of(g.idx(c, x, y, z)), AccessKind::Read);
+                        emit(rhs.vaddr_of(g.idx(c, x, y, z)), AccessKind::Write);
+                    }
+                }
+            }
+        })
+    }
+
+    /// Static access model of a directional sweep. BT's block solver and
+    /// SP's scalar solver gather and scatter exactly the same element set
+    /// per (outer, inner) line — all 5 components of `u` (read) and `rhs`
+    /// (read, then written back) along the line — so one model serves both.
+    pub fn sweep_model(&self, name: &str, axis: SweepAxis) -> LoopModel {
+        let g = self.grid;
+        let (u, rhs) = (self.u.layout(), self.rhs.layout());
+        let (n, outer_extent, inner_extent) = match axis {
+            SweepAxis::X => (g.nx, g.nz, g.ny),
+            SweepAxis::Y => (g.ny, g.nz, g.nx),
+            SweepAxis::Z => (g.nz, g.ny, g.nx),
+        };
+        LoopModel::parallel(name, outer_extent, Schedule::Static, move |outer, emit| {
+            for inner in 0..inner_extent {
+                let coord = |k: usize| -> (usize, usize, usize) {
+                    match axis {
+                        SweepAxis::X => (k, inner, outer),
+                        SweepAxis::Y => (inner, k, outer),
+                        SweepAxis::Z => (inner, outer, k),
+                    }
+                };
+                for k in 0..n {
+                    let (x, y, z) = coord(k);
+                    for c in 0..5 {
+                        emit(u.vaddr_of(g.idx(c, x, y, z)), AccessKind::Read);
+                        emit(rhs.vaddr_of(g.idx(c, x, y, z)), AccessKind::Read);
+                    }
+                }
+                for k in 0..n {
+                    let (x, y, z) = coord(k);
+                    for c in 0..5 {
+                        emit(rhs.vaddr_of(g.idx(c, x, y, z)), AccessKind::Write);
+                    }
+                }
+            }
+        })
+    }
+
+    /// Static access model of [`AdiState::add_and_norm`] (a reduction over
+    /// z-planes: read `rhs`, read-modify-write `u`).
+    pub fn add_and_norm_model(&self) -> LoopModel {
+        let g = self.grid;
+        let (u, rhs) = (self.u.layout(), self.rhs.layout());
+        LoopModel::reduction("add", g.nz, Schedule::Static, move |z, emit| {
+            for y in 0..g.ny {
+                for x in 0..g.nx {
+                    for c in 0..5 {
+                        let i = g.idx(c, x, y, z);
+                        emit(rhs.vaddr_of(i), AccessKind::Read);
+                        emit(u.vaddr_of(i), AccessKind::Read);
+                        emit(u.vaddr_of(i), AccessKind::Write);
+                    }
+                }
+            }
+        })
+    }
+
+    /// The phase sequence of one BT/SP time step (`compute_rhs`, the three
+    /// sweeps with the z-sweep crossing slabs, `add`), with every phase's
+    /// loop repeated `phase_scale` times as in the Figure 6 experiment.
+    pub fn step_phases(&self, phase_scale: usize) -> Vec<crate::model::PhaseModel> {
+        use crate::model::PhaseModel;
+        let rep = |f: &dyn Fn() -> LoopModel| (0..phase_scale).map(|_| f()).collect();
+        vec![
+            PhaseModel::new("compute_rhs", rep(&|| self.compute_rhs_model())),
+            PhaseModel::new(
+                "x_solve",
+                rep(&|| self.sweep_model("x_solve", SweepAxis::X)),
+            ),
+            PhaseModel::new(
+                "y_solve",
+                rep(&|| self.sweep_model("y_solve", SweepAxis::Y)),
+            ),
+            PhaseModel::new(
+                "z_solve",
+                rep(&|| self.sweep_model("z_solve", SweepAxis::Z)),
+            ),
+            PhaseModel::new("add", vec![self.add_and_norm_model()]),
+        ]
+    }
+
+    /// Layouts of the three hot arrays, in `register_hot` order.
+    pub fn array_layouts(&self) -> Vec<ccnuma::ArrayLayout> {
+        vec![self.u.layout(), self.rhs.layout(), self.forcing.layout()]
     }
 }
 

@@ -315,6 +315,18 @@ impl NasBenchmark for Bt {
             epsilon: 1.0,
         }
     }
+
+    fn access_model(&self) -> Option<crate::model::KernelModel> {
+        // cold_start runs one full step (the host-side field reset touches
+        // no simulated pages), so the cold phases equal the timed phases.
+        let ps = self.cfg.phase_scale;
+        Some(crate::model::KernelModel::new(
+            BenchName::Bt,
+            self.state.array_layouts(),
+            self.state.step_phases(ps),
+            self.state.step_phases(ps),
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -435,6 +435,173 @@ impl NasBenchmark for Cg {
         let expect = reference.last().copied().unwrap_or(f64::NAN);
         Verification::check(value, expect, 1e-10)
     }
+
+    fn access_model(&self) -> Option<crate::model::KernelModel> {
+        use crate::model::{KernelModel, LoopModel, PhaseModel};
+        use ccnuma::AccessKind::{Read, Write};
+        use std::rc::Rc;
+
+        let n = self.cfg.n;
+        let rowstr = Rc::new(self.rowstr.clone());
+        let cols = Rc::new(self.host_col.clone());
+        let (a, col) = (self.a.layout(), self.col.layout());
+        let (x, z, p, q, r) = (
+            self.x.layout(),
+            self.z.layout(),
+            self.p.layout(),
+            self.q.layout(),
+            self.r.layout(),
+        );
+
+        // One closure builder per loop of `outer_iteration`, in program
+        // order. Loop bodies touch only vectors indexed by the iteration
+        // (row) plus, in the sparse product, `p` through the column index.
+        let init = {
+            let (x, z, r, p) = (x.clone(), z.clone(), r.clone(), p.clone());
+            move || {
+                let (x, z, r, p) = (x.clone(), z.clone(), r.clone(), p.clone());
+                LoopModel::parallel("init", n, Schedule::Static, move |i, emit| {
+                    emit(x.vaddr_of(i), Read);
+                    emit(z.vaddr_of(i), Write);
+                    emit(r.vaddr_of(i), Write);
+                    emit(p.vaddr_of(i), Write);
+                })
+            }
+        };
+        let rho = {
+            let r = r.clone();
+            move || {
+                let r = r.clone();
+                LoopModel::reduction("rho", n, Schedule::Static, move |i, emit| {
+                    emit(r.vaddr_of(i), Read);
+                })
+            }
+        };
+        let spmv = {
+            let (rowstr, cols, a, col, p, q) = (
+                rowstr.clone(),
+                cols.clone(),
+                a.clone(),
+                col.clone(),
+                p.clone(),
+                q.clone(),
+            );
+            move || {
+                let (rowstr, cols, a, col, p, q) = (
+                    rowstr.clone(),
+                    cols.clone(),
+                    a.clone(),
+                    col.clone(),
+                    p.clone(),
+                    q.clone(),
+                );
+                LoopModel::parallel("spmv", n, Schedule::Static, move |i, emit| {
+                    for k in rowstr[i]..rowstr[i + 1] {
+                        emit(col.vaddr_of(k), Read);
+                        emit(a.vaddr_of(k), Read);
+                        emit(p.vaddr_of(cols[k] as usize), Read);
+                    }
+                    emit(q.vaddr_of(i), Write);
+                })
+            }
+        };
+        let pq = {
+            let (p, q) = (p.clone(), q.clone());
+            move || {
+                let (p, q) = (p.clone(), q.clone());
+                LoopModel::reduction("pq", n, Schedule::Static, move |i, emit| {
+                    emit(p.vaddr_of(i), Read);
+                    emit(q.vaddr_of(i), Read);
+                })
+            }
+        };
+        let rho_new = {
+            let (p, z, q, r) = (p.clone(), z.clone(), q.clone(), r.clone());
+            move || {
+                let (p, z, q, r) = (p.clone(), z.clone(), q.clone(), r.clone());
+                LoopModel::reduction("rho_new", n, Schedule::Static, move |i, emit| {
+                    emit(p.vaddr_of(i), Read);
+                    emit(z.vaddr_of(i), Read);
+                    emit(z.vaddr_of(i), Write);
+                    emit(q.vaddr_of(i), Read);
+                    emit(r.vaddr_of(i), Read);
+                    emit(r.vaddr_of(i), Write);
+                })
+            }
+        };
+        let p_update = {
+            let (r, p) = (r.clone(), p.clone());
+            move || {
+                let (r, p) = (r.clone(), p.clone());
+                LoopModel::parallel("p_update", n, Schedule::Static, move |i, emit| {
+                    emit(r.vaddr_of(i), Read);
+                    emit(p.vaddr_of(i), Read);
+                    emit(p.vaddr_of(i), Write);
+                })
+            }
+        };
+        let xz = {
+            let (x, z) = (x.clone(), z.clone());
+            move || {
+                let (x, z) = (x.clone(), z.clone());
+                LoopModel::reduction("xz", n, Schedule::Static, move |i, emit| {
+                    emit(x.vaddr_of(i), Read);
+                    emit(z.vaddr_of(i), Read);
+                })
+            }
+        };
+        let zz = {
+            let z = z.clone();
+            move || {
+                let z = z.clone();
+                LoopModel::reduction("zz", n, Schedule::Static, move |i, emit| {
+                    emit(z.vaddr_of(i), Read);
+                })
+            }
+        };
+        let normalize = {
+            let (z, x) = (z.clone(), x.clone());
+            move || {
+                let (z, x) = (z.clone(), x.clone());
+                LoopModel::parallel("normalize", n, Schedule::Static, move |i, emit| {
+                    emit(z.vaddr_of(i), Read);
+                    emit(x.vaddr_of(i), Write);
+                })
+            }
+        };
+
+        let outer = || {
+            let mut cg_loops = Vec::new();
+            for _ in 0..self.cfg.cg_iters {
+                cg_loops.push(spmv());
+                cg_loops.push(pq());
+                cg_loops.push(rho_new());
+                cg_loops.push(p_update());
+            }
+            vec![
+                PhaseModel::new("init", vec![init(), rho()]),
+                PhaseModel::new("cg", cg_loops),
+                PhaseModel::new("tail", vec![xz(), zz(), normalize()]),
+            ]
+        };
+
+        // cold_start runs one full outer iteration; its host-side vector
+        // refills touch no simulated pages.
+        Some(KernelModel::new(
+            BenchName::Cg,
+            vec![
+                self.a.layout(),
+                self.col.layout(),
+                self.x.layout(),
+                self.z.layout(),
+                self.p.layout(),
+                self.q.layout(),
+                self.r.layout(),
+            ],
+            outer(),
+            outer(),
+        ))
+    }
 }
 
 #[cfg(test)]

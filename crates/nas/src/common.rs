@@ -1,6 +1,7 @@
 //! Shared benchmark infrastructure: the benchmark trait, problem scales,
 //! verification results, and 3-D grid index helpers.
 
+use crate::model::KernelModel;
 use omp::Runtime;
 use upmlib::UpmEngine;
 
@@ -127,6 +128,14 @@ pub trait NasBenchmark {
 
     /// Host-side self-verification after all iterations.
     fn verify(&self) -> Verification;
+
+    /// The benchmark's static access model (see [`crate::model`]): the
+    /// exact per-iteration element accesses of the cold-start and timed
+    /// iterations, consumed by the `lint` static analyzer. `None` when the
+    /// benchmark is not modeled; all five NAS kernels return a model.
+    fn access_model(&self) -> Option<KernelModel> {
+        None
+    }
 }
 
 /// Index helpers for a 3-D grid of `comps` components stored

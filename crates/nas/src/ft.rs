@@ -220,6 +220,74 @@ impl Ft {
         self.transformed = true;
     }
 
+    /// Model of one `fft_pass` over `arr`: gather + scatter of every
+    /// pencil along `axis` (read then write of the same elements).
+    fn fft_pass_model(
+        name: &str,
+        arr: ccnuma::ArrayLayout,
+        n: usize,
+        axis: usize,
+    ) -> crate::model::LoopModel {
+        use ccnuma::AccessKind::{Read, Write};
+        crate::model::LoopModel::parallel(name, n, Schedule::Static, move |o, emit| {
+            for s in 0..n {
+                for kind in [Read, Write] {
+                    for k in 0..n {
+                        let i = match axis {
+                            0 => Self::idx(n, k, s, o),
+                            1 => Self::idx(n, s, k, o),
+                            _ => Self::idx(n, s, o, k),
+                        };
+                        emit(arr.vaddr_of(i), kind);
+                    }
+                }
+            }
+        })
+    }
+
+    /// Phase sequence of the evolve / inverse-FFT / checksum pipeline run
+    /// by every timed iteration (and by the tail of the cold start).
+    fn pipeline_phases(&self) -> Vec<crate::model::PhaseModel> {
+        use crate::model::{LoopModel, PhaseModel};
+        use ccnuma::AccessKind::{Read, Write};
+        let n = self.cfg.n;
+        let (u0, u1) = (self.u0.layout(), self.u1.layout());
+        let evolve = {
+            let (u0, u1) = (u0.clone(), u1.clone());
+            LoopModel::parallel("evolve", n, Schedule::Static, move |z, emit| {
+                for y in 0..n {
+                    for x in 0..n {
+                        let i = Self::idx(n, x, y, z);
+                        emit(u0.vaddr_of(i), Read);
+                        emit(u1.vaddr_of(i), Write);
+                    }
+                }
+            })
+        };
+        let len = n * n * n;
+        let checksum = {
+            let u1 = u1.clone();
+            LoopModel::serial("checksum", move |_, emit| {
+                for j in 1..=1024u64 {
+                    let q = (j.wrapping_mul(j).wrapping_add(j * 5)) as usize % len;
+                    emit(u1.vaddr_of(q), Read);
+                }
+            })
+        };
+        vec![
+            PhaseModel::new("evolve", vec![evolve]),
+            PhaseModel::new(
+                "fft_inverse",
+                (0..3)
+                    .map(|axis| {
+                        Self::fft_pass_model(&format!("ifft_pass{axis}"), u1.clone(), n, axis)
+                    })
+                    .collect(),
+            ),
+            PhaseModel::new("checksum", vec![checksum]),
+        ]
+    }
+
     /// Host-only reference of the full pipeline, for verification.
     fn host_reference_checksums(&self, iters: usize) -> Vec<C64> {
         let n = self.cfg.n;
@@ -334,6 +402,26 @@ impl NasBenchmark for Ft {
             }
             _ => Verification::check(f64::NAN, 0.0, 1e-9),
         }
+    }
+
+    fn access_model(&self) -> Option<crate::model::KernelModel> {
+        // cold_start: the one-time forward transform of u0, then one full
+        // evolve / inverse-FFT / checksum pass.
+        let n = self.cfg.n;
+        let u0 = self.u0.layout();
+        let mut cold = vec![crate::model::PhaseModel::new(
+            "fft_forward",
+            (0..3)
+                .map(|axis| Self::fft_pass_model(&format!("fft_pass{axis}"), u0.clone(), n, axis))
+                .collect(),
+        )];
+        cold.extend(self.pipeline_phases());
+        Some(crate::model::KernelModel::new(
+            BenchName::Ft,
+            vec![self.u0.layout(), self.u1.layout()],
+            cold,
+            self.pipeline_phases(),
+        ))
     }
 }
 

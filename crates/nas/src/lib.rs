@@ -37,7 +37,9 @@ pub mod ft;
 pub mod harness;
 pub mod la;
 pub mod mg;
+pub mod model;
 pub mod sp;
 
 pub use common::{BenchName, NasBenchmark, PhasePoint, Scale, Verification};
 pub use harness::{run_benchmark, BenchRun, EngineMode, RunConfig, RunResult};
+pub use model::{KernelModel, LoopKind, LoopModel, PhaseModel};

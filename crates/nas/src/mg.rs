@@ -348,6 +348,248 @@ impl Mg {
         self.fine_rnm2(rt)
     }
 
+    /// Model of a stencil-apply loop (`resid`/`psinv` shape): per point,
+    /// reads of `src` at the nonzero-weight neighbours, plus the
+    /// per-point accesses of `extra` (read of the rhs field and write or
+    /// read-modify-write of the output field).
+    fn stencil_model(
+        name: &str,
+        n: usize,
+        src: ccnuma::ArrayLayout,
+        w: StencilWeights,
+        extra: impl Fn(usize, &mut dyn FnMut(u64, ccnuma::AccessKind)) + 'static,
+    ) -> crate::model::LoopModel {
+        use ccnuma::AccessKind::Read;
+        crate::model::LoopModel::parallel(name, n, Schedule::Static, move |z, emit| {
+            for y in 0..n {
+                for x in 0..n {
+                    for dz in -1isize..=1 {
+                        for dy in -1isize..=1 {
+                            for dx in -1isize..=1 {
+                                let class =
+                                    (dx != 0) as usize + (dy != 0) as usize + (dz != 0) as usize;
+                                if w[class] == 0.0 {
+                                    continue;
+                                }
+                                let i = gidx(
+                                    n,
+                                    wrap(x as isize + dx, n),
+                                    wrap(y as isize + dy, n),
+                                    wrap(z as isize + dz, n),
+                                );
+                                emit(src.vaddr_of(i), Read);
+                            }
+                        }
+                    }
+                    extra(gidx(n, x, y, z), emit);
+                }
+            }
+        })
+    }
+
+    /// Model of `resid(u, src, r, n)`.
+    fn resid_model(
+        name: &str,
+        u: ccnuma::ArrayLayout,
+        src: ccnuma::ArrayLayout,
+        r: ccnuma::ArrayLayout,
+        n: usize,
+    ) -> crate::model::LoopModel {
+        use ccnuma::AccessKind::{Read, Write};
+        Self::stencil_model(name, n, u, A_WEIGHTS, move |i, emit| {
+            emit(src.vaddr_of(i), Read);
+            emit(r.vaddr_of(i), Write);
+        })
+    }
+
+    /// Model of `psinv(r, u, n)`.
+    fn psinv_model(
+        name: &str,
+        r: ccnuma::ArrayLayout,
+        u: ccnuma::ArrayLayout,
+        n: usize,
+    ) -> crate::model::LoopModel {
+        use ccnuma::AccessKind::{Read, Write};
+        Self::stencil_model(name, n, r, S_WEIGHTS, move |i, emit| {
+            emit(u.vaddr_of(i), Read);
+            emit(u.vaddr_of(i), Write);
+        })
+    }
+
+    /// Model of `rprj3(fine, coarse, m)`.
+    fn rprj3_model(
+        name: &str,
+        fine: ccnuma::ArrayLayout,
+        coarse: ccnuma::ArrayLayout,
+        m: usize,
+    ) -> crate::model::LoopModel {
+        use ccnuma::AccessKind::{Read, Write};
+        let nf = 2 * m;
+        crate::model::LoopModel::parallel(name, m, Schedule::Static, move |zc, emit| {
+            for yc in 0..m {
+                for xc in 0..m {
+                    let (xf, yf, zf) = (2 * xc, 2 * yc, 2 * zc);
+                    for dz in -1isize..=1 {
+                        for dy in -1isize..=1 {
+                            for dx in -1isize..=1 {
+                                let i = gidx(
+                                    nf,
+                                    wrap(xf as isize + dx, nf),
+                                    wrap(yf as isize + dy, nf),
+                                    wrap(zf as isize + dz, nf),
+                                );
+                                emit(fine.vaddr_of(i), Read);
+                            }
+                        }
+                    }
+                    emit(coarse.vaddr_of(gidx(m, xc, yc, zc)), Write);
+                }
+            }
+        })
+    }
+
+    /// Model of `interp(coarse, fine, m)`.
+    fn interp_model(
+        name: &str,
+        coarse: ccnuma::ArrayLayout,
+        fine: ccnuma::ArrayLayout,
+        m: usize,
+    ) -> crate::model::LoopModel {
+        use ccnuma::AccessKind::{Read, Write};
+        let nf = 2 * m;
+        crate::model::LoopModel::parallel(name, nf, Schedule::Static, move |zf, emit| {
+            for yf in 0..nf {
+                for xf in 0..nf {
+                    for dz in 0..=(zf % 2) {
+                        for dy in 0..=(yf % 2) {
+                            for dx in 0..=(xf % 2) {
+                                let xc = wrap(((xf + dx) / 2) as isize, m);
+                                let yc = wrap(((yf + dy) / 2) as isize, m);
+                                let zc = wrap(((zf + dz) / 2) as isize, m);
+                                emit(coarse.vaddr_of(gidx(m, xc, yc, zc)), Read);
+                            }
+                        }
+                    }
+                    let i = gidx(nf, xf, yf, zf);
+                    emit(fine.vaddr_of(i), Read);
+                    emit(fine.vaddr_of(i), Write);
+                }
+            }
+        })
+    }
+
+    /// Phase sequence of one V-cycle plus the fine-grid norm, mirroring
+    /// [`Mg::cycle`] (the host-side coarse-grid refills touch no simulated
+    /// pages).
+    fn cycle_phases(&self) -> Vec<crate::model::PhaseModel> {
+        use crate::model::{LoopModel, PhaseModel};
+        use ccnuma::AccessKind::Read;
+        let lt = self.cfg.lt;
+        let mut phases = Vec::new();
+        for k in (1..lt).rev() {
+            let m = self.cfg.edge(k - 1);
+            phases.push(PhaseModel::new(
+                &format!("rprj3_{k}"),
+                vec![Self::rprj3_model(
+                    &format!("rprj3_{k}"),
+                    self.r[k].layout(),
+                    self.r[k - 1].layout(),
+                    m,
+                )],
+            ));
+        }
+        let e0 = self.cfg.edge(0);
+        phases.push(PhaseModel::new(
+            "psinv_0",
+            vec![Self::psinv_model(
+                "psinv_0",
+                self.r[0].layout(),
+                self.u[0].layout(),
+                e0,
+            )],
+        ));
+        for k in 1..lt {
+            let e = self.cfg.edge(k);
+            phases.push(PhaseModel::new(
+                &format!("interp_{k}"),
+                vec![Self::interp_model(
+                    &format!("interp_{k}"),
+                    self.u[k - 1].layout(),
+                    self.u[k].layout(),
+                    e / 2,
+                )],
+            ));
+            let src = if k == lt - 1 {
+                self.v.layout()
+            } else {
+                self.r[k].layout()
+            };
+            phases.push(PhaseModel::new(
+                &format!("resid_{k}"),
+                vec![Self::resid_model(
+                    &format!("resid_{k}"),
+                    self.u[k].layout(),
+                    src,
+                    self.r[k].layout(),
+                    e,
+                )],
+            ));
+            phases.push(PhaseModel::new(
+                &format!("psinv_{k}"),
+                vec![Self::psinv_model(
+                    &format!("psinv_{k}"),
+                    self.r[k].layout(),
+                    self.u[k].layout(),
+                    e,
+                )],
+            ));
+        }
+        let e = self.cfg.edge(lt - 1);
+        phases.push(PhaseModel::new(
+            "resid_fine",
+            vec![Self::resid_model(
+                "resid_fine",
+                self.u[lt - 1].layout(),
+                self.v.layout(),
+                self.r[lt - 1].layout(),
+                e,
+            )],
+        ));
+        let n = self.cfg.n;
+        let r_fine = self.r[lt - 1].layout();
+        phases.push(PhaseModel::new(
+            "rnm2",
+            vec![LoopModel::reduction(
+                "rnm2",
+                n,
+                Schedule::Static,
+                move |z, emit| {
+                    for y in 0..n {
+                        for x in 0..n {
+                            emit(r_fine.vaddr_of(gidx(n, x, y, z)), Read);
+                        }
+                    }
+                },
+            )],
+        ));
+        phases
+    }
+
+    /// The standalone fine-grid residual phase bracketing the cold start.
+    fn resid_init_phase(&self) -> crate::model::PhaseModel {
+        let lt = self.cfg.lt;
+        crate::model::PhaseModel::new(
+            "resid_init",
+            vec![Self::resid_model(
+                "resid_init",
+                self.u[lt - 1].layout(),
+                self.v.layout(),
+                self.r[lt - 1].layout(),
+                self.cfg.edge(lt - 1),
+            )],
+        )
+    }
+
     /// Reset solution state (between cold start and the timed run).
     fn reset_state(&mut self) {
         for u in &self.u {
@@ -410,6 +652,28 @@ impl NasBenchmark for Mg {
             reference: self.initial_rnm2,
             epsilon: 0.5,
         }
+    }
+
+    fn access_model(&self) -> Option<crate::model::KernelModel> {
+        // cold_start: initial fine residual, one discarded V-cycle, then
+        // (after a host-only state reset) the fine residual again.
+        let mut cold = vec![self.resid_init_phase()];
+        cold.extend(self.cycle_phases());
+        cold.push(self.resid_init_phase());
+        let mut arrays = Vec::new();
+        for u in &self.u {
+            arrays.push(u.layout());
+        }
+        for r in &self.r {
+            arrays.push(r.layout());
+        }
+        arrays.push(self.v.layout());
+        Some(crate::model::KernelModel::new(
+            BenchName::Mg,
+            arrays,
+            cold,
+            self.cycle_phases(),
+        ))
     }
 }
 

@@ -245,6 +245,19 @@ impl NasBenchmark for Sp {
             epsilon: 1.0,
         }
     }
+
+    fn access_model(&self) -> Option<crate::model::KernelModel> {
+        // SP's scalar solver touches exactly the same element set per line
+        // as BT's block solver, so the shared ADI sweep models apply; the
+        // host-side reset in cold_start touches no simulated pages.
+        let ps = self.cfg.phase_scale;
+        Some(crate::model::KernelModel::new(
+            BenchName::Sp,
+            self.state.array_layouts(),
+            self.state.step_phases(ps),
+            self.state.step_phases(ps),
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -25,5 +25,8 @@
 pub mod runtime;
 pub mod schedule;
 
-pub use runtime::{Par, RegionSummary, Runtime, REDUCTION_BLOCKS};
+pub use runtime::{
+    reduction_block_count, reduction_block_ownership, reduction_chunks, Par, RegionSummary,
+    Runtime, REDUCTION_BLOCKS,
+};
 pub use schedule::Schedule;

@@ -86,6 +86,45 @@ impl Par<'_> {
 /// OpenMP runtime.
 pub const REDUCTION_BLOCKS: usize = 16;
 
+/// Number of reduction blocks used by a team of `threads` threads: the
+/// fixed [`REDUCTION_BLOCKS`], or one block per thread for larger teams.
+pub fn reduction_block_count(threads: usize) -> usize {
+    REDUCTION_BLOCKS.max(threads)
+}
+
+/// The contiguous run of reduction blocks owned by each thread: entry `t`
+/// is the half-open block range `[first, end)` that thread `t` executes in
+/// [`Runtime::parallel_reduce`]. This is the single source of truth for
+/// reduction ownership — the runtime executes it and the static analyzer
+/// (the `lint` crate) replays it — so the two can never disagree about
+/// which thread runs which iterations.
+pub fn reduction_block_ownership(threads: usize) -> Vec<(usize, usize)> {
+    assert!(threads > 0);
+    let blocks = reduction_block_count(threads);
+    (0..threads)
+        .map(|t| (t * blocks / threads, (t + 1) * blocks / threads))
+        .collect()
+}
+
+/// Per-thread `(start, end)` iteration chunks for a reduction over `n`
+/// iterations: [`Schedule::static_chunks`] over the fixed block partition,
+/// regrouped by owning thread via [`reduction_block_ownership`].
+///
+/// # Panics
+/// Panics on dynamic/guided schedules (reductions are static-only, as in
+/// the NAS codes).
+pub fn reduction_chunks(schedule: Schedule, n: usize, threads: usize) -> Vec<Vec<(usize, usize)>> {
+    assert!(
+        !schedule.is_dynamic(),
+        "reductions are supported on static schedules (as in the NAS codes)"
+    );
+    let parts = schedule.static_chunks(n, reduction_block_count(threads));
+    reduction_block_ownership(threads)
+        .into_iter()
+        .map(|(b0, b1)| parts[b0..b1].iter().flatten().copied().collect())
+        .collect()
+}
+
 /// The OpenMP-like runtime: a machine plus a thread team plus the kernel
 /// migration engine hook.
 pub struct Runtime {
@@ -326,11 +365,12 @@ impl Runtime {
                 "reductions are supported on static schedules (as in the NAS codes)"
             );
             let parts = schedule.static_chunks(n, blocks);
+            let ownership = reduction_block_ownership(threads);
             for (tid, &cpu) in cpus.iter().enumerate().take(threads) {
                 // Thread `tid` owns a contiguous run of blocks, so its
                 // iteration range (and memory traffic) is identical to the
                 // plain per-thread static schedule.
-                let (b0, b1) = (tid * blocks / threads, (tid + 1) * blocks / threads);
+                let (b0, b1) = ownership[tid];
                 let mut par = Par {
                     machine,
                     cpu,
@@ -583,6 +623,45 @@ mod tests {
             |x, y| x + y,
         );
         assert_eq!(sum, (0..1000).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn reduction_ownership_covers_blocks_once() {
+        for threads in 1..=20 {
+            let blocks = reduction_block_count(threads);
+            let ranges = reduction_block_ownership(threads);
+            assert_eq!(ranges.len(), threads);
+            let mut next = 0;
+            for &(b0, b1) in &ranges {
+                assert_eq!(b0, next, "contiguous ownership");
+                assert!(b1 >= b0);
+                next = b1;
+            }
+            assert_eq!(next, blocks);
+        }
+    }
+
+    #[test]
+    fn reduction_chunks_match_executed_iterations() {
+        let mut rt = runtime(); // 8 threads
+        let n = 100;
+        let mut owner = vec![usize::MAX; n];
+        rt.parallel_reduce(
+            n,
+            Schedule::Static,
+            (),
+            |par, i, ()| owner[i] = par.tid,
+            |(), ()| (),
+        );
+        let chunks = reduction_chunks(Schedule::Static, n, 8);
+        for (tid, chunks) in chunks.iter().enumerate() {
+            for &(start, end) in chunks {
+                for (i, &t) in owner.iter().enumerate().take(end).skip(start) {
+                    assert_eq!(t, tid, "iteration {i}");
+                }
+            }
+        }
+        assert!(owner.iter().all(|&t| t != usize::MAX));
     }
 
     #[test]

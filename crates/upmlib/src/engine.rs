@@ -184,6 +184,12 @@ impl UpmEngine {
         &self.stats
     }
 
+    /// The pages the ping-pong freezer has frozen, sorted by vpage — the
+    /// dynamic ground truth for the static analyzer's differential suite.
+    pub fn frozen_pages(&self) -> Vec<u64> {
+        self.freeze.frozen_pages()
+    }
+
     /// The engine's tuning options.
     pub fn options(&self) -> &UpmOptions {
         &self.options

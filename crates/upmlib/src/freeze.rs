@@ -37,6 +37,14 @@ impl FreezeTracker {
         self.frozen.len()
     }
 
+    /// The frozen pages, sorted — the ground truth the static analyzer's
+    /// ping-pong predictions are differentially tested against.
+    pub fn frozen_pages(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.frozen.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Ask whether moving `vpage` from `from` to `to` during `invocation`
     /// is allowed; if the move reverses the previous invocation's move, the
     /// page is frozen instead and `false` is returned. An allowed move is

@@ -74,5 +74,6 @@ pub mod stats;
 pub mod tuning;
 
 pub use engine::UpmEngine;
+pub use freeze::FreezeTracker;
 pub use stats::UpmStats;
 pub use tuning::UpmOptions;

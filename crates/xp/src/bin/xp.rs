@@ -15,11 +15,12 @@
 
 use nas::Scale;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use xp::summary::SummaryEntry;
 use xp::Report;
 
-const COMMANDS: &str = "table1|fig1|fig4|table2|fig5|fig6|ablations|multiprog|all|trace";
+const COMMANDS: &str = "table1|fig1|fig4|table2|fig5|fig6|ablations|multiprog|all|trace|lint";
 
 const USAGE: &str = "\
 xp — experiment driver for the data-distribution study
@@ -27,6 +28,8 @@ xp — experiment driver for the data-distribution study
 usage:
   xp [COMMAND] [--scale tiny|small|medium] [--seed N] [--jobs N] [--out DIR] [--trace DIR]
   xp trace <bt|sp|cg|mg|ft> [--scale tiny|small|medium] [--out DIR]
+  xp lint [--bench bt|sp|cg|mg|ft] [--all] [--deny CODES] [--allow FILE]
+          [--scale tiny|small|medium] [--out DIR]
 
 commands:
   table1     memory-hierarchy latencies (paper Table 1)
@@ -41,6 +44,8 @@ commands:
   all        everything above (default)
   trace      run one benchmark with event tracing; writes trace.jsonl and
              trace.chrome.json (open in Perfetto) under the output dir
+  lint       static NUMA/race analysis of the benchmark kernels (no machine
+             simulation); exits 1 if a denied finding is not allowlisted
 
 options:
   --scale tiny|small|medium  problem scale (default medium)
@@ -52,8 +57,19 @@ options:
   --out DIR                  output directory for reports (default results/)
   --trace DIR                also record an event trace of every run into
                              DIR (commands other than trace)
+  --bench NAME               lint only one benchmark (lint command)
+  --all                      lint all five benchmarks (lint command; default)
+  --deny CODES               comma list of lint categories (races,
+                             false-sharing, numa, perf, determinism, all)
+                             and/or codes (L001..L008) that fail the run
+  --allow FILE               lint allowlist file (default: lint.allow in the
+                             current directory, when present)
   -h, --help                 show this help
 ";
+
+/// Number of lint findings that hit the deny set (set by the lint job,
+/// checked after reports are written so the JSON still lands on disk).
+static LINT_DENIED: AtomicUsize = AtomicUsize::new(0);
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -82,6 +98,10 @@ fn main() {
     let mut scale = Scale::Medium;
     let mut out_dir = PathBuf::from("results");
     let mut trace_dir: Option<PathBuf> = None;
+    let mut lint_bench: Option<String> = None;
+    let mut lint_all = false;
+    let mut lint_deny: Option<String> = None;
+    let mut lint_allow: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -119,11 +139,29 @@ fn main() {
                     .unwrap_or_else(|| die("--trace needs a directory"));
                 trace_dir = Some(PathBuf::from(v));
             }
+            "--bench" => {
+                let v = it.next().unwrap_or_else(|| die("--bench needs a value"));
+                lint_bench = Some(v.to_string());
+            }
+            "--all" => lint_all = true,
+            "--deny" => {
+                let v = it.next().unwrap_or_else(|| die("--deny needs a value"));
+                lint_deny = Some(v.to_string());
+            }
+            "--allow" => {
+                let v = it.next().unwrap_or_else(|| die("--allow needs a file"));
+                lint_allow = Some(PathBuf::from(v));
+            }
             flag if flag.starts_with('-') => die(&format!("unknown flag '{flag}'")),
             other => positionals.push(other.to_string()),
         }
     }
     let command = positionals.first().cloned().unwrap_or_else(|| "all".into());
+    if command != "lint"
+        && (lint_bench.is_some() || lint_all || lint_deny.is_some() || lint_allow.is_some())
+    {
+        die("--bench/--all/--deny/--allow apply to `xp lint`");
+    }
     if command != "trace" {
         if let Some(extra) = positionals.get(1) {
             die(&format!("unexpected argument '{extra}'"));
@@ -185,6 +223,45 @@ fn main() {
                 Box::new(move || vec![xp::trace::run(bench, scale, &out)]),
             )]
         }
+        "lint" => {
+            if lint_all && lint_bench.is_some() {
+                die("--all and --bench are mutually exclusive");
+            }
+            let benches: Vec<nas::BenchName> = match &lint_bench {
+                Some(name) => vec![xp::trace::parse_bench(name).unwrap_or_else(|| {
+                    die(&format!(
+                        "unknown benchmark '{name}' (expected bt|sp|cg|mg|ft)"
+                    ))
+                })],
+                None => nas::BenchName::all().to_vec(),
+            };
+            let deny =
+                lint::parse_deny(lint_deny.as_deref().unwrap_or("")).unwrap_or_else(|e| die(&e));
+            let allow_path = lint_allow.clone().or_else(|| {
+                std::path::Path::new("lint.allow")
+                    .exists()
+                    .then(|| "lint.allow".into())
+            });
+            let allow = match &allow_path {
+                Some(p) => lint::Allowlist::load(p)
+                    .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", p.display()))),
+                None => lint::Allowlist::empty(),
+            };
+            if let Some(p) = &allow_path {
+                eprintln!("[allowlist {} ({} keys)]", p.display(), allow.len());
+            }
+            vec![(
+                "lint",
+                Box::new(move || {
+                    let run = xp::lint::run(&benches, scale, &deny, &allow);
+                    for f in &run.denied {
+                        eprintln!("denied: {}", f.render());
+                    }
+                    LINT_DENIED.store(run.denied.len(), Ordering::Relaxed);
+                    vec![run.report]
+                }),
+            )]
+        }
         other => die(&format!("unknown command '{other}' (expected {COMMANDS})")),
     };
 
@@ -227,5 +304,10 @@ fn main() {
     ) {
         Ok(path) => eprintln!("[saved {}]", path.display()),
         Err(e) => eprintln!("[warn: could not save bench_summary.json: {e}]"),
+    }
+    let denied = LINT_DENIED.load(Ordering::Relaxed);
+    if denied > 0 {
+        eprintln!("lint: {denied} denied findings (see rows marked `denied`)");
+        std::process::exit(1);
     }
 }

@@ -23,6 +23,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod jobs;
+pub mod lint;
 pub mod multiprog;
 pub mod report;
 pub mod run_one;

@@ -1,0 +1,163 @@
+//! `xp lint`: drive the static NUMA/race analyzer over the benchmarks.
+//!
+//! Builds each benchmark's [`nas::KernelModel`] on the paper's machine
+//! (same allocation sequence as a real run, so virtual addresses match the
+//! simulator bit-for-bit), analyzes it with [`::lint::analyze`], and
+//! renders one report row per finding. Findings whose stable keys appear in
+//! the allowlist are marked `allowed`; findings whose code is in the deny
+//! set and not allowlisted are marked `denied` and make the command exit
+//! non-zero — that is the CI gate.
+
+use ::lint::{Allowlist, Analysis, Code, Finding, LintConfig};
+use ccnuma::{Machine, MachineConfig};
+use nas::{bt::Bt, cg::Cg, ft::Ft, mg::Mg, sp::Sp};
+use nas::{BenchName, NasBenchmark, Scale};
+use omp::Runtime;
+use std::collections::BTreeSet;
+
+use crate::Report;
+
+/// Outcome of one `xp lint` invocation.
+pub struct LintRun {
+    /// The renderable report (one row per finding, plus summary notes).
+    pub report: Report,
+    /// Findings hit by the deny set and not waived by the allowlist.
+    pub denied: Vec<Finding>,
+}
+
+/// Build `bench`'s access model exactly as a dynamic run would allocate it:
+/// fresh machine, 16-thread runtime, then the benchmark constructor. The
+/// machine hands out virtual ranges sequentially, so the model's addresses
+/// equal those of a [`nas::BenchRun`] over the same scale.
+pub fn model_for(bench: BenchName, scale: Scale) -> nas::KernelModel {
+    let machine = Machine::new(MachineConfig::origin2000_16p_scaled());
+    let mut rt = Runtime::with_threads(machine, 16);
+    let bench: Box<dyn NasBenchmark> = match bench {
+        BenchName::Bt => Box::new(Bt::new(&mut rt, scale)),
+        BenchName::Sp => Box::new(Sp::new(&mut rt, scale)),
+        BenchName::Cg => Box::new(Cg::new(&mut rt, scale)),
+        BenchName::Mg => Box::new(Mg::new(&mut rt, scale)),
+        BenchName::Ft => Box::new(Ft::new(&mut rt, scale)),
+    };
+    bench
+        .access_model()
+        .expect("all five benchmarks expose access models")
+}
+
+/// Analyze one benchmark with the paper-default lint configuration.
+pub fn analyze_bench(bench: BenchName, scale: Scale) -> Analysis {
+    ::lint::analyze(&model_for(bench, scale), &LintConfig::paper_default())
+}
+
+/// Run the analyzer over `benches` and assemble the `xp` report.
+pub fn run(
+    benches: &[BenchName],
+    scale: Scale,
+    deny: &BTreeSet<Code>,
+    allow: &Allowlist,
+) -> LintRun {
+    let scale_label = match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+    };
+    let mut report = Report::new(
+        &format!("lint_{scale_label}"),
+        &format!("Static NUMA/race lint ({scale_label}, 16 threads, paper machine)"),
+        &[
+            "code", "severity", "bench", "site", "subject", "count", "status", "message",
+        ],
+    );
+    let mut denied = Vec::new();
+    let mut total = 0usize;
+    let mut waived = 0usize;
+    for &bench in benches {
+        let analysis = analyze_bench(bench, scale);
+        for f in analysis.findings {
+            total += 1;
+            let allowed = allow.allows(&f);
+            let status = if allowed {
+                waived += 1;
+                "allowed"
+            } else if deny.contains(&f.code) {
+                "denied"
+            } else {
+                "reported"
+            };
+            report.row(vec![
+                f.code.as_str().to_string(),
+                f.severity().as_str().to_string(),
+                f.bench.clone(),
+                f.site.clone(),
+                f.subject.clone(),
+                f.count.to_string(),
+                status.to_string(),
+                f.message.clone(),
+            ]);
+            if status == "denied" {
+                denied.push(f);
+            }
+        }
+    }
+    report.note(format!(
+        "{} findings over {} benchmarks; {} allowlisted, {} denied",
+        total,
+        benches.len(),
+        waived,
+        denied.len()
+    ));
+    if !deny.is_empty() {
+        let codes: Vec<&str> = deny.iter().map(|c| c.as_str()).collect();
+        report.note(format!("deny set: {}", codes.join(",")));
+    }
+    LintRun { report, denied }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The hand-audited expectation for the kernels at Tiny: no races
+    /// anywhere, and false sharing only where BT/SP's z-sweep writes
+    /// 320-byte y-rows of `rhs` against 128-byte lines.
+    #[test]
+    fn tiny_findings_match_the_audit() {
+        let run = run(
+            &BenchName::all(),
+            Scale::Tiny,
+            &BTreeSet::new(),
+            &Allowlist::empty(),
+        );
+        assert!(run.denied.is_empty());
+        let keys: Vec<String> = BenchName::all()
+            .iter()
+            .flat_map(|&b| analyze_bench(b, Scale::Tiny).findings)
+            .map(|f| f.key())
+            .collect();
+        assert!(
+            keys.iter()
+                .all(|k| !k.starts_with("L001") && !k.starts_with("L002")),
+            "no races expected, got {keys:?}"
+        );
+        let fs: Vec<&String> = keys.iter().filter(|k| k.starts_with("L003")).collect();
+        assert_eq!(
+            fs,
+            vec!["L003 BT z_solve bt.rhs", "L003 SP z_solve sp.rhs"],
+            "false sharing exactly in the z-sweeps' rhs rows"
+        );
+        assert!(
+            keys.iter().all(|k| !k.starts_with("L004")),
+            "no predicted frozen pages at Tiny: {keys:?}"
+        );
+    }
+
+    #[test]
+    fn deny_gate_respects_allowlist() {
+        let deny = ::lint::parse_deny("races,false-sharing").unwrap();
+        let bare = run(&[BenchName::Bt], Scale::Tiny, &deny, &Allowlist::empty());
+        assert_eq!(bare.denied.len(), 1, "BT's z_solve false sharing is denied");
+        let allow = Allowlist::from_text("L003 BT z_solve bt.rhs\n");
+        let waived = run(&[BenchName::Bt], Scale::Tiny, &deny, &allow);
+        assert!(waived.denied.is_empty());
+    }
+}

@@ -77,3 +77,16 @@ fn fig4_tiny_matches_golden() {
 fn table2_tiny_matches_golden() {
     check("table2_tiny.json", xp::table2::run(Scale::Tiny));
 }
+
+#[test]
+fn lint_tiny_matches_golden() {
+    // The full `xp lint --all` report with no deny set and no allowlist:
+    // pins every finding (code, site, subject, count and message) at Tiny.
+    let run = xp::lint::run(
+        &nas::BenchName::all(),
+        Scale::Tiny,
+        &std::collections::BTreeSet::new(),
+        &lint::Allowlist::empty(),
+    );
+    check("lint_tiny.json", run.report);
+}
