@@ -397,7 +397,9 @@ impl Machine {
         self.counters.reset_frame(frame);
         self.page_table[vpage as usize] = Some(frame);
         debug_assert_eq!(self.check_invariants(), Ok(()));
-        Ok(self.memory.node_of_frame(frame))
+        let node = self.memory.node_of_frame(frame);
+        self.trace_event(|| EventKind::PageMapped { vpage, node });
+        Ok(node)
     }
 
     /// Unmap a page, freeing its frame and any replicas.

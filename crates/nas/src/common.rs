@@ -57,6 +57,17 @@ pub enum Scale {
     Medium,
 }
 
+impl Scale {
+    /// Lower-case label as used in report ids and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+        }
+    }
+}
+
 /// Outcome of a benchmark's self-verification.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Verification {

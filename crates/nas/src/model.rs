@@ -225,6 +225,31 @@ impl KernelModel {
         &self.iteration
     }
 
+    /// Flattened `phase/loop` labels of the cold-start phases, in program
+    /// order. Every modeled loop — `parallel_for`, `parallel_reduce` or
+    /// `serial` — executes as exactly one machine region, so these labels
+    /// name the run's regions in order: the profiler's region-to-phase map.
+    pub fn cold_loop_names(&self) -> Vec<String> {
+        Self::flatten(&self.cold)
+    }
+
+    /// Flattened `phase/loop` labels of one timed iteration, in program
+    /// order (see [`KernelModel::cold_loop_names`]).
+    pub fn iteration_loop_names(&self) -> Vec<String> {
+        Self::flatten(&self.iteration)
+    }
+
+    fn flatten(phases: &[PhaseModel]) -> Vec<String> {
+        phases
+            .iter()
+            .flat_map(|p| {
+                p.loops()
+                    .iter()
+                    .map(move |l| format!("{}/{}", p.name(), l.name()))
+            })
+            .collect()
+    }
+
     /// The array containing `vaddr`, if any (attribution for findings).
     pub fn array_of(&self, vaddr: u64) -> Option<&ArrayLayout> {
         self.arrays.iter().find(|a| {
@@ -282,6 +307,30 @@ mod tests {
         let mut got = Vec::new();
         l.for_each_access(2, &mut |va, kind| got.push((va, kind)));
         assert_eq!(got, vec![(16, AccessKind::Write)]);
+    }
+
+    #[test]
+    fn loop_names_flatten_in_program_order() {
+        let phase = |name: &str| {
+            PhaseModel::new(
+                name,
+                vec![
+                    touch_loop(LoopKind::Parallel, 4),
+                    touch_loop(LoopKind::Serial, 1),
+                ],
+            )
+        };
+        let km = KernelModel::new(
+            BenchName::Cg,
+            vec![],
+            vec![phase("init")],
+            vec![phase("cg"), phase("tail")],
+        );
+        assert_eq!(km.cold_loop_names(), vec!["init/l", "init/l"]);
+        assert_eq!(
+            km.iteration_loop_names(),
+            vec!["cg/l", "cg/l", "tail/l", "tail/l"]
+        );
     }
 
     #[test]

@@ -62,6 +62,33 @@ pub enum EventKind {
     },
     /// The scheduler shrank or grew a job's OpenMP team.
     TeamResized { job: usize, from: usize, to: usize },
+    /// A page was mapped (first touch or eager placement) on `node`.
+    PageMapped { vpage: u64, node: usize },
+    /// Timing/locality breakdown of one just-closed parallel or serial
+    /// region: corrected wall time plus the local/remote access and stall
+    /// deltas accumulated across the region. `region` matches the id of the
+    /// `RegionBegin`/`RegionEnd` pair.
+    RegionProfile {
+        region: u64,
+        wall_ns: f64,
+        local: u64,
+        remote: u64,
+        stall_ns: f64,
+    },
+    /// One UPMlib `migrate_memory` invocation completed, having moved
+    /// `moved` pages — the per-invocation decay curve, one point per event.
+    UpmInvoked { invocation: usize, moved: usize },
+    /// Competitive-criterion view of one hot page at a `migrate_memory`
+    /// invocation: accesses from the home node (`local`), the dominant
+    /// remote node (`rnode`) and its access count (`rmax`). The raw input
+    /// of the profiler's access heatmaps.
+    PageCounterSample {
+        vpage: u64,
+        home: usize,
+        local: u64,
+        rmax: u64,
+        rnode: usize,
+    },
 }
 
 impl EventKind {
@@ -85,6 +112,10 @@ impl EventKind {
             EventKind::QuantumExpired { .. } => "QuantumExpired",
             EventKind::ThreadMigrated { .. } => "ThreadMigrated",
             EventKind::TeamResized { .. } => "TeamResized",
+            EventKind::PageMapped { .. } => "PageMapped",
+            EventKind::RegionProfile { .. } => "RegionProfile",
+            EventKind::UpmInvoked { .. } => "UpmInvoked",
+            EventKind::PageCounterSample { .. } => "PageCounterSample",
         }
     }
 
@@ -165,6 +196,140 @@ impl EventKind {
                     ("to", to.into()),
                 ]
             }
+            EventKind::PageMapped { vpage, node } => {
+                vec![("vpage", vpage.into()), ("node", node.into())]
+            }
+            EventKind::RegionProfile {
+                region,
+                wall_ns,
+                local,
+                remote,
+                stall_ns,
+            } => {
+                vec![
+                    ("region", region.into()),
+                    ("wall_ns", wall_ns.into()),
+                    ("local", local.into()),
+                    ("remote", remote.into()),
+                    ("stall_ns", stall_ns.into()),
+                ]
+            }
+            EventKind::UpmInvoked { invocation, moved } => {
+                vec![("invocation", invocation.into()), ("moved", moved.into())]
+            }
+            EventKind::PageCounterSample {
+                vpage,
+                home,
+                local,
+                rmax,
+                rnode,
+            } => {
+                vec![
+                    ("vpage", vpage.into()),
+                    ("home", home.into()),
+                    ("local", local.into()),
+                    ("rmax", rmax.into()),
+                    ("rnode", rnode.into()),
+                ]
+            }
         }
+    }
+
+    /// Rebuild a payload from its exported `(name, fields)` form — the
+    /// inverse of [`EventKind::name`] + [`EventKind::fields`], used by the
+    /// JSON Lines importer. `None` when the name is unknown or a field is
+    /// missing or mistyped.
+    pub fn from_json_fields(name: &str, obj: &Value) -> Option<EventKind> {
+        let u = |key: &str| obj.get(key).and_then(Value::as_u64);
+        let us = |key: &str| u(key).map(|v| v as usize);
+        let f = |key: &str| obj.get(key).and_then(Value::as_f64);
+        Some(match name {
+            "PageMigrated" => EventKind::PageMigrated {
+                vpage: u("vpage")?,
+                from: us("from")?,
+                to: us("to")?,
+            },
+            "PageFrozen" => EventKind::PageFrozen { vpage: u("vpage")? },
+            "MoveVetoed" => EventKind::MoveVetoed {
+                vpage: u("vpage")?,
+                from: us("from")?,
+                to: us("to")?,
+            },
+            "ReplayBatch" => EventKind::ReplayBatch {
+                phase: us("phase")?,
+                moved: us("moved")?,
+            },
+            "Undo" => EventKind::Undo {
+                phase: us("phase")?,
+                moved: us("moved")?,
+            },
+            "PageReplicated" => EventKind::PageReplicated {
+                vpage: u("vpage")?,
+                node: us("node")?,
+            },
+            "PageCollapsed" => EventKind::PageCollapsed { vpage: u("vpage")? },
+            "CounterOverflowSpill" => EventKind::CounterOverflowSpill {
+                frame: us("frame")?,
+                node: us("node")?,
+            },
+            "RegionBegin" => EventKind::RegionBegin {
+                region: u("region")?,
+            },
+            "RegionEnd" => EventKind::RegionEnd {
+                region: u("region")?,
+            },
+            "KernelScan" => EventKind::KernelScan {
+                scanned: us("scanned")?,
+                migrated: us("migrated")?,
+            },
+            "EngineDeactivated" => EventKind::EngineDeactivated {
+                invocation: us("invocation")?,
+            },
+            "IterationBoundary" => EventKind::IterationBoundary {
+                iter: us("iter")?,
+                migrations: u("migrations")?,
+                remote_fraction: f("remote_fraction")?,
+                stall_ns: f("stall_ns")?,
+            },
+            "JobArrived" => EventKind::JobArrived { job: us("job")? },
+            "QuantumExpired" => EventKind::QuantumExpired {
+                quantum: u("quantum")?,
+                scheduled: us("scheduled")?,
+            },
+            "ThreadMigrated" => EventKind::ThreadMigrated {
+                job: us("job")?,
+                thread: us("thread")?,
+                from: us("from")?,
+                to: us("to")?,
+            },
+            "TeamResized" => EventKind::TeamResized {
+                job: us("job")?,
+                from: us("from")?,
+                to: us("to")?,
+            },
+            "PageMapped" => EventKind::PageMapped {
+                vpage: u("vpage")?,
+                node: us("node")?,
+            },
+            "RegionProfile" => EventKind::RegionProfile {
+                region: u("region")?,
+                wall_ns: f("wall_ns")?,
+                local: u("local")?,
+                remote: u("remote")?,
+                stall_ns: f("stall_ns")?,
+            },
+            "UpmInvoked" => EventKind::UpmInvoked {
+                invocation: us("invocation")?,
+                moved: us("moved")?,
+            },
+            "PageCounterSample" => EventKind::PageCounterSample {
+                vpage: u("vpage")?,
+                home: us("home")?,
+                local: u("local")?,
+                rmax: u("rmax")?,
+                rnode: us("rnode")?,
+            },
+            _ => return None,
+        })
     }
 }

@@ -3,13 +3,42 @@
 //! `chrome://tracing`). Both are keyed to simulated time: the Chrome `ts`
 //! field is simulated microseconds, so the trace UI's timeline *is* the
 //! simulated machine's timeline.
+//!
+//! JSON Lines output starts with a schema header line
+//! (`{"schema":"ddnomp-trace","major":..,"minor":..,"dropped_events":..}`)
+//! so readers can reject incompatible traces and see whether the bounded
+//! event ring had to evict anything; [`crate::import`] is the matching
+//! reader.
 
 use crate::event::{Event, EventKind};
 use crate::json::Value;
 
-/// One compact JSON object per event, newline-delimited.
-pub fn to_jsonl<'a>(events: impl Iterator<Item = &'a Event>) -> String {
+/// Schema identifier carried by the JSON Lines header line.
+pub const TRACE_SCHEMA_NAME: &str = "ddnomp-trace";
+/// Major trace-schema version: bumped on incompatible changes (removed or
+/// retyped fields); readers reject other majors.
+pub const TRACE_SCHEMA_MAJOR: u64 = 1;
+/// Minor trace-schema version: bumped on additive changes (new event kinds
+/// or fields); readers accept any minor under a known major.
+pub const TRACE_SCHEMA_MINOR: u64 = 1;
+
+/// The schema header object that leads a JSON Lines export.
+pub fn schema_header(dropped_events: u64) -> Value {
+    Value::object(vec![
+        ("schema", TRACE_SCHEMA_NAME.into()),
+        ("major", TRACE_SCHEMA_MAJOR.into()),
+        ("minor", TRACE_SCHEMA_MINOR.into()),
+        ("dropped_events", dropped_events.into()),
+    ])
+}
+
+/// One compact JSON object per event, newline-delimited, led by the schema
+/// header line carrying `dropped_events` (events the bounded ring evicted
+/// before export — 0 means the trace is complete).
+pub fn to_jsonl<'a>(events: impl Iterator<Item = &'a Event>, dropped_events: u64) -> String {
     let mut out = String::new();
+    out.push_str(&schema_header(dropped_events).to_string());
+    out.push('\n');
     for event in events {
         out.push_str(&event_to_json(event).to_string());
         out.push('\n');
@@ -32,8 +61,25 @@ pub fn event_to_json(event: &Event) -> Value {
 /// Mapping: `RegionBegin`/`RegionEnd` become `B`/`E` duration events on one
 /// track, so parallel regions render as spans; everything else is an
 /// instant event (`i`, thread scope). Tracks are one synthetic pid/tid per
-/// event family so Perfetto groups them sensibly.
-pub fn chrome_trace<'a>(events: impl Iterator<Item = &'a Event>, process_name: &str) -> Value {
+/// event family so Perfetto groups them sensibly. The document's top level
+/// carries `dropped_events` so a truncated trace is visibly truncated.
+pub fn chrome_trace<'a>(
+    events: impl Iterator<Item = &'a Event>,
+    process_name: &str,
+    dropped_events: u64,
+) -> Value {
+    chrome_trace_with_extra(events, process_name, dropped_events, Vec::new())
+}
+
+/// [`chrome_trace`] plus caller-supplied extra trace entries — counter
+/// tracks (`"ph":"C"`) and the like. Extra entries are appended after the
+/// event entries; Perfetto orders by `ts`, so interleaving is irrelevant.
+pub fn chrome_trace_with_extra<'a>(
+    events: impl Iterator<Item = &'a Event>,
+    process_name: &str,
+    dropped_events: u64,
+    extra: Vec<Value>,
+) -> Value {
     let mut trace_events: Vec<Value> = Vec::new();
     trace_events.push(Value::object(vec![
         ("name", "process_name".into()),
@@ -71,9 +117,24 @@ pub fn chrome_trace<'a>(events: impl Iterator<Item = &'a Event>, process_name: &
         pairs.push(("args", args));
         trace_events.push(Value::object(pairs));
     }
+    trace_events.extend(extra);
     Value::object(vec![
         ("traceEvents", Value::Array(trace_events)),
         ("displayTimeUnit", "ms".into()),
+        ("dropped_events", dropped_events.into()),
+    ])
+}
+
+/// One Perfetto counter sample (`"ph":"C"`): a named counter track takes
+/// value `value` at simulated time `t_ns`. Multi-series tracks pass several
+/// `(series, value)` pairs under the same `name`.
+pub fn counter_sample(name: &str, t_ns: f64, series: Vec<(&str, Value)>) -> Value {
+    Value::object(vec![
+        ("name", name.into()),
+        ("ph", "C".into()),
+        ("ts", (t_ns / 1000.0).into()),
+        ("pid", 1u64.into()),
+        ("args", Value::object(series)),
     ])
 }
 
@@ -103,12 +164,17 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_is_one_valid_object_per_line() {
+    fn jsonl_is_a_header_plus_one_valid_object_per_line() {
         let events = sample_events();
-        let text = to_jsonl(events.iter());
+        let text = to_jsonl(events.iter(), 3);
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 3);
-        let mig = Value::parse(lines[1]).unwrap();
+        assert_eq!(lines.len(), 4);
+        let header = Value::parse(lines[0]).unwrap();
+        assert_eq!(header["schema"], TRACE_SCHEMA_NAME);
+        assert_eq!(header["major"].as_u64(), Some(TRACE_SCHEMA_MAJOR));
+        assert_eq!(header["minor"].as_u64(), Some(TRACE_SCHEMA_MINOR));
+        assert_eq!(header["dropped_events"].as_u64(), Some(3));
+        let mig = Value::parse(lines[2]).unwrap();
         assert_eq!(mig["event"], "PageMigrated");
         assert_eq!(mig["vpage"].as_u64(), Some(7));
         assert_eq!(mig["t_ns"].as_f64(), Some(150.0));
@@ -117,7 +183,7 @@ mod tests {
     #[test]
     fn chrome_trace_has_matched_spans_and_instants() {
         let events = sample_events();
-        let doc = chrome_trace(events.iter(), "test-run");
+        let doc = chrome_trace(events.iter(), "test-run", 0);
         let entries = doc["traceEvents"].as_array().unwrap();
         // metadata + 3 events
         assert_eq!(entries.len(), 4);
@@ -126,7 +192,26 @@ mod tests {
         assert_eq!(entries[3]["ph"], "E");
         // ts is simulated µs.
         assert_eq!(entries[1]["ts"].as_f64(), Some(0.1));
+        assert_eq!(doc["dropped_events"].as_u64(), Some(0));
         // The whole document parses back.
         assert!(Value::parse(&doc.to_string_pretty()).is_ok());
+    }
+
+    #[test]
+    fn chrome_trace_appends_counter_tracks_and_stamps_drops() {
+        let events = sample_events();
+        let extra = vec![counter_sample(
+            "migrations a",
+            150.0,
+            vec![("node2", 1u64.into())],
+        )];
+        let doc = chrome_trace_with_extra(events.iter(), "test-run", 7, extra);
+        let entries = doc["traceEvents"].as_array().unwrap();
+        assert_eq!(entries.len(), 5);
+        let counter = &entries[4];
+        assert_eq!(counter["ph"], "C");
+        assert_eq!(counter["ts"].as_f64(), Some(0.15));
+        assert_eq!(counter["args"]["node2"].as_u64(), Some(1));
+        assert_eq!(doc["dropped_events"].as_u64(), Some(7));
     }
 }

@@ -1,0 +1,220 @@
+//! Streaming reader for saved JSON Lines traces — the inverse of
+//! [`crate::export::to_jsonl`].
+//!
+//! Traces are read line by line (never holding the raw text of more than
+//! one record), so multi-hundred-megabyte traces from long runs load in
+//! bounded memory. The first line is expected to be the schema header
+//! written by the exporter; readers reject traces with an unknown *major*
+//! version outright, accept any *minor* under a known major (additive
+//! changes only), and still load headerless traces from before the header
+//! existed — with a warning, since their `dropped_events` count is unknown.
+
+use crate::event::{Event, EventKind};
+use crate::export::{TRACE_SCHEMA_MAJOR, TRACE_SCHEMA_NAME};
+use crate::json::Value;
+use std::io::BufRead;
+use std::path::Path;
+
+/// A loaded trace: the decoded events plus everything the header said.
+#[derive(Debug, Default)]
+pub struct LoadedTrace {
+    /// Decoded events, in file order (the exporter writes oldest first).
+    pub events: Vec<Event>,
+    /// Ring evictions the exporter recorded (0 for a complete trace;
+    /// 0 with a warning for a headerless legacy trace).
+    pub dropped_events: u64,
+    /// `(major, minor)` from the header; `None` for a legacy trace.
+    pub schema: Option<(u64, u64)>,
+    /// Non-fatal oddities: missing header, unknown event names (skipped),
+    /// malformed records (skipped).
+    pub warnings: Vec<String>,
+}
+
+/// A fatal import failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ImportError {
+    /// The header declares a major version this reader does not understand.
+    UnsupportedMajor { found: u64, supported: u64 },
+    /// The file could not be read at all.
+    Io(String),
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::UnsupportedMajor { found, supported } => write!(
+                f,
+                "trace schema major version {found} is not supported (this reader \
+                 understands major {supported}); re-export the trace with a matching build"
+            ),
+            ImportError::Io(e) => write!(f, "cannot read trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// Load a trace from a file, streaming line by line.
+pub fn load_path(path: &Path) -> Result<LoadedTrace, ImportError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| ImportError::Io(format!("{}: {e}", path.display())))?;
+    let reader = std::io::BufReader::new(file);
+    from_lines(reader.lines().map_while(Result::ok))
+}
+
+/// Parse a trace held in memory (tests, small traces).
+pub fn parse_jsonl(text: &str) -> Result<LoadedTrace, ImportError> {
+    from_lines(text.lines().map(str::to_string))
+}
+
+/// The streaming core: consume lines one at a time.
+pub fn from_lines(lines: impl Iterator<Item = String>) -> Result<LoadedTrace, ImportError> {
+    let mut out = LoadedTrace::default();
+    let mut first = true;
+    let mut skipped_unknown = 0usize;
+    let mut skipped_malformed = 0usize;
+    for (lineno, line) in lines.enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = match Value::parse(line) {
+            Ok(v) => v,
+            Err(_) => {
+                skipped_malformed += 1;
+                if skipped_malformed == 1 {
+                    out.warnings
+                        .push(format!("line {}: not valid JSON (skipped)", lineno + 1));
+                }
+                first = false;
+                continue;
+            }
+        };
+        if first {
+            first = false;
+            if value.get("schema").and_then(Value::as_str) == Some(TRACE_SCHEMA_NAME) {
+                let major = value.get("major").and_then(Value::as_u64).unwrap_or(0);
+                let minor = value.get("minor").and_then(Value::as_u64).unwrap_or(0);
+                if major != TRACE_SCHEMA_MAJOR {
+                    return Err(ImportError::UnsupportedMajor {
+                        found: major,
+                        supported: TRACE_SCHEMA_MAJOR,
+                    });
+                }
+                out.schema = Some((major, minor));
+                out.dropped_events = value
+                    .get("dropped_events")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0);
+                continue;
+            }
+            out.warnings.push(
+                "trace has no schema header (pre-versioning export): assuming schema 1.x, \
+                 dropped-event count unknown"
+                    .to_string(),
+            );
+            // Fall through: the first line is already an event record.
+        }
+        match decode_event(&value) {
+            Some(event) => out.events.push(event),
+            None => {
+                skipped_unknown += 1;
+                if skipped_unknown == 1 {
+                    let name = value.get("event").and_then(Value::as_str).unwrap_or("?");
+                    out.warnings.push(format!(
+                        "line {}: unknown or malformed event '{name}' (skipped; minor \
+                         schema drift is tolerated)",
+                        lineno + 1
+                    ));
+                }
+            }
+        }
+    }
+    if skipped_unknown > 1 {
+        out.warnings
+            .push(format!("{skipped_unknown} events skipped in total"));
+    }
+    if skipped_malformed > 1 {
+        out.warnings.push(format!(
+            "{skipped_malformed} malformed lines skipped in total"
+        ));
+    }
+    Ok(out)
+}
+
+/// Decode one exported event record.
+fn decode_event(value: &Value) -> Option<Event> {
+    let t_ns = value.get("t_ns").and_then(Value::as_f64)?;
+    let name = value.get("event").and_then(Value::as_str)?;
+    let kind = EventKind::from_json_fields(name, value)?;
+    Some(Event { t_ns, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::to_jsonl;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event {
+                t_ns: 10.0,
+                kind: EventKind::RegionBegin { region: 4 },
+            },
+            Event {
+                t_ns: 20.0,
+                kind: EventKind::PageCounterSample {
+                    vpage: 9,
+                    home: 1,
+                    local: 3,
+                    rmax: 40,
+                    rnode: 5,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_exported_traces() {
+        let events = sample();
+        let text = to_jsonl(events.iter(), 2);
+        let loaded = parse_jsonl(&text).unwrap();
+        assert_eq!(loaded.events, events);
+        assert_eq!(loaded.dropped_events, 2);
+        assert_eq!(loaded.schema, Some((1, 1)));
+        assert!(loaded.warnings.is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_major_with_a_clear_error() {
+        let text = "{\"schema\":\"ddnomp-trace\",\"major\":99,\"minor\":0,\"dropped_events\":0}\n";
+        let err = parse_jsonl(text).unwrap_err();
+        assert_eq!(
+            err,
+            ImportError::UnsupportedMajor {
+                found: 99,
+                supported: TRACE_SCHEMA_MAJOR
+            }
+        );
+        assert!(err.to_string().contains("99"));
+    }
+
+    #[test]
+    fn headerless_legacy_traces_load_with_a_warning() {
+        let text = "{\"t_ns\":10,\"event\":\"RegionBegin\",\"region\":4}\n\
+                    {\"t_ns\":30,\"event\":\"RegionEnd\",\"region\":4}\n";
+        let loaded = parse_jsonl(text).unwrap();
+        assert_eq!(loaded.events.len(), 2);
+        assert_eq!(loaded.schema, None);
+        assert!(loaded.warnings[0].contains("no schema header"));
+    }
+
+    #[test]
+    fn unknown_event_names_are_skipped_not_fatal() {
+        let mut text = to_jsonl(sample().iter(), 0);
+        text.push_str("{\"t_ns\":99,\"event\":\"FromTheFuture\",\"x\":1}\n");
+        let loaded = parse_jsonl(&text).unwrap();
+        assert_eq!(loaded.events.len(), 2);
+        assert!(loaded.warnings[0].contains("FromTheFuture"));
+    }
+}

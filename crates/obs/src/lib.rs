@@ -5,9 +5,12 @@
 //! movement per iteration, migration overhead on the critical path), so the
 //! simulator's hot paths emit structured [`event::Event`]s through a
 //! [`sink::TraceSink`] that costs a single discriminant branch when disabled.
-//! Collected traces export as JSON Lines ([`export::to_jsonl`]) or as a
-//! Chrome trace-event file ([`export::chrome_trace`]) loadable in Perfetto,
-//! with the simulated nanosecond clock mapped onto the trace timebase.
+//! Collected traces export as JSON Lines ([`export::to_jsonl`], led by a
+//! versioned schema header that also carries the ring's dropped-event
+//! count) or as a Chrome trace-event file ([`export::chrome_trace`])
+//! loadable in Perfetto, with the simulated nanosecond clock mapped onto
+//! the trace timebase. Saved JSON Lines traces load back through the
+//! streaming reader in [`import`].
 //!
 //! ```
 //! use obs::{event::EventKind, sink::TraceSink};
@@ -17,18 +20,22 @@
 //! sink.emit(500.0, || EventKind::RegionEnd { region: 0 });
 //! let tracer = sink.take().unwrap();
 //! assert_eq!(tracer.ring.len(), 2);
-//! let jsonl = obs::export::to_jsonl(tracer.ring.iter());
-//! assert!(jsonl.lines().count() == 2);
+//! let jsonl = obs::export::to_jsonl(tracer.ring.iter(), tracer.dropped_events());
+//! assert!(jsonl.lines().count() == 3); // schema header + 2 events
+//! let loaded = obs::import::parse_jsonl(&jsonl).unwrap();
+//! assert_eq!(loaded.events.len(), 2);
 //! ```
 
 pub mod event;
 pub mod export;
+pub mod import;
 pub mod json;
 pub mod metrics;
 pub mod ring;
 pub mod sink;
 
 pub use event::{Event, EventKind};
+pub use import::LoadedTrace;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use ring::EventRing;
 pub use sink::{TraceSink, Tracer};

@@ -41,7 +41,9 @@ impl Histogram {
             self.max = value;
         }
         self.count += 1;
-        self.sum += value;
+        // Saturate rather than wrap: a histogram fed u64::MAX-scale samples
+        // (ns totals over long runs) must keep a sane, monotone sum.
+        self.sum = self.sum.saturating_add(value);
     }
 
     pub fn count(&self) -> u64 {
@@ -210,6 +212,63 @@ mod tests {
         h.record(1 << 20);
         assert_eq!(h.quantile_floor(0.5), 8);
         assert_eq!(h.quantile_floor(1.0), 1 << 20);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+        // With no samples every quantile degenerates to the 0 bucket floor.
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile_floor(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile() {
+        let mut h = Histogram::default();
+        h.record(300);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 300);
+        assert_eq!(h.max(), 300);
+        assert_eq!(h.mean(), 300.0);
+        for q in [0.001, 0.5, 0.999, 1.0] {
+            assert_eq!(h.quantile_floor(q), 256, "q={q}");
+        }
+        // q = 0 asks for "at least 0 samples": satisfied by the 0 bucket.
+        assert_eq!(h.quantile_floor(0.0), 0);
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_to_one_bucket() {
+        let mut h = Histogram::default();
+        for _ in 0..1000 {
+            h.record(4096);
+        }
+        assert_eq!(h.nonzero_buckets(), vec![(4096, 1000)]);
+        assert_eq!(h.quantile_floor(0.01), 4096);
+        assert_eq!(h.quantile_floor(1.0), 4096);
+        assert_eq!(h.mean(), 4096.0);
+    }
+
+    #[test]
+    fn saturating_counts_do_not_wrap_the_sum() {
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), u64::MAX);
+        // Top bucket holds both samples; the quantile returns its floor.
+        assert_eq!(h.quantile_floor(1.0), 1u64 << 63);
+        // Quantiles out of range clamp instead of indexing out of bounds.
+        assert_eq!(h.quantile_floor(7.0), 1u64 << 63);
+        assert_eq!(h.quantile_floor(-1.0), 0);
     }
 
     #[test]

@@ -24,6 +24,13 @@ impl Tracer {
             metrics: MetricsRegistry::new(),
         }
     }
+
+    /// Events the bounded ring had to evict (0 means the collected trace is
+    /// complete). Exporters stamp this into their output so a truncated
+    /// profile is visibly truncated.
+    pub fn dropped_events(&self) -> u64 {
+        self.ring.dropped()
+    }
 }
 
 #[derive(Debug, Default)]

@@ -420,6 +420,11 @@ impl Runtime {
     /// master thread (CPU 0) with full simulation of its accesses.
     pub fn serial<R>(&mut self, body: impl FnOnce(&mut Par) -> R) -> R {
         self.apply_pending_rebind();
+        let before = self
+            .machine
+            .trace_mut()
+            .is_active()
+            .then(|| self.machine.aggregate_cpu_stats());
         self.machine.begin_region();
         let cpu = self.cpu_of_thread[0];
         let mut par = Par {
@@ -429,9 +434,35 @@ impl Runtime {
             team: 1,
         };
         let r = body(&mut par);
-        self.machine.end_region();
+        let timing = self.machine.end_region();
+        if let Some(before) = before {
+            let after = self.machine.aggregate_cpu_stats();
+            self.emit_region_profile(&before, &after, timing.wall_ns);
+        }
         self.regions += 1;
         r
+    }
+
+    /// Emit the [`obs::EventKind::RegionProfile`] record of the region that
+    /// just closed (the machine's region counter has already advanced past
+    /// it). Only called with tracing active.
+    fn emit_region_profile(
+        &mut self,
+        before: &ccnuma::CpuStats,
+        after: &ccnuma::CpuStats,
+        wall_ns: f64,
+    ) {
+        let region = self.machine.stats().regions - 1;
+        let local = after.mem_local - before.mem_local;
+        let remote = after.mem_remote - before.mem_remote;
+        let stall_ns = after.stall_ns - before.stall_ns;
+        self.machine.trace_event(|| obs::EventKind::RegionProfile {
+            region,
+            wall_ns,
+            local,
+            remote,
+            stall_ns,
+        });
     }
 
     fn run_region(&mut self, work: impl FnOnce(&mut Machine, usize)) -> RegionSummary {
@@ -459,6 +490,7 @@ impl Runtime {
             trace.observe("region_remote_permille", (fraction * 1000.0) as u64);
             trace.observe("region_wall_ns", timing.wall_ns as u64);
             trace.set_gauge("last_region_remote_fraction", fraction);
+            self.emit_region_profile(&before, &after, timing.wall_ns);
         }
         let migrations = self.kernel.scan(&mut self.machine);
         self.regions += 1;

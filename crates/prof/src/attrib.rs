@@ -1,0 +1,511 @@
+//! Region-to-phase attribution: turning numbered machine regions back into
+//! the benchmark's loop names.
+//!
+//! The machine's region protocol numbers parallel and serial regions in
+//! execution order, and the `nas` kernel models name every loop of the
+//! cold-start and of one timed iteration in program order. Those two
+//! sequences are reconciled by **end-alignment**: the regions executed
+//! before the first `IterationBoundary` are, from the back, exactly one
+//! timed iteration preceded by the cold-start loops — whatever ran before
+//! that (constructor first-touch sweeps the model does not name) is
+//! `[setup]`, and whatever runs after the last timed iteration
+//! (verification) is `[post]`. The alignment never guesses: if the counts
+//! cannot be reconciled the map degrades to numbered region labels and
+//! says so in a warning, rather than mislabelling loops.
+//!
+//! Engine work (page scans, migrations, vetoes, freezes, replay batches)
+//! happens *between* regions; the attributor buffers those events and
+//! flushes them to a pseudo-phase named for the engine that claimed them —
+//! the next `KernelScan`, `UpmInvoked`, `ReplayBatch` or `Undo` marker.
+
+use crate::context::ProfileContext;
+use obs::{Event, EventKind};
+use std::collections::HashMap;
+
+/// What part of the run a phase row describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// Constructor-time regions before the modeled cold-start loops.
+    Setup,
+    /// A cold-start (discarded first iteration) loop.
+    Cold,
+    /// A timed-iteration loop, aggregated across all iterations.
+    Iteration,
+    /// A migration-engine pseudo-phase (work done between regions).
+    Engine,
+    /// Regions after the last timed iteration (verification).
+    Post,
+    /// Numbered fallback when region and model counts cannot be aligned.
+    Unmapped,
+}
+
+impl PhaseKind {
+    /// Presentation order of the profile table.
+    fn rank(self) -> u8 {
+        match self {
+            PhaseKind::Setup => 0,
+            PhaseKind::Cold => 1,
+            PhaseKind::Iteration => 2,
+            PhaseKind::Engine => 3,
+            PhaseKind::Post => 4,
+            PhaseKind::Unmapped => 5,
+        }
+    }
+
+    /// Short label for the report's `Kind` column.
+    pub fn label(self) -> &'static str {
+        match self {
+            PhaseKind::Setup => "setup",
+            PhaseKind::Cold => "cold",
+            PhaseKind::Iteration => "iter",
+            PhaseKind::Engine => "engine",
+            PhaseKind::Post => "post",
+            PhaseKind::Unmapped => "?",
+        }
+    }
+}
+
+/// One phase of the profile: a named loop (or pseudo-phase) with every
+/// counter the trace attributes to it, aggregated over all executions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRow {
+    /// Phase label (`"compute_rhs/x_flux"`, `"[engine] upmlib"`, ...).
+    pub label: String,
+    pub kind: PhaseKind,
+    /// Region executions (or engine invocations) folded into this row.
+    pub executions: u64,
+    /// Corrected wall time summed over executions (from `RegionProfile`).
+    pub wall_ns: f64,
+    /// Local memory accesses summed over executions.
+    pub local: u64,
+    /// Remote memory accesses summed over executions.
+    pub remote: u64,
+    /// Memory stall time summed over executions.
+    pub stall_ns: f64,
+    /// Pages first-touched (mapped) while this phase was executing.
+    pub pages_mapped: u64,
+    /// Page migrations attributed to this phase.
+    pub migrations: u64,
+    /// Competitive moves vetoed (frozen/cooling pages) in this phase.
+    pub vetoes: u64,
+    /// Pages frozen by the ping-pong tracker in this phase.
+    pub freezes: u64,
+    /// Pages moved by record-replay lists in this phase.
+    pub replay_moves: u64,
+}
+
+impl PhaseRow {
+    fn new(label: String, kind: PhaseKind) -> Self {
+        Self {
+            label,
+            kind,
+            executions: 0,
+            wall_ns: 0.0,
+            local: 0,
+            remote: 0,
+            stall_ns: 0.0,
+            pages_mapped: 0,
+            migrations: 0,
+            vetoes: 0,
+            freezes: 0,
+            replay_moves: 0,
+        }
+    }
+
+    /// Fraction of this phase's memory accesses that were remote.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.local + self.remote;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote as f64 / total as f64
+        }
+    }
+}
+
+/// Per-iteration aggregates copied out of the `IterationBoundary` events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterRow {
+    pub iter: usize,
+    pub migrations: u64,
+    pub remote_fraction: f64,
+    pub stall_ns: f64,
+}
+
+/// The end-aligned region-number-to-label map (see the module docs).
+pub(crate) struct RegionMap {
+    setup: u64,
+    cold: Vec<String>,
+    iteration: Vec<String>,
+    /// Total regions covered by timed iterations (`iters * iteration.len()`).
+    timed: u64,
+    fallback: bool,
+}
+
+impl RegionMap {
+    pub(crate) fn build(
+        events: &[Event],
+        ctx: &ProfileContext,
+        warnings: &mut Vec<String>,
+    ) -> Self {
+        let mut total = 0u64;
+        let mut pre = None;
+        let mut iters = 0u64;
+        for event in events {
+            match event.kind {
+                EventKind::RegionBegin { .. } => total += 1,
+                EventKind::IterationBoundary { .. } => {
+                    pre.get_or_insert(total);
+                    iters += 1;
+                }
+                _ => {}
+            }
+        }
+        let cold_len = ctx.cold_loops.len() as u64;
+        let iter_len = ctx.iteration_loops.len() as u64;
+        // The first boundary fires at the end of timed iteration 0, so the
+        // regions before it are setup + cold-start + one timed iteration.
+        let lead = cold_len + if iters > 0 { iter_len } else { 0 };
+        let timed = iters * iter_len;
+        let pre = pre.unwrap_or(total);
+        let fallback = Self {
+            setup: 0,
+            cold: Vec::new(),
+            iteration: Vec::new(),
+            timed: 0,
+            fallback: true,
+        };
+        let Some(setup) = pre.checked_sub(lead) else {
+            warnings.push(format!(
+                "region/phase mismatch: {pre} regions precede the first iteration \
+                 boundary but the model names {lead}; using numbered regions"
+            ));
+            return fallback;
+        };
+        if setup + cold_len + timed > total {
+            warnings.push(format!(
+                "region/phase mismatch: {total} regions cannot hold {setup} setup \
+                 + {cold_len} cold + {iters}x{iter_len} iteration loops; \
+                 using numbered regions"
+            ));
+            return fallback;
+        }
+        Self {
+            setup,
+            cold: ctx.cold_loops.clone(),
+            iteration: ctx.iteration_loops.clone(),
+            timed,
+            fallback: false,
+        }
+    }
+
+    /// Label and kind of region number `region`.
+    pub(crate) fn label(&self, region: u64) -> (String, PhaseKind) {
+        if self.fallback {
+            return (format!("region {region:03}"), PhaseKind::Unmapped);
+        }
+        let Some(after_setup) = region.checked_sub(self.setup) else {
+            return ("[setup]".to_string(), PhaseKind::Setup);
+        };
+        if let Some(name) = self.cold.get(after_setup as usize) {
+            return (format!("cold {name}"), PhaseKind::Cold);
+        }
+        let after_cold = after_setup - self.cold.len() as u64;
+        if after_cold < self.timed {
+            let name = &self.iteration[(after_cold % self.iteration.len() as u64) as usize];
+            (name.clone(), PhaseKind::Iteration)
+        } else {
+            ("[post]".to_string(), PhaseKind::Post)
+        }
+    }
+}
+
+/// Engine events seen since the last flush point, awaiting a claim marker.
+#[derive(Default)]
+struct Pending {
+    migrations: u64,
+    vetoes: u64,
+    freezes: u64,
+}
+
+impl Pending {
+    fn take(&mut self) -> Pending {
+        std::mem::take(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.migrations == 0 && self.vetoes == 0 && self.freezes == 0
+    }
+}
+
+/// Ordered, label-keyed accumulation of phase rows.
+struct Rows {
+    rows: Vec<PhaseRow>,
+    index: HashMap<String, usize>,
+}
+
+impl Rows {
+    fn new() -> Self {
+        Self {
+            rows: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    fn row(&mut self, label: &str, kind: PhaseKind) -> &mut PhaseRow {
+        let idx = *self.index.entry(label.to_string()).or_insert_with(|| {
+            self.rows.push(PhaseRow::new(label.to_string(), kind));
+            self.rows.len() - 1
+        });
+        &mut self.rows[idx]
+    }
+
+    fn absorb(&mut self, label: &str, kind: PhaseKind, pending: Pending) -> &mut PhaseRow {
+        let row = self.row(label, kind);
+        row.migrations += pending.migrations;
+        row.vetoes += pending.vetoes;
+        row.freezes += pending.freezes;
+        row
+    }
+
+    /// Rows sorted by kind rank, then first-encounter (program) order.
+    fn finish(self) -> Vec<PhaseRow> {
+        let mut indexed: Vec<(usize, PhaseRow)> = self.rows.into_iter().enumerate().collect();
+        indexed.sort_by(|(ia, a), (ib, b)| a.kind.rank().cmp(&b.kind.rank()).then(ia.cmp(ib)));
+        indexed.into_iter().map(|(_, row)| row).collect()
+    }
+}
+
+/// Walk the event stream once, attributing every counter to a phase row
+/// and collecting the per-iteration table.
+pub(crate) fn attribute(
+    events: &[Event],
+    ctx: &ProfileContext,
+    warnings: &mut Vec<String>,
+) -> (Vec<PhaseRow>, Vec<IterRow>) {
+    let map = RegionMap::build(events, ctx, warnings);
+    let mut rows = Rows::new();
+    let mut iters = Vec::new();
+    let mut open: Option<u64> = None;
+    let mut pending = Pending::default();
+    for event in events {
+        match event.kind {
+            EventKind::RegionBegin { region } => open = Some(region),
+            EventKind::RegionEnd { .. } => open = None,
+            EventKind::RegionProfile {
+                region,
+                wall_ns,
+                local,
+                remote,
+                stall_ns,
+            } => {
+                let (label, kind) = map.label(region);
+                let row = rows.row(&label, kind);
+                row.executions += 1;
+                row.wall_ns += wall_ns;
+                row.local += local;
+                row.remote += remote;
+                row.stall_ns += stall_ns;
+            }
+            EventKind::PageMapped { .. } => match open {
+                Some(region) => {
+                    let (label, kind) = map.label(region);
+                    rows.row(&label, kind).pages_mapped += 1;
+                }
+                // Outside every region only construction (eager placement,
+                // initial-value sweeps) maps pages.
+                None => rows.row("[setup]", PhaseKind::Setup).pages_mapped += 1,
+            },
+            EventKind::PageMigrated { .. } => match open {
+                Some(region) => {
+                    let (label, kind) = map.label(region);
+                    rows.row(&label, kind).migrations += 1;
+                }
+                None => pending.migrations += 1,
+            },
+            EventKind::MoveVetoed { .. } => match open {
+                Some(region) => {
+                    let (label, kind) = map.label(region);
+                    rows.row(&label, kind).vetoes += 1;
+                }
+                None => pending.vetoes += 1,
+            },
+            EventKind::PageFrozen { .. } => match open {
+                Some(region) => {
+                    let (label, kind) = map.label(region);
+                    rows.row(&label, kind).freezes += 1;
+                }
+                None => pending.freezes += 1,
+            },
+            EventKind::KernelScan { .. } => {
+                rows.absorb("[engine] kernel daemon", PhaseKind::Engine, pending.take())
+                    .executions += 1;
+            }
+            EventKind::UpmInvoked { .. } => {
+                rows.absorb("[engine] upmlib", PhaseKind::Engine, pending.take())
+                    .executions += 1;
+            }
+            EventKind::ReplayBatch { moved, .. } | EventKind::Undo { moved, .. } => {
+                let row = rows.absorb("[engine] record-replay", PhaseKind::Engine, pending.take());
+                row.executions += 1;
+                row.replay_moves += moved as u64;
+            }
+            EventKind::IterationBoundary {
+                iter,
+                migrations,
+                remote_fraction,
+                stall_ns,
+            } => iters.push(IterRow {
+                iter,
+                migrations,
+                remote_fraction,
+                stall_ns,
+            }),
+            _ => {}
+        }
+    }
+    if !pending.is_empty() {
+        rows.absorb("[engine] other", PhaseKind::Engine, pending.take());
+    }
+    (rows.finish(), iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ProfileContext;
+
+    fn ctx(cold: &[&str], iteration: &[&str]) -> ProfileContext {
+        ProfileContext::new(
+            "CG",
+            "tiny",
+            4,
+            4096,
+            cold.iter().map(|s| s.to_string()).collect(),
+            iteration.iter().map(|s| s.to_string()).collect(),
+            vec![],
+        )
+    }
+
+    fn ev(kind: EventKind) -> Event {
+        Event { t_ns: 0.0, kind }
+    }
+
+    fn boundary(iter: usize) -> Event {
+        ev(EventKind::IterationBoundary {
+            iter,
+            migrations: 0,
+            remote_fraction: 0.0,
+            stall_ns: 0.0,
+        })
+    }
+
+    #[test]
+    fn end_alignment_names_setup_cold_iteration_and_post() {
+        // Regions: 0 setup, 1 cold, {2,3} iter0, {4,5} iter1, 6 post.
+        let mut events = Vec::new();
+        for region in 0..7u64 {
+            events.push(ev(EventKind::RegionBegin { region }));
+            events.push(ev(EventKind::RegionEnd { region }));
+            if region == 3 {
+                events.push(boundary(0));
+            }
+            if region == 5 {
+                events.push(boundary(1));
+            }
+        }
+        let ctx = ctx(&["init/warm"], &["solve/x", "solve/y"]);
+        let mut warnings = Vec::new();
+        let map = RegionMap::build(&events, &ctx, &mut warnings);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        let labels: Vec<String> = (0..7).map(|r| map.label(r).0).collect();
+        assert_eq!(
+            labels,
+            [
+                "[setup]",
+                "cold init/warm",
+                "solve/x",
+                "solve/y",
+                "solve/x",
+                "solve/y",
+                "[post]"
+            ]
+        );
+        assert_eq!(map.label(0).1, PhaseKind::Setup);
+        assert_eq!(map.label(1).1, PhaseKind::Cold);
+        assert_eq!(map.label(4).1, PhaseKind::Iteration);
+        assert_eq!(map.label(6).1, PhaseKind::Post);
+    }
+
+    #[test]
+    fn mismatch_degrades_to_numbered_regions_with_warning() {
+        // Only one region before the first boundary, but the model names 3.
+        let events = vec![
+            ev(EventKind::RegionBegin { region: 0 }),
+            ev(EventKind::RegionEnd { region: 0 }),
+            boundary(0),
+        ];
+        let ctx = ctx(&["init/warm"], &["solve/x", "solve/y"]);
+        let mut warnings = Vec::new();
+        let map = RegionMap::build(&events, &ctx, &mut warnings);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("mismatch"), "{}", warnings[0]);
+        assert_eq!(
+            map.label(0),
+            ("region 000".to_string(), PhaseKind::Unmapped)
+        );
+    }
+
+    #[test]
+    fn no_boundaries_means_cold_only() {
+        let events = vec![
+            ev(EventKind::RegionBegin { region: 0 }),
+            ev(EventKind::RegionEnd { region: 0 }),
+            ev(EventKind::RegionBegin { region: 1 }),
+            ev(EventKind::RegionEnd { region: 1 }),
+        ];
+        let ctx = ctx(&["init/warm"], &["solve/x", "solve/y"]);
+        let mut warnings = Vec::new();
+        let map = RegionMap::build(&events, &ctx, &mut warnings);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(map.label(0).0, "[setup]");
+        assert_eq!(map.label(1).0, "cold init/warm");
+    }
+
+    #[test]
+    fn engine_events_flush_to_their_claiming_marker() {
+        let events = vec![
+            ev(EventKind::PageMigrated {
+                vpage: 1,
+                from: 0,
+                to: 1,
+            }),
+            ev(EventKind::MoveVetoed {
+                vpage: 2,
+                from: 0,
+                to: 1,
+            }),
+            ev(EventKind::UpmInvoked {
+                invocation: 0,
+                moved: 1,
+            }),
+            ev(EventKind::PageMigrated {
+                vpage: 3,
+                from: 1,
+                to: 0,
+            }),
+            ev(EventKind::ReplayBatch { phase: 0, moved: 1 }),
+            ev(EventKind::PageFrozen { vpage: 9 }),
+        ];
+        let ctx = ctx(&[], &[]);
+        let mut warnings = Vec::new();
+        let (rows, _) = attribute(&events, &ctx, &mut warnings);
+        let find = |label: &str| rows.iter().find(|r| r.label == label).unwrap();
+        let upm = find("[engine] upmlib");
+        assert_eq!((upm.migrations, upm.vetoes, upm.executions), (1, 1, 1));
+        let replay = find("[engine] record-replay");
+        assert_eq!((replay.migrations, replay.replay_moves), (1, 1));
+        // The trailing freeze had no claiming marker.
+        assert_eq!(find("[engine] other").freezes, 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Inputs the profiler needs beyond the event stream itself.
+//!
+//! A trace is just a sequence of timestamped events; to turn it into a
+//! readable profile the analyzer also needs to know what program produced
+//! it. A [`ProfileContext`] carries exactly that static knowledge: the
+//! machine shape (node count, page size), the benchmark's loop labels in
+//! program order (from the `nas` kernel models), and the virtual spans of
+//! the shared arrays (for heatmap and migration attribution). Everything
+//! here is plain data, so the crate stays free of simulator dependencies —
+//! the `xp` driver assembles a context from a `KernelModel`, and tests
+//! build one by hand.
+
+/// Default number of page bins per array heatmap (arrays smaller than
+/// this get one bin per page).
+pub const DEFAULT_HEATMAP_BINS: usize = 16;
+
+/// The simulated virtual span of one shared array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArraySpan {
+    /// The array's registration name (e.g. `"colidx"`).
+    pub name: String,
+    /// First simulated virtual address.
+    pub base: u64,
+    /// Span length in bytes.
+    pub len: u64,
+}
+
+impl ArraySpan {
+    /// A span from its name and virtual range.
+    pub fn new(name: &str, base: u64, len: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            base,
+            len,
+        }
+    }
+
+    /// The first virtual page the span touches.
+    pub fn first_page(&self, page_size: u64) -> u64 {
+        self.base / page_size
+    }
+
+    /// How many virtual pages the span touches (zero for empty spans).
+    pub fn page_count(&self, page_size: u64) -> u64 {
+        if self.len == 0 {
+            0
+        } else {
+            (self.base + self.len - 1) / page_size - self.first_page(page_size) + 1
+        }
+    }
+}
+
+/// Everything the analyzer knows about the run besides its events.
+#[derive(Debug, Clone)]
+pub struct ProfileContext {
+    /// Benchmark label (e.g. `"CG"`), used only for report headings.
+    pub bench: String,
+    /// Problem-scale label (e.g. `"tiny"`).
+    pub scale: String,
+    /// Number of NUMA nodes in the simulated machine.
+    pub nodes: usize,
+    /// Simulated page size in bytes.
+    pub page_size: u64,
+    /// `phase/loop` labels of the cold-start regions, in program order.
+    pub cold_loops: Vec<String>,
+    /// `phase/loop` labels of one timed iteration, in program order.
+    pub iteration_loops: Vec<String>,
+    /// Virtual spans of the shared arrays, in registration order.
+    pub arrays: Vec<ArraySpan>,
+    /// Page bins per array heatmap (clamped to the array's page count).
+    pub heatmap_bins: usize,
+}
+
+impl ProfileContext {
+    /// A context with the default heatmap resolution.
+    pub fn new(
+        bench: &str,
+        scale: &str,
+        nodes: usize,
+        page_size: u64,
+        cold_loops: Vec<String>,
+        iteration_loops: Vec<String>,
+        arrays: Vec<ArraySpan>,
+    ) -> Self {
+        Self {
+            bench: bench.to_string(),
+            scale: scale.to_string(),
+            nodes,
+            page_size,
+            cold_loops,
+            iteration_loops,
+            arrays,
+            heatmap_bins: DEFAULT_HEATMAP_BINS,
+        }
+    }
+
+    /// Which array a virtual page belongs to: `(array index, page index
+    /// within the array)`, or `None` for pages outside every span (stack,
+    /// private data). First matching span wins, mirroring the spans'
+    /// registration order.
+    pub fn array_of_page(&self, vpage: u64) -> Option<(usize, u64)> {
+        self.arrays.iter().enumerate().find_map(|(i, span)| {
+            let first = span.first_page(self.page_size);
+            let count = span.page_count(self.page_size);
+            (vpage >= first && vpage < first + count).then(|| (i, vpage - first))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_page_arithmetic() {
+        let span = ArraySpan::new("a", 4096 * 3 + 100, 4096 * 2);
+        assert_eq!(span.first_page(4096), 3);
+        // Bytes [3*4096+100, 5*4096+100) straddle pages 3, 4 and 5.
+        assert_eq!(span.page_count(4096), 3);
+        assert_eq!(ArraySpan::new("b", 0, 0).page_count(4096), 0);
+        assert_eq!(ArraySpan::new("c", 4096, 1).page_count(4096), 1);
+    }
+
+    #[test]
+    fn page_to_array_lookup() {
+        let ctx = ProfileContext::new(
+            "CG",
+            "tiny",
+            4,
+            4096,
+            vec![],
+            vec![],
+            vec![
+                ArraySpan::new("a", 0, 4096 * 2),
+                ArraySpan::new("b", 4096 * 4, 4096),
+            ],
+        );
+        assert_eq!(ctx.array_of_page(0), Some((0, 0)));
+        assert_eq!(ctx.array_of_page(1), Some((0, 1)));
+        assert_eq!(ctx.array_of_page(2), None, "gap between arrays");
+        assert_eq!(ctx.array_of_page(4), Some((1, 0)));
+        assert_eq!(ctx.array_of_page(5), None);
+    }
+}

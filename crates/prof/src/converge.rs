@@ -1,0 +1,151 @@
+//! Engine convergence diagnostics.
+//!
+//! The paper's central mechanism is *self-deactivating* migration: the
+//! engine's per-invocation move count should decay to zero within a few
+//! iterations, after which it turns itself off. This module extracts that
+//! story from the trace: the decay curve (`UpmInvoked`), the deactivation
+//! point (`EngineDeactivated`), and the pathologies that delay it — pages
+//! frozen for ping-ponging, vetoed moves, and pages that returned to a
+//! node they had already lived on.
+
+use obs::{Event, EventKind};
+use std::collections::{HashMap, HashSet};
+
+/// Convergence facts extracted from one trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Convergence {
+    /// `(invocation, pages moved)` per engine invocation, in order.
+    pub decay: Vec<(usize, usize)>,
+    /// The invocation at which the engine turned itself off, if it did.
+    pub deactivated_at: Option<usize>,
+    /// The timed iteration (0-based) during which deactivation happened.
+    pub deactivation_iteration: Option<usize>,
+    /// Pages the ping-pong tracker froze, in freeze order (deduplicated).
+    pub frozen_pages: Vec<u64>,
+    /// `(vpage, vetoed moves)` sorted by count descending, then page.
+    pub vetoes: Vec<(u64, u64)>,
+    /// Pages that migrated back to a node they had previously lived on.
+    pub ping_pong_pages: usize,
+    /// All page migrations in the trace (any engine).
+    pub total_migrations: u64,
+}
+
+/// Walk the trace once and collect the convergence story.
+pub(crate) fn build(events: &[Event]) -> Convergence {
+    let mut out = Convergence::default();
+    let mut frozen_seen = HashSet::new();
+    let mut veto_counts: HashMap<u64, u64> = HashMap::new();
+    let mut visited: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut ping_pong: HashSet<u64> = HashSet::new();
+    let mut boundaries = 0usize;
+    for event in events {
+        match event.kind {
+            EventKind::UpmInvoked { invocation, moved } => {
+                out.decay.push((invocation, moved));
+            }
+            EventKind::EngineDeactivated { invocation } => {
+                out.deactivated_at = Some(invocation);
+                out.deactivation_iteration = Some(boundaries);
+            }
+            EventKind::IterationBoundary { .. } => boundaries += 1,
+            EventKind::PageFrozen { vpage } if frozen_seen.insert(vpage) => {
+                out.frozen_pages.push(vpage);
+            }
+            EventKind::MoveVetoed { vpage, .. } => {
+                *veto_counts.entry(vpage).or_insert(0) += 1;
+            }
+            EventKind::PageMigrated { vpage, from, to } => {
+                out.total_migrations += 1;
+                let homes = visited.entry(vpage).or_default();
+                if homes.is_empty() {
+                    homes.push(from);
+                }
+                if homes.contains(&to) {
+                    ping_pong.insert(vpage);
+                }
+                homes.push(to);
+            }
+            _ => {}
+        }
+    }
+    out.ping_pong_pages = ping_pong.len();
+    out.vetoes = veto_counts.into_iter().collect();
+    out.vetoes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind) -> Event {
+        Event { t_ns: 0.0, kind }
+    }
+
+    #[test]
+    fn decay_and_deactivation_are_extracted() {
+        let events = vec![
+            ev(EventKind::UpmInvoked {
+                invocation: 0,
+                moved: 12,
+            }),
+            ev(EventKind::IterationBoundary {
+                iter: 0,
+                migrations: 12,
+                remote_fraction: 0.4,
+                stall_ns: 0.0,
+            }),
+            ev(EventKind::UpmInvoked {
+                invocation: 1,
+                moved: 0,
+            }),
+            ev(EventKind::EngineDeactivated { invocation: 1 }),
+            ev(EventKind::IterationBoundary {
+                iter: 1,
+                migrations: 0,
+                remote_fraction: 0.1,
+                stall_ns: 0.0,
+            }),
+        ];
+        let c = build(&events);
+        assert_eq!(c.decay, vec![(0, 12), (1, 0)]);
+        assert_eq!(c.deactivated_at, Some(1));
+        assert_eq!(c.deactivation_iteration, Some(1));
+    }
+
+    #[test]
+    fn ping_pong_census_counts_pages_returning_home() {
+        let migrate = |vpage, from, to| ev(EventKind::PageMigrated { vpage, from, to });
+        let events = vec![
+            migrate(1, 0, 1), // 1: 0 -> 1
+            migrate(1, 1, 0), // 1: back to 0 — ping-pong
+            migrate(2, 0, 1), // 2: 0 -> 1
+            migrate(2, 1, 2), // 2: 1 -> 2 — forward progress, no ping-pong
+        ];
+        let c = build(&events);
+        assert_eq!(c.total_migrations, 4);
+        assert_eq!(c.ping_pong_pages, 1);
+    }
+
+    #[test]
+    fn vetoes_sort_by_count_then_page_and_freezes_dedup() {
+        let veto = |vpage| {
+            ev(EventKind::MoveVetoed {
+                vpage,
+                from: 0,
+                to: 1,
+            })
+        };
+        let events = vec![
+            veto(7),
+            veto(3),
+            veto(3),
+            veto(9),
+            ev(EventKind::PageFrozen { vpage: 3 }),
+            ev(EventKind::PageFrozen { vpage: 3 }),
+        ];
+        let c = build(&events);
+        assert_eq!(c.vetoes, vec![(3, 2), (7, 1), (9, 1)]);
+        assert_eq!(c.frozen_pages, vec![3]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Node x page-bin heatmaps per shared array.
+//!
+//! Each array's virtual pages are folded into at most
+//! [`crate::context::ProfileContext::heatmap_bins`] equal-width bins, and
+//! three matrices are accumulated per array over the whole trace:
+//!
+//! * **accesses** — reference-counter readings from `PageCounterSample`
+//!   events. UPMlib's competitive criterion exposes only a page's home
+//!   count and its dominant remote count, so the matrix shows where the
+//!   traffic the engine acted on came from, not every node's share; counts
+//!   are per-invocation windows summed over the run.
+//! * **migrations in** — `PageMigrated` events landing in the array,
+//!   binned by destination node.
+//! * **placement** — where the array's pages ended up: the final home of
+//!   every mapped page, reconstructed from `PageMapped`/`PageMigrated`.
+
+use crate::context::ProfileContext;
+use obs::{Event, EventKind};
+use std::collections::HashMap;
+
+/// One array's accumulated heatmap matrices (all `[node][bin]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayHeatmap {
+    pub name: String,
+    /// Virtual pages the array spans.
+    pub pages: u64,
+    /// Bins the pages were folded into (`<= pages`).
+    pub bins: usize,
+    /// Observed reference counts (home + dominant-remote components).
+    pub accesses: Vec<Vec<u64>>,
+    /// Pages migrated into each node, by destination bin.
+    pub migrations_in: Vec<Vec<u64>>,
+    /// Final page homes (each mapped page counted once).
+    pub placement: Vec<Vec<u64>>,
+}
+
+impl ArrayHeatmap {
+    fn new(name: &str, pages: u64, bins: usize, nodes: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            pages,
+            bins,
+            accesses: vec![vec![0; bins]; nodes],
+            migrations_in: vec![vec![0; bins]; nodes],
+            placement: vec![vec![0; bins]; nodes],
+        }
+    }
+
+    /// Which bin page `page_index` (relative to the array start) falls in.
+    pub fn bin_of(&self, page_index: u64) -> usize {
+        debug_assert!(page_index < self.pages);
+        (page_index * self.bins as u64 / self.pages) as usize
+    }
+
+    /// Total entries of one matrix (convenience for reports and tests).
+    pub fn total(matrix: &[Vec<u64>]) -> u64 {
+        matrix.iter().flatten().sum()
+    }
+}
+
+/// Accumulate every array's heatmap over the trace.
+pub(crate) fn build(events: &[Event], ctx: &ProfileContext) -> Vec<ArrayHeatmap> {
+    let mut maps: Vec<ArrayHeatmap> = ctx
+        .arrays
+        .iter()
+        .map(|span| {
+            let pages = span.page_count(ctx.page_size);
+            let bins = ctx.heatmap_bins.min(pages as usize);
+            ArrayHeatmap::new(&span.name, pages, bins, ctx.nodes)
+        })
+        .collect();
+    // Current home of every mapped page, kept live across the walk.
+    let mut home: HashMap<u64, usize> = HashMap::new();
+    for event in events {
+        match event.kind {
+            EventKind::PageMapped { vpage, node } => {
+                home.insert(vpage, node);
+            }
+            EventKind::PageMigrated { vpage, to, .. } => {
+                home.insert(vpage, to);
+                if let Some((a, page)) = ctx.array_of_page(vpage) {
+                    if to < ctx.nodes {
+                        let bin = maps[a].bin_of(page);
+                        maps[a].migrations_in[to][bin] += 1;
+                    }
+                }
+            }
+            EventKind::PageCounterSample {
+                vpage,
+                home: home_node,
+                local,
+                rmax,
+                rnode,
+            } => {
+                // The sample names the page's current home, so it also
+                // teaches the placement tracker about pages whose eager
+                // mapping predates the trace sink (samples precede the
+                // same invocation's migrations in the stream).
+                home.insert(vpage, home_node);
+                if let Some((a, page)) = ctx.array_of_page(vpage) {
+                    let bin = maps[a].bin_of(page);
+                    if home_node < ctx.nodes {
+                        maps[a].accesses[home_node][bin] += local;
+                    }
+                    if rnode < ctx.nodes {
+                        maps[a].accesses[rnode][bin] += rmax;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for (a, span) in ctx.arrays.iter().enumerate() {
+        let first = span.first_page(ctx.page_size);
+        for page in 0..maps[a].pages {
+            if let Some(&node) = home.get(&(first + page)) {
+                if node < ctx.nodes {
+                    let bin = maps[a].bin_of(page);
+                    maps[a].placement[node][bin] += 1;
+                }
+            }
+        }
+    }
+    maps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ArraySpan;
+
+    fn ev(kind: EventKind) -> Event {
+        Event { t_ns: 0.0, kind }
+    }
+
+    fn ctx_with(bins: usize) -> ProfileContext {
+        let mut ctx = ProfileContext::new(
+            "CG",
+            "tiny",
+            2,
+            4096,
+            vec![],
+            vec![],
+            vec![ArraySpan::new("a", 0, 4096 * 8)],
+        );
+        ctx.heatmap_bins = bins;
+        ctx
+    }
+
+    #[test]
+    fn bins_clamp_to_page_count_and_partition_evenly() {
+        let maps = build(&[], &ctx_with(16));
+        assert_eq!(maps[0].bins, 8, "8-page array cannot have 16 bins");
+        let map = &maps[0];
+        for page in 0..8 {
+            assert_eq!(map.bin_of(page), page as usize);
+        }
+        let maps = build(&[], &ctx_with(4));
+        assert_eq!(maps[0].bin_of(0), 0);
+        assert_eq!(maps[0].bin_of(1), 0);
+        assert_eq!(maps[0].bin_of(7), 3);
+    }
+
+    #[test]
+    fn placement_tracks_mapping_then_migration() {
+        let events = vec![
+            ev(EventKind::PageMapped { vpage: 0, node: 0 }),
+            ev(EventKind::PageMapped { vpage: 1, node: 1 }),
+            ev(EventKind::PageMigrated {
+                vpage: 0,
+                from: 0,
+                to: 1,
+            }),
+            // A page outside the array must not be attributed to it.
+            ev(EventKind::PageMapped {
+                vpage: 100,
+                node: 0,
+            }),
+        ];
+        let maps = build(&events, &ctx_with(8));
+        let map = &maps[0];
+        // Page 0 ended on node 1, page 1 on node 1, pages 2..8 never mapped.
+        assert_eq!(ArrayHeatmap::total(&map.placement), 2);
+        assert_eq!(map.placement[1][0], 1);
+        assert_eq!(map.placement[1][1], 1);
+        assert_eq!(map.placement[0].iter().sum::<u64>(), 0);
+        assert_eq!(ArrayHeatmap::total(&map.migrations_in), 1);
+        assert_eq!(map.migrations_in[1][0], 1);
+    }
+
+    #[test]
+    fn counter_samples_accumulate_home_and_dominant_remote() {
+        let events = vec![
+            ev(EventKind::PageCounterSample {
+                vpage: 4,
+                home: 0,
+                local: 10,
+                rmax: 25,
+                rnode: 1,
+            }),
+            ev(EventKind::PageCounterSample {
+                vpage: 4,
+                home: 0,
+                local: 3,
+                rmax: 0,
+                rnode: 1,
+            }),
+        ];
+        let maps = build(&events, &ctx_with(8));
+        let map = &maps[0];
+        assert_eq!(map.accesses[0][4], 13);
+        assert_eq!(map.accesses[1][4], 25);
+    }
+}

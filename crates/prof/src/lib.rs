@@ -1,0 +1,36 @@
+//! # prof — trace-driven NUMA profiler
+//!
+//! Turns an `obs` event stream (live tracer ring or an imported
+//! `trace.jsonl`) into the profile a performance engineer would actually
+//! read:
+//!
+//! * **Per-phase attribution** ([`attrib`]) — every machine region is
+//!   mapped back to its benchmark loop name via the `nas` kernel models'
+//!   program-order loop lists, so remote fractions, stalls, first-touch
+//!   mappings and migration work are reported per `phase/loop`, with the
+//!   engines' between-region work split into `[engine]` pseudo-phases.
+//! * **Page heatmaps** ([`heatmap`]) — node x page-bin matrices per shared
+//!   array: observed reference counts, migration landings and final page
+//!   placement.
+//! * **Convergence diagnostics** ([`converge`]) — the engine's
+//!   migrations-per-invocation decay curve, its self-deactivation point,
+//!   and the ping-pong/veto/freeze pathologies that delay it.
+//! * **Counter tracks** ([`Profile::counter_tracks`]) — Perfetto `"C"`
+//!   samples to enrich the Chrome trace export.
+//!
+//! The analysis is a pure function of `(events, context)`: no simulator
+//! types, no clock access, no I/O. That keeps the profiler deterministic
+//! (byte-identical output however the run was parallelised) and lets it
+//! run equally over a live ring or a trace file written weeks ago.
+
+pub mod attrib;
+pub mod context;
+pub mod converge;
+pub mod heatmap;
+pub mod profile;
+
+pub use attrib::{IterRow, PhaseKind, PhaseRow};
+pub use context::{ArraySpan, ProfileContext, DEFAULT_HEATMAP_BINS};
+pub use converge::Convergence;
+pub use heatmap::ArrayHeatmap;
+pub use profile::Profile;

@@ -1,0 +1,482 @@
+//! The assembled profile: one `analyze` pass over a trace produces the
+//! phase table, the per-iteration table, the array heatmaps, the
+//! convergence diagnostics and a set of Perfetto counter tracks, plus a
+//! deterministic markdown rendering of all of it.
+
+use crate::attrib::{self, IterRow, PhaseRow};
+use crate::context::ProfileContext;
+use crate::converge::{self, Convergence};
+use crate::heatmap::{self, ArrayHeatmap};
+use obs::export::counter_sample;
+use obs::json::Value;
+use obs::{Event, EventKind};
+
+/// Everything the profiler computed from one trace.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Benchmark and scale labels, copied from the context.
+    pub bench: String,
+    pub scale: String,
+    /// Events analysed.
+    pub events: usize,
+    /// Events the collection ring discarded before analysis.
+    pub dropped_events: u64,
+    /// Per-phase attribution, in presentation order.
+    pub phases: Vec<PhaseRow>,
+    /// Per-iteration aggregates from the `IterationBoundary` events.
+    pub iterations: Vec<IterRow>,
+    /// One heatmap per shared array, in registration order.
+    pub heatmaps: Vec<ArrayHeatmap>,
+    /// Engine convergence diagnostics.
+    pub convergence: Convergence,
+    /// Perfetto counter samples (`"ph":"C"`) for the enriched Chrome trace.
+    pub counter_tracks: Vec<Value>,
+    /// Attribution problems (phase-map mismatches, dropped events).
+    pub warnings: Vec<String>,
+}
+
+impl Profile {
+    /// Analyse `events` against the static knowledge in `ctx`.
+    /// `dropped_events` is the collector's drop count: a non-zero value
+    /// becomes a warning, since every table below is then a lower bound.
+    pub fn analyze(events: &[Event], ctx: &ProfileContext, dropped_events: u64) -> Profile {
+        let mut warnings = Vec::new();
+        if dropped_events > 0 {
+            warnings.push(format!(
+                "{dropped_events} events were dropped by the collection ring; \
+                 all counts below are lower bounds"
+            ));
+        }
+        let (phases, iterations) = attrib::attribute(events, ctx, &mut warnings);
+        Profile {
+            bench: ctx.bench.clone(),
+            scale: ctx.scale.clone(),
+            events: events.len(),
+            dropped_events,
+            phases,
+            iterations,
+            heatmaps: heatmap::build(events, ctx),
+            convergence: converge::build(events),
+            counter_tracks: counter_tracks(events, ctx),
+            warnings,
+        }
+    }
+
+    /// Render the whole profile as a markdown document.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let push = |out: &mut String, line: &str| {
+            out.push_str(line);
+            out.push('\n');
+        };
+        push(
+            &mut out,
+            &format!("# NUMA profile: {} ({})", self.bench, self.scale),
+        );
+        push(&mut out, "");
+        push(
+            &mut out,
+            &format!(
+                "- events analysed: {} ({} dropped)",
+                self.events, self.dropped_events
+            ),
+        );
+        for warning in &self.warnings {
+            push(&mut out, &format!("- **warning**: {warning}"));
+        }
+        push(&mut out, "");
+
+        push(&mut out, "## Phase attribution");
+        push(&mut out, "");
+        push(
+            &mut out,
+            "| Phase | Kind | Execs | Wall (ms) | Remote % | Stall (ms) \
+             | Mapped | Migr | Vetoed | Frozen | Replay |",
+        );
+        push(
+            &mut out,
+            "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|",
+        );
+        for row in &self.phases {
+            push(
+                &mut out,
+                &format!(
+                    "| {} | {} | {} | {:.3} | {:.1} | {:.3} | {} | {} | {} | {} | {} |",
+                    row.label,
+                    row.kind.label(),
+                    row.executions,
+                    row.wall_ns * 1e-6,
+                    row.remote_fraction() * 100.0,
+                    row.stall_ns * 1e-6,
+                    row.pages_mapped,
+                    row.migrations,
+                    row.vetoes,
+                    row.freezes,
+                    row.replay_moves,
+                ),
+            );
+        }
+        push(&mut out, "");
+
+        push(&mut out, "## Iterations");
+        push(&mut out, "");
+        push(
+            &mut out,
+            "| Iter | Migrations | Remote fraction | Stall (ms) |",
+        );
+        push(&mut out, "|---:|---:|---:|---:|");
+        for row in &self.iterations {
+            push(
+                &mut out,
+                &format!(
+                    "| {} | {} | {:.3} | {:.2} |",
+                    row.iter,
+                    row.migrations,
+                    row.remote_fraction,
+                    row.stall_ns * 1e-6
+                ),
+            );
+        }
+        push(&mut out, "");
+
+        push(&mut out, "## Convergence");
+        push(&mut out, "");
+        let c = &self.convergence;
+        push(
+            &mut out,
+            &format!(
+                "- migrations: {} total across {} engine invocations",
+                c.total_migrations,
+                c.decay.len()
+            ),
+        );
+        if !c.decay.is_empty() {
+            let curve: Vec<String> = c
+                .decay
+                .iter()
+                .map(|(inv, moved)| format!("{inv}:{moved}"))
+                .collect();
+            push(&mut out, &format!("- decay curve: {}", curve.join(" ")));
+        }
+        match (c.deactivated_at, c.deactivation_iteration) {
+            (Some(inv), Some(iter)) => push(
+                &mut out,
+                &format!("- engine deactivated at invocation {inv} (iteration {iter})"),
+            ),
+            _ => push(&mut out, "- engine never deactivated"),
+        }
+        push(
+            &mut out,
+            &format!(
+                "- ping-pong census: {} pages returned to a former home, \
+                 {} frozen",
+                c.ping_pong_pages,
+                c.frozen_pages.len()
+            ),
+        );
+        if !c.vetoes.is_empty() {
+            let top: Vec<String> = c
+                .vetoes
+                .iter()
+                .take(8)
+                .map(|(vpage, count)| format!("{vpage}x{count}"))
+                .collect();
+            push(
+                &mut out,
+                &format!("- most-vetoed pages (vpage x vetoes): {}", top.join(" ")),
+            );
+        }
+        push(&mut out, "");
+
+        for map in &self.heatmaps {
+            if map.pages == 0 {
+                continue;
+            }
+            push(
+                &mut out,
+                &format!(
+                    "## Heatmap: `{}` ({} pages, {} bins)",
+                    map.name, map.pages, map.bins
+                ),
+            );
+            push(&mut out, "");
+            for (title, matrix) in [
+                ("Accesses (node x bin)", &map.accesses),
+                ("Migrations in", &map.migrations_in),
+                ("Final placement (pages)", &map.placement),
+            ] {
+                if ArrayHeatmap::total(matrix) == 0 {
+                    continue;
+                }
+                push(&mut out, &format!("### {title}"));
+                push(&mut out, "");
+                let mut header = String::from("| node |");
+                let mut rule = String::from("|---|");
+                for bin in 0..map.bins {
+                    header.push_str(&format!(" {bin} |"));
+                    rule.push_str("---:|");
+                }
+                push(&mut out, &header);
+                push(&mut out, &rule);
+                for (node, row) in matrix.iter().enumerate() {
+                    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    push(&mut out, &format!("| n{node} | {} |", cells.join(" | ")));
+                }
+                push(&mut out, "");
+            }
+        }
+        out
+    }
+}
+
+/// Perfetto counter tracks: per-iteration remote fraction, migration and
+/// stall counters, the engine's per-invocation move count, and cumulative
+/// migrations into each array.
+fn counter_tracks(events: &[Event], ctx: &ProfileContext) -> Vec<Value> {
+    let mut out = Vec::new();
+    let mut cumulative = vec![0u64; ctx.arrays.len()];
+    for event in events {
+        match event.kind {
+            EventKind::IterationBoundary {
+                migrations,
+                remote_fraction,
+                stall_ns,
+                ..
+            } => {
+                out.push(counter_sample(
+                    "remote fraction",
+                    event.t_ns,
+                    vec![("remote_fraction", remote_fraction.into())],
+                ));
+                out.push(counter_sample(
+                    "migrations / iteration",
+                    event.t_ns,
+                    vec![("migrations", migrations.into())],
+                ));
+                out.push(counter_sample(
+                    "stall ms / iteration",
+                    event.t_ns,
+                    vec![("stall_ms", (stall_ns * 1e-6).into())],
+                ));
+            }
+            EventKind::UpmInvoked { moved, .. } => {
+                out.push(counter_sample(
+                    "upm pages moved",
+                    event.t_ns,
+                    vec![("moved", (moved as u64).into())],
+                ));
+            }
+            EventKind::PageMigrated { vpage, .. } => {
+                if let Some((a, _)) = ctx.array_of_page(vpage) {
+                    cumulative[a] += 1;
+                    out.push(counter_sample(
+                        &format!("migrations into {}", ctx.arrays[a].name),
+                        event.t_ns,
+                        vec![("pages", cumulative[a].into())],
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ArraySpan;
+
+    fn ev(t_ns: f64, kind: EventKind) -> Event {
+        Event { t_ns, kind }
+    }
+
+    /// A miniature but complete run: one setup region, one cold loop, two
+    /// iterations of a two-loop body, engine activity between iterations,
+    /// and a post-run verification region.
+    fn synthetic_run() -> (Vec<Event>, ProfileContext) {
+        let page = 4096u64;
+        let ctx = ProfileContext::new(
+            "CG",
+            "tiny",
+            4,
+            page,
+            vec!["init/warm".into()],
+            vec!["solve/x".into(), "solve/y".into()],
+            vec![ArraySpan::new("a", 0, page * 4)],
+        );
+        let mut events = Vec::new();
+        let mut t = 0.0;
+        let mut region = |events: &mut Vec<Event>, id: u64, mapped: &[u64]| {
+            t += 10.0;
+            events.push(ev(t, EventKind::RegionBegin { region: id }));
+            for &vpage in mapped {
+                events.push(ev(
+                    t,
+                    EventKind::PageMapped {
+                        vpage,
+                        node: (vpage % 4) as usize,
+                    },
+                ));
+            }
+            t += 100.0;
+            events.push(ev(t, EventKind::RegionEnd { region: id }));
+            events.push(ev(
+                t,
+                EventKind::RegionProfile {
+                    region: id,
+                    wall_ns: 100.0,
+                    local: 60,
+                    remote: 40,
+                    stall_ns: 20.0,
+                },
+            ));
+        };
+        region(&mut events, 0, &[]); // [setup]
+        region(&mut events, 1, &[0, 1, 2, 3]); // cold init/warm
+        region(&mut events, 2, &[]); // solve/x, iteration 0
+        region(&mut events, 3, &[]); // solve/y
+        events.push(ev(
+            310.0,
+            EventKind::PageCounterSample {
+                vpage: 1,
+                home: 1,
+                local: 5,
+                rmax: 30,
+                rnode: 0,
+            },
+        ));
+        events.push(ev(
+            311.0,
+            EventKind::PageMigrated {
+                vpage: 1,
+                from: 1,
+                to: 0,
+            },
+        ));
+        events.push(ev(
+            312.0,
+            EventKind::UpmInvoked {
+                invocation: 0,
+                moved: 1,
+            },
+        ));
+        events.push(ev(
+            313.0,
+            EventKind::IterationBoundary {
+                iter: 0,
+                migrations: 1,
+                remote_fraction: 0.4,
+                stall_ns: 40.0,
+            },
+        ));
+        region(&mut events, 4, &[]); // solve/x, iteration 1
+        region(&mut events, 5, &[]); // solve/y
+        events.push(ev(
+            320.0,
+            EventKind::UpmInvoked {
+                invocation: 1,
+                moved: 0,
+            },
+        ));
+        events.push(ev(321.0, EventKind::EngineDeactivated { invocation: 1 }));
+        events.push(ev(
+            322.0,
+            EventKind::IterationBoundary {
+                iter: 1,
+                migrations: 0,
+                remote_fraction: 0.1,
+                stall_ns: 10.0,
+            },
+        ));
+        region(&mut events, 6, &[]); // [post] verification
+        (events, ctx)
+    }
+
+    #[test]
+    fn analyze_assembles_a_consistent_profile() {
+        let (events, ctx) = synthetic_run();
+        let profile = Profile::analyze(&events, &ctx, 0);
+        assert!(profile.warnings.is_empty(), "{:?}", profile.warnings);
+
+        let find = |label: &str| {
+            profile
+                .phases
+                .iter()
+                .find(|r| r.label == label)
+                .unwrap_or_else(|| panic!("missing phase {label}"))
+        };
+        assert_eq!(find("[setup]").executions, 1);
+        let cold = find("cold init/warm");
+        assert_eq!((cold.executions, cold.pages_mapped), (1, 4));
+        assert_eq!(find("solve/x").executions, 2);
+        assert_eq!(find("solve/y").executions, 2);
+        let upm = find("[engine] upmlib");
+        assert_eq!((upm.executions, upm.migrations), (2, 1));
+        assert_eq!(find("[post]").executions, 1);
+        // Presentation order: setup, cold, iteration, engine, post.
+        let labels: Vec<&str> = profile.phases.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "[setup]",
+                "cold init/warm",
+                "solve/x",
+                "solve/y",
+                "[engine] upmlib",
+                "[post]"
+            ]
+        );
+
+        // Per-iteration migrations reconcile with the engine decay curve.
+        assert_eq!(profile.iterations.len(), 2);
+        assert_eq!(profile.iterations[0].migrations, 1);
+        assert_eq!(profile.convergence.decay, vec![(0, 1), (1, 0)]);
+        assert_eq!(profile.convergence.deactivated_at, Some(1));
+        let per_phase: u64 = profile.phases.iter().map(|r| r.migrations).sum();
+        assert_eq!(per_phase, profile.convergence.total_migrations);
+
+        // The heatmap saw the mapping, the counter sample and the move.
+        let map = &profile.heatmaps[0];
+        assert_eq!(map.pages, 4);
+        assert_eq!(ArrayHeatmap::total(&map.placement), 4);
+        assert_eq!(map.placement[0].iter().sum::<u64>(), 2, "page 1 moved home");
+        assert_eq!(ArrayHeatmap::total(&map.accesses), 35);
+        assert_eq!(ArrayHeatmap::total(&map.migrations_in), 1);
+
+        // Counter tracks: 3 per boundary + 1 per invocation + 1 per move.
+        assert_eq!(profile.counter_tracks.len(), 3 * 2 + 2 + 1);
+        assert!(profile
+            .counter_tracks
+            .iter()
+            .all(|v| v["ph"] == "C" && v["ts"].as_f64().is_some()));
+    }
+
+    #[test]
+    fn markdown_rendering_covers_every_section() {
+        let (events, ctx) = synthetic_run();
+        let profile = Profile::analyze(&events, &ctx, 0);
+        let md = profile.to_markdown();
+        for needle in [
+            "# NUMA profile: CG (tiny)",
+            "## Phase attribution",
+            "| solve/x | iter | 2 |",
+            "## Iterations",
+            "## Convergence",
+            "- decay curve: 0:1 1:0",
+            "- engine deactivated at invocation 1 (iteration 1)",
+            "## Heatmap: `a` (4 pages, 4 bins)",
+            "### Final placement (pages)",
+        ] {
+            assert!(md.contains(needle), "markdown missing {needle:?}:\n{md}");
+        }
+    }
+
+    #[test]
+    fn dropped_events_surface_as_a_warning() {
+        let (events, ctx) = synthetic_run();
+        let profile = Profile::analyze(&events, &ctx, 7);
+        assert!(profile.warnings.iter().any(|w| w.contains("7 events")));
+        assert!(profile.to_markdown().contains("**warning**"));
+    }
+}

@@ -245,6 +245,24 @@ impl UpmEngine {
         self.invocations += 1;
         let invocation = self.invocations;
         let views = self.hot_page_views(machine);
+        if machine.trace_mut().is_active() {
+            // Sample every hot page that saw traffic this observation
+            // window: the raw input of the profiler's access heatmaps.
+            for view in &views {
+                if view.total() == 0 {
+                    continue;
+                }
+                let (local, rmax, rnode) = view.competitive_view();
+                let (vpage, home) = (view.vpage, view.home);
+                machine.trace_event(|| obs::EventKind::PageCounterSample {
+                    vpage,
+                    home,
+                    local,
+                    rmax,
+                    rnode,
+                });
+            }
+        }
         // Deterministic order: scan in vpage order.
         let mut moved = 0usize;
         let migration_ns_before = machine.stats().migration_ns;
@@ -284,6 +302,10 @@ impl UpmEngine {
         self.stats.distribution_ns += machine.stats().migration_ns - migration_ns_before;
         self.stats.frozen_pages = self.freeze.frozen_count() as u64;
         self.stats.migrations_per_invocation.push(moved as u64);
+        machine.trace_event(|| obs::EventKind::UpmInvoked {
+            invocation: invocation as usize,
+            moved,
+        });
         // Fresh observation window for the next iteration.
         for &(base, len) in &self.hot_areas {
             self.proc.reset_range(machine, base, len);

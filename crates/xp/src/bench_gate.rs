@@ -1,0 +1,447 @@
+//! `xp bench`: the performance-regression gate.
+//!
+//! The gate runs a fixed suite — every benchmark under the `xp trace`
+//! reference configuration (round-robin placement + UPMlib, tracing off)
+//! — and records four numbers per benchmark: simulated seconds, host wall
+//! seconds, total page migrations, and the whole-run remote fraction.
+//!
+//! * **`xp bench --record`** writes the suite's results as
+//!   `baseline.json` under the history directory (default
+//!   `results/history/`) and appends the same record as one line of
+//!   `history.jsonl` — an append-only log of every recorded run.
+//! * **`xp bench --check`** re-runs the suite and compares HEAD against
+//!   the committed baseline. Simulated seconds and migration counts are
+//!   *deterministic* on this simulator, so the threshold (default 5%)
+//!   guards against real perf drift, not run-to-run noise; host wall time
+//!   is noisy and reported without gating. Any benchmark whose simulated
+//!   time or migration count grows past the threshold is a **regression**
+//!   and makes the command exit non-zero.
+//!
+//! Records are schema-versioned like the trace format: a reader rejects a
+//! record with a different major version, so a stale baseline fails with
+//! a clear message instead of nonsense deltas.
+
+use crate::report::Report;
+use crate::CellPlan;
+use nas::{BenchName, RunConfig, Scale};
+use obs::json::Value;
+use std::path::Path;
+
+/// Schema name stamped into every gate record.
+pub const BENCH_SCHEMA_NAME: &str = "ddnomp-bench";
+/// Incompatible-change version: readers reject a different major.
+pub const BENCH_SCHEMA_MAJOR: u64 = 1;
+/// Additive-change version.
+pub const BENCH_SCHEMA_MINOR: u64 = 0;
+
+/// One benchmark's recorded gate numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateEntry {
+    /// Benchmark id (`cg`, `bt`, ...).
+    pub id: String,
+    /// Simulated seconds of the timed iterations (deterministic; gated).
+    pub sim_secs: f64,
+    /// Host wall seconds of the cell (noisy; informational only).
+    pub wall_secs: f64,
+    /// Total page migrations, engine plus kernel (deterministic; gated).
+    pub migrations: u64,
+    /// Whole-run remote access fraction (deterministic; informational).
+    pub remote_fraction: f64,
+}
+
+/// One recorded suite run: the schema-versioned unit of `baseline.json`
+/// and of each `history.jsonl` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRecord {
+    /// Problem-scale label the suite ran at.
+    pub scale: String,
+    /// Experiment seed the suite ran with.
+    pub seed: u64,
+    /// Per-benchmark numbers, in suite order.
+    pub entries: Vec<GateEntry>,
+}
+
+impl GateRecord {
+    /// The record as JSON (schema header fields first).
+    pub fn to_json(&self) -> Value {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                Value::object(vec![
+                    ("id", e.id.as_str().into()),
+                    ("sim_secs", e.sim_secs.into()),
+                    ("wall_secs", e.wall_secs.into()),
+                    ("migrations", e.migrations.into()),
+                    ("remote_fraction", e.remote_fraction.into()),
+                ])
+            })
+            .collect();
+        Value::object(vec![
+            ("schema", BENCH_SCHEMA_NAME.into()),
+            ("major", BENCH_SCHEMA_MAJOR.into()),
+            ("minor", BENCH_SCHEMA_MINOR.into()),
+            ("scale", self.scale.as_str().into()),
+            ("seed", self.seed.into()),
+            ("entries", Value::Array(entries)),
+        ])
+    }
+
+    /// Parse a record, rejecting foreign schemas and majors.
+    pub fn from_json(v: &Value) -> Result<GateRecord, String> {
+        if v.get("schema").and_then(|s| s.as_str()) != Some(BENCH_SCHEMA_NAME) {
+            return Err(format!("not a {BENCH_SCHEMA_NAME} record"));
+        }
+        let major = v.get("major").and_then(|m| m.as_u64()).unwrap_or(0);
+        if major != BENCH_SCHEMA_MAJOR {
+            return Err(format!(
+                "unsupported {BENCH_SCHEMA_NAME} major version {major} \
+                 (this build reads {BENCH_SCHEMA_MAJOR}); re-record the baseline"
+            ));
+        }
+        let field = |obj: &Value, key: &str| -> Result<Value, String> {
+            obj.get(key)
+                .cloned()
+                .ok_or_else(|| format!("record missing field '{key}'"))
+        };
+        let mut entries = Vec::new();
+        for entry in field(v, "entries")?
+            .as_array()
+            .ok_or("'entries' is not an array")?
+        {
+            entries.push(GateEntry {
+                id: field(entry, "id")?
+                    .as_str()
+                    .ok_or("'id' is not a string")?
+                    .to_string(),
+                sim_secs: field(entry, "sim_secs")?
+                    .as_f64()
+                    .ok_or("'sim_secs' is not a number")?,
+                wall_secs: field(entry, "wall_secs")?
+                    .as_f64()
+                    .ok_or("'wall_secs' is not a number")?,
+                migrations: field(entry, "migrations")?
+                    .as_u64()
+                    .ok_or("'migrations' is not an integer")?,
+                remote_fraction: field(entry, "remote_fraction")?
+                    .as_f64()
+                    .ok_or("'remote_fraction' is not a number")?,
+            });
+        }
+        Ok(GateRecord {
+            scale: field(v, "scale")?
+                .as_str()
+                .ok_or("'scale' is not a string")?
+                .to_string(),
+            seed: field(v, "seed")?
+                .as_u64()
+                .ok_or("'seed' is not an integer")?,
+            entries,
+        })
+    }
+
+    /// Load a record from a JSON file.
+    pub fn load(path: &Path) -> Result<GateRecord, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let v = Value::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&v).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Write the record as pretty JSON.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, format!("{}\n", self.to_json().to_string_pretty()))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+}
+
+/// The gate suite's run configuration: the `xp trace` reference
+/// configuration with tracing off (the gate measures, it doesn't record
+/// events).
+pub fn gate_config() -> RunConfig {
+    RunConfig {
+        trace: false,
+        ..crate::trace::traced_config()
+    }
+}
+
+/// Run the suite on the cell pool and collect one entry per benchmark.
+pub fn measure(benches: &[BenchName], scale: Scale) -> Vec<GateEntry> {
+    let mut plan = CellPlan::new();
+    for &bench in benches {
+        plan.add(bench.label().to_ascii_lowercase(), move || {
+            crate::run_one(bench, scale, &gate_config())
+        });
+    }
+    plan.execute()
+        .into_iter()
+        .map(|output| {
+            let id = output.id.clone();
+            let wall_secs = output.wall_secs;
+            let result = output.expect_ok();
+            let engine_migrations: u64 = result
+                .upm
+                .as_ref()
+                .map(|u| u.migrations_per_invocation.iter().sum())
+                .unwrap_or(0);
+            GateEntry {
+                id,
+                sim_secs: result.total_secs,
+                wall_secs,
+                migrations: engine_migrations + result.kernel_migrations,
+                remote_fraction: result.remote_fraction,
+            }
+        })
+        .collect()
+}
+
+/// `xp bench --record`: measure the suite, write `baseline.json`, append
+/// to `history.jsonl`, and report what was recorded.
+pub fn record(benches: &[BenchName], scale: Scale, history: &Path) -> Result<Report, String> {
+    let record = GateRecord {
+        scale: scale.label().to_string(),
+        seed: crate::seed::get(),
+        entries: measure(benches, scale),
+    };
+    std::fs::create_dir_all(history)
+        .map_err(|e| format!("cannot create {}: {e}", history.display()))?;
+    record.save(&history.join("baseline.json"))?;
+    let log = history.join("history.jsonl");
+    let mut lines = std::fs::read_to_string(&log).unwrap_or_default();
+    lines.push_str(&format!("{}\n", record.to_json()));
+    std::fs::write(&log, lines).map_err(|e| format!("cannot write {}: {e}", log.display()))?;
+
+    let mut report = Report::new(
+        &format!("bench_record_{}", record.scale),
+        &format!("Recorded perf baseline ({}, rr-upmlib suite)", record.scale),
+        &[
+            "Bench",
+            "Sim (s)",
+            "Wall (s)",
+            "Migrations",
+            "Remote fraction",
+        ],
+    );
+    for e in &record.entries {
+        report.row(vec![
+            e.id.clone(),
+            format!("{:.6}", e.sim_secs),
+            format!("{:.2}", e.wall_secs),
+            e.migrations.to_string(),
+            format!("{:.4}", e.remote_fraction),
+        ]);
+    }
+    report.note(format!(
+        "schema {BENCH_SCHEMA_NAME} v{BENCH_SCHEMA_MAJOR}.{BENCH_SCHEMA_MINOR}, seed {}",
+        record.seed
+    ));
+    report.note("written: baseline.json, history.jsonl (appended)");
+    Ok(report)
+}
+
+/// Outcome of one `xp bench --check`.
+#[derive(Debug)]
+pub struct CheckRun {
+    /// The comparison table.
+    pub report: Report,
+    /// Benchmarks whose gated metrics regressed past the threshold.
+    pub regressions: usize,
+}
+
+/// `xp bench --check`: measure HEAD and compare against `baseline.json`.
+/// `threshold` is fractional (0.05 = 5%).
+pub fn check(
+    benches: &[BenchName],
+    scale: Scale,
+    history: &Path,
+    threshold: f64,
+) -> Result<CheckRun, String> {
+    let baseline_path = history.join("baseline.json");
+    let baseline = GateRecord::load(&baseline_path)?;
+    if baseline.scale != scale.label() {
+        return Err(format!(
+            "baseline was recorded at scale '{}' but this check runs '{}'; \
+             re-record or pass --scale {}",
+            baseline.scale,
+            scale.label(),
+            baseline.scale
+        ));
+    }
+    let head = measure(benches, scale);
+    let mut report = Report::new(
+        &format!("bench_check_{}", scale.label()),
+        &format!(
+            "Perf regression check vs baseline ({}, threshold {:.0}%)",
+            scale.label(),
+            threshold * 100.0
+        ),
+        &[
+            "Bench",
+            "Sim base (s)",
+            "Sim head (s)",
+            "Sim Δ%",
+            "Migr base",
+            "Migr head",
+            "Remote head",
+            "Wall head (s)",
+            "Status",
+        ],
+    );
+    let mut regressions = 0usize;
+    for entry in &head {
+        let Some(base) = baseline.entries.iter().find(|b| b.id == entry.id) else {
+            report.row(vec![
+                entry.id.clone(),
+                "-".into(),
+                format!("{:.6}", entry.sim_secs),
+                "-".into(),
+                "-".into(),
+                entry.migrations.to_string(),
+                format!("{:.4}", entry.remote_fraction),
+                format!("{:.2}", entry.wall_secs),
+                "new (no baseline)".into(),
+            ]);
+            continue;
+        };
+        let sim_delta = if base.sim_secs > 0.0 {
+            entry.sim_secs / base.sim_secs - 1.0
+        } else {
+            0.0
+        };
+        let migr_limit = (base.migrations as f64) * (1.0 + threshold);
+        let mut reasons = Vec::new();
+        if sim_delta > threshold {
+            reasons.push(format!("sim +{:.1}%", sim_delta * 100.0));
+        }
+        if (entry.migrations as f64) > migr_limit {
+            reasons.push(format!(
+                "migrations {} -> {}",
+                base.migrations, entry.migrations
+            ));
+        }
+        let status = if reasons.is_empty() {
+            if sim_delta < -threshold {
+                "improved".to_string()
+            } else {
+                "ok".to_string()
+            }
+        } else {
+            regressions += 1;
+            format!("REGRESSED: {}", reasons.join(", "))
+        };
+        report.row(vec![
+            entry.id.clone(),
+            format!("{:.6}", base.sim_secs),
+            format!("{:.6}", entry.sim_secs),
+            format!("{:+.2}", sim_delta * 100.0),
+            base.migrations.to_string(),
+            entry.migrations.to_string(),
+            format!("{:.4}", entry.remote_fraction),
+            format!("{:.2}", entry.wall_secs),
+            status,
+        ]);
+    }
+    report.note(format!(
+        "baseline: scale {}, seed {} ({} entries); wall time is informational, \
+         simulated time and migrations are gated",
+        baseline.scale,
+        baseline.seed,
+        baseline.entries.len()
+    ));
+    if regressions > 0 {
+        report.note(format!("{regressions} benchmark(s) REGRESSED"));
+    }
+    Ok(CheckRun {
+        report,
+        regressions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> GateRecord {
+        GateRecord {
+            scale: "tiny".into(),
+            seed: 20000,
+            entries: vec![
+                GateEntry {
+                    id: "cg".into(),
+                    sim_secs: 1.25,
+                    wall_secs: 0.4,
+                    migrations: 120,
+                    remote_fraction: 0.31,
+                },
+                GateEntry {
+                    id: "mg".into(),
+                    sim_secs: 0.75,
+                    wall_secs: 0.2,
+                    migrations: 60,
+                    remote_fraction: 0.18,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let record = sample_record();
+        let parsed = GateRecord::from_json(&record.to_json()).unwrap();
+        assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn foreign_majors_are_rejected_with_a_clear_error() {
+        let mut json = sample_record().to_json();
+        if let Value::Object(pairs) = &mut json {
+            for (k, v) in pairs.iter_mut() {
+                if k == "major" {
+                    *v = (BENCH_SCHEMA_MAJOR + 1).into();
+                }
+            }
+        }
+        let err = GateRecord::from_json(&json).unwrap_err();
+        assert!(err.contains("unsupported"), "{err}");
+        assert!(err.contains("re-record"), "{err}");
+        assert!(GateRecord::from_json(&Value::object(vec![("schema", "nope".into())])).is_err());
+    }
+
+    #[test]
+    fn gate_measures_deterministically_and_check_flags_injected_slowdown() {
+        let dir = std::env::temp_dir().join(format!("ddnomp-gate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let benches = [BenchName::Cg];
+
+        // Record, then a clean check passes with zero regressions.
+        record(&benches, Scale::Tiny, &dir).unwrap();
+        let clean = check(&benches, Scale::Tiny, &dir, 0.05).unwrap();
+        assert_eq!(clean.regressions, 0, "{}", clean.report.to_markdown());
+        assert!(clean.report.to_markdown().contains("| ok |"));
+
+        // The simulator is deterministic: an immediate re-measure agrees
+        // exactly with the recorded baseline on the gated metrics.
+        let baseline = GateRecord::load(&dir.join("baseline.json")).unwrap();
+        let again = measure(&benches, Scale::Tiny);
+        assert_eq!(baseline.entries[0].sim_secs, again[0].sim_secs);
+        assert_eq!(baseline.entries[0].migrations, again[0].migrations);
+
+        // Shrink the recorded baseline by 20%: HEAD now looks 25% slower,
+        // which must trip the 5% gate.
+        let mut patched = baseline.clone();
+        patched.entries[0].sim_secs *= 0.8;
+        patched.save(&dir.join("baseline.json")).unwrap();
+        let tripped = check(&benches, Scale::Tiny, &dir, 0.05).unwrap();
+        assert_eq!(tripped.regressions, 1, "{}", tripped.report.to_markdown());
+        assert!(tripped.report.to_markdown().contains("REGRESSED"));
+
+        // Scale mismatch is an error, not a silent pass.
+        let err = check(&benches, Scale::Small, &dir, 0.05).unwrap_err();
+        assert!(err.contains("scale"), "{err}");
+
+        // history.jsonl holds one line per record call.
+        let log = std::fs::read_to_string(dir.join("history.jsonl")).unwrap();
+        assert_eq!(log.lines().count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

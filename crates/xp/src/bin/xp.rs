@@ -20,7 +20,8 @@ use std::time::Instant;
 use xp::summary::SummaryEntry;
 use xp::Report;
 
-const COMMANDS: &str = "table1|fig1|fig4|table2|fig5|fig6|ablations|multiprog|all|trace|lint";
+const COMMANDS: &str =
+    "table1|fig1|fig4|table2|fig5|fig6|ablations|multiprog|all|trace|prof|bench|lint";
 
 const USAGE: &str = "\
 xp — experiment driver for the data-distribution study
@@ -28,6 +29,10 @@ xp — experiment driver for the data-distribution study
 usage:
   xp [COMMAND] [--scale tiny|small|medium] [--seed N] [--jobs N] [--out DIR] [--trace DIR]
   xp trace <bt|sp|cg|mg|ft> [--scale tiny|small|medium] [--out DIR]
+  xp prof <bt|sp|cg|mg|ft>|--all [--scale tiny|small|medium] [--out DIR]
+          [--from FILE]
+  xp bench --record|--check [--bench bt|sp|cg|mg|ft] [--threshold PCT]
+          [--history DIR] [--scale tiny|small|medium] [--out DIR]
   xp lint [--bench bt|sp|cg|mg|ft] [--all] [--deny CODES] [--allow FILE]
           [--scale tiny|small|medium] [--out DIR]
 
@@ -44,6 +49,14 @@ commands:
   all        everything above (default)
   trace      run one benchmark with event tracing; writes trace.jsonl and
              trace.chrome.json (open in Perfetto) under the output dir
+  prof       trace-driven NUMA profile: per-phase attribution, page
+             heatmaps and convergence diagnostics; writes
+             prof-<bench>.{md,jsonl,chrome.json} under the output dir
+             (--from FILE re-analyses a saved trace.jsonl offline)
+  bench      perf-regression gate: --record writes results/history/
+             baseline.json (and appends to history.jsonl); --check re-runs
+             the suite and exits 1 if simulated time or migrations grew
+             past --threshold (default 5%) on any benchmark
   lint       static NUMA/race analysis of the benchmark kernels (no machine
              simulation); exits 1 if a denied finding is not allowlisted
 
@@ -57,8 +70,17 @@ options:
   --out DIR                  output directory for reports (default results/)
   --trace DIR                also record an event trace of every run into
                              DIR (commands other than trace)
-  --bench NAME               lint only one benchmark (lint command)
-  --all                      lint all five benchmarks (lint command; default)
+  --bench NAME               restrict lint or bench to one benchmark
+  --all                      all five benchmarks (lint: default; prof:
+                             instead of a positional benchmark)
+  --from FILE                prof: analyse a saved trace.jsonl instead of
+                             running the benchmark
+  --record                   bench: record the current suite as baseline
+  --check                    bench: compare HEAD against the baseline
+  --threshold PCT            bench --check: regression threshold percent
+                             (default 5)
+  --history DIR              bench: history directory (default
+                             results/history)
   --deny CODES               comma list of lint categories (races,
                              false-sharing, numa, perf, determinism, all)
                              and/or codes (L001..L008) that fail the run
@@ -70,6 +92,10 @@ options:
 /// Number of lint findings that hit the deny set (set by the lint job,
 /// checked after reports are written so the JSON still lands on disk).
 static LINT_DENIED: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of benchmarks `xp bench --check` found regressed (same pattern:
+/// checked after the comparison report lands on disk).
+static BENCH_REGRESSED: AtomicUsize = AtomicUsize::new(0);
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -102,6 +128,11 @@ fn main() {
     let mut lint_all = false;
     let mut lint_deny: Option<String> = None;
     let mut lint_allow: Option<PathBuf> = None;
+    let mut prof_from: Option<PathBuf> = None;
+    let mut bench_record = false;
+    let mut bench_check = false;
+    let mut bench_threshold: Option<f64> = None;
+    let mut bench_history: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -152,23 +183,64 @@ fn main() {
                 let v = it.next().unwrap_or_else(|| die("--allow needs a file"));
                 lint_allow = Some(PathBuf::from(v));
             }
+            "--from" => {
+                let v = it.next().unwrap_or_else(|| die("--from needs a file"));
+                prof_from = Some(PathBuf::from(v));
+            }
+            "--record" => bench_record = true,
+            "--check" => bench_check = true,
+            "--threshold" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--threshold needs a value"));
+                let pct = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|p| *p >= 0.0)
+                    .unwrap_or_else(|| {
+                        die(&format!(
+                            "--threshold needs a non-negative percentage, got '{v}'"
+                        ))
+                    });
+                bench_threshold = Some(pct);
+            }
+            "--history" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--history needs a directory"));
+                bench_history = Some(PathBuf::from(v));
+            }
             flag if flag.starts_with('-') => die(&format!("unknown flag '{flag}'")),
             other => positionals.push(other.to_string()),
         }
     }
     let command = positionals.first().cloned().unwrap_or_else(|| "all".into());
-    if command != "lint"
-        && (lint_bench.is_some() || lint_all || lint_deny.is_some() || lint_allow.is_some())
-    {
-        die("--bench/--all/--deny/--allow apply to `xp lint`");
+    if !matches!(command.as_str(), "lint" | "bench") && lint_bench.is_some() {
+        die("--bench applies to `xp lint` and `xp bench`");
     }
-    if command != "trace" {
+    if !matches!(command.as_str(), "lint" | "prof") && lint_all {
+        die("--all applies to `xp lint` and `xp prof`");
+    }
+    if command != "lint" && (lint_deny.is_some() || lint_allow.is_some()) {
+        die("--deny/--allow apply to `xp lint`");
+    }
+    if command != "prof" && prof_from.is_some() {
+        die("--from applies to `xp prof`");
+    }
+    if command != "bench"
+        && (bench_record || bench_check || bench_threshold.is_some() || bench_history.is_some())
+    {
+        die("--record/--check/--threshold/--history apply to `xp bench`");
+    }
+    if !matches!(command.as_str(), "trace" | "prof") {
         if let Some(extra) = positionals.get(1) {
             die(&format!("unexpected argument '{extra}'"));
         }
         xp::trace::set_dir(trace_dir);
     } else if trace_dir.is_some() {
-        die("--trace applies to the other commands; `xp trace` always writes its trace");
+        die(&format!(
+            "--trace applies to the other commands; `xp {command}` always records its trace"
+        ));
     }
 
     let table1: Job = ("table1", Box::new(|| vec![xp::table1::run()]));
@@ -221,6 +293,72 @@ fn main() {
             vec![(
                 "trace",
                 Box::new(move || vec![xp::trace::run(bench, scale, &out)]),
+            )]
+        }
+        "prof" => {
+            let benches: Vec<nas::BenchName> = match (positionals.get(1), lint_all) {
+                (Some(_), true) => die("prof takes a benchmark or --all, not both"),
+                (None, false) => die("prof needs a benchmark (expected bt|sp|cg|mg|ft) or --all"),
+                (None, true) => nas::BenchName::all().to_vec(),
+                (Some(name), false) => vec![xp::trace::parse_bench(name).unwrap_or_else(|| {
+                    die(&format!(
+                        "unknown benchmark '{name}' (expected bt|sp|cg|mg|ft)"
+                    ))
+                })],
+            };
+            if let Some(extra) = positionals.get(2) {
+                die(&format!("unexpected argument '{extra}'"));
+            }
+            if prof_from.is_some() && benches.len() != 1 {
+                die("--from profiles one saved trace; name the benchmark it came from");
+            }
+            let out = out_dir.clone();
+            let from = prof_from.clone();
+            vec![(
+                "prof",
+                Box::new(move || match from {
+                    Some(path) => match xp::prof::run_from(&path, benches[0], scale, &out) {
+                        Ok(report) => vec![report],
+                        Err(e) => die(&e),
+                    },
+                    None => xp::prof::run(&benches, scale, &out),
+                }),
+            )]
+        }
+        "bench" => {
+            if bench_record == bench_check {
+                die("bench needs exactly one of --record or --check");
+            }
+            let benches: Vec<nas::BenchName> = match &lint_bench {
+                Some(name) => vec![xp::trace::parse_bench(name).unwrap_or_else(|| {
+                    die(&format!(
+                        "unknown benchmark '{name}' (expected bt|sp|cg|mg|ft)"
+                    ))
+                })],
+                None => nas::BenchName::all().to_vec(),
+            };
+            let history = bench_history
+                .clone()
+                .unwrap_or_else(|| PathBuf::from("results/history"));
+            let threshold = bench_threshold.unwrap_or(5.0) / 100.0;
+            vec![(
+                "bench",
+                Box::new(move || {
+                    if bench_record {
+                        match xp::bench_gate::record(&benches, scale, &history) {
+                            Ok(report) => vec![report],
+                            Err(e) => die(&e),
+                        }
+                    } else {
+                        match xp::bench_gate::check(&benches, scale, &history, threshold) {
+                            Ok(run) => {
+                                BENCH_REGRESSED.store(run.regressions, Ordering::Relaxed);
+                                vec![run.report]
+                            }
+                            Err(e) => die(&e),
+                        }
+                    }
+                }),
             )]
         }
         "lint" => {
@@ -308,6 +446,11 @@ fn main() {
     let denied = LINT_DENIED.load(Ordering::Relaxed);
     if denied > 0 {
         eprintln!("lint: {denied} denied findings (see rows marked `denied`)");
+        std::process::exit(1);
+    }
+    let regressed = BENCH_REGRESSED.load(Ordering::Relaxed);
+    if regressed > 0 {
+        eprintln!("bench: {regressed} benchmark(s) regressed past the threshold");
         std::process::exit(1);
     }
 }

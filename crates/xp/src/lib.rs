@@ -17,6 +17,7 @@
 //! `xp` binary writes both to stdout and to `results/*.json`.
 
 pub mod ablation;
+pub mod bench_gate;
 pub mod cells;
 pub mod fig1;
 pub mod fig4;
@@ -25,6 +26,7 @@ pub mod fig6;
 pub mod jobs;
 pub mod lint;
 pub mod multiprog;
+pub mod prof;
 pub mod report;
 pub mod run_one;
 pub mod seed;

@@ -1,0 +1,65 @@
+//! Exit-code contract of `xp bench` as CI consumes it: `--record` and a
+//! clean `--check` exit 0, and a check against a baseline that makes HEAD
+//! look slower than the threshold exits 1.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use xp::bench_gate::GateRecord;
+
+fn xp_cmd(history: &Path, out: &Path, args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_xp"))
+        .arg("bench")
+        .args(args)
+        .args(["--bench", "cg", "--scale", "tiny"])
+        .arg("--history")
+        .arg(history)
+        .arg("--out")
+        .arg(out)
+        .output()
+        .expect("xp binary runs")
+}
+
+#[test]
+fn bench_gate_exit_codes_follow_the_check_outcome() {
+    let tmp = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("bench_gate_cli");
+    let _ = std::fs::remove_dir_all(&tmp);
+    let history = tmp.join("history");
+    let out = tmp.join("out");
+
+    // Record a baseline: exit 0, both gate files exist.
+    let recorded = xp_cmd(&history, &out, &["--record"]);
+    assert!(
+        recorded.status.success(),
+        "record failed:\n{}",
+        String::from_utf8_lossy(&recorded.stderr)
+    );
+    assert!(history.join("baseline.json").is_file());
+    assert!(history.join("history.jsonl").is_file());
+
+    // An immediate check against that baseline is clean: exit 0.
+    let clean = xp_cmd(&history, &out, &["--check"]);
+    assert!(
+        clean.status.success(),
+        "clean check failed:\n{}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+    assert!(String::from_utf8_lossy(&clean.stdout).contains("| ok |"));
+
+    // Shrink the recorded simulated seconds by 20% so HEAD appears ~25%
+    // slower: the default 5% gate must trip and the process must exit 1.
+    let baseline_path = history.join("baseline.json");
+    let mut patched = GateRecord::load(&baseline_path).unwrap();
+    patched.entries[0].sim_secs *= 0.8;
+    patched.save(&baseline_path).unwrap();
+    let tripped = xp_cmd(&history, &out, &["--check"]);
+    assert_eq!(
+        tripped.status.code(),
+        Some(1),
+        "regressed check must exit 1:\n{}",
+        String::from_utf8_lossy(&tripped.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&tripped.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&tmp);
+}

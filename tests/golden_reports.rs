@@ -79,6 +79,15 @@ fn table2_tiny_matches_golden() {
 }
 
 #[test]
+fn prof_cg_tiny_matches_golden() {
+    // The analysis-only report (no artifact or verification notes): pins
+    // the phase attribution, convergence summary and heatmap totals of
+    // the reference rr-upmlib CG run at Tiny.
+    let (_result, _tracer, profile) = xp::prof::profile_one(nas::BenchName::Cg, Scale::Tiny);
+    check("prof_cg_tiny.json", xp::prof::report_for(&profile));
+}
+
+#[test]
 fn lint_tiny_matches_golden() {
     // The full `xp lint --all` report with no deny set and no allowlist:
     // pins every finding (code, site, subject, count and message) at Tiny.

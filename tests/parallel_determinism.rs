@@ -63,3 +63,17 @@ fn multiprog_is_identical_under_one_and_four_workers() {
 fn table2_is_identical_under_one_and_four_workers() {
     assert_jobs_invariant(|| xp::table2::run(Scale::Tiny));
 }
+
+#[test]
+fn prof_is_identical_under_one_and_four_workers() {
+    // The profiler's report is a pure function of the analysed trace
+    // (artifact stems in the notes, never paths), so the full `xp prof`
+    // pipeline must be jobs-invariant like every other command.
+    let dir = std::env::temp_dir().join(format!("ddnomp-prof-det-{}", std::process::id()));
+    assert_jobs_invariant(|| {
+        xp::prof::run(&[nas::BenchName::Cg], Scale::Tiny, &dir)
+            .pop()
+            .expect("one report per bench")
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,112 @@
+//! End-to-end checks of the trace-driven profiler: the profile built from
+//! a live run must reconcile exactly with the engine's own statistics,
+//! attribute every benchmark's regions without falling back to numbered
+//! labels, and survive a JSONL export/import round trip unchanged.
+
+use nas::{BenchName, Scale};
+use prof::{PhaseKind, Profile};
+
+#[test]
+fn cg_profile_reconciles_with_upm_stats() {
+    let (result, tracer, profile) = xp::prof::profile_one(BenchName::Cg, Scale::Tiny);
+    assert!(result.verification.passed, "profiled CG run must verify");
+    assert_eq!(tracer.dropped_events(), 0, "tiny run must fit in the ring");
+    assert!(profile.warnings.is_empty(), "{:?}", profile.warnings);
+
+    // The per-iteration migration totals must match UPMlib's own
+    // migrations_per_invocation exactly: a prefix equality while the
+    // engine is live, trailing zeros once it has deactivated.
+    let upm = result.upm.as_ref().expect("upmlib run records stats");
+    let invocations = &upm.migrations_per_invocation;
+    assert!(!invocations.is_empty(), "the engine must have been invoked");
+    assert_eq!(profile.iterations.len(), result.per_iter_secs.len());
+    for (i, row) in profile.iterations.iter().enumerate() {
+        let expected = invocations.get(i).copied().unwrap_or(0);
+        assert_eq!(
+            row.migrations, expected,
+            "iteration {i}: profile says {}, UpmStats says {expected}",
+            row.migrations
+        );
+    }
+
+    // Those same moves reconcile three more ways: the engine decay curve,
+    // the convergence total, and the per-phase migration column.
+    let decay_total: u64 = profile
+        .convergence
+        .decay
+        .iter()
+        .map(|(_, m)| *m as u64)
+        .sum();
+    let stats_total: u64 = invocations.iter().sum();
+    assert_eq!(decay_total, stats_total);
+    assert_eq!(profile.convergence.total_migrations, stats_total);
+    let per_phase: u64 = profile.phases.iter().map(|r| r.migrations).sum();
+    assert_eq!(per_phase, stats_total);
+
+    // Convergence: round-robin CG migrates, then the engine turns off.
+    assert!(stats_total > 0, "round-robin CG must migrate pages");
+    assert!(
+        profile.convergence.deactivated_at.is_some(),
+        "the engine must deactivate at tiny scale"
+    );
+
+    // Migration landings in the heatmaps account for every engine move
+    // (every CG page belongs to a registered array).
+    let heatmap_moves: u64 = profile
+        .heatmaps
+        .iter()
+        .map(|m| prof::ArrayHeatmap::total(&m.migrations_in))
+        .sum();
+    assert_eq!(heatmap_moves, stats_total);
+}
+
+#[test]
+fn every_benchmark_attributes_without_fallback_at_tiny() {
+    for bench in BenchName::all() {
+        let (result, _tracer, profile) = xp::prof::profile_one(bench, Scale::Tiny);
+        assert!(result.verification.passed, "{bench:?} must verify");
+        assert!(
+            profile.warnings.is_empty(),
+            "{bench:?} phase map must align cleanly: {:?}",
+            profile.warnings
+        );
+        assert!(
+            profile.phases.iter().all(|r| r.kind != PhaseKind::Unmapped),
+            "{bench:?} must not fall back to numbered regions"
+        );
+        // Each model-named timed loop appears as one aggregated row with
+        // one execution per occurrence per timed iteration.
+        let ctx = xp::prof::context_for(bench, Scale::Tiny);
+        let iters = result.per_iter_secs.len() as u64;
+        for name in &ctx.iteration_loops {
+            let occurrences = ctx.iteration_loops.iter().filter(|n| n == &name).count() as u64;
+            let row = profile
+                .phases
+                .iter()
+                .find(|r| &r.label == name)
+                .unwrap_or_else(|| panic!("{bench:?}: missing iteration row {name}"));
+            assert_eq!(row.kind, PhaseKind::Iteration, "{bench:?} {name}");
+            assert_eq!(row.executions, iters * occurrences, "{bench:?} {name}");
+        }
+    }
+}
+
+#[test]
+fn profile_of_reimported_trace_is_identical() {
+    // Export the trace as JSONL, re-import it, profile the imported
+    // events: the offline profile must render byte-identically to the
+    // live one — the `--from FILE` workflow loses nothing.
+    let (_result, tracer, live) = xp::prof::profile_one(BenchName::Mg, Scale::Tiny);
+    let jsonl = obs::export::to_jsonl(tracer.ring.iter(), tracer.dropped_events());
+    let loaded = obs::import::parse_jsonl(&jsonl).expect("exported trace re-imports");
+    assert!(loaded.warnings.is_empty(), "{:?}", loaded.warnings);
+    let ctx = xp::prof::context_for(BenchName::Mg, Scale::Tiny);
+    let offline = Profile::analyze(&loaded.events, &ctx, loaded.dropped_events);
+    assert_eq!(live.to_markdown(), offline.to_markdown());
+    let live_report = xp::prof::report_for(&live);
+    let offline_report = xp::prof::report_for(&offline);
+    assert_eq!(
+        live_report.to_json().to_string_pretty(),
+        offline_report.to_json().to_string_pretty()
+    );
+}

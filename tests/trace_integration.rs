@@ -16,12 +16,17 @@ fn trace_run_exports_and_matches_upm_stats() {
     assert!(result.verification.passed, "traced CG run must verify");
     assert_eq!(tracer.ring.dropped(), 0, "tiny run must fit in the ring");
 
-    // JSON Lines export: non-empty, one valid object per line, every line
-    // carrying a timestamp and an event name.
-    let jsonl = to_jsonl(tracer.ring.iter());
+    // JSON Lines export: a schema header line, then one valid object per
+    // line, every line carrying a timestamp and an event name.
+    let jsonl = to_jsonl(tracer.ring.iter(), tracer.dropped_events());
     assert!(!jsonl.is_empty(), "trace.jsonl must not be empty");
-    for line in jsonl.lines() {
+    for (i, line) in jsonl.lines().enumerate() {
         let v = Value::parse(line).expect("each trace line parses as JSON");
+        if i == 0 {
+            assert_eq!(v["schema"], "ddnomp-trace", "first line is the header");
+            assert_eq!(v["dropped_events"].as_u64(), Some(0));
+            continue;
+        }
         assert!(
             v["event"].as_str().is_some(),
             "line has an event name: {line}"
@@ -29,9 +34,19 @@ fn trace_run_exports_and_matches_upm_stats() {
         assert!(v["t_ns"].as_f64().is_some(), "line has a timestamp: {line}");
     }
 
+    // The streaming importer round-trips the exported stream exactly.
+    let loaded = obs::import::parse_jsonl(&jsonl).expect("exported trace re-imports");
+    assert_eq!(loaded.events.len(), tracer.ring.len());
+    assert!(loaded.warnings.is_empty(), "{:?}", loaded.warnings);
+    assert!(loaded
+        .events
+        .iter()
+        .zip(tracer.ring.iter())
+        .all(|(a, b)| a == b));
+
     // Chrome trace export: a valid JSON document with a traceEvents array
     // (metadata record plus every event) keyed to simulated microseconds.
-    let doc = chrome_trace(tracer.ring.iter(), "cg-tiny");
+    let doc = chrome_trace(tracer.ring.iter(), "cg-tiny", tracer.dropped_events());
     let parsed = Value::parse(&doc.to_string_pretty()).expect("chrome trace parses");
     let entries = parsed["traceEvents"]
         .as_array()
@@ -144,7 +159,7 @@ fn scheduler_trace_agrees_with_migration_accounting() {
     );
 
     // The scheduler's event kinds round-trip through the exporter.
-    let jsonl = to_jsonl(tracer.ring.iter());
+    let jsonl = to_jsonl(tracer.ring.iter(), tracer.dropped_events());
     let mut seen_migrated = false;
     for line in jsonl.lines() {
         let v = Value::parse(line).expect("each scheduler trace line parses as JSON");
