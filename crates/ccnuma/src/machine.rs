@@ -569,6 +569,7 @@ impl Machine {
     /// paper identifies as the price of coherent page movement. Returns the
     /// node the page actually landed on.
     pub fn migrate_page(&mut self, vpage: u64, target: NodeId) -> Result<NodeId, MemError> {
+        let _hp = hostprof::span_hot("ccnuma.migrate_page");
         if self.replicas.contains_key(&vpage) {
             self.collapse_page(vpage);
         }
@@ -620,6 +621,7 @@ impl Machine {
     /// latency in nanoseconds (also accumulated into the CPU's region
     /// account and statistics).
     pub fn touch(&mut self, cpu: CpuId, vaddr: u64, kind: AccessKind) -> f64 {
+        let _hp = hostprof::span_hot("ccnuma.touch");
         let line = vaddr >> LINE_SHIFT;
         let version = self.directory.version(line);
         let ctx = &mut self.cpus[cpu];
@@ -650,6 +652,7 @@ impl Machine {
             },
         };
         if kind == AccessKind::Write {
+            let _hp = hostprof::span_hot("ccnuma.directory");
             let new_version = self.directory.write(line);
             let ctx = &mut self.cpus[cpu];
             ctx.l1.refresh_version(line, new_version);
@@ -682,13 +685,18 @@ impl Machine {
         version: u32,
         kind: AccessKind,
     ) -> f64 {
+        let _hp = hostprof::span_hot("ccnuma.memory");
         let vpage = vaddr >> PAGE_SHIFT;
         let cpu_node = self.cpus[cpu].node;
         let mut frame = match self.page_table[vpage as usize] {
             Some(f) => f,
             None => {
                 // Page fault: ask the placement policy, allocate best-effort.
-                let preferred = self.placer.place(vpage, cpu, cpu_node);
+                // (The policy code lives in `vmm`, hence the span name.)
+                let preferred = {
+                    let _hp = hostprof::span_hot("vmm.place");
+                    self.placer.place(vpage, cpu, cpu_node)
+                };
                 let frame = self
                     .alloc_best_effort(preferred)
                     .expect("simulated machine out of physical memory");
@@ -734,7 +742,11 @@ impl Machine {
         let home = self.memory.node_of_frame(frame);
         let hops = self.config.topology.hops(cpu_node, home);
         let ns = self.config.latency.memory_ns(hops);
-        if self.counters.record(frame, cpu_node) {
+        let spilled = {
+            let _hp = hostprof::span_hot("ccnuma.counters");
+            self.counters.record(frame, cpu_node)
+        };
+        if spilled {
             self.trace
                 .emit(self.clock.now_ns(), || EventKind::CounterOverflowSpill {
                     frame,

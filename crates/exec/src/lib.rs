@@ -25,5 +25,7 @@
 //! queue overhead is noise; simplicity and auditability win.
 
 pub mod pool;
+pub mod telemetry;
 
-pub use pool::{Job, JobPanic, Pool};
+pub use pool::{Job, JobPanic, Pool, TimedResult};
+pub use telemetry::{PoolMonitor, PoolStatus, PoolTelemetry, WorkerStatus, WorkerTelemetry};

@@ -8,9 +8,12 @@
 //! stable exit condition: a worker that observes it can retire while
 //! in-flight jobs finish on their own workers.
 
+use crate::telemetry::{PoolMonitor, PoolTelemetry, RunState};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// A unit of work: runs once, on some worker thread, producing a `T`.
 pub type Job<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
@@ -19,7 +22,20 @@ pub type Job<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
 type JobDeque<'a, T> = Mutex<VecDeque<(usize, Job<'a, T>)>>;
 
 /// One job's result slot, filled exactly once by whichever worker ran it.
-type ResultSlot<T> = Mutex<Option<Result<T, JobPanic>>>;
+type ResultSlot<T> = Mutex<Option<TimedResult<T>>>;
+
+/// One job's outcome plus its host-side timing: the wall time is measured
+/// around the job on its worker, so it is recorded **even when the job
+/// panics** — a dead cell still gets a timing row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedResult<T> {
+    /// The job's value, or its panic.
+    pub result: Result<T, JobPanic>,
+    /// Wall seconds the job ran on its worker.
+    pub wall_secs: f64,
+    /// The worker that ran the job.
+    pub worker: usize,
+}
 
 /// A job that panicked instead of producing a value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,35 +82,69 @@ impl Pool {
     /// regardless of worker count or stealing schedule. Slot `i` holds
     /// `Ok` with job `i`'s value, or `Err` with its panic payload.
     pub fn run<'a, T: Send>(&self, jobs: Vec<Job<'a, T>>) -> Vec<Result<T, JobPanic>> {
+        self.run_timed(jobs, None)
+            .0
+            .into_iter()
+            .map(|t| t.result)
+            .collect()
+    }
+
+    /// [`Pool::run`] plus accounting: each result carries its on-worker
+    /// wall time (panics included) and the pool returns its
+    /// [`PoolTelemetry`]. A [`PoolMonitor`] handle, when given, observes
+    /// the run live until the pool closes.
+    pub fn run_timed<'a, T: Send>(
+        &self,
+        jobs: Vec<Job<'a, T>>,
+        monitor: Option<&PoolMonitor>,
+    ) -> (Vec<TimedResult<T>>, PoolTelemetry) {
         let n = jobs.len();
+        let workers = self.workers.min(n.max(1));
+        let state = RunState::new(n, workers);
         if n == 0 {
-            return Vec::new();
+            return (Vec::new(), state.telemetry(0.0));
         }
-        let workers = self.workers.min(n);
+        if let Some(m) = monitor {
+            m.install(state.clone());
+        }
         let queues: Vec<JobDeque<'a, T>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         for (i, job) in jobs.into_iter().enumerate() {
             queues[i % workers].lock().unwrap().push_back((i, job));
         }
+        for (w, queue) in queues.iter().enumerate() {
+            state.workers[w]
+                .queue_len
+                .store(queue.lock().unwrap().len(), Relaxed);
+        }
         let slots: Vec<ResultSlot<T>> = (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|s| {
             // The calling thread doubles as worker 0; extra workers are
-            // scoped threads joined before `run` returns.
+            // scoped threads joined before `run_timed` returns.
             for me in 1..workers {
                 let queues = &queues;
                 let slots = &slots;
-                s.spawn(move || worker_loop(me, queues, slots));
+                let state = &state;
+                std::thread::Builder::new()
+                    .name(format!("xp-worker-{me}"))
+                    .spawn_scoped(s, move || worker_loop(me, queues, slots, state))
+                    .expect("spawning a pool worker thread");
             }
-            worker_loop(0, &queues, &slots);
+            worker_loop(0, &queues, &slots, &state);
         });
-        slots
+        let telemetry = state.telemetry(state.t0.elapsed().as_secs_f64());
+        if let Some(m) = monitor {
+            m.clear();
+        }
+        let results = slots
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
                     .unwrap()
                     .expect("every submitted job runs exactly once")
             })
-            .collect()
+            .collect();
+        (results, telemetry)
     }
 }
 
@@ -104,29 +154,73 @@ impl Default for Pool {
     }
 }
 
-fn worker_loop<T: Send>(me: usize, queues: &[JobDeque<'_, T>], slots: &[ResultSlot<T>]) {
+fn worker_loop<T: Send>(
+    me: usize,
+    queues: &[JobDeque<'_, T>],
+    slots: &[ResultSlot<T>],
+    state: &RunState,
+) {
+    let ws = &state.workers[me];
     loop {
-        let job = queues[me]
-            .lock()
-            .unwrap()
-            .pop_back()
-            .or_else(|| steal(me, queues));
+        let popped = {
+            let mut queue = queues[me].lock().unwrap();
+            let job = queue.pop_back();
+            ws.queue_len.store(queue.len(), Relaxed);
+            job
+        };
+        let job = popped.or_else(|| steal(me, queues, state));
         let Some((index, job)) = job else { return };
+        // Sample the worker's own queue depth at each job start: the mean
+        // over samples tells whether the round-robin deal left work parked
+        // behind long jobs.
+        let depth = ws.queue_len.load(Relaxed);
+        ws.qdepth_sum.fetch_add(depth as u64, Relaxed);
+        ws.qdepth_samples.fetch_add(1, Relaxed);
+        ws.qdepth_max.fetch_max(depth, Relaxed);
+        state.started.fetch_add(1, Relaxed);
+        ws.busy_since_ns.store(state.now_ns() + 1, Relaxed);
+        let t0 = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(job)).map_err(|payload| JobPanic {
             index,
             message: panic_message(payload.as_ref()),
         });
-        *slots[index].lock().unwrap() = Some(result);
+        let wall = t0.elapsed();
+        ws.busy_ns.fetch_add(wall.as_nanos() as u64, Relaxed);
+        ws.busy_since_ns.store(0, Relaxed);
+        ws.jobs.fetch_add(1, Relaxed);
+        if result.is_err() {
+            state.failed.fetch_add(1, Relaxed);
+        }
+        state.finished.fetch_add(1, Relaxed);
+        *slots[index].lock().unwrap() = Some(TimedResult {
+            result,
+            wall_secs: wall.as_secs_f64(),
+            worker: me,
+        });
     }
 }
 
 /// Steal the oldest job from the first non-empty sibling deque, scanning
-/// from the thief's right-hand neighbour around the ring.
-fn steal<'a, T>(me: usize, queues: &[JobDeque<'a, T>]) -> Option<(usize, Job<'a, T>)> {
+/// from the thief's right-hand neighbour around the ring. A hit counts on
+/// the thief; a full empty scan counts one miss (the thief retires).
+fn steal<'a, T>(
+    me: usize,
+    queues: &[JobDeque<'a, T>],
+    state: &RunState,
+) -> Option<(usize, Job<'a, T>)> {
     let n = queues.len();
-    (1..n)
-        .map(|d| (me + d) % n)
-        .find_map(|victim| queues[victim].lock().unwrap().pop_front())
+    for d in 1..n {
+        let victim = (me + d) % n;
+        let mut queue = queues[victim].lock().unwrap();
+        if let Some(job) = queue.pop_front() {
+            state.workers[victim].queue_len.store(queue.len(), Relaxed);
+            drop(queue);
+            state.workers[me].steals_ok.fetch_add(1, Relaxed);
+            return Some(job);
+        }
+    }
+    state.workers[me].steals_fail.fetch_add(1, Relaxed);
+    None
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -216,6 +310,78 @@ mod tests {
                 assert_eq!(slot.as_ref().unwrap(), &i);
             }
         }
+    }
+
+    #[test]
+    fn a_panicking_job_still_gets_a_wall_time() {
+        let jobs: Vec<Job<'static, ()>> = vec![
+            Box::new(|| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                panic!("late panic");
+            }),
+            Box::new(|| ()),
+        ];
+        let (out, telemetry) = Pool::new(1).run_timed(jobs, None);
+        assert!(out[0].result.is_err());
+        assert!(
+            out[0].wall_secs >= 0.004,
+            "panicking job must report the time it ran, got {}",
+            out[0].wall_secs
+        );
+        assert!(out[1].result.is_ok());
+        assert_eq!(telemetry.jobs_total, 2);
+        assert_eq!(telemetry.jobs_failed, 1);
+    }
+
+    #[test]
+    fn telemetry_accounts_every_job_to_a_worker() {
+        let (out, telemetry) = Pool::new(3).run_timed(boxed_jobs(20), None);
+        assert_eq!(telemetry.jobs_total, 20);
+        assert_eq!(telemetry.jobs_failed, 0);
+        assert_eq!(telemetry.workers.len(), 3);
+        let counted: u64 = telemetry.workers.iter().map(|w| w.jobs).sum();
+        assert_eq!(counted, 20);
+        assert!(telemetry.busy_secs() >= 0.0);
+        assert!(telemetry.wall_secs > 0.0);
+        assert!(telemetry.busy_fraction() <= 1.0);
+        // Every result's worker id is in range and its wall is sane.
+        for t in &out {
+            assert!(t.worker < 3);
+            assert!(t.wall_secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_run_yields_empty_telemetry() {
+        let (out, telemetry) = Pool::new(4).run_timed(Vec::<Job<'static, ()>>::new(), None);
+        assert!(out.is_empty());
+        assert_eq!(telemetry.jobs_total, 0);
+        assert_eq!(telemetry.busy_secs(), 0.0);
+    }
+
+    #[test]
+    fn monitor_attaches_during_the_run_and_detaches_after() {
+        let monitor = crate::PoolMonitor::new();
+        assert!(monitor.status().is_none(), "no run attached yet");
+        let seen = Mutex::new(None);
+        let jobs: Vec<Job<'_, ()>> = (0..4)
+            .map(|_| {
+                let monitor = monitor.clone();
+                let seen = &seen;
+                Box::new(move || {
+                    // Sampled from inside a job: the run is in flight.
+                    if let Some(status) = monitor.status() {
+                        *seen.lock().unwrap() = Some(status);
+                    }
+                }) as Job<'_, ()>
+            })
+            .collect();
+        let (_, telemetry) = Pool::new(2).run_timed(jobs, Some(&monitor));
+        let status = seen.into_inner().unwrap().expect("status sampled mid-run");
+        assert_eq!(status.total, 4);
+        assert!(status.started >= 1);
+        assert_eq!(status.workers.len(), telemetry.workers.len());
+        assert!(monitor.status().is_none(), "monitor detaches at close");
     }
 
     #[test]

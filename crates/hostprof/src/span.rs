@@ -1,0 +1,404 @@
+//! The span runtime: the enabled flag, per-thread span stacks, and the
+//! session registry the report is collected from.
+//!
+//! Concurrency model: one profiling **session** at a time per process
+//! ([`start`] holds a global lock). While a session is open, every thread
+//! that opens a span lazily registers a [`ThreadLog`] keyed by the
+//! session **epoch**; guards remember their epoch, so a guard that
+//! outlives its session (or straddles an enable flip) closes as a no-op
+//! instead of corrupting the next session's stacks.
+
+use crate::report::{HostReport, SpanEvent, SpanNode, ThreadSpans};
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Per-thread cap on recorded span events (aggregation is uncapped; the
+/// event log feeds the Perfetto export and is bounded to keep long runs
+/// from eating the host's memory). Overflow is counted, not silent.
+pub const EVENT_CAP: usize = 1 << 15;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Whether a profiling session is currently collecting spans.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+type SharedLog = Arc<Mutex<ThreadLog>>;
+
+struct Registry {
+    t0: Instant,
+    logs: Vec<SharedLog>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(Registry {
+            t0: Instant::now(),
+            logs: Vec::new(),
+        })
+    })
+}
+
+fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One aggregation node: a distinct span path on one thread.
+struct Node {
+    name: Cow<'static, str>,
+    calls: u64,
+    incl_ns: u64,
+    children: Vec<usize>,
+}
+
+/// One thread's span state for the current session.
+struct ThreadLog {
+    label: String,
+    nodes: Vec<Node>,
+    roots: Vec<usize>,
+    stack: Vec<usize>,
+    events: Vec<SpanEvent>,
+    dropped_events: u64,
+}
+
+impl ThreadLog {
+    fn new(label: String) -> Self {
+        ThreadLog {
+            label,
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            stack: Vec::new(),
+            events: Vec::new(),
+            dropped_events: 0,
+        }
+    }
+
+    /// Find-or-create the child of the current stack top named `name`,
+    /// push it, and return `(node index, depth)`.
+    fn open(&mut self, name: Cow<'static, str>) -> (usize, u32) {
+        let parent = self.stack.last().copied();
+        let siblings: &[usize] = match parent {
+            Some(p) => &self.nodes[p].children,
+            None => &self.roots,
+        };
+        let found = siblings
+            .iter()
+            .copied()
+            .find(|&c| self.nodes[c].name == name);
+        let idx = match found {
+            Some(idx) => idx,
+            None => {
+                let idx = self.nodes.len();
+                self.nodes.push(Node {
+                    name,
+                    calls: 0,
+                    incl_ns: 0,
+                    children: Vec::new(),
+                });
+                match parent {
+                    Some(p) => self.nodes[p].children.push(idx),
+                    None => self.roots.push(idx),
+                }
+                idx
+            }
+        };
+        self.stack.push(idx);
+        (idx, (self.stack.len() - 1) as u32)
+    }
+
+    fn close(&mut self, idx: usize, start_ns: u64, dur_ns: u64, depth: u32, record_event: bool) {
+        // Guards close in LIFO order on a given thread, so the top of the
+        // stack is this span — unless an enable flip perturbed things, in
+        // which case unwind to (and including) the matching frame.
+        if self.stack.last() == Some(&idx) {
+            self.stack.pop();
+        } else if let Some(pos) = self.stack.iter().rposition(|&n| n == idx) {
+            self.stack.truncate(pos);
+        }
+        let node = &mut self.nodes[idx];
+        node.calls += 1;
+        node.incl_ns += dur_ns;
+        if record_event {
+            if self.events.len() < EVENT_CAP {
+                self.events.push(SpanEvent {
+                    name: node.name.to_string(),
+                    start_ns,
+                    dur_ns,
+                    depth,
+                });
+            } else {
+                self.dropped_events += 1;
+            }
+        }
+    }
+
+    fn to_spans(&self) -> ThreadSpans {
+        fn build(log: &ThreadLog, idx: usize) -> SpanNode {
+            let node = &log.nodes[idx];
+            SpanNode {
+                name: node.name.to_string(),
+                calls: node.calls,
+                incl_ns: node.incl_ns,
+                children: node.children.iter().map(|&c| build(log, c)).collect(),
+            }
+        }
+        ThreadSpans {
+            label: self.label.clone(),
+            roots: self.roots.iter().map(|&r| build(self, r)).collect(),
+            events: self.events.clone(),
+            dropped_events: self.dropped_events,
+        }
+    }
+}
+
+struct TlState {
+    epoch: u64,
+    log: SharedLog,
+    t0: Instant,
+}
+
+thread_local! {
+    static TL: RefCell<Option<TlState>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's log for `epoch`, registering it on first use.
+fn tl_log(epoch: u64) -> (SharedLog, Instant) {
+    TL.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        if let Some(s) = slot.as_ref() {
+            if s.epoch == epoch {
+                return (s.log.clone(), s.t0);
+            }
+        }
+        let label = std::thread::current()
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("thread-{:?}", std::thread::current().id()));
+        let log = Arc::new(Mutex::new(ThreadLog::new(label)));
+        let mut reg = lock_ignoring_poison(registry());
+        reg.logs.push(log.clone());
+        let t0 = reg.t0;
+        drop(reg);
+        *slot = Some(TlState {
+            epoch,
+            log: log.clone(),
+            t0,
+        });
+        (log, t0)
+    })
+}
+
+/// An open span; closing happens on drop. Inert (and cost-free past one
+/// atomic load) when profiling is disabled.
+pub struct SpanGuard {
+    inner: Option<OpenSpan>,
+}
+
+struct OpenSpan {
+    epoch: u64,
+    node: usize,
+    depth: u32,
+    log: SharedLog,
+    t0: Instant,
+    start: Instant,
+    record_event: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.inner.take() else {
+            return;
+        };
+        let dur_ns = open.start.elapsed().as_nanos() as u64;
+        // A guard from a finished session closes as a no-op: its log is
+        // already detached and the next session must not see it.
+        if EPOCH.load(Ordering::Acquire) != open.epoch {
+            return;
+        }
+        let start_ns = open.start.saturating_duration_since(open.t0).as_nanos() as u64;
+        lock_ignoring_poison(&open.log).close(
+            open.node,
+            start_ns,
+            dur_ns,
+            open.depth,
+            open.record_event,
+        );
+    }
+}
+
+#[inline]
+fn open(name: Cow<'static, str>, record_event: bool) -> SpanGuard {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return SpanGuard { inner: None };
+    }
+    let epoch = EPOCH.load(Ordering::Acquire);
+    let (log, t0) = tl_log(epoch);
+    let (node, depth) = lock_ignoring_poison(&log).open(name);
+    SpanGuard {
+        inner: Some(OpenSpan {
+            epoch,
+            node,
+            depth,
+            log,
+            t0,
+            start: Instant::now(),
+            record_event,
+        }),
+    }
+}
+
+/// Open a span named by a static string, recorded in both the aggregate
+/// tree and the per-thread event log.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    open(Cow::Borrowed(name), true)
+}
+
+/// Open a **hot** span: aggregated (calls + time) but kept out of the
+/// event log, so per-access instrumentation does not flood the Perfetto
+/// export or burn the event cap.
+#[inline]
+pub fn span_hot(name: &'static str) -> SpanGuard {
+    open(Cow::Borrowed(name), false)
+}
+
+/// Open a span with a runtime-built name (e.g. `cell:<id>` roots). The
+/// allocation only happens when profiling is enabled.
+#[inline]
+pub fn span_named(name: impl FnOnce() -> String) -> SpanGuard {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return SpanGuard { inner: None };
+    }
+    open(Cow::Owned(name()), true)
+}
+
+/// The process-wide session lock: callers that run profiling sessions
+/// from tests (which share one process) take this to serialize them.
+pub fn exclusive() -> MutexGuard<'static, ()> {
+    static SESSION: OnceLock<Mutex<()>> = OnceLock::new();
+    lock_ignoring_poison(SESSION.get_or_init(|| Mutex::new(())))
+}
+
+/// Reset all state and start collecting spans. Prefer [`start`], which
+/// also takes the session lock.
+pub fn begin() {
+    let mut reg = lock_ignoring_poison(registry());
+    reg.logs.clear();
+    reg.t0 = Instant::now();
+    drop(reg);
+    EPOCH.fetch_add(1, Ordering::AcqRel);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Stop collecting and build the report. Spans still open when `end` runs
+/// are discarded (their guards observe a bumped epoch).
+pub fn end() -> HostReport {
+    ENABLED.store(false, Ordering::Release);
+    EPOCH.fetch_add(1, Ordering::AcqRel);
+    let (t0, logs) = {
+        let mut reg = lock_ignoring_poison(registry());
+        (reg.t0, std::mem::take(&mut reg.logs))
+    };
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let threads = logs
+        .iter()
+        .map(|log| lock_ignoring_poison(log).to_spans())
+        .collect();
+    HostReport { threads, wall_secs }
+}
+
+/// An exclusive profiling session: [`start`] locks out other sessions and
+/// begins collecting; [`Session::finish`] ends collection and returns the
+/// report.
+pub struct Session {
+    _guard: MutexGuard<'static, ()>,
+}
+
+/// Start an exclusive profiling session.
+pub fn start() -> Session {
+    let guard = exclusive();
+    begin();
+    Session { _guard: guard }
+}
+
+impl Session {
+    /// End the session and collect the report.
+    pub fn finish(self) -> HostReport {
+        end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _outer = exclusive();
+        assert!(!enabled());
+        let g = span("never.recorded");
+        assert!(g.inner.is_none());
+        drop(g);
+    }
+
+    #[test]
+    fn nesting_aggregates_inclusive_time_and_calls() {
+        let guard = exclusive();
+        begin();
+        for _ in 0..3 {
+            let _a = span("a");
+            for _ in 0..2 {
+                let _b = span_hot("a.b");
+                std::hint::black_box(0u64);
+            }
+        }
+        let report = end();
+        drop(guard);
+        let merged = report.merged();
+        assert_eq!(merged.len(), 1);
+        let a = &merged[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.calls, 3);
+        assert_eq!(a.children.len(), 1);
+        assert_eq!(a.children[0].name, "a.b");
+        assert_eq!(a.children[0].calls, 6);
+        assert!(a.incl_ns >= a.children[0].incl_ns);
+        // Only `a` records events (`a.b` is hot): 3 of them.
+        let events: usize = report.threads.iter().map(|t| t.events.len()).sum();
+        assert_eq!(events, 3);
+    }
+
+    #[test]
+    fn guard_outliving_its_session_is_discarded() {
+        let guard = exclusive();
+        begin();
+        let stale = span("stale");
+        let _ = end();
+        begin();
+        drop(stale); // closes against a bumped epoch: must not register
+        let report = end();
+        drop(guard);
+        assert!(report.merged().is_empty());
+    }
+
+    #[test]
+    fn event_log_caps_and_counts_drops() {
+        let guard = exclusive();
+        begin();
+        for _ in 0..(EVENT_CAP + 10) {
+            let _s = span("spin");
+        }
+        let report = end();
+        drop(guard);
+        assert_eq!(report.dropped_events(), 10);
+        let merged = report.merged();
+        assert_eq!(merged[0].calls, (EVENT_CAP + 10) as u64);
+    }
+}

@@ -419,6 +419,7 @@ impl Runtime {
     /// Sequential program text between parallel constructs, executed by the
     /// master thread (CPU 0) with full simulation of its accesses.
     pub fn serial<R>(&mut self, body: impl FnOnce(&mut Par) -> R) -> R {
+        let _hp = hostprof::span_hot("omp.serial");
         self.apply_pending_rebind();
         let before = self
             .machine
@@ -466,6 +467,7 @@ impl Runtime {
     }
 
     fn run_region(&mut self, work: impl FnOnce(&mut Machine, usize)) -> RegionSummary {
+        let _hp = hostprof::span_hot("omp.region");
         // Snapshot only when tracing: the per-region remote-fraction
         // histogram needs a stats delta across the region.
         let before = self

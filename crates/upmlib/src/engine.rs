@@ -242,6 +242,7 @@ impl UpmEngine {
         if !self.active {
             return 0;
         }
+        let _hp = hostprof::span_hot("upmlib.migrate_memory");
         self.invocations += 1;
         let invocation = self.invocations;
         let views = self.hot_page_views(machine);

@@ -93,6 +93,7 @@ impl UpmEngine {
     /// `upmlib_replay`: execute the migrations recorded for the next phase
     /// transition of the current iteration. Returns pages moved.
     pub fn replay(&mut self, machine: &mut Machine) -> usize {
+        let _hp = hostprof::span_hot("upmlib.replay");
         let Some(list) = self.replay_lists.get(self.replay_cursor) else {
             return 0;
         };

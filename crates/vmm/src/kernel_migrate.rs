@@ -133,6 +133,7 @@ impl KernelMigrationEngine {
         if now - self.last_scan_ns < self.config.scan_period_ns {
             return 0;
         }
+        let _hp = hostprof::span_hot("vmm.kernel_scan");
         self.last_scan_ns = now;
         self.stats.scans += 1;
         // Collect candidates: (priority, vpage, target-node).

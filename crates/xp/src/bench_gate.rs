@@ -18,8 +18,15 @@
 //!   and makes the command exit non-zero.
 //!
 //! Records are schema-versioned like the trace format: a reader rejects a
-//! record with a different major version, so a stale baseline fails with
+//! record with an unknown major version, so a stale baseline fails with
 //! a clear message instead of nonsense deltas.
+//!
+//! Schema v2 adds a per-benchmark **host-time breakdown** (`host_secs`:
+//! exclusive host seconds per component, from a [`hostprof`] session
+//! around the suite) so a perf investigation can tell *which layer* of
+//! the simulator got slower, not just that the run did. v1 records —
+//! including committed `history.jsonl` lines — still load; they simply
+//! carry an empty breakdown.
 
 use crate::report::Report;
 use crate::CellPlan;
@@ -29,10 +36,12 @@ use std::path::Path;
 
 /// Schema name stamped into every gate record.
 pub const BENCH_SCHEMA_NAME: &str = "ddnomp-bench";
-/// Incompatible-change version: readers reject a different major.
-pub const BENCH_SCHEMA_MAJOR: u64 = 1;
+/// Major version written by this build.
+pub const BENCH_SCHEMA_MAJOR: u64 = 2;
 /// Additive-change version.
 pub const BENCH_SCHEMA_MINOR: u64 = 0;
+/// Majors this build can read: v1 (no host breakdown) and v2.
+pub const BENCH_SCHEMA_MAJORS_READ: [u64; 2] = [1, 2];
 
 /// One benchmark's recorded gate numbers.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,12 +56,19 @@ pub struct GateEntry {
     pub migrations: u64,
     /// Whole-run remote access fraction (deterministic; informational).
     pub remote_fraction: f64,
+    /// Exclusive host seconds per component (`ccnuma`, `omp`, ...),
+    /// descending — schema v2, empty on records loaded from v1 (noisy;
+    /// informational only).
+    pub host_secs: Vec<(String, f64)>,
 }
 
 /// One recorded suite run: the schema-versioned unit of `baseline.json`
 /// and of each `history.jsonl` line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateRecord {
+    /// The major version this record was parsed from (records you build
+    /// carry the current [`BENCH_SCHEMA_MAJOR`]).
+    pub schema_major: u64,
     /// Problem-scale label the suite ran at.
     pub scale: String,
     /// Experiment seed the suite ran with.
@@ -68,12 +84,19 @@ impl GateRecord {
             .entries
             .iter()
             .map(|e| {
+                let host_secs = Value::Object(
+                    e.host_secs
+                        .iter()
+                        .map(|(component, secs)| (component.clone(), (*secs).into()))
+                        .collect(),
+                );
                 Value::object(vec![
                     ("id", e.id.as_str().into()),
                     ("sim_secs", e.sim_secs.into()),
                     ("wall_secs", e.wall_secs.into()),
                     ("migrations", e.migrations.into()),
                     ("remote_fraction", e.remote_fraction.into()),
+                    ("host_secs", host_secs),
                 ])
             })
             .collect();
@@ -93,10 +116,10 @@ impl GateRecord {
             return Err(format!("not a {BENCH_SCHEMA_NAME} record"));
         }
         let major = v.get("major").and_then(|m| m.as_u64()).unwrap_or(0);
-        if major != BENCH_SCHEMA_MAJOR {
+        if !BENCH_SCHEMA_MAJORS_READ.contains(&major) {
             return Err(format!(
                 "unsupported {BENCH_SCHEMA_NAME} major version {major} \
-                 (this build reads {BENCH_SCHEMA_MAJOR}); re-record the baseline"
+                 (this build reads {BENCH_SCHEMA_MAJORS_READ:?}); re-record the baseline"
             ));
         }
         let field = |obj: &Value, key: &str| -> Result<Value, String> {
@@ -126,9 +149,25 @@ impl GateRecord {
                 remote_fraction: field(entry, "remote_fraction")?
                     .as_f64()
                     .ok_or("'remote_fraction' is not a number")?,
+                // v2 field: v1 entries simply have no breakdown.
+                host_secs: match entry.get("host_secs") {
+                    Some(Value::Object(pairs)) => pairs
+                        .iter()
+                        .map(|(component, secs)| {
+                            Ok((
+                                component.clone(),
+                                secs.as_f64().ok_or_else(|| {
+                                    "'host_secs' value is not a number".to_string()
+                                })?,
+                            ))
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                    _ => Vec::new(),
+                },
             });
         }
         Ok(GateRecord {
+            schema_major: major,
             scale: field(v, "scale")?
                 .as_str()
                 .ok_or("'scale' is not a string")?
@@ -155,6 +194,24 @@ impl GateRecord {
     }
 }
 
+/// Load a `history.jsonl` file: one record per line, any mix of readable
+/// schema majors (a committed v1 history keeps loading after v2 records
+/// are appended).
+pub fn load_history(path: &Path) -> Result<Vec<GateRecord>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let context = |e| format!("{}:{}: {e}", path.display(), i + 1);
+        let v = Value::parse(line).map_err(|e| context(e.to_string()))?;
+        records.push(GateRecord::from_json(&v).map_err(context)?);
+    }
+    Ok(records)
+}
+
 /// The gate suite's run configuration: the `xp trace` reference
 /// configuration with tracing off (the gate measures, it doesn't record
 /// events).
@@ -166,18 +223,27 @@ pub fn gate_config() -> RunConfig {
 }
 
 /// Run the suite on the cell pool and collect one entry per benchmark.
+/// The suite runs under a [`hostprof`] session, so each entry carries its
+/// per-component host-time breakdown (schema v2).
 pub fn measure(benches: &[BenchName], scale: Scale) -> Vec<GateEntry> {
+    let session = hostprof::start();
     let mut plan = CellPlan::new();
     for &bench in benches {
         plan.add(bench.label().to_ascii_lowercase(), move || {
             crate::run_one(bench, scale, &gate_config())
         });
     }
-    plan.execute()
+    let outputs = plan.execute();
+    let host = session.finish();
+    outputs
         .into_iter()
         .map(|output| {
             let id = output.id.clone();
             let wall_secs = output.wall_secs;
+            let host_secs = host
+                .root(&format!("cell:{id}"))
+                .map(|root| hostprof::component_breakdown(std::slice::from_ref(&root)))
+                .unwrap_or_default();
             let result = output.expect_ok();
             let engine_migrations: u64 = result
                 .upm
@@ -190,15 +256,29 @@ pub fn measure(benches: &[BenchName], scale: Scale) -> Vec<GateEntry> {
                 wall_secs,
                 migrations: engine_migrations + result.kernel_migrations,
                 remote_fraction: result.remote_fraction,
+                host_secs,
             }
         })
         .collect()
+}
+
+/// The dominant host-time component of an entry, as a table cell
+/// (`ccnuma 62%`, or `-` when the record has no breakdown).
+fn host_top(entry: &GateEntry) -> String {
+    let total: f64 = entry.host_secs.iter().map(|(_, secs)| secs).sum();
+    match entry.host_secs.first() {
+        Some((component, secs)) if total > 0.0 => {
+            format!("{component} {:.0}%", secs / total * 100.0)
+        }
+        _ => "-".to_string(),
+    }
 }
 
 /// `xp bench --record`: measure the suite, write `baseline.json`, append
 /// to `history.jsonl`, and report what was recorded.
 pub fn record(benches: &[BenchName], scale: Scale, history: &Path) -> Result<Report, String> {
     let record = GateRecord {
+        schema_major: BENCH_SCHEMA_MAJOR,
         scale: scale.label().to_string(),
         seed: crate::seed::get(),
         entries: measure(benches, scale),
@@ -220,6 +300,7 @@ pub fn record(benches: &[BenchName], scale: Scale, history: &Path) -> Result<Rep
             "Wall (s)",
             "Migrations",
             "Remote fraction",
+            "Host top",
         ],
     );
     for e in &record.entries {
@@ -229,6 +310,7 @@ pub fn record(benches: &[BenchName], scale: Scale, history: &Path) -> Result<Rep
             format!("{:.2}", e.wall_secs),
             e.migrations.to_string(),
             format!("{:.4}", e.remote_fraction),
+            host_top(e),
         ]);
     }
     report.note(format!(
@@ -284,6 +366,7 @@ pub fn check(
             "Migr head",
             "Remote head",
             "Wall head (s)",
+            "Host top",
             "Status",
         ],
     );
@@ -299,6 +382,7 @@ pub fn check(
                 entry.migrations.to_string(),
                 format!("{:.4}", entry.remote_fraction),
                 format!("{:.2}", entry.wall_secs),
+                host_top(entry),
                 "new (no baseline)".into(),
             ]);
             continue;
@@ -338,16 +422,28 @@ pub fn check(
             entry.migrations.to_string(),
             format!("{:.4}", entry.remote_fraction),
             format!("{:.2}", entry.wall_secs),
+            host_top(entry),
             status,
         ]);
     }
     report.note(format!(
-        "baseline: scale {}, seed {} ({} entries); wall time is informational, \
-         simulated time and migrations are gated",
+        "baseline: schema v{}, scale {}, seed {} ({} entries); wall time and host \
+         breakdown are informational, simulated time and migrations are gated",
+        baseline.schema_major,
         baseline.scale,
         baseline.seed,
         baseline.entries.len()
     ));
+    if let Ok(history_records) = load_history(&history.join("history.jsonl")) {
+        let v1 = history_records
+            .iter()
+            .filter(|r| r.schema_major == 1)
+            .count();
+        report.note(format!(
+            "history: {} recorded run(s) ({v1} at schema v1)",
+            history_records.len()
+        ));
+    }
     if regressions > 0 {
         report.note(format!("{regressions} benchmark(s) REGRESSED"));
     }
@@ -363,6 +459,7 @@ mod tests {
 
     fn sample_record() -> GateRecord {
         GateRecord {
+            schema_major: BENCH_SCHEMA_MAJOR,
             scale: "tiny".into(),
             seed: 20000,
             entries: vec![
@@ -372,6 +469,7 @@ mod tests {
                     wall_secs: 0.4,
                     migrations: 120,
                     remote_fraction: 0.31,
+                    host_secs: vec![("ccnuma".into(), 0.25), ("omp".into(), 0.125)],
                 },
                 GateEntry {
                     id: "mg".into(),
@@ -379,9 +477,29 @@ mod tests {
                     wall_secs: 0.2,
                     migrations: 60,
                     remote_fraction: 0.18,
+                    host_secs: Vec::new(),
                 },
             ],
         }
+    }
+
+    /// A record as schema v1 wrote it: major 1, no `host_secs`.
+    fn v1_json() -> Value {
+        let entry = Value::object(vec![
+            ("id", "cg".into()),
+            ("sim_secs", 1.25.into()),
+            ("wall_secs", 0.4.into()),
+            ("migrations", 120u64.into()),
+            ("remote_fraction", 0.31.into()),
+        ]);
+        Value::object(vec![
+            ("schema", BENCH_SCHEMA_NAME.into()),
+            ("major", 1u64.into()),
+            ("minor", 0u64.into()),
+            ("scale", "tiny".into()),
+            ("seed", 20000u64.into()),
+            ("entries", Value::Array(vec![entry])),
+        ])
     }
 
     #[test]
@@ -389,6 +507,16 @@ mod tests {
         let record = sample_record();
         let parsed = GateRecord::from_json(&record.to_json()).unwrap();
         assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn v1_records_still_load_with_an_empty_host_breakdown() {
+        let parsed = GateRecord::from_json(&v1_json()).unwrap();
+        assert_eq!(parsed.schema_major, 1);
+        assert_eq!(parsed.entries[0].id, "cg");
+        assert_eq!(parsed.entries[0].sim_secs, 1.25);
+        assert!(parsed.entries[0].host_secs.is_empty());
+        assert_eq!(host_top(&parsed.entries[0]), "-");
     }
 
     #[test]
@@ -405,6 +533,29 @@ mod tests {
         assert!(err.contains("unsupported"), "{err}");
         assert!(err.contains("re-record"), "{err}");
         assert!(GateRecord::from_json(&Value::object(vec![("schema", "nope".into())])).is_err());
+    }
+
+    #[test]
+    fn a_mixed_v1_v2_history_loads_in_order() {
+        let dir = std::env::temp_dir().join(format!("ddnomp-hist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.jsonl");
+        std::fs::write(
+            &path,
+            format!("{}\n{}\n", v1_json(), sample_record().to_json()),
+        )
+        .unwrap();
+        let records = load_history(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].schema_major, 1);
+        assert_eq!(records[1].schema_major, 2);
+        assert!(records[0].entries[0].host_secs.is_empty());
+        assert!(!records[1].entries[0].host_secs.is_empty());
+        // A corrupt line fails with the line number, not silently.
+        std::fs::write(&path, "not json\n").unwrap();
+        let err = load_history(&path).unwrap_err();
+        assert!(err.contains(":1:"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use xp::summary::SummaryEntry;
 use xp::Report;
 
 const COMMANDS: &str =
-    "table1|fig1|fig4|table2|fig5|fig6|ablations|multiprog|all|trace|prof|bench|lint";
+    "table1|fig1|fig4|table2|fig5|fig6|ablations|multiprog|all|trace|prof|selfprof|bench|lint";
 
 const USAGE: &str = "\
 xp — experiment driver for the data-distribution study
@@ -31,6 +31,7 @@ usage:
   xp trace <bt|sp|cg|mg|ft> [--scale tiny|small|medium] [--out DIR]
   xp prof <bt|sp|cg|mg|ft>|--all [--scale tiny|small|medium] [--out DIR]
           [--from FILE]
+  xp selfprof <bt|sp|cg|mg|ft>|--all [--scale tiny|small|medium] [--out DIR]
   xp bench --record|--check [--bench bt|sp|cg|mg|ft] [--threshold PCT]
           [--history DIR] [--scale tiny|small|medium] [--out DIR]
   xp lint [--bench bt|sp|cg|mg|ft] [--all] [--deny CODES] [--allow FILE]
@@ -53,6 +54,9 @@ commands:
              heatmaps and convergence diagnostics; writes
              prof-<bench>.{md,jsonl,chrome.json} under the output dir
              (--from FILE re-analyses a saved trace.jsonl offline)
+  selfprof   host-side self-profile: where the simulator's own host CPU
+             time goes (span tree, per-component breakdown); writes
+             selfprof-<bench>.{md,jsonl,chrome.json} under the output dir
   bench      perf-regression gate: --record writes results/history/
              baseline.json (and appends to history.jsonl); --check re-runs
              the suite and exits 1 if simulated time or migrations grew
@@ -71,8 +75,8 @@ options:
   --trace DIR                also record an event trace of every run into
                              DIR (commands other than trace)
   --bench NAME               restrict lint or bench to one benchmark
-  --all                      all five benchmarks (lint: default; prof:
-                             instead of a positional benchmark)
+  --all                      all five benchmarks (lint: default; prof and
+                             selfprof: instead of a positional benchmark)
   --from FILE                prof: analyse a saved trace.jsonl instead of
                              running the benchmark
   --record                   bench: record the current suite as baseline
@@ -218,8 +222,8 @@ fn main() {
     if !matches!(command.as_str(), "lint" | "bench") && lint_bench.is_some() {
         die("--bench applies to `xp lint` and `xp bench`");
     }
-    if !matches!(command.as_str(), "lint" | "prof") && lint_all {
-        die("--all applies to `xp lint` and `xp prof`");
+    if !matches!(command.as_str(), "lint" | "prof" | "selfprof") && lint_all {
+        die("--all applies to `xp lint`, `xp prof` and `xp selfprof`");
     }
     if command != "lint" && (lint_deny.is_some() || lint_allow.is_some()) {
         die("--deny/--allow apply to `xp lint`");
@@ -232,14 +236,14 @@ fn main() {
     {
         die("--record/--check/--threshold/--history apply to `xp bench`");
     }
-    if !matches!(command.as_str(), "trace" | "prof") {
+    if !matches!(command.as_str(), "trace" | "prof" | "selfprof") {
         if let Some(extra) = positionals.get(1) {
             die(&format!("unexpected argument '{extra}'"));
         }
         xp::trace::set_dir(trace_dir);
     } else if trace_dir.is_some() {
         die(&format!(
-            "--trace applies to the other commands; `xp {command}` always records its trace"
+            "--trace applies to the other commands; `xp {command}` manages its own tracing"
         ));
     }
 
@@ -325,6 +329,28 @@ fn main() {
                 }),
             )]
         }
+        "selfprof" => {
+            let benches: Vec<nas::BenchName> = match (positionals.get(1), lint_all) {
+                (Some(_), true) => die("selfprof takes a benchmark or --all, not both"),
+                (None, false) => {
+                    die("selfprof needs a benchmark (expected bt|sp|cg|mg|ft) or --all")
+                }
+                (None, true) => nas::BenchName::all().to_vec(),
+                (Some(name), false) => vec![xp::trace::parse_bench(name).unwrap_or_else(|| {
+                    die(&format!(
+                        "unknown benchmark '{name}' (expected bt|sp|cg|mg|ft)"
+                    ))
+                })],
+            };
+            if let Some(extra) = positionals.get(2) {
+                die(&format!("unexpected argument '{extra}'"));
+            }
+            let out = out_dir.clone();
+            vec![(
+                "selfprof",
+                Box::new(move || xp::selfprof::run(&benches, scale, &out)),
+            )]
+        }
         "bench" => {
             if bench_record == bench_check {
                 die("bench needs exactly one of --record or --check");
@@ -404,12 +430,17 @@ fn main() {
     };
 
     let mut entries: Vec<SummaryEntry> = Vec::new();
-    let mut reports: Vec<Report> = Vec::new();
+    // Per job: its reports plus the pool-telemetry footer its plans
+    // accumulated. The footer goes to stdout only, never into the saved
+    // JSON, so result trees stay identical across --jobs counts.
+    let mut groups: Vec<(Vec<Report>, Vec<String>)> = Vec::new();
     for (id, job) in jobs {
         xp::summary::take_sim_secs();
         xp::summary::take_wall();
+        xp::telemetry::take_footer();
         let t0 = Instant::now();
-        let mut produced = job();
+        let produced = job();
+        let footer = xp::telemetry::take_footer();
         let (cells_wall_secs, pool_wall_secs) = xp::summary::take_wall();
         entries.push(SummaryEntry {
             id: id.to_string(),
@@ -418,14 +449,22 @@ fn main() {
             cells_wall_secs,
             pool_wall_secs,
         });
-        reports.append(&mut produced);
+        groups.push((produced, footer));
     }
 
-    for report in &reports {
-        print!("{}", report.to_markdown());
-        match report.save_json(&out_dir) {
-            Ok(path) => eprintln!("[saved {}]", path.display()),
-            Err(e) => eprintln!("[warn: could not save {}: {e}]", report.id),
+    for (reports, footer) in &groups {
+        for report in reports {
+            print!("{}", report.to_markdown());
+            match report.save_json(&out_dir) {
+                Ok(path) => eprintln!("[saved {}]", path.display()),
+                Err(e) => eprintln!("[warn: could not save {}: {e}]", report.id),
+            }
+        }
+        if !footer.is_empty() {
+            for line in footer {
+                println!("[pool] {line}");
+            }
+            println!();
         }
     }
     let scale_label = match scale {

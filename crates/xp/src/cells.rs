@@ -24,10 +24,11 @@
 //! surfaces as an `Err` output (a failed *row* in the report), never a
 //! dead run, and never poisons sibling cells.
 
-use exec::{Job, JobPanic, Pool};
+use exec::{Job, JobPanic, Pool, PoolMonitor};
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Per-cell context, installed on the worker thread for the duration of
 /// one cell: collects what the cell's runs credit to the process-globals.
@@ -66,12 +67,13 @@ pub(crate) fn defer_trace(trace: crate::trace::PendingTrace) -> Option<crate::tr
 }
 
 /// What one executed cell produced, before the merge replays its side
-/// effects.
+/// effects. The cell's wall time is **not** here: the pool measures it
+/// around the whole job ([`exec::TimedResult`]), so it exists even when
+/// the wrapper itself dies.
 struct CellRun<T> {
     value: Result<T, String>,
     sim_secs: f64,
     traces: Vec<crate::trace::PendingTrace>,
-    wall_secs: f64,
 }
 
 /// One merged cell result, in plan order.
@@ -144,51 +146,71 @@ impl<'a, T: Send + 'a> CellPlan<'a, T> {
     /// replayed in plan order, and the plan's wall-clock statistics are
     /// credited to [`crate::summary`].
     pub fn execute_on(self, pool: &Pool) -> Vec<CellOutput<T>> {
+        let total = self.cells.len();
         let (ids, jobs): (Vec<String>, Vec<Job<'a, T>>) = self.cells.into_iter().unzip();
-        let wrapped: Vec<Job<'a, CellRun<T>>> = jobs
-            .into_iter()
-            .map(|job| {
+        // Completed simulated microseconds, fed live to the dashboard's
+        // sim-secs/s throughput readout.
+        let sim_done_us = Arc::new(AtomicU64::new(0));
+        let wrapped: Vec<Job<'a, CellRun<T>>> = ids
+            .iter()
+            .cloned()
+            .zip(jobs)
+            .map(|(id, job)| {
+                let sim_done_us = Arc::clone(&sim_done_us);
                 Box::new(move || {
-                    let t0 = Instant::now();
+                    // Host-profiling root for this cell: every span the cell
+                    // opens (ccnuma/vmm/omp/upmlib) nests under `cell:<id>`
+                    // on this worker's stack, and the root's inclusive time
+                    // reconciles with the pool-measured cell wall time.
+                    let _hp = hostprof::span_named(|| format!("cell:{id}"));
                     CTX.with(|ctx| *ctx.borrow_mut() = Some(CellCtx::default()));
                     let value =
                         catch_unwind(AssertUnwindSafe(job)).map_err(|p| panic_message(p.as_ref()));
                     let ctx = CTX
                         .with(|ctx| ctx.borrow_mut().take())
                         .expect("cell context installed above");
+                    sim_done_us.fetch_add((ctx.sim_secs * 1e6) as u64, Ordering::Relaxed);
                     CellRun {
                         value,
                         sim_secs: ctx.sim_secs,
                         traces: ctx.traces,
-                        wall_secs: t0.elapsed().as_secs_f64(),
                     }
                 }) as Job<'a, CellRun<T>>
             })
             .collect();
-        let t0 = Instant::now();
-        let runs = pool.run(wrapped);
-        crate::summary::add_pool_wall(t0.elapsed().as_secs_f64());
+        let monitor = PoolMonitor::new();
+        let dash = crate::dash::spawn(monitor.clone(), total, Arc::clone(&sim_done_us));
+        let (runs, telemetry) = pool.run_timed(wrapped, Some(&monitor));
+        if let Some(dash) = dash {
+            dash.finish();
+        }
+        crate::summary::add_pool_wall(telemetry.wall_secs);
+        let cell_walls: Vec<f64> = runs.iter().map(|t| t.wall_secs).collect();
+        crate::telemetry::record_plan(&telemetry, &cell_walls);
         runs.into_iter()
             .zip(ids)
             .enumerate()
-            .map(|(index, (run, id))| {
+            .map(|(index, (timed, id))| {
+                // The pool measured the wall time around the whole job, so a
+                // panicking cell — even a dead *wrapper* — still reports how
+                // long it ran before dying.
+                let wall_secs = timed.wall_secs;
                 // The wrapper catches the cell's panic itself, so a pool-level
-                // Err means the *wrapper* died — re-surface it as a message.
-                let run = run.unwrap_or_else(|p| CellRun {
+                // Err means the wrapper died — re-surface it as a message.
+                let run = timed.result.unwrap_or_else(|p| CellRun {
                     value: Err(p.message),
                     sim_secs: 0.0,
                     traces: Vec::new(),
-                    wall_secs: 0.0,
                 });
                 crate::summary::add_sim_secs(run.sim_secs);
-                crate::summary::add_cell_wall(run.wall_secs);
+                crate::summary::add_cell_wall(wall_secs);
                 for trace in run.traces {
                     crate::trace::write_pending(trace);
                 }
                 CellOutput {
                     id,
                     value: run.value.map_err(|message| JobPanic { index, message }),
-                    wall_secs: run.wall_secs,
+                    wall_secs,
                 }
             })
             .collect()

@@ -1,0 +1,179 @@
+//! Live TTY dashboard for multi-cell sweeps.
+//!
+//! While a [`crate::cells::CellPlan`] runs, a background thread polls the
+//! pool's [`exec::PoolMonitor`] and paints one status line on stderr:
+//! cells done/running/failed, a per-worker utilization bar, simulated
+//! throughput (sim-secs per host second) and a naive ETA. The line is
+//! redrawn in place with `\r` on a TTY; on a plain pipe (CI logs) it
+//! degrades to a full log line every couple of seconds, and short runs
+//! print nothing at all.
+//!
+//! Everything goes to **stderr** and never into a saved report, so the
+//! `--jobs 1` vs `--jobs 4` result trees stay byte-identical. Set
+//! `XP_DASH=0` to silence it entirely, `XP_DASH=tty` to force the TTY
+//! renderer (useful for eyeballing the escape codes through a pipe).
+
+use exec::PoolMonitor;
+use std::io::{IsTerminal, Write as _};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Utilization glyphs, roughly 0%..100% busy.
+const BARS: &[u8] = b" .:-=+*#%@";
+
+/// How often the TTY renderer repaints.
+const TTY_PERIOD: Duration = Duration::from_millis(100);
+
+/// How often the plain-log fallback emits a line (and the minimum run
+/// length before it says anything).
+const PLAIN_PERIOD: Duration = Duration::from_secs(2);
+
+/// Handle to a running dashboard thread; [`Dash::finish`] stops it.
+pub(crate) struct Dash {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl Dash {
+    /// Stop polling, join the thread, and (on a TTY) clear the status
+    /// line so subsequent report output starts on a clean row.
+    pub(crate) fn finish(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.handle.join();
+    }
+}
+
+/// Spawn the dashboard for a plan of `total` cells, or `None` when a
+/// dashboard would be noise (single-cell plans, `XP_DASH=0`).
+pub(crate) fn spawn(
+    monitor: PoolMonitor,
+    total: usize,
+    sim_done_us: Arc<AtomicU64>,
+) -> Option<Dash> {
+    let mode = std::env::var("XP_DASH").unwrap_or_default();
+    if total < 2 || mode == "0" {
+        return None;
+    }
+    let tty = mode == "tty" || std::io::stderr().is_terminal();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("xp-dash".into())
+        .spawn(move || run(monitor, total, sim_done_us, stop_flag, tty))
+        .ok()?;
+    Some(Dash { stop, handle })
+}
+
+fn run(
+    monitor: PoolMonitor,
+    total: usize,
+    sim_done_us: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    tty: bool,
+) {
+    let t0 = Instant::now();
+    let period = if tty { TTY_PERIOD } else { PLAIN_PERIOD };
+    let mut next = t0 + period;
+    let mut painted = false;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if Instant::now() >= next {
+            next += period;
+            if let Some(line) = render(&monitor, total, &sim_done_us, t0) {
+                if tty {
+                    eprint!("\r\x1b[2K{line}");
+                    let _ = std::io::stderr().flush();
+                    painted = true;
+                } else {
+                    eprintln!("{line}");
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    if tty && painted {
+        eprint!("\r\x1b[2K");
+        let _ = std::io::stderr().flush();
+    }
+}
+
+/// One status line, or `None` when the monitor has no active run.
+fn render(
+    monitor: &PoolMonitor,
+    total: usize,
+    sim_done_us: &AtomicU64,
+    t0: Instant,
+) -> Option<String> {
+    let status = monitor.status()?;
+    let running = status
+        .started
+        .saturating_sub(status.finished + status.failed);
+    let done = status.finished + status.failed;
+    let bars: String = status
+        .workers
+        .iter()
+        .map(|w| {
+            let i = (w.busy_fraction * (BARS.len() - 1) as f64).round() as usize;
+            BARS[i.min(BARS.len() - 1)] as char
+        })
+        .collect();
+    let busy: f64 = if status.workers.is_empty() {
+        0.0
+    } else {
+        status.workers.iter().map(|w| w.busy_fraction).sum::<f64>() / status.workers.len() as f64
+    };
+    let elapsed = t0.elapsed().as_secs_f64();
+    let rate = if elapsed > 0.0 {
+        sim_done_us.load(Ordering::Relaxed) as f64 / 1e6 / elapsed
+    } else {
+        0.0
+    };
+    let eta = if done > 0 && done < total {
+        let per_cell = elapsed / done as f64;
+        fmt_secs(per_cell * (total - done) as f64)
+    } else {
+        "--".to_string()
+    };
+    let mut line = format!(
+        "[xp] {done}/{total} cells ({running} running, {failed} failed) | workers [{bars}] {busy:3.0}% | {rate:.2} sim-s/s | ETA {eta}",
+        failed = status.failed,
+        busy = busy * 100.0,
+    );
+    if line.len() > 120 {
+        line.truncate(120);
+    }
+    Some(line)
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 90.0 {
+        format!("{:.0}m{:02.0}s", (s / 60.0).floor(), s % 60.0)
+    } else {
+        format!("{s:.0}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cell_plans_get_no_dashboard() {
+        assert!(spawn(PoolMonitor::new(), 1, Arc::new(AtomicU64::new(0))).is_none());
+    }
+
+    #[test]
+    fn render_without_an_active_run_is_silent() {
+        let monitor = PoolMonitor::new();
+        assert!(render(&monitor, 4, &AtomicU64::new(0), Instant::now()).is_none());
+    }
+
+    #[test]
+    fn eta_formatting_covers_both_branches() {
+        assert_eq!(fmt_secs(42.0), "42s");
+        assert_eq!(fmt_secs(150.0), "2m30s");
+    }
+}

@@ -19,6 +19,7 @@
 pub mod ablation;
 pub mod bench_gate;
 pub mod cells;
+mod dash;
 pub mod fig1;
 pub mod fig4;
 pub mod fig5;
@@ -30,9 +31,11 @@ pub mod prof;
 pub mod report;
 pub mod run_one;
 pub mod seed;
+pub mod selfprof;
 pub mod summary;
 pub mod table1;
 pub mod table2;
+pub mod telemetry;
 pub mod trace;
 
 pub use cells::{CellOutput, CellPlan};

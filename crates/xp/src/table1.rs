@@ -63,10 +63,21 @@ pub fn measure(machine: &mut Machine) -> Table1 {
     }
 }
 
-/// Run the Table 1 experiment and render it.
+/// Run the Table 1 experiment and render it. The probe goes through a
+/// single-cell [`crate::CellPlan`] like every other experiment, so the
+/// run's summary row carries a real cell wall time.
 pub fn run() -> Report {
-    let mut machine = Machine::new(MachineConfig::origin2000_16p());
-    let t = measure(&mut machine);
+    let mut plan = crate::CellPlan::new();
+    plan.add("table1", || {
+        let mut machine = Machine::new(MachineConfig::origin2000_16p());
+        measure(&mut machine)
+    });
+    let t = plan
+        .execute()
+        .into_iter()
+        .next()
+        .expect("one planned cell")
+        .expect_ok();
     let mut r = Report::new(
         "table1",
         "Access latency to the levels of the memory hierarchy (measured on the simulated machine)",
