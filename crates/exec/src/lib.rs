@@ -23,9 +23,17 @@
 //! `Mutex<VecDeque>` per-worker queues with FIFO stealing, not lock-free
 //! Chase–Lev deques. Experiment cells run for milliseconds to minutes, so
 //! queue overhead is noise; simplicity and auditability win.
+//!
+//! A second executor, [`ResidentPool`], trades the scoped shape for
+//! longevity: workers spawned once and joined on drop, fed `'static` job
+//! batches from concurrent submitters, with per-slot streaming waits. It
+//! exists for the resident experiment server (`xp serve`), which owns one
+//! pool across many client requests.
 
 pub mod pool;
+pub mod resident;
 pub mod telemetry;
 
 pub use pool::{Job, JobPanic, Pool, TimedResult};
+pub use resident::{BatchHandle, ResidentJob, ResidentPool, ResidentStats};
 pub use telemetry::{PoolMonitor, PoolStatus, PoolTelemetry, WorkerStatus, WorkerTelemetry};

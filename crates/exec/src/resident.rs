@@ -1,0 +1,330 @@
+//! The resident pool: long-lived worker threads for a resident service.
+//!
+//! [`Pool`](crate::Pool) is scoped — workers are born and joined inside
+//! one `run` call, which is exactly right for a single experiment plan
+//! borrowing the caller's data. A *server* has the opposite shape: one
+//! pool that outlives every request, fed batches from many connection
+//! threads concurrently. [`ResidentPool`] serves that shape:
+//!
+//! * Workers are spawned once and live until the pool drops; jobs must
+//!   therefore be `'static` (the server's jobs own their specs).
+//! * [`ResidentPool::submit`] enqueues a batch and returns a
+//!   [`BatchHandle`]; jobs from different batches interleave on the shared
+//!   queue in FIFO submission order, so concurrent clients share the
+//!   workers fairly instead of serializing batch-by-batch.
+//! * [`BatchHandle::wait`] blocks on one slot, enabling *streaming*: the
+//!   submitter can forward cell 3's result the moment it lands while
+//!   cells 4..n are still running.
+//! * Panic isolation matches the scoped pool: a panicking job fills its
+//!   slot with a [`JobPanic`] and its siblings keep running.
+
+use crate::pool::{JobPanic, TimedResult};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A resident job: owned closure, run once on some resident worker.
+pub type ResidentJob<T> = Box<dyn FnOnce() -> T + Send + 'static>;
+
+/// One submitted batch's result slots.
+struct Batch<T> {
+    slots: Mutex<Vec<Option<TimedResult<T>>>>,
+    filled: Condvar,
+}
+
+/// A handle onto one submitted batch. Results are claimed slot-by-slot
+/// ([`BatchHandle::wait`]) or all at once ([`BatchHandle::wait_all`]).
+pub struct BatchHandle<T> {
+    batch: Arc<Batch<T>>,
+    len: usize,
+}
+
+impl<T> BatchHandle<T> {
+    /// Number of jobs in the batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Block until slot `index` is filled and take its result. Each slot
+    /// yields its result exactly once; a second wait on the same slot
+    /// panics (the caller claimed it already).
+    pub fn wait(&self, index: usize) -> TimedResult<T> {
+        let mut slots = self.batch.slots.lock().unwrap();
+        loop {
+            if let Some(result) = slots[index].take() {
+                return result;
+            }
+            slots = self.batch.filled.wait(slots).unwrap();
+        }
+    }
+
+    /// Claim every slot, in submission order.
+    pub fn wait_all(self) -> Vec<TimedResult<T>> {
+        (0..self.len).map(|i| self.wait(i)).collect()
+    }
+}
+
+/// Work queue shared by the resident workers.
+struct Shared<T> {
+    queue: Mutex<QueueState<T>>,
+    ready: Condvar,
+    jobs_done: AtomicU64,
+    jobs_failed: AtomicU64,
+    batches: AtomicU64,
+}
+
+struct QueueState<T> {
+    jobs: VecDeque<(Arc<Batch<T>>, usize, ResidentJob<T>)>,
+    shutdown: bool,
+}
+
+/// Counters over a resident pool's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidentStats {
+    /// Jobs completed (panicked jobs included).
+    pub jobs_done: u64,
+    /// Jobs that panicked.
+    pub jobs_failed: u64,
+    /// Batches submitted.
+    pub batches: u64,
+}
+
+/// A pool of long-lived worker threads. Dropping the pool shuts it down:
+/// queued jobs still drain, then the workers retire and are joined.
+pub struct ResidentPool<T: Send + 'static> {
+    shared: Arc<Shared<T>>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl<T: Send + 'static> ResidentPool<T> {
+    /// A resident pool with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            jobs_done: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("svc-worker-{me}"))
+                    .spawn(move || worker_loop(me, &shared))
+                    .expect("spawning a resident worker thread")
+            })
+            .collect();
+        ResidentPool {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Lifetime counters so far.
+    pub fn stats(&self) -> ResidentStats {
+        ResidentStats {
+            jobs_done: self.shared.jobs_done.load(Relaxed),
+            jobs_failed: self.shared.jobs_failed.load(Relaxed),
+            batches: self.shared.batches.load(Relaxed),
+        }
+    }
+
+    /// Enqueue a batch. Jobs join the shared FIFO queue immediately (they
+    /// interleave with other live batches) and results land in the
+    /// returned handle's slots in this batch's submission order.
+    pub fn submit(&self, jobs: Vec<ResidentJob<T>>) -> BatchHandle<T> {
+        let len = jobs.len();
+        let batch = Arc::new(Batch {
+            slots: Mutex::new((0..len).map(|_| None).collect()),
+            filled: Condvar::new(),
+        });
+        self.shared.batches.fetch_add(1, Relaxed);
+        if len > 0 {
+            let mut state = self.shared.queue.lock().unwrap();
+            for (i, job) in jobs.into_iter().enumerate() {
+                state.jobs.push_back((Arc::clone(&batch), i, job));
+            }
+            drop(state);
+            self.shared.ready.notify_all();
+        }
+        BatchHandle { batch, len }
+    }
+}
+
+impl<T: Send + 'static> Drop for ResidentPool<T> {
+    fn drop(&mut self) {
+        self.shared.queue.lock().unwrap().shutdown = true;
+        self.shared.ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop<T: Send + 'static>(me: usize, shared: &Shared<T>) {
+    loop {
+        let next = {
+            let mut state = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break Some(job);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared.ready.wait(state).unwrap();
+            }
+        };
+        let Some((batch, index, job)) = next else {
+            return;
+        };
+        let t0 = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(job)).map_err(|payload| JobPanic {
+            index,
+            message: crate::pool::panic_message(payload.as_ref()),
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        shared.jobs_done.fetch_add(1, Relaxed);
+        if result.is_err() {
+            shared.jobs_failed.fetch_add(1, Relaxed);
+        }
+        let mut slots = batch.slots.lock().unwrap();
+        slots[index] = Some(TimedResult {
+            result,
+            wall_secs: wall,
+            worker: me,
+        });
+        drop(slots);
+        batch.filled.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_complete_in_submission_order() {
+        let pool: ResidentPool<usize> = ResidentPool::new(3);
+        let jobs: Vec<ResidentJob<usize>> = (0..17usize)
+            .map(|i| Box::new(move || i * 7) as ResidentJob<usize>)
+            .collect();
+        let out = pool.submit(jobs).wait_all();
+        let values: Vec<usize> = out.into_iter().map(|t| t.result.unwrap()).collect();
+        assert_eq!(values, (0..17).map(|i| i * 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let pool: ResidentPool<()> = ResidentPool::new(2);
+        assert!(pool.submit(Vec::new()).wait_all().is_empty());
+    }
+
+    #[test]
+    fn concurrent_batches_each_get_their_own_complete_results() {
+        let pool = Arc::new(ResidentPool::<usize>::new(4));
+        let mut joins = Vec::new();
+        for b in 0..6usize {
+            let pool = Arc::clone(&pool);
+            joins.push(std::thread::spawn(move || {
+                let jobs: Vec<ResidentJob<usize>> = (0..9)
+                    .map(|i| Box::new(move || b * 100 + i) as ResidentJob<usize>)
+                    .collect();
+                pool.submit(jobs)
+                    .wait_all()
+                    .into_iter()
+                    .map(|t| t.result.unwrap())
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for (b, join) in joins.into_iter().enumerate() {
+            let values = join.join().unwrap();
+            assert_eq!(values, (0..9).map(|i| b * 100 + i).collect::<Vec<_>>());
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.jobs_done, 54);
+        assert_eq!(stats.batches, 6);
+    }
+
+    #[test]
+    fn a_panicking_job_fills_its_slot_and_spares_siblings() {
+        let pool: ResidentPool<usize> = ResidentPool::new(2);
+        let jobs: Vec<ResidentJob<usize>> = (0..5usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 2 {
+                        panic!("resident job {i} exploded");
+                    }
+                    i
+                }) as ResidentJob<usize>
+            })
+            .collect();
+        let out = pool.submit(jobs).wait_all();
+        for (i, t) in out.iter().enumerate() {
+            if i == 2 {
+                let err = t.result.as_ref().unwrap_err();
+                assert_eq!(err.index, 2);
+                assert!(err.message.contains("exploded"));
+            } else {
+                assert_eq!(t.result.as_ref().unwrap(), &i);
+            }
+        }
+        assert_eq!(pool.stats().jobs_failed, 1);
+    }
+
+    #[test]
+    fn per_slot_waits_stream_out_of_order() {
+        let pool: ResidentPool<usize> = ResidentPool::new(1);
+        let jobs: Vec<ResidentJob<usize>> = (0..3usize)
+            .map(|i| Box::new(move || i) as ResidentJob<usize>)
+            .collect();
+        let handle = pool.submit(jobs);
+        // Waiting on the last slot first must not deadlock.
+        assert_eq!(handle.wait(2).result.unwrap(), 2);
+        assert_eq!(handle.wait(0).result.unwrap(), 0);
+        assert_eq!(handle.wait(1).result.unwrap(), 1);
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let done = Arc::new(AtomicU64::new(0));
+        let handle = {
+            let pool: ResidentPool<()> = ResidentPool::new(1);
+            let jobs: Vec<ResidentJob<()>> = (0..8)
+                .map(|_| {
+                    let done = Arc::clone(&done);
+                    Box::new(move || {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        done.fetch_add(1, Relaxed);
+                    }) as ResidentJob<()>
+                })
+                .collect();
+            let handle = pool.submit(jobs);
+            drop(pool); // shutdown: queued jobs still drain
+            handle
+        };
+        let out = handle.wait_all();
+        assert_eq!(out.len(), 8);
+        assert_eq!(done.load(Relaxed), 8);
+    }
+}

@@ -1,0 +1,276 @@
+//! Exact JSON round-tripping of [`RunResult`] for the result cache.
+//!
+//! The experiment service stores a cell's [`RunResult`] on disk and must
+//! hand back *byte-identical* downstream reports on a cache hit, so this
+//! codec is exact: every `f64` survives unchanged (the `obs` JSON emitter
+//! prints floats shortest-round-trip and its parser rounds correctly, so
+//! encode-then-decode is the identity on finite values — and every
+//! simulated duration is finite).
+//!
+//! One field is deliberately dropped: `trace`. Traced runs attach a
+//! multi-megabyte event ring that exists only for `xp prof`-style
+//! consumers; the caching layer bypasses the cache entirely for traced
+//! runs, so a cached result never has one. Decoding always yields
+//! `trace: None`.
+
+use crate::common::{BenchName, Verification};
+use crate::harness::RunResult;
+use obs::json::Value;
+use upmlib::UpmStats;
+
+/// Schema tag of the encoded form; bump on any field change.
+pub const RESULT_SCHEMA: &str = "ddnomp-runresult v1";
+
+impl RunResult {
+    /// Encode for the result cache. `trace` is dropped (see module docs).
+    pub fn to_cache_json(&self) -> Value {
+        Value::object(vec![
+            ("schema", RESULT_SCHEMA.into()),
+            ("bench", self.bench.label().into()),
+            ("placement", self.placement.as_str().into()),
+            ("engine", self.engine.as_str().into()),
+            ("total_secs", self.total_secs.into()),
+            ("per_iter_secs", self.per_iter_secs.clone().into()),
+            (
+                "verification",
+                Value::object(vec![
+                    ("passed", self.verification.passed.into()),
+                    ("value", self.verification.value.into()),
+                    ("reference", self.verification.reference.into()),
+                    ("epsilon", self.verification.epsilon.into()),
+                ]),
+            ),
+            (
+                "upm",
+                match &self.upm {
+                    None => Value::Null,
+                    Some(u) => Value::object(vec![
+                        (
+                            "migrations_per_invocation",
+                            u.migrations_per_invocation.clone().into(),
+                        ),
+                        ("distribution_ns", u.distribution_ns.into()),
+                        ("replay_migrations", u.replay_migrations.into()),
+                        ("undo_migrations", u.undo_migrations.into()),
+                        ("recrep_ns", u.recrep_ns.into()),
+                        ("frozen_pages", u.frozen_pages.into()),
+                        ("vetoed_moves", u.vetoed_moves.into()),
+                        ("replications", u.replications.into()),
+                        ("rebind_replays", u.rebind_replays.into()),
+                        ("rebind_replay_ns", u.rebind_replay_ns.into()),
+                    ]),
+                },
+            ),
+            ("kernel_migrations", self.kernel_migrations.into()),
+            ("remote_fraction", self.remote_fraction.into()),
+            ("recrep_overhead_secs", self.recrep_overhead_secs.into()),
+        ])
+    }
+
+    /// Decode a cached result. Every field except `trace` is required;
+    /// `trace` comes back `None`.
+    pub fn from_cache_json(v: &Value) -> Result<RunResult, String> {
+        let schema = req_str(v, "schema")?;
+        if schema != RESULT_SCHEMA {
+            return Err(format!(
+                "result schema mismatch: entry '{schema}', binary '{RESULT_SCHEMA}'"
+            ));
+        }
+        let bench_label = req_str(v, "bench")?;
+        let bench = BenchName::parse(bench_label)
+            .ok_or_else(|| format!("unknown benchmark '{bench_label}'"))?;
+        let ver = v
+            .get("verification")
+            .ok_or("result missing 'verification'")?;
+        Ok(RunResult {
+            bench,
+            placement: req_str(v, "placement")?.to_string(),
+            engine: req_str(v, "engine")?.to_string(),
+            total_secs: req_f64(v, "total_secs")?,
+            per_iter_secs: req_f64_array(v, "per_iter_secs")?,
+            verification: Verification {
+                passed: ver
+                    .get("passed")
+                    .and_then(Value::as_bool)
+                    .ok_or("verification missing 'passed'")?,
+                value: req_f64(ver, "value")?,
+                reference: req_f64(ver, "reference")?,
+                epsilon: req_f64(ver, "epsilon")?,
+            },
+            upm: match v.get("upm") {
+                None => return Err("result missing 'upm'".into()),
+                Some(Value::Null) => None,
+                Some(u) => Some(UpmStats {
+                    migrations_per_invocation: req_u64_array(u, "migrations_per_invocation")?,
+                    distribution_ns: req_f64(u, "distribution_ns")?,
+                    replay_migrations: req_u64(u, "replay_migrations")?,
+                    undo_migrations: req_u64(u, "undo_migrations")?,
+                    recrep_ns: req_f64(u, "recrep_ns")?,
+                    frozen_pages: req_u64(u, "frozen_pages")?,
+                    vetoed_moves: req_u64(u, "vetoed_moves")?,
+                    replications: req_u64(u, "replications")?,
+                    rebind_replays: req_u64(u, "rebind_replays")?,
+                    rebind_replay_ns: req_f64(u, "rebind_replay_ns")?,
+                }),
+            },
+            kernel_migrations: req_u64(v, "kernel_migrations")?,
+            remote_fraction: req_f64(v, "remote_fraction")?,
+            recrep_overhead_secs: req_f64(v, "recrep_overhead_secs")?,
+            trace: None,
+        })
+    }
+}
+
+fn req_str<'v>(v: &'v Value, key: &str) -> Result<&'v str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("result missing string field '{key}'"))
+}
+
+fn req_f64(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("result missing number field '{key}'"))
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("result missing integer field '{key}'"))
+}
+
+fn req_f64_array(v: &Value, key: &str) -> Result<Vec<f64>, String> {
+    v.get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("result missing array field '{key}'"))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| format!("non-number in array '{key}'"))
+        })
+        .collect()
+}
+
+fn req_u64_array(v: &Value, key: &str) -> Result<Vec<u64>, String> {
+    v.get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("result missing array field '{key}'"))?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .ok_or_else(|| format!("non-integer in array '{key}'"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A result with deliberately awkward floats: values with no short
+    /// decimal form, subnormal-adjacent magnitudes, and negative zero.
+    fn gnarly() -> RunResult {
+        RunResult {
+            bench: BenchName::Cg,
+            placement: "rand".into(),
+            engine: "upmlib".into(),
+            total_secs: 0.1 + 0.2,
+            per_iter_secs: vec![1.0 / 3.0, 2.0f64.sqrt(), 1e-300, -0.0, 7.25],
+            verification: Verification::check(1.000000000000001, 1.0, 1e-9),
+            upm: Some(UpmStats {
+                migrations_per_invocation: vec![90, 7, 0, 3],
+                distribution_ns: 123456789.125,
+                replay_migrations: 8,
+                undo_migrations: 5,
+                recrep_ns: 0.3333333333333333,
+                frozen_pages: 2,
+                vetoed_moves: 11,
+                replications: 1,
+                rebind_replays: 4,
+                rebind_replay_ns: 9.87e12,
+            }),
+            kernel_migrations: 4503599627370495, // 2^52 - 1: exact in f64
+            remote_fraction: 0.6180339887498949,
+            recrep_overhead_secs: 2.5e-3,
+            trace: None,
+        }
+    }
+
+    fn assert_results_equal(a: &RunResult, b: &RunResult) {
+        assert_eq!(a.bench, b.bench);
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.engine, b.engine);
+        assert_eq!(a.total_secs.to_bits(), b.total_secs.to_bits());
+        assert_eq!(a.per_iter_secs.len(), b.per_iter_secs.len());
+        for (x, y) in a.per_iter_secs.iter().zip(&b.per_iter_secs) {
+            assert_eq!(x.to_bits(), y.to_bits(), "per-iter bit-exactness");
+        }
+        assert_eq!(a.verification, b.verification);
+        assert_eq!(a.upm, b.upm);
+        assert_eq!(a.kernel_migrations, b.kernel_migrations);
+        assert_eq!(a.remote_fraction.to_bits(), b.remote_fraction.to_bits());
+        assert_eq!(
+            a.recrep_overhead_secs.to_bits(),
+            b.recrep_overhead_secs.to_bits()
+        );
+        assert!(b.trace.is_none());
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact_in_memory() {
+        let r = gnarly();
+        let back = RunResult::from_cache_json(&r.to_cache_json()).unwrap();
+        assert_results_equal(&r, &back);
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact_through_serialized_text() {
+        // The cache stores text, so the parse leg must also be exact.
+        let r = gnarly();
+        for text in [
+            r.to_cache_json().to_string(),
+            r.to_cache_json().to_string_pretty(),
+        ] {
+            let back = RunResult::from_cache_json(&Value::parse(&text).unwrap()).unwrap();
+            assert_results_equal(&r, &back);
+        }
+    }
+
+    #[test]
+    fn none_upm_round_trips() {
+        let mut r = gnarly();
+        r.upm = None;
+        r.engine = "IRIX".into();
+        let back = RunResult::from_cache_json(&r.to_cache_json()).unwrap();
+        assert_eq!(back.upm, None);
+        assert_eq!(back.engine, "IRIX");
+    }
+
+    #[test]
+    fn schema_and_field_errors_are_reported() {
+        let mut doc = gnarly().to_cache_json();
+        if let Value::Object(pairs) = &mut doc {
+            pairs[0].1 = "ddnomp-runresult v0".into();
+        }
+        let err = RunResult::from_cache_json(&doc).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+        let err =
+            RunResult::from_cache_json(&Value::object(vec![("schema", RESULT_SCHEMA.into())]))
+                .unwrap_err();
+        assert!(err.contains("bench"), "{err}");
+    }
+
+    #[test]
+    fn bench_and_scale_labels_parse_back() {
+        use crate::common::Scale;
+        for b in BenchName::all() {
+            assert_eq!(BenchName::parse(b.label()), Some(b));
+            assert_eq!(BenchName::parse(&b.label().to_ascii_lowercase()), Some(b));
+        }
+        assert_eq!(BenchName::parse("xx"), None);
+        for s in [Scale::Tiny, Scale::Small, Scale::Medium] {
+            assert_eq!(Scale::parse(s.label()), Some(s));
+        }
+        assert_eq!(Scale::parse("huge"), None);
+    }
+}

@@ -32,6 +32,15 @@ impl BenchName {
         }
     }
 
+    /// Parse a benchmark label, case-insensitively (`bt`/`BT` → `Bt`).
+    /// The experiment service reconstructs benchmarks from lower-case
+    /// cell-spec fields, chart code from upper-case chart labels.
+    pub fn parse(label: &str) -> Option<BenchName> {
+        BenchName::all()
+            .into_iter()
+            .find(|b| b.label().eq_ignore_ascii_case(label))
+    }
+
     /// All five benchmarks in the paper's order.
     pub fn all() -> [BenchName; 5] {
         [
@@ -65,6 +74,13 @@ impl Scale {
             Scale::Small => "small",
             Scale::Medium => "medium",
         }
+    }
+
+    /// Parse a scale label (`tiny`/`small`/`medium`).
+    pub fn parse(label: &str) -> Option<Scale> {
+        [Scale::Tiny, Scale::Small, Scale::Medium]
+            .into_iter()
+            .find(|s| s.label() == label)
     }
 }
 

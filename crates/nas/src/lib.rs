@@ -32,6 +32,7 @@
 pub mod adi;
 pub mod bt;
 pub mod cg;
+pub mod codec;
 pub mod common;
 pub mod ft;
 pub mod harness;

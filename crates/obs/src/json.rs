@@ -156,9 +156,12 @@ fn write_seq(
 fn write_number(out: &mut String, n: f64) {
     if !n.is_finite() {
         out.push_str("null");
-    } else if n.fract() == 0.0 && n.abs() < 9e15 {
+    } else if n.fract() == 0.0 && n.abs() < 9e15 && !(n == 0.0 && n.is_sign_negative()) {
         let _ = write!(out, "{}", n as i64);
     } else {
+        // `{}` on f64 is shortest-round-trip, so parse(print(n)) == n
+        // bit-for-bit — the result cache depends on this. Negative zero
+        // takes this path too ("-0"), keeping its sign bit.
         let _ = write!(out, "{n}");
     }
 }

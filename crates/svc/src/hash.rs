@@ -1,0 +1,71 @@
+//! The service's content hash: two independent FNV-1a 64-bit lanes
+//! concatenated into a 128-bit hex digest.
+//!
+//! The workspace builds with no external dependencies, so the hash is
+//! in-tree. FNV-1a is not cryptographic — the cache does not defend
+//! against an adversary writing into its own directory — but a 128-bit
+//! digest makes accidental collisions between distinct cell specs (a few
+//! hundred per sweep) vanishingly unlikely, and every cache lookup
+//! additionally compares the full canonical spec string stored in the
+//! entry, so even a digest collision cannot serve a wrong result.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Second-lane offset: the FNV offset basis XORed with an arbitrary
+/// constant so the two lanes decorrelate from the first byte on.
+const LANE2_OFFSET: u64 = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+
+/// FNV-1a over `bytes` from the given offset basis.
+fn fnv1a(bytes: &[u8], offset: u64) -> u64 {
+    let mut h = offset;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// 128-bit content digest of `bytes`, as 32 lowercase hex characters.
+pub fn digest128(bytes: &[u8]) -> String {
+    format!(
+        "{:016x}{:016x}",
+        fnv1a(bytes, FNV_OFFSET),
+        fnv1a(bytes, LANE2_OFFSET)
+    )
+}
+
+/// 64-bit content digest of `bytes`, as 16 lowercase hex characters —
+/// used for the compact config fingerprint inside a [`crate::CellSpec`].
+pub fn digest64(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a(bytes, FNV_OFFSET))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_are_stable_and_input_sensitive() {
+        let a = digest128(b"cg:wc-upmlib");
+        assert_eq!(a, digest128(b"cg:wc-upmlib"), "must be deterministic");
+        assert_eq!(a.len(), 32);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_ne!(a, digest128(b"cg:wc-upmlib "), "input-sensitive");
+        assert_ne!(a, digest128(b"cg:wc-upmliB"));
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        // If both lanes collapsed to the same function the digest would be
+        // its first half repeated.
+        let d = digest128(b"anything");
+        assert_ne!(&d[..16], &d[16..]);
+    }
+
+    #[test]
+    fn digest64_is_the_first_lane() {
+        let d128 = digest128(b"x");
+        assert_eq!(digest64(b"x"), &d128[..16]);
+    }
+}

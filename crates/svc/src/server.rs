@@ -1,0 +1,415 @@
+//! The resident experiment server.
+//!
+//! One [`Server`] owns one long-lived [`exec::ResidentPool`] and one
+//! [`Cache`], and listens for JSONL requests on a local TCP port. For a
+//! `run` request (a batch of [`CellSpec`]s) each cell resolves through
+//! three tiers:
+//!
+//! 1. **in-flight join** — an identical cell already being computed for
+//!    any client (this batch included) is joined, never recomputed;
+//! 2. **cache** — a valid on-disk entry is served directly;
+//! 3. **compute** — the cell is queued on the resident pool, stored into
+//!    the cache on success, and its in-flight entry resolved for joiners.
+//!
+//! Results stream back as one `cell` event per cell, interleaved with
+//! `progress` events, terminated by a `done` summary — so a client
+//! renders progress live while long cells still run. The in-flight entry
+//! is registered *before* the cache lookup and resolved *inside* the pool
+//! job, so two clients racing on the same cold cell agree on one owner
+//! and the loser unblocks the moment the result exists (not when the
+//! owner's connection gets around to reporting it).
+//!
+//! The compute function is opaque to this crate: the `xp` binary binds it
+//! to spec reconstruction + `run_one`, including the config-fingerprint
+//! check (a spec whose fingerprint does not match the server's own
+//! reconstruction is answered with an error, and the client falls back to
+//! local execution for that cell).
+
+use crate::cache::Cache;
+use crate::spec::CellSpec;
+use exec::{ResidentJob, ResidentPool};
+use obs::json::Value;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The server's cell evaluator: spec in, result payload (or a refusal
+/// message) out. Must be pure per the determinism guarantee.
+pub type Compute = Arc<dyn Fn(&CellSpec) -> Result<Value, String> + Send + Sync>;
+
+/// One cell being computed right now, joinable by later requests.
+struct Flight {
+    done: Mutex<Option<Result<Value, String>>>,
+    resolved: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            done: Mutex::new(None),
+            resolved: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, result: Result<Value, String>) {
+        *self.done.lock().unwrap() = Some(result);
+        self.resolved.notify_all();
+    }
+
+    fn wait(&self) -> Result<Value, String> {
+        let mut done = self.done.lock().unwrap();
+        loop {
+            if let Some(result) = done.as_ref() {
+                return result.clone();
+            }
+            done = self.resolved.wait(done).unwrap();
+        }
+    }
+}
+
+/// State shared by the accept loop, connection threads and pool jobs.
+struct Shared {
+    cache: Cache,
+    compute: Compute,
+    pool: ResidentPool<Result<Value, String>>,
+    inflight: Mutex<HashMap<String, Arc<Flight>>>,
+    code_version: String,
+    stop: AtomicBool,
+    started: Instant,
+}
+
+/// The resident experiment server. [`Server::bind`] claims the port;
+/// [`Server::run`] serves until a client sends `shutdown`.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:46137`, port 0 for ephemeral) with a
+    /// resident pool of `workers` threads.
+    pub fn bind(
+        addr: &str,
+        workers: usize,
+        cache: Cache,
+        compute: Compute,
+        code_version: &str,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                cache,
+                compute,
+                pool: ResidentPool::new(workers),
+                inflight: Mutex::new(HashMap::new()),
+                code_version: code_version.to_string(),
+                stop: AtomicBool::new(false),
+                started: Instant::now(),
+            }),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until a `shutdown` request arrives. Connection threads are
+    /// joined before returning, so in-flight batches complete.
+    pub fn run(&self) -> std::io::Result<()> {
+        let mut connections = Vec::new();
+        while !self.shared.stop.load(Relaxed) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self.shared);
+                    let handle = std::thread::Builder::new()
+                        .name("svc-conn".into())
+                        .spawn(move || {
+                            let _ = serve_connection(&shared, stream);
+                        })
+                        .expect("spawning a connection thread");
+                    connections.push(handle);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+            connections.retain(|h| !h.is_finished());
+        }
+        for handle in connections {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// Ask the accept loop to stop (same effect as a client `shutdown`).
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Relaxed);
+    }
+}
+
+/// Serve one client connection: hello, then one request line per op until
+/// the client closes (or asks for shutdown).
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut out = BufWriter::new(stream);
+    emit(
+        &mut out,
+        Value::object(vec![
+            ("event", "hello".into()),
+            ("schema", crate::PROTO_SCHEMA.into()),
+            ("code_version", shared.code_version.as_str().into()),
+            ("workers", shared.pool.workers().into()),
+        ]),
+    )?;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Value::parse(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                emit(&mut out, error_event(&format!("bad request JSON: {e}")))?;
+                continue;
+            }
+        };
+        match request.get("op").and_then(Value::as_str) {
+            Some("run") => handle_run(shared, &mut out, &request)?,
+            Some("ping") => emit(&mut out, Value::object(vec![("event", "pong".into())]))?,
+            Some("stats") => emit(&mut out, stats_event(shared))?,
+            Some("shutdown") => {
+                shared.stop.store(true, Relaxed);
+                emit(&mut out, Value::object(vec![("event", "bye".into())]))?;
+                break;
+            }
+            other => {
+                emit(
+                    &mut out,
+                    error_event(&format!("unknown op {:?}", other.unwrap_or("<none>"))),
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// How one cell of a batch resolves.
+enum Resolution {
+    /// Served from the cache.
+    Hit(Value),
+    /// This request owns the computation; the value is the pool slot.
+    Compute(usize),
+    /// Joined onto a computation some other request owns.
+    Joined(Arc<Flight>),
+}
+
+fn handle_run(
+    shared: &Arc<Shared>,
+    out: &mut BufWriter<TcpStream>,
+    request: &Value,
+) -> std::io::Result<()> {
+    let t0 = Instant::now();
+    let Some(cells) = request.get("cells").and_then(Value::as_array) else {
+        return emit(out, error_event("run request has no 'cells' array"));
+    };
+    let mut specs = Vec::with_capacity(cells.len());
+    for (i, cell) in cells.iter().enumerate() {
+        match CellSpec::from_json(cell) {
+            Ok(spec) => specs.push(spec),
+            Err(e) => return emit(out, error_event(&format!("cell {i}: {e}"))),
+        }
+    }
+    let total = specs.len();
+    let mut resolutions = Vec::with_capacity(total);
+    let mut jobs: Vec<ResidentJob<Result<Value, String>>> = Vec::new();
+    for spec in &specs {
+        let key = spec.key();
+        // Register the flight under the map lock *before* the cache
+        // lookup: racing requests agree on exactly one owner per key.
+        let owned = {
+            let mut inflight = shared.inflight.lock().unwrap();
+            match inflight.get(&key) {
+                Some(flight) => {
+                    resolutions.push(Resolution::Joined(Arc::clone(flight)));
+                    None
+                }
+                None => {
+                    let flight = Arc::new(Flight::new());
+                    inflight.insert(key.clone(), Arc::clone(&flight));
+                    Some(flight)
+                }
+            }
+        };
+        let Some(flight) = owned else { continue };
+        if let Some(payload) = shared.cache.lookup(spec) {
+            flight.resolve(Ok(payload.clone()));
+            shared.inflight.lock().unwrap().remove(&key);
+            resolutions.push(Resolution::Hit(payload));
+        } else {
+            resolutions.push(Resolution::Compute(jobs.len()));
+            let shared = Arc::clone(shared);
+            let spec = spec.clone();
+            jobs.push(Box::new(move || {
+                // The compute binding may panic (a cell's own panic
+                // isolation lives a layer down); convert to Err here so
+                // the flight is ALWAYS resolved — a joiner must never
+                // hang on a dead computation.
+                let result = catch_unwind(AssertUnwindSafe(|| (shared.compute)(&spec)))
+                    .unwrap_or_else(|p| Err(format!("compute panicked: {}", panic_text(&*p))));
+                if let Ok(payload) = &result {
+                    if let Err(e) = shared.cache.store(&spec, payload) {
+                        // A failed store is a warning, not a failure: the
+                        // result is still valid and still returned.
+                        eprintln!("[svc] cache store failed for {spec}: {e}");
+                    }
+                }
+                let mut inflight = shared.inflight.lock().unwrap();
+                if let Some(flight) = inflight.remove(&spec.key()) {
+                    flight.resolve(result.clone());
+                }
+                result
+            }));
+        }
+    }
+    let batch = shared.pool.submit(jobs);
+    // Stream results: hits immediately, computed cells as their slots
+    // fill, joined cells as their owners resolve them.
+    let mut done = 0usize;
+    let mut counts = (0u64, 0u64, 0u64, 0u64); // hits, computed, joined, errors
+    let order = |r: &Resolution| match r {
+        Resolution::Hit(_) => 0,
+        Resolution::Compute(_) => 1,
+        Resolution::Joined(_) => 2,
+    };
+    let mut indices: Vec<usize> = (0..total).collect();
+    indices.sort_by_key(|&i| (order(&resolutions[i]), i));
+    for i in indices {
+        let (source, wall, result) = match &resolutions[i] {
+            Resolution::Hit(payload) => {
+                counts.0 += 1;
+                ("cache", 0.0, Ok(payload.clone()))
+            }
+            Resolution::Compute(slot) => {
+                counts.1 += 1;
+                let timed = batch.wait(*slot);
+                let result = match timed.result {
+                    Ok(inner) => inner,
+                    Err(panic) => Err(panic.to_string()),
+                };
+                ("computed", timed.wall_secs, result)
+            }
+            Resolution::Joined(flight) => {
+                counts.2 += 1;
+                ("inflight", 0.0, flight.wait())
+            }
+        };
+        done += 1;
+        let mut fields = vec![
+            ("event", "cell".into()),
+            ("index", i.into()),
+            ("id", specs[i].cell_id().as_str().into()),
+            ("source", source.into()),
+            ("wall_secs", wall.into()),
+        ];
+        match result {
+            Ok(payload) => {
+                fields.push(("ok", true.into()));
+                fields.push(("result", payload));
+            }
+            Err(message) => {
+                counts.3 += 1;
+                fields.push(("ok", false.into()));
+                fields.push(("error", message.as_str().into()));
+            }
+        }
+        emit(
+            out,
+            Value::Object(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            ),
+        )?;
+        emit(
+            out,
+            Value::object(vec![
+                ("event", "progress".into()),
+                ("done", done.into()),
+                ("total", total.into()),
+                ("hits", counts.0.into()),
+                ("computed", counts.1.into()),
+                ("joined", counts.2.into()),
+            ]),
+        )?;
+    }
+    emit(
+        out,
+        Value::object(vec![
+            ("event", "done".into()),
+            ("total", total.into()),
+            ("hits", counts.0.into()),
+            ("computed", counts.1.into()),
+            ("joined", counts.2.into()),
+            ("errors", counts.3.into()),
+            ("wall_secs", t0.elapsed().as_secs_f64().into()),
+        ]),
+    )
+}
+
+fn stats_event(shared: &Shared) -> Value {
+    let cache = shared.cache.stats();
+    let pool = shared.pool.stats();
+    Value::object(vec![
+        ("event", "stats".into()),
+        (
+            "cache",
+            Value::object(vec![
+                ("hits", cache.hits.into()),
+                ("misses", cache.misses.into()),
+                ("stores", cache.stores.into()),
+                ("corrupt", cache.corrupt.into()),
+            ]),
+        ),
+        (
+            "pool",
+            Value::object(vec![
+                ("workers", shared.pool.workers().into()),
+                ("jobs_done", pool.jobs_done.into()),
+                ("jobs_failed", pool.jobs_failed.into()),
+                ("batches", pool.batches.into()),
+            ]),
+        ),
+        ("inflight", shared.inflight.lock().unwrap().len().into()),
+        ("uptime_secs", shared.started.elapsed().as_secs_f64().into()),
+    ])
+}
+
+fn error_event(message: &str) -> Value {
+    Value::object(vec![("event", "error".into()), ("message", message.into())])
+}
+
+/// Write one JSONL event and flush it out immediately (streaming).
+fn emit(out: &mut BufWriter<TcpStream>, event: Value) -> std::io::Result<()> {
+    writeln!(out, "{event}")?;
+    out.flush()
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

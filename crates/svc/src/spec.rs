@@ -1,0 +1,217 @@
+//! The canonical experiment-cell specification.
+//!
+//! A [`CellSpec`] names one experiment cell precisely enough that its
+//! result is a pure function of the spec. The fields are the identity the
+//! paper's grids sweep — benchmark, placement, engine, scale, seed — plus
+//! two that pin everything else down:
+//!
+//! * `variant` — an opaque token naming any deviation from the paper's
+//!   default run configuration (e.g. `4x` for Figure 6's lengthened
+//!   phases, `-lat8` for a latency-ratio ablation point). Empty for plain
+//!   grid cells.
+//! * `config_fp` — a 64-bit fingerprint of the *full* run configuration
+//!   (engine tunables, machine geometry, problem config). The variant
+//!   token is human-readable documentation; the fingerprint is the
+//!   machine-checked truth. A server recomputes the fingerprint from its
+//!   own reconstruction of the config and refuses cells whose fingerprint
+//!   does not match — so a stale or unsupported variant can never be
+//!   served a wrong result.
+//!
+//! `code_version` folds the simulator's code generation into the key:
+//! results from an older code version are never served (see DESIGN.md
+//! §15 for the bump policy).
+//!
+//! The canonical serialization ([`CellSpec::canonical`]) is a fixed-order
+//! `key=value` line; [`CellSpec::key`] hashes it into the 128-bit cache
+//! key. JSON conversion round-trips exactly.
+
+use obs::json::Value;
+
+/// The canonical, hashable identity of one experiment cell.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CellSpec {
+    /// Benchmark label, lower-case (`bt`, `sp`, `cg`, `mg`, `ft`).
+    pub bench: String,
+    /// Placement label (`ft`, `rr`, `rand`, `wc`).
+    pub placement: String,
+    /// Engine label (`IRIX`, `IRIXmig`, `upmlib`, `recrep`).
+    pub engine: String,
+    /// Scale label (`tiny`, `small`, `medium`).
+    pub scale: String,
+    /// Seed feeding the cell's seeded components. 0 when the cell draws
+    /// on no seed (non-random placements), so seed sweeps reuse their
+    /// seed-independent cells.
+    pub seed: u64,
+    /// Deviation token, empty for the paper-default configuration.
+    pub variant: String,
+    /// 64-bit hex fingerprint of the full run configuration.
+    pub config_fp: String,
+    /// Simulator code generation the result is valid for.
+    pub code_version: String,
+}
+
+impl CellSpec {
+    /// The canonical serialization — the string the cache key hashes.
+    /// Fixed field order, `;`-separated `key=value` pairs. Field values
+    /// are labels and hex digits (no `;`/`=`), so the form is unambiguous.
+    pub fn canonical(&self) -> String {
+        format!(
+            "bench={};placement={};engine={};scale={};seed={};variant={};cfg={};code={}",
+            self.bench,
+            self.placement,
+            self.engine,
+            self.scale,
+            self.seed,
+            self.variant,
+            self.config_fp,
+            self.code_version,
+        )
+    }
+
+    /// The 128-bit cache key (32 hex chars) of this spec.
+    pub fn key(&self) -> String {
+        crate::hash::digest128(self.canonical().as_bytes())
+    }
+
+    /// The cell id used in plans, reports and diagnostics, matching the
+    /// paper's chart labels: `cg:wc-upmlib`, `bt4x:ft-recrep`,
+    /// `cg-thr16:rand-upmlib`. The variant token is spliced between the
+    /// benchmark and the colon verbatim.
+    pub fn cell_id(&self) -> String {
+        format!(
+            "{}{}:{}-{}",
+            self.bench, self.variant, self.placement, self.engine
+        )
+    }
+
+    /// JSON form (all fields, fixed order).
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("bench", self.bench.as_str().into()),
+            ("placement", self.placement.as_str().into()),
+            ("engine", self.engine.as_str().into()),
+            ("scale", self.scale.as_str().into()),
+            ("seed", (self.seed as f64).into()),
+            ("variant", self.variant.as_str().into()),
+            ("config_fp", self.config_fp.as_str().into()),
+            ("code_version", self.code_version.as_str().into()),
+        ])
+    }
+
+    /// Parse the JSON form back. Every field is required.
+    pub fn from_json(v: &Value) -> Result<CellSpec, String> {
+        let text = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("cell spec missing string field '{k}'"))
+        };
+        Ok(CellSpec {
+            bench: text("bench")?,
+            placement: text("placement")?,
+            engine: text("engine")?,
+            scale: text("scale")?,
+            seed: v
+                .get("seed")
+                .and_then(Value::as_u64)
+                .ok_or("cell spec missing integer field 'seed'")?,
+            variant: text("variant")?,
+            config_fp: text("config_fp")?,
+            code_version: text("code_version")?,
+        })
+    }
+}
+
+impl std::fmt::Display for CellSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.cell_id(), self.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CellSpec {
+        CellSpec {
+            bench: "cg".into(),
+            placement: "wc".into(),
+            engine: "upmlib".into(),
+            scale: "tiny".into(),
+            seed: 20000,
+            variant: String::new(),
+            config_fp: "00d1f2e3a4b5c697".into(),
+            code_version: "c1".into(),
+        }
+    }
+
+    #[test]
+    fn canonical_and_key_are_stable() {
+        let s = spec();
+        assert_eq!(
+            s.canonical(),
+            "bench=cg;placement=wc;engine=upmlib;scale=tiny;seed=20000;variant=;\
+             cfg=00d1f2e3a4b5c697;code=c1"
+                .replace(";\n             ", ";")
+        );
+        assert_eq!(s.key(), spec().key(), "same spec, same key");
+        assert_eq!(s.key().len(), 32);
+    }
+
+    #[test]
+    fn every_field_feeds_the_key() {
+        let base = spec().key();
+        let mut s = spec();
+        s.bench = "mg".into();
+        assert_ne!(s.key(), base);
+        let mut s = spec();
+        s.placement = "ft".into();
+        assert_ne!(s.key(), base);
+        let mut s = spec();
+        s.engine = "IRIX".into();
+        assert_ne!(s.key(), base);
+        let mut s = spec();
+        s.scale = "small".into();
+        assert_ne!(s.key(), base);
+        let mut s = spec();
+        s.seed = 7;
+        assert_ne!(s.key(), base);
+        let mut s = spec();
+        s.variant = "4x".into();
+        assert_ne!(s.key(), base);
+        let mut s = spec();
+        s.config_fp = "ffffffffffffffff".into();
+        assert_ne!(s.key(), base);
+        let mut s = spec();
+        s.code_version = "c2".into();
+        assert_ne!(s.key(), base);
+    }
+
+    #[test]
+    fn cell_ids_match_the_chart_label_style() {
+        assert_eq!(spec().cell_id(), "cg:wc-upmlib");
+        let mut s = spec();
+        s.bench = "bt".into();
+        s.variant = "4x".into();
+        s.placement = "ft".into();
+        s.engine = "recrep".into();
+        assert_eq!(s.cell_id(), "bt4x:ft-recrep");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let s = spec();
+        let v = s.to_json();
+        assert_eq!(CellSpec::from_json(&v).unwrap(), s);
+        // Through an actual serialization and re-parse too.
+        let reparsed = Value::parse(&v.to_string_pretty()).unwrap();
+        assert_eq!(CellSpec::from_json(&reparsed).unwrap(), s);
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        let v = Value::object(vec![("bench", "cg".into())]);
+        let err = CellSpec::from_json(&v).unwrap_err();
+        assert!(err.contains("placement"), "{err}");
+    }
+}

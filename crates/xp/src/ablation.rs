@@ -55,23 +55,23 @@ pub fn latency_ratio(scale: Scale) -> Report {
                 seed: crate::seed::get(),
             },
         ] {
-            let machine = machine.clone();
-            plan.add(
-                format!("cg-ratio{ratio:.1}:{}", placement.label()),
-                move || {
-                    run_one(
-                        BenchName::Cg,
-                        scale,
-                        &RunConfig {
-                            placement,
-                            engine: EngineMode::None,
-                            threads: 16,
-                            machine,
-                            trace: false,
-                        },
-                    )
-                },
+            let cfg = RunConfig {
+                placement,
+                engine: EngineMode::None,
+                threads: 16,
+                machine: machine.clone(),
+                trace: false,
+            };
+            // Bespoke machine: a server cannot reconstruct this cell, but
+            // the fingerprint still keys it in the offline cache.
+            let spec = crate::spec::custom(
+                BenchName::Cg,
+                scale,
+                &cfg,
+                &format!("-ratio{ratio:.1}"),
+                &[],
             );
+            plan.add_cached(spec, move || run_one(BenchName::Cg, scale, &cfg));
         }
     }
     let outputs = plan.execute();
@@ -120,19 +120,15 @@ pub fn threshold_sweep(scale: Scale) -> Report {
             thr,
             ..Default::default()
         };
-        plan.add(format!("cg-thr{thr}:rand-upmlib"), move || {
-            run_one(
-                BenchName::Cg,
-                scale,
-                &RunConfig {
-                    placement: PlacementScheme::Random {
-                        seed: crate::seed::get(),
-                    },
-                    engine: EngineMode::Upmlib(opts),
-                    ..RunConfig::paper_default()
-                },
-            )
-        });
+        let cfg = RunConfig {
+            placement: PlacementScheme::Random {
+                seed: crate::seed::get(),
+            },
+            engine: EngineMode::Upmlib(opts),
+            ..RunConfig::paper_default()
+        };
+        let spec = crate::spec::custom(BenchName::Cg, scale, &cfg, &format!("-thr{thr}"), &[]);
+        plan.add_cached(spec, move || run_one(BenchName::Cg, scale, &cfg));
     }
     for (thr, cell) in THRS.into_iter().zip(plan.execute()) {
         let r = match &cell.value {
@@ -365,22 +361,24 @@ pub fn machine_size(_scale: Scale) -> Report {
             },
             PlacementScheme::WorstCase { node: 0 },
         ] {
-            let machine = machine.clone();
-            plan.add(
-                format!("cg-{}cpu:{}", nodes * 2, placement.label()),
-                move || {
-                    crate::run_one::run_cg_custom(
-                        cg_cfg,
-                        &RunConfig {
-                            placement,
-                            engine: EngineMode::None,
-                            threads: nodes * 2,
-                            machine,
-                            trace: false,
-                        },
-                    )
-                },
+            let cfg = RunConfig {
+                placement,
+                engine: EngineMode::None,
+                threads: nodes * 2,
+                machine: machine.clone(),
+                trace: false,
+            };
+            // The problem size comes entirely from cg_cfg (fed to the
+            // fingerprint via extras); the spec's scale field is pinned so
+            // the cache key does not vary with the ignored --scale flag.
+            let spec = crate::spec::custom(
+                BenchName::Cg,
+                Scale::Tiny,
+                &cfg,
+                &format!("-{}cpu", nodes * 2),
+                &[format!("{cg_cfg:?}")],
             );
+            plan.add_cached(spec, move || crate::run_one::run_cg_custom(cg_cfg, &cfg));
         }
     }
     let outputs = plan.execute();

@@ -20,8 +20,8 @@ use std::time::Instant;
 use xp::summary::SummaryEntry;
 use xp::Report;
 
-const COMMANDS: &str =
-    "table1|fig1|fig4|table2|fig5|fig6|ablations|multiprog|all|trace|prof|selfprof|bench|lint";
+const COMMANDS: &str = "table1|fig1|fig4|table2|fig5|fig6|ablations|multiprog|all|trace|prof|\
+     selfprof|bench|lint|serve|client|cache";
 
 const USAGE: &str = "\
 xp — experiment driver for the data-distribution study
@@ -36,6 +36,9 @@ usage:
           [--history DIR] [--scale tiny|small|medium] [--out DIR]
   xp lint [--bench bt|sp|cg|mg|ft] [--all] [--deny CODES] [--allow FILE]
           [--scale tiny|small|medium] [--out DIR]
+  xp serve [--port N|--addr ADDR] [--jobs N] [--cache-dir DIR]
+  xp client COMMAND [--addr ADDR|--port N] [other COMMAND options]
+  xp cache stats|verify|gc [--cache-dir DIR] [--max-bytes N] [--max-age SECS]
 
 commands:
   table1     memory-hierarchy latencies (paper Table 1)
@@ -63,6 +66,16 @@ commands:
              past --threshold (default 5%) on any benchmark
   lint       static NUMA/race analysis of the benchmark kernels (no machine
              simulation); exits 1 if a denied finding is not allowlisted
+  serve      resident experiment server: owns one long-lived worker pool
+             and the result cache, batches cells from concurrent clients,
+             dedupes cached and in-flight work; serves until a client
+             sends shutdown
+  client     run COMMAND, resolving its cells against the server at --addr
+             (default 127.0.0.1:46137); falls back to in-process execution
+             when no compatible server answers
+  cache      result-cache maintenance: `stats` (counters + disk usage),
+             `verify` (integrity-check every entry, drop damaged ones),
+             `gc` (evict by age and/or total size)
 
 options:
   --scale tiny|small|medium  problem scale (default medium)
@@ -90,6 +103,15 @@ options:
                              and/or codes (L001..L008) that fail the run
   --allow FILE               lint allowlist file (default: lint.allow in the
                              current directory, when present)
+  --cache                    resolve experiment cells against the on-disk
+                             result cache and store fresh results back
+  --no-cache                 disable the result cache (overrides --cache)
+  --cache-dir DIR            cache directory (default: OUT/cache)
+  --addr ADDR                serve: address to bind; client: server address
+  --port N                   shorthand for --addr 127.0.0.1:N (0 = ephemeral
+                             when serving)
+  --max-bytes N              cache gc: keep at most N bytes (newest first)
+  --max-age SECS             cache gc: drop entries older than SECS
   -h, --help                 show this help
 ";
 
@@ -122,6 +144,101 @@ fn parse_scale(s: &str) -> Scale {
 /// reports.
 type Job = (&'static str, Box<dyn FnOnce() -> Vec<Report>>);
 
+/// `xp serve`: bind, announce the bound address on stdout (parseable —
+/// tests and scripts bind `--port 0`), serve until a client shuts us down.
+fn serve(addr: &str, cache_root: &std::path::Path) -> ! {
+    use std::io::Write as _;
+    let cache = svc::Cache::new(cache_root);
+    let server = svc::Server::bind(
+        addr,
+        xp::jobs::get(),
+        cache,
+        xp::spec::compute(),
+        xp::spec::CODE_VERSION,
+    )
+    .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+    let bound = server
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| addr.to_string());
+    println!("[svc] listening on {bound}");
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "[svc] cache at {}, {} worker(s), code {} — serving until a client sends shutdown",
+        cache_root.display(),
+        xp::jobs::get(),
+        xp::spec::CODE_VERSION
+    );
+    match server.run() {
+        Ok(()) => {
+            eprintln!("[svc] shutdown");
+            std::process::exit(0);
+        }
+        Err(e) => die(&format!("server failed: {e}")),
+    }
+}
+
+/// `xp cache stats|verify|gc`.
+fn cache_admin(
+    sub: Option<&str>,
+    extra: Option<&String>,
+    root: &std::path::Path,
+    max_bytes: Option<u64>,
+    max_age: Option<u64>,
+) {
+    if let Some(extra) = extra {
+        die(&format!("unexpected argument '{extra}'"));
+    }
+    let cache = svc::Cache::new(root);
+    match sub {
+        Some("stats") => {
+            let scan = cache.scan();
+            println!(
+                "cache {}: {} entries, {} bytes",
+                root.display(),
+                scan.entries,
+                scan.bytes
+            );
+            if let (Some(oldest), Some(newest)) = (scan.oldest_unix, scan.newest_unix) {
+                println!("  oldest entry: unix {oldest}; newest entry: unix {newest}");
+            }
+        }
+        Some("verify") => {
+            let v = cache.verify();
+            println!(
+                "cache {}: {} entries ok, {} corrupt (removed)",
+                root.display(),
+                v.ok,
+                v.corrupt.len()
+            );
+            for p in &v.corrupt {
+                eprintln!("  removed {}", p.display());
+            }
+            if !v.corrupt.is_empty() {
+                std::process::exit(1);
+            }
+        }
+        Some("gc") => {
+            if max_bytes.is_none() && max_age.is_none() {
+                die("cache gc needs --max-bytes and/or --max-age");
+            }
+            let g = cache.gc(max_bytes, max_age);
+            println!(
+                "cache {}: evicted {} entries ({} bytes), kept {} ({} bytes)",
+                root.display(),
+                g.evicted,
+                g.evicted_bytes,
+                g.kept,
+                g.kept_bytes
+            );
+        }
+        Some(other) => die(&format!(
+            "unknown cache subcommand '{other}' (expected stats|verify|gc)"
+        )),
+        None => die("cache needs a subcommand: stats|verify|gc"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positionals: Vec<String> = Vec::new();
@@ -137,6 +254,13 @@ fn main() {
     let mut bench_check = false;
     let mut bench_threshold: Option<f64> = None;
     let mut bench_history: Option<PathBuf> = None;
+    let mut use_cache = false;
+    let mut no_cache = false;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut addr: Option<String> = None;
+    let mut port: Option<u16> = None;
+    let mut gc_max_bytes: Option<u64> = None;
+    let mut gc_max_age: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -214,11 +338,92 @@ fn main() {
                     .unwrap_or_else(|| die("--history needs a directory"));
                 bench_history = Some(PathBuf::from(v));
             }
+            "--cache" => use_cache = true,
+            "--no-cache" => no_cache = true,
+            "--cache-dir" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--cache-dir needs a directory"));
+                cache_dir = Some(PathBuf::from(v));
+            }
+            "--addr" => {
+                let v = it.next().unwrap_or_else(|| die("--addr needs an address"));
+                addr = Some(v.to_string());
+            }
+            "--port" => {
+                let v = it.next().unwrap_or_else(|| die("--port needs a value"));
+                let p = v
+                    .parse::<u16>()
+                    .unwrap_or_else(|_| die(&format!("--port needs a port number, got '{v}'")));
+                port = Some(p);
+            }
+            "--max-bytes" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--max-bytes needs a value"));
+                let n = v
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| die(&format!("--max-bytes needs an integer, got '{v}'")));
+                gc_max_bytes = Some(n);
+            }
+            "--max-age" => {
+                let v = it.next().unwrap_or_else(|| die("--max-age needs a value"));
+                let n = v
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| die(&format!("--max-age needs seconds, got '{v}'")));
+                gc_max_age = Some(n);
+            }
             flag if flag.starts_with('-') => die(&format!("unknown flag '{flag}'")),
             other => positionals.push(other.to_string()),
         }
     }
+    // Client mode is a prefix: `xp client fig5 ...` runs fig5 with its
+    // cells offered to the resident server first.
+    let client_mode = positionals.first().map(String::as_str) == Some("client");
+    if client_mode {
+        positionals.remove(0);
+    }
     let command = positionals.first().cloned().unwrap_or_else(|| "all".into());
+    if addr.is_some() && port.is_some() {
+        die("--addr and --port are mutually exclusive");
+    }
+    if !client_mode && command != "serve" && (addr.is_some() || port.is_some()) {
+        die("--addr/--port apply to `xp serve` and `xp client`");
+    }
+    if command != "cache" && (gc_max_bytes.is_some() || gc_max_age.is_some()) {
+        die("--max-bytes/--max-age apply to `xp cache gc`");
+    }
+    if client_mode && matches!(command.as_str(), "serve" | "cache" | "client") {
+        die(&format!("`xp client {command}` is not a thing"));
+    }
+    let server_addr = addr
+        .clone()
+        .unwrap_or_else(|| format!("127.0.0.1:{}", port.unwrap_or(svc::DEFAULT_PORT)));
+    let cache_root = cache_dir.clone().unwrap_or_else(|| out_dir.join("cache"));
+
+    if command == "serve" {
+        if let Some(extra) = positionals.get(1) {
+            die(&format!("unexpected argument '{extra}'"));
+        }
+        serve(&server_addr, &cache_root);
+    }
+    if command == "cache" {
+        cache_admin(
+            positionals.get(1).map(String::as_str),
+            positionals.get(2),
+            &cache_root,
+            gc_max_bytes,
+            gc_max_age,
+        );
+        return;
+    }
+    if use_cache && !no_cache {
+        xp::cache::install(Some(svc::Cache::new(&cache_root)));
+    }
+    if client_mode {
+        xp::remote::install(Some(svc::Client::new(&server_addr, xp::spec::CODE_VERSION)));
+    }
+
     if !matches!(command.as_str(), "lint" | "bench") && lint_bench.is_some() {
         die("--bench applies to `xp lint` and `xp bench`");
     }
@@ -430,6 +635,12 @@ fn main() {
     };
 
     let mut entries: Vec<SummaryEntry> = Vec::new();
+    // Multi-experiment sweeps share one resident worker pool across every
+    // plan instead of spawning and joining a scoped pool per experiment
+    // (see crates/xp/src/session.rs).
+    if jobs.len() > 1 {
+        xp::session::begin();
+    }
     // Per job: its reports plus the pool-telemetry footer its plans
     // accumulated. The footer goes to stdout only, never into the saved
     // JSON, so result trees stay identical across --jobs counts.
@@ -451,6 +662,7 @@ fn main() {
         });
         groups.push((produced, footer));
     }
+    xp::session::end();
 
     for (reports, footer) in &groups {
         for report in reports {
@@ -481,6 +693,9 @@ fn main() {
     ) {
         Ok(path) => eprintln!("[saved {}]", path.display()),
         Err(e) => eprintln!("[warn: could not save bench_summary.json: {e}]"),
+    }
+    if let Some(line) = xp::cache::stats_line() {
+        eprintln!("[{line}]");
     }
     let denied = LINT_DENIED.load(Ordering::Relaxed);
     if denied > 0 {

@@ -23,8 +23,22 @@
 //! Each cell additionally runs under `catch_unwind`: a panicking cell
 //! surfaces as an `Err` output (a failed *row* in the report), never a
 //! dead run, and never poisons sibling cells.
+//!
+//! Cells added via [`CellPlan::add_cached`] carry a [`svc::CellSpec`] and
+//! participate in the result service on top of the local pipeline.
+//! Before anything is dispatched to a worker pool, `execute` resolves
+//! spec-carrying cells against the installed result cache
+//! ([`crate::cache`]) and, in client mode, offers the remainder to the
+//! resident server as one batch ([`crate::remote`]); only the cells
+//! neither source can satisfy are computed here. Resolved cells replay
+//! their side effects at their canonical merge position, so a fully
+//! cached run produces byte-identical artifacts to a cold one. When a
+//! sweep session is open ([`crate::session`]), the residual computation
+//! runs as a batch on the session's shared resident pool instead of a
+//! plan-scoped pool.
 
-use exec::{Job, JobPanic, Pool, PoolMonitor};
+use crate::cache::CellCodec;
+use exec::{Job, JobPanic, Pool, PoolMonitor, PoolTelemetry, TimedResult, WorkerTelemetry};
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -83,7 +97,8 @@ pub struct CellOutput<T> {
     pub id: String,
     /// The cell's value, or the panic that killed it.
     pub value: Result<T, JobPanic>,
-    /// Host wall-clock seconds the cell took on its worker.
+    /// Host wall-clock seconds the cell took on its worker (0 for cells
+    /// resolved from the cache or a server).
     pub wall_secs: f64,
 }
 
@@ -103,18 +118,39 @@ impl<T> CellOutput<T> {
     }
 }
 
-/// An ordered list of independent experiment cells.
-pub struct CellPlan<'a, T> {
-    cells: Vec<(String, Job<'a, T>)>,
+/// One planned cell: id, the job that computes it, and — for cells the
+/// result service can resolve — the spec naming it and the codec that
+/// round-trips its value.
+struct Cell<T> {
+    id: String,
+    spec: Option<svc::CellSpec>,
+    codec: Option<CellCodec<T>>,
+    job_state: CellState<T>,
 }
 
-impl<'a, T: Send + 'a> Default for CellPlan<'a, T> {
+/// Where one cell's value will come from, decided during resolution.
+enum CellState<T> {
+    /// Resolved without local computation (cache hit or server result).
+    /// `store` marks server-computed values the local cache should keep.
+    Resolved { value: T, store: bool },
+    /// Still needs local computation.
+    Pending(Job<'static, T>),
+    /// The pending job has been moved to the worker pool.
+    Dispatched,
+}
+
+/// An ordered list of independent experiment cells.
+pub struct CellPlan<T> {
+    cells: Vec<Cell<T>>,
+}
+
+impl<T: Send + 'static> Default for CellPlan<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<'a, T: Send + 'a> CellPlan<'a, T> {
+impl<T: Send + 'static> CellPlan<T> {
     /// An empty plan.
     pub fn new() -> Self {
         CellPlan { cells: Vec::new() }
@@ -122,8 +158,29 @@ impl<'a, T: Send + 'a> CellPlan<'a, T> {
 
     /// Append a cell. `id` names the cell in failed rows and diagnostics;
     /// the position in the plan is the cell's canonical merge position.
-    pub fn add(&mut self, id: impl Into<String>, job: impl FnOnce() -> T + Send + 'a) {
-        self.cells.push((id.into(), Box::new(job)));
+    pub fn add(&mut self, id: impl Into<String>, job: impl FnOnce() -> T + Send + 'static) {
+        self.cells.push(Cell {
+            id: id.into(),
+            spec: None,
+            codec: None,
+            job_state: CellState::Pending(Box::new(job)),
+        });
+    }
+
+    /// Append a cell the result service can resolve: the spec is its
+    /// cache key (and its id, via [`svc::CellSpec::cell_id`]), and `job`
+    /// is the local computation of record when no cache or server
+    /// satisfies it.
+    pub fn add_cached(&mut self, spec: svc::CellSpec, job: impl FnOnce() -> T + Send + 'static)
+    where
+        T: crate::cache::CachePayload,
+    {
+        self.cells.push(Cell {
+            id: spec.cell_id(),
+            spec: Some(spec),
+            codec: Some(crate::cache::codec_for::<T>()),
+            job_state: CellState::Pending(Box::new(job)),
+        });
     }
 
     /// Number of cells planned.
@@ -136,84 +193,288 @@ impl<'a, T: Send + 'a> CellPlan<'a, T> {
         self.cells.is_empty()
     }
 
-    /// Execute on a pool sized by [`crate::jobs::get`].
+    /// Execute with the process-wide machinery: cache and client
+    /// resolution first, then the residual cells on the open sweep
+    /// session's shared pool ([`crate::session`]) or, when no session is
+    /// open, a plan-scoped pool sized by [`crate::jobs::get`].
     pub fn execute(self) -> Vec<CellOutput<T>> {
-        self.execute_on(&Pool::new(crate::jobs::get()))
+        match crate::session::active() {
+            Some(session) => self.run(Executor::Resident(session)),
+            None => self.run(Executor::Scoped(Pool::new(crate::jobs::get()))),
+        }
     }
 
-    /// Execute every cell on `pool` and merge: outputs come back in plan
-    /// order, each cell's deferred sim-seconds and trace dumps are
-    /// replayed in plan order, and the plan's wall-clock statistics are
-    /// credited to [`crate::summary`].
+    /// Execute every residual cell on `pool` (cache/client resolution
+    /// still applies) and merge: outputs come back in plan order, each
+    /// cell's deferred sim-seconds and trace dumps are replayed in plan
+    /// order, and the plan's wall-clock statistics are credited to
+    /// [`crate::summary`].
     pub fn execute_on(self, pool: &Pool) -> Vec<CellOutput<T>> {
-        let total = self.cells.len();
-        let (ids, jobs): (Vec<String>, Vec<Job<'a, T>>) = self.cells.into_iter().unzip();
-        // Completed simulated microseconds, fed live to the dashboard's
-        // sim-secs/s throughput readout.
-        let sim_done_us = Arc::new(AtomicU64::new(0));
-        let wrapped: Vec<Job<'a, CellRun<T>>> = ids
-            .iter()
-            .cloned()
-            .zip(jobs)
-            .map(|(id, job)| {
-                let sim_done_us = Arc::clone(&sim_done_us);
-                Box::new(move || {
-                    // Host-profiling root for this cell: every span the cell
-                    // opens (ccnuma/vmm/omp/upmlib) nests under `cell:<id>`
-                    // on this worker's stack, and the root's inclusive time
-                    // reconciles with the pool-measured cell wall time.
-                    let _hp = hostprof::span_named(|| format!("cell:{id}"));
-                    CTX.with(|ctx| *ctx.borrow_mut() = Some(CellCtx::default()));
-                    let value =
-                        catch_unwind(AssertUnwindSafe(job)).map_err(|p| panic_message(p.as_ref()));
-                    let ctx = CTX
-                        .with(|ctx| ctx.borrow_mut().take())
-                        .expect("cell context installed above");
-                    sim_done_us.fetch_add((ctx.sim_secs * 1e6) as u64, Ordering::Relaxed);
-                    CellRun {
-                        value,
-                        sim_secs: ctx.sim_secs,
-                        traces: ctx.traces,
-                    }
-                }) as Job<'a, CellRun<T>>
-            })
-            .collect();
-        let monitor = PoolMonitor::new();
-        let dash = crate::dash::spawn(monitor.clone(), total, Arc::clone(&sim_done_us));
-        let (runs, telemetry) = pool.run_timed(wrapped, Some(&monitor));
-        if let Some(dash) = dash {
-            dash.finish();
+        self.run(Executor::Scoped(*pool))
+    }
+
+    fn run(self, executor: Executor) -> Vec<CellOutput<T>> {
+        let cache = crate::cache::effective();
+        let mut cells = self.cells;
+
+        // Phase 1 — cache resolution. A lookup that decodes cleanly is a
+        // hit; an undecodable payload is treated as a miss (the recompute
+        // overwrites the entry at merge).
+        if let Some(cache) = &cache {
+            for cell in &mut cells {
+                let (Some(spec), Some(codec)) = (&cell.spec, &cell.codec) else {
+                    continue;
+                };
+                if let Some(value) = cache.lookup(spec).and_then(|p| (codec.decode)(&p).ok()) {
+                    cell.state_resolve(value, false);
+                }
+            }
         }
-        crate::summary::add_pool_wall(telemetry.wall_secs);
-        let cell_walls: Vec<f64> = runs.iter().map(|t| t.wall_secs).collect();
-        crate::telemetry::record_plan(&telemetry, &cell_walls);
-        runs.into_iter()
-            .zip(ids)
+
+        // Phase 2 — client dispatch: offer every still-pending
+        // spec-carrying cell to the server as one batch. Failure is never
+        // fatal at either granularity — a dead batch or a refused cell
+        // just stays pending and computes locally. Traced runs never
+        // dispatch: server results carry no tracer (same reason the cache
+        // is bypassed).
+        if let Some(client) = crate::remote::installed().filter(|_| crate::trace::dir().is_none()) {
+            let indices: Vec<usize> = cells
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| matches!(c.job_state, CellState::Pending(_)) && c.spec.is_some())
+                .map(|(i, _)| i)
+                .collect();
+            if !indices.is_empty() {
+                let specs: Vec<svc::CellSpec> = indices
+                    .iter()
+                    .map(|&i| cells[i].spec.clone().expect("filtered on spec"))
+                    .collect();
+                let mut progress = crate::remote::Progress::new();
+                match client.run_cells(&specs, |p| progress.update(p)) {
+                    Ok(outcomes) => {
+                        progress.finish(client.addr());
+                        for (&i, outcome) in indices.iter().zip(outcomes) {
+                            let codec = cells[i].codec.expect("spec cells carry a codec");
+                            match outcome.result.and_then(|p| (codec.decode)(&p)) {
+                                Ok(value) => {
+                                    // Keep server-computed values in the
+                                    // local cache too (when one is on).
+                                    cells[i].state_resolve(value, cache.is_some());
+                                }
+                                Err(e) => {
+                                    eprintln!("[svc] cell {}: {e}; computing locally", cells[i].id)
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => eprintln!("[svc] falling back to local execution: {e}"),
+                }
+            }
+        }
+
+        // Phase 3 — compute the residue on a worker pool.
+        let sim_done_us = Arc::new(AtomicU64::new(0));
+        let mut pending: Vec<Job<'static, CellRun<T>>> = Vec::new();
+        for cell in &mut cells {
+            let state = std::mem::replace(&mut cell.job_state, CellState::Dispatched);
+            match state {
+                CellState::Pending(job) => {
+                    pending.push(wrap_cell(cell.id.clone(), job, Arc::clone(&sim_done_us)));
+                }
+                resolved => cell.job_state = resolved,
+            }
+        }
+        let runs: Vec<TimedResult<CellRun<T>>> = if pending.is_empty() {
+            Vec::new()
+        } else {
+            match &executor {
+                Executor::Scoped(pool) => {
+                    let total = pending.len();
+                    let monitor = PoolMonitor::new();
+                    let dash = crate::dash::spawn(monitor.clone(), total, Arc::clone(&sim_done_us));
+                    let (runs, telemetry) = pool.run_timed(pending, Some(&monitor));
+                    if let Some(dash) = dash {
+                        dash.finish();
+                    }
+                    crate::summary::add_pool_wall(telemetry.wall_secs);
+                    let cell_walls: Vec<f64> = runs.iter().map(|t| t.wall_secs).collect();
+                    crate::telemetry::record_plan(&telemetry, &cell_walls);
+                    runs
+                }
+                Executor::Resident(session) => run_resident(session, pending),
+            }
+        };
+
+        // Phase 4 — merge in plan order. Resolved cells replay their side
+        // effects here, at the exact position a computed run would have;
+        // freshly computed spec-carrying cells are stored back.
+        let mut runs = runs.into_iter();
+        cells
+            .into_iter()
             .enumerate()
-            .map(|(index, (timed, id))| {
-                // The pool measured the wall time around the whole job, so a
-                // panicking cell — even a dead *wrapper* — still reports how
-                // long it ran before dying.
-                let wall_secs = timed.wall_secs;
-                // The wrapper catches the cell's panic itself, so a pool-level
-                // Err means the wrapper died — re-surface it as a message.
-                let run = timed.result.unwrap_or_else(|p| CellRun {
-                    value: Err(p.message),
-                    sim_secs: 0.0,
-                    traces: Vec::new(),
-                });
-                crate::summary::add_sim_secs(run.sim_secs);
-                crate::summary::add_cell_wall(wall_secs);
-                for trace in run.traces {
-                    crate::trace::write_pending(trace);
+            .map(|(index, cell)| match cell.job_state {
+                CellState::Resolved { value, store } => {
+                    if let Some(codec) = &cell.codec {
+                        (codec.replay)(&value);
+                    }
+                    if store {
+                        store_back(&cache, &cell.spec, &cell.codec, &value);
+                    }
+                    CellOutput {
+                        id: cell.id,
+                        value: Ok(value),
+                        wall_secs: 0.0,
+                    }
                 }
-                CellOutput {
-                    id,
-                    value: run.value.map_err(|message| JobPanic { index, message }),
-                    wall_secs,
+                CellState::Dispatched => {
+                    let timed = runs.next().expect("one pool result per pending cell");
+                    // The pool measured the wall time around the whole
+                    // job, so a panicking cell — even a dead *wrapper* —
+                    // still reports how long it ran before dying.
+                    let wall_secs = timed.wall_secs;
+                    // The wrapper catches the cell's panic itself, so a
+                    // pool-level Err means the wrapper died — re-surface
+                    // it as a message.
+                    let run = timed.result.unwrap_or_else(|p| CellRun {
+                        value: Err(p.message),
+                        sim_secs: 0.0,
+                        traces: Vec::new(),
+                    });
+                    crate::summary::add_sim_secs(run.sim_secs);
+                    crate::summary::add_cell_wall(wall_secs);
+                    for trace in run.traces {
+                        crate::trace::write_pending(trace);
+                    }
+                    if let Ok(value) = &run.value {
+                        store_back(&cache, &cell.spec, &cell.codec, value);
+                    }
+                    CellOutput {
+                        id: cell.id,
+                        value: run.value.map_err(|message| JobPanic { index, message }),
+                        wall_secs,
+                    }
                 }
+                CellState::Pending(_) => unreachable!("pending cells were dispatched above"),
             })
             .collect()
+    }
+}
+
+impl<T> Cell<T> {
+    fn state_resolve(&mut self, value: T, store: bool) {
+        self.job_state = CellState::Resolved { value, store };
+    }
+}
+
+/// Which pool machinery executes the residual cells.
+enum Executor {
+    /// A plan-scoped pool: spawn, run this plan's batch, join.
+    Scoped(Pool),
+    /// The open sweep session's shared resident pool.
+    Resident(Arc<crate::session::Session>),
+}
+
+/// Wrap one cell's job with the per-cell machinery: host-profiling root,
+/// cell context for deferred side effects, and `catch_unwind`.
+fn wrap_cell<T: Send + 'static>(
+    id: String,
+    job: Job<'static, T>,
+    sim_done_us: Arc<AtomicU64>,
+) -> Job<'static, CellRun<T>> {
+    Box::new(move || {
+        // Host-profiling root for this cell: every span the cell opens
+        // (ccnuma/vmm/omp/upmlib) nests under `cell:<id>` on this
+        // worker's stack, and the root's inclusive time reconciles with
+        // the pool-measured cell wall time.
+        let _hp = hostprof::span_named(|| format!("cell:{id}"));
+        CTX.with(|ctx| *ctx.borrow_mut() = Some(CellCtx::default()));
+        let value = catch_unwind(AssertUnwindSafe(job)).map_err(|p| panic_message(p.as_ref()));
+        let ctx = CTX
+            .with(|ctx| ctx.borrow_mut().take())
+            .expect("cell context installed above");
+        sim_done_us.fetch_add((ctx.sim_secs * 1e6) as u64, Ordering::Relaxed);
+        CellRun {
+            value,
+            sim_secs: ctx.sim_secs,
+            traces: ctx.traces,
+        }
+    })
+}
+
+/// Run one plan's residual cells as a batch on the session's shared
+/// pool: type-erase through `Box<dyn Any + Send>`, downcast on the way
+/// out, and synthesize the per-plan telemetry the scoped path gets from
+/// `run_timed` so the `[pool]` footer still covers session-run plans.
+fn run_resident<T: Send + 'static>(
+    session: &crate::session::Session,
+    pending: Vec<Job<'static, CellRun<T>>>,
+) -> Vec<TimedResult<CellRun<T>>> {
+    let total = pending.len();
+    let t0 = std::time::Instant::now();
+    let erased: Vec<exec::ResidentJob<crate::session::ErasedResult>> = pending
+        .into_iter()
+        .map(|job| {
+            Box::new(move || Box::new(job()) as crate::session::ErasedResult)
+                as exec::ResidentJob<crate::session::ErasedResult>
+        })
+        .collect();
+    let handle = session.submit(erased);
+    let runs: Vec<TimedResult<CellRun<T>>> = handle
+        .wait_all()
+        .into_iter()
+        .map(|t| TimedResult {
+            result: t.result.map(|boxed| {
+                *boxed
+                    .downcast::<CellRun<T>>()
+                    .expect("session batch returns this plan's cell type")
+            }),
+            wall_secs: t.wall_secs,
+            worker: t.worker,
+        })
+        .collect();
+    let wall_secs = t0.elapsed().as_secs_f64();
+    crate::summary::add_pool_wall(wall_secs);
+    let mut workers = vec![
+        WorkerTelemetry {
+            jobs: 0,
+            busy_secs: 0.0,
+            steals_ok: 0,
+            steals_fail: 0,
+            queue_depth_mean: 0.0,
+            queue_depth_max: 0,
+        };
+        session.workers()
+    ];
+    for t in &runs {
+        if let Some(w) = workers.get_mut(t.worker) {
+            w.jobs += 1;
+            w.busy_secs += t.wall_secs;
+        }
+    }
+    let telemetry = PoolTelemetry {
+        wall_secs,
+        jobs_total: total,
+        jobs_failed: runs.iter().filter(|t| t.result.is_err()).count(),
+        workers,
+    };
+    let cell_walls: Vec<f64> = runs.iter().map(|t| t.wall_secs).collect();
+    crate::telemetry::record_plan(&telemetry, &cell_walls);
+    runs
+}
+
+/// Store a freshly computed spec-carrying value back to the cache. A
+/// store failure degrades the cache, not the run.
+fn store_back<T>(
+    cache: &Option<svc::Cache>,
+    spec: &Option<svc::CellSpec>,
+    codec: &Option<CellCodec<T>>,
+    value: &T,
+) {
+    let (Some(cache), Some(spec), Some(codec)) = (cache, spec, codec) else {
+        return;
+    };
+    if let Err(e) = cache.store(spec, &(codec.encode)(value)) {
+        eprintln!("[cache] store failed for {spec}: {e}");
     }
 }
 

@@ -25,7 +25,7 @@ use vmm::PlacementScheme;
 /// (Figure 4's extra bars). The random placement scheme draws from the
 /// global experiment seed ([`crate::seed`]).
 pub fn plan_grid(
-    plan: &mut CellPlan<'_, RunResult>,
+    plan: &mut CellPlan<RunResult>,
     bench: BenchName,
     scale: Scale,
     with_upmlib: bool,
@@ -37,18 +37,13 @@ pub fn plan_grid(
             engines.push(EngineMode::Upmlib(upm_opts));
         }
         for engine in engines {
-            let id = format!(
-                "{}:{}-{}",
-                bench.label().to_ascii_lowercase(),
-                placement.label(),
-                engine.label()
-            );
             let cfg = RunConfig {
                 placement,
                 engine,
                 ..RunConfig::paper_default()
             };
-            plan.add(id, move || run_one(bench, scale, &cfg));
+            let spec = crate::spec::plain(bench, scale, &cfg);
+            plan.add_cached(spec, move || run_one(bench, scale, &cfg));
         }
     }
 }

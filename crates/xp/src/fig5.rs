@@ -21,7 +21,7 @@ pub const BENCHES: [BenchName; 2] = [BenchName::Bt, BenchName::Sp];
 pub const CELLS_PER_BENCH: usize = 4;
 
 /// Append one benchmark's four Figure 5 cells to `plan`, in bar order.
-pub fn plan_bars(plan: &mut CellPlan<'_, RunResult>, bench: BenchName, scale: Scale) {
+pub fn plan_bars(plan: &mut CellPlan<RunResult>, bench: BenchName, scale: Scale) {
     let (kcfg, upm_opts) = default_engine_configs();
     for engine in [
         EngineMode::None,
@@ -29,17 +29,13 @@ pub fn plan_bars(plan: &mut CellPlan<'_, RunResult>, bench: BenchName, scale: Sc
         EngineMode::Upmlib(upm_opts),
         EngineMode::RecRep(upm_opts),
     ] {
-        let id = format!(
-            "{}:ft-{}",
-            bench.label().to_ascii_lowercase(),
-            engine.label()
-        );
         let cfg = RunConfig {
             placement: PlacementScheme::FirstTouch,
             engine,
             ..RunConfig::paper_default()
         };
-        plan.add(id, move || run_one(bench, scale, &cfg));
+        let spec = crate::spec::plain(bench, scale, &cfg);
+        plan.add_cached(spec, move || run_one(bench, scale, &cfg));
     }
 }
 

@@ -56,10 +56,13 @@ pub fn run(scale: Scale) -> Report {
     let mut plan = CellPlan::new();
     for phase_scale in PHASE_SCALES {
         for engine in [EngineMode::Upmlib(upm_opts), EngineMode::RecRep(upm_opts)] {
-            plan.add(
-                format!("bt{phase_scale}x:ft-{}", engine.label()),
-                move || run_bt_at(scale, phase_scale, engine),
-            );
+            let cfg = RunConfig {
+                placement: PlacementScheme::FirstTouch,
+                engine: engine.clone(),
+                ..RunConfig::paper_default()
+            };
+            let spec = crate::spec::bt_phase_scaled(scale, phase_scale, &cfg);
+            plan.add_cached(spec, move || run_bt_at(scale, phase_scale, engine));
         }
     }
     let outputs = plan.execute();

@@ -18,6 +18,7 @@
 
 pub mod ablation;
 pub mod bench_gate;
+pub mod cache;
 pub mod cells;
 mod dash;
 pub mod fig1;
@@ -28,10 +29,13 @@ pub mod jobs;
 pub mod lint;
 pub mod multiprog;
 pub mod prof;
+pub mod remote;
 pub mod report;
 pub mod run_one;
 pub mod seed;
 pub mod selfprof;
+pub mod session;
+pub mod spec;
 pub mod summary;
 pub mod table1;
 pub mod table2;

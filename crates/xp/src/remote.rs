@@ -1,0 +1,75 @@
+//! Client-mode wiring: dispatch spec-carrying cells to a resident
+//! `xp serve` instance (`xp client <command>`).
+//!
+//! The binary installs an [`svc::Client`] here; every
+//! [`crate::cells::CellPlan`] execution then offers its unresolved
+//! spec-carrying cells to the server as one batch and consumes the
+//! streamed results. Degradation is graceful at two granularities:
+//!
+//! * **whole batch** — no server listening, protocol or code-version
+//!   mismatch: every cell falls back to in-process execution, so client
+//!   mode never produces less than offline mode;
+//! * **per cell** — the server refuses an individual spec (ablation
+//!   variants it cannot reconstruct, fingerprint mismatch): that cell
+//!   computes locally while its siblings still come from the server.
+//!
+//! Every batch prints one summary line to **stderr** (`[svc] ...` — cached
+//! / computed / joined counts), which is also what the CI smoke job greps
+//! to prove the warm sweep recomputed nothing.
+
+use std::io::IsTerminal;
+use std::sync::Mutex;
+use svc::proto::RunProgress;
+
+static CLIENT: Mutex<Option<svc::Client>> = Mutex::new(None);
+
+/// Install (or clear) the process-wide service client.
+pub fn install(client: Option<svc::Client>) {
+    *CLIENT.lock().unwrap() = client;
+}
+
+/// The installed client, if any.
+pub(crate) fn installed() -> Option<svc::Client> {
+    CLIENT.lock().unwrap().clone()
+}
+
+/// Progress printer for one remote batch: live line on a TTY, silent
+/// otherwise (the final summary line is printed unconditionally).
+pub(crate) struct Progress {
+    tty: bool,
+    painted: bool,
+    last: RunProgress,
+}
+
+impl Progress {
+    pub(crate) fn new() -> Self {
+        Progress {
+            tty: std::io::stderr().is_terminal(),
+            painted: false,
+            last: RunProgress::default(),
+        }
+    }
+
+    pub(crate) fn update(&mut self, p: &RunProgress) {
+        self.last = *p;
+        if self.tty {
+            eprint!(
+                "\r\x1b[2K[svc] {}/{} cells ({} cached, {} computed, {} joined)",
+                p.done, p.total, p.hits, p.computed, p.joined
+            );
+            self.painted = true;
+        }
+    }
+
+    /// Clear the live line and print the batch summary.
+    pub(crate) fn finish(self, addr: &str) {
+        if self.painted {
+            eprint!("\r\x1b[2K");
+        }
+        let p = self.last;
+        eprintln!(
+            "[svc] {addr}: {} cells — {} cached, {} computed, {} joined",
+            p.total, p.hits, p.computed, p.joined
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! The sweep session: one long-lived worker pool shared by every plan of
+//! a multi-experiment run.
+//!
+//! Without a session, each [`crate::cells::CellPlan`] execution spins up
+//! and joins its own scoped [`exec::Pool`] — eight spawn/join cycles and
+//! eight separate dashboards across an `xp all` sweep, with workers going
+//! idle at every plan boundary. The `xp` binary opens a session around
+//! multi-experiment runs; plans then submit their cells as batches to one
+//! shared [`exec::ResidentPool`] whose workers live for the whole sweep,
+//! and one progress line spans the sweep instead of one per plan.
+//!
+//! The pool is type-erased (`Box<dyn Any + Send>` results) because
+//! different plans carry different cell types; [`crate::cells`] downcasts
+//! on the way out. Determinism is untouched: batches still merge in plan
+//! order, so outputs and replayed side effects are byte-identical to the
+//! scoped-pool path.
+
+use exec::{BatchHandle, ResidentJob, ResidentPool, ResidentStats};
+use std::any::Any;
+use std::io::{IsTerminal, Write as _};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A type-erased cell result travelling through the shared pool.
+pub(crate) type ErasedResult = Box<dyn Any + Send>;
+
+/// One sweep-wide execution session.
+pub struct Session {
+    pool: ResidentPool<ErasedResult>,
+    queued: AtomicU64,
+    stop_ticker: AtomicBool,
+}
+
+impl Session {
+    /// Submit one plan's jobs as a batch on the shared pool.
+    pub(crate) fn submit(&self, jobs: Vec<ResidentJob<ErasedResult>>) -> BatchHandle<ErasedResult> {
+        self.queued.fetch_add(jobs.len() as u64, Relaxed);
+        self.pool.submit(jobs)
+    }
+
+    /// Configured worker count.
+    pub(crate) fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ResidentStats {
+        self.pool.stats()
+    }
+}
+
+static ACTIVE: Mutex<Option<Arc<Session>>> = Mutex::new(None);
+
+/// Open a session with [`crate::jobs::get`] workers and install it as the
+/// process-wide executor for subsequent plans. Returns the session (also
+/// reachable via [`active`]).
+pub fn begin() -> Arc<Session> {
+    let session = Arc::new(Session {
+        pool: ResidentPool::new(crate::jobs::get()),
+        queued: AtomicU64::new(0),
+        stop_ticker: AtomicBool::new(false),
+    });
+    if std::io::stderr().is_terminal() && std::env::var("XP_DASH").unwrap_or_default() != "0" {
+        spawn_ticker(Arc::clone(&session));
+    }
+    *ACTIVE.lock().unwrap() = Some(Arc::clone(&session));
+    session
+}
+
+/// The active session, if one is open.
+pub(crate) fn active() -> Option<Arc<Session>> {
+    ACTIVE.lock().unwrap().clone()
+}
+
+/// Close the active session: stop its progress ticker, print the sweep
+/// summary line, and drop the shared pool (workers drain and join).
+pub fn end() {
+    let Some(session) = ACTIVE.lock().unwrap().take() else {
+        return;
+    };
+    session.stop_ticker.store(true, Relaxed);
+    let stats = session.stats();
+    eprintln!(
+        "[session] shared pool: {} cells over {} plan(s) on {} worker(s){}",
+        stats.jobs_done,
+        stats.batches,
+        session.workers(),
+        if stats.jobs_failed > 0 {
+            format!(", {} failed", stats.jobs_failed)
+        } else {
+            String::new()
+        }
+    );
+    // The last Arc drops here (plans only hold the session while
+    // executing), shutting the resident workers down.
+    drop(session);
+}
+
+/// Sweep-wide progress line on stderr, repainted in place.
+fn spawn_ticker(session: Arc<Session>) {
+    let _ = std::thread::Builder::new()
+        .name("xp-session-dash".into())
+        .spawn(move || {
+            let mut painted = false;
+            loop {
+                std::thread::sleep(Duration::from_millis(250));
+                if session.stop_ticker.load(Relaxed) {
+                    break;
+                }
+                let stats = session.stats();
+                let queued = session.queued.load(Relaxed);
+                if queued == 0 {
+                    continue;
+                }
+                eprint!(
+                    "\r\x1b[2K[session] {}/{} cells, {} plan(s){}",
+                    stats.jobs_done,
+                    queued,
+                    stats.batches,
+                    if stats.jobs_failed > 0 {
+                        format!(", {} failed", stats.jobs_failed)
+                    } else {
+                        String::new()
+                    }
+                );
+                let _ = std::io::stderr().flush();
+                painted = true;
+            }
+            if painted {
+                eprint!("\r\x1b[2K");
+                let _ = std::io::stderr().flush();
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_pools_are_shared_across_plans_and_end_is_idempotent() {
+        // Serialize against other tests that might open sessions: the
+        // ACTIVE slot is process-global.
+        let session = begin();
+        let jobs: Vec<ResidentJob<ErasedResult>> = (0..5usize)
+            .map(|i| Box::new(move || Box::new(i) as ErasedResult) as ResidentJob<ErasedResult>)
+            .collect();
+        let handle = active().expect("session installed").submit(jobs);
+        let out = handle.wait_all();
+        let values: Vec<usize> = out
+            .into_iter()
+            .map(|t| *t.result.unwrap().downcast::<usize>().unwrap())
+            .collect();
+        assert_eq!(values, vec![0, 1, 2, 3, 4]);
+        assert_eq!(session.stats().batches, 1);
+        drop(session);
+        end();
+        assert!(active().is_none());
+        end(); // second end is a no-op
+    }
+}

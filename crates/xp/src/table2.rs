@@ -34,19 +34,14 @@ pub const CELLS_PER_BENCH: usize = 4;
 
 /// Append one benchmark's Table 2 cells to `plan`: first the ft-IRIX
 /// reference, then rr/rand/wc under UPMlib.
-pub fn plan_for(plan: &mut CellPlan<'_, RunResult>, bench: BenchName, scale: Scale) {
+pub fn plan_for(plan: &mut CellPlan<RunResult>, bench: BenchName, scale: Scale) {
     let (_, upm_opts) = default_engine_configs();
-    let bench_l = bench.label().to_ascii_lowercase();
-    plan.add(format!("{bench_l}:ft-IRIX"), move || {
-        run_one(
-            bench,
-            scale,
-            &RunConfig {
-                placement: PlacementScheme::FirstTouch,
-                ..RunConfig::paper_default()
-            },
-        )
-    });
+    let ft_cfg = RunConfig {
+        placement: PlacementScheme::FirstTouch,
+        ..RunConfig::paper_default()
+    };
+    let ft_spec = crate::spec::plain(bench, scale, &ft_cfg);
+    plan.add_cached(ft_spec, move || run_one(bench, scale, &ft_cfg));
     let schemes = [
         PlacementScheme::RoundRobin,
         PlacementScheme::Random {
@@ -55,20 +50,13 @@ pub fn plan_for(plan: &mut CellPlan<'_, RunResult>, bench: BenchName, scale: Sca
         PlacementScheme::WorstCase { node: 0 },
     ];
     for placement in schemes {
-        plan.add(
-            format!("{bench_l}:{}-upmlib", placement.label()),
-            move || {
-                run_one(
-                    bench,
-                    scale,
-                    &RunConfig {
-                        placement,
-                        engine: EngineMode::Upmlib(upm_opts),
-                        ..RunConfig::paper_default()
-                    },
-                )
-            },
-        );
+        let cfg = RunConfig {
+            placement,
+            engine: EngineMode::Upmlib(upm_opts),
+            ..RunConfig::paper_default()
+        };
+        let spec = crate::spec::plain(bench, scale, &cfg);
+        plan.add_cached(spec, move || run_one(bench, scale, &cfg));
     }
 }
 
