@@ -50,7 +50,7 @@ impl CacheConfig {
     }
 }
 
-const INVALID_TAG: u64 = u64::MAX;
+pub(crate) const INVALID_TAG: u64 = u64::MAX;
 
 /// One way of one set: the cached line number and the coherence version it
 /// was loaded at.
@@ -199,6 +199,54 @@ impl SetAssocCache {
     /// Number of valid lines currently cached (test/diagnostic helper).
     pub fn occupancy(&self) -> usize {
         self.ways.iter().filter(|w| w.tag != INVALID_TAG).count()
+    }
+
+    // ---- fast-path introspection (crate-internal) --------------------------
+    //
+    // The phase fast path (see `crate::fastpath`) snapshots and reconstructs
+    // cache state around memoized regions. It needs raw access to ways and
+    // the LRU tick; everything stays `pub(crate)` so the public cache model
+    // remains probe/fill/invalidate only.
+
+    /// Set-index mask (`sets - 1`).
+    #[inline]
+    pub(crate) fn set_mask(&self) -> u64 {
+        self.set_mask
+    }
+
+    /// Associativity (ways per set).
+    #[inline]
+    pub(crate) fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// Current LRU tick.
+    #[inline]
+    pub(crate) fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Overwrite the LRU tick.
+    #[inline]
+    pub(crate) fn set_tick(&mut self, tick: u64) {
+        self.tick = tick;
+    }
+
+    /// Raw `(tag, version, stamp)` of way `idx` (flat index: `set * assoc + way`).
+    #[inline]
+    pub(crate) fn way(&self, idx: usize) -> (u64, u32, u64) {
+        let w = &self.ways[idx];
+        (w.tag, w.version, w.stamp)
+    }
+
+    /// Overwrite way `idx` (flat index) with the given raw fields.
+    #[inline]
+    pub(crate) fn set_way(&mut self, idx: usize, tag: u64, version: u32, stamp: u64) {
+        self.ways[idx] = Way {
+            tag,
+            version,
+            stamp,
+        };
     }
 }
 

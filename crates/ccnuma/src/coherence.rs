@@ -10,24 +10,30 @@
 //! and is what UPMlib's page-freezing heuristic exists for — without a full
 //! MESI state machine.
 //!
-//! Versions are `AtomicU32` with relaxed ordering: the simulator executes
-//! simulated CPUs sequentially, so the atomics are for API soundness (shared
-//! `&Directory` across CPU contexts), not for cross-thread synchronization.
-
-use std::sync::atomic::{AtomicU32, Ordering};
+//! Versions are a dense `Vec<u32>`: the simulator executes simulated CPUs
+//! sequentially, and the machine owns the directory exclusively, so writes
+//! go through `&mut self` — no per-access atomic read-modify-write on the
+//! hottest path of the whole simulator. The [`Directory::bump`] entry point
+//! lets the phase fast path (see [`crate::fastpath`]) apply a region's worth
+//! of write traffic to a line in one add.
 
 /// Per-line version table covering the simulated virtual address space.
 #[derive(Debug)]
 pub struct Directory {
-    versions: Vec<AtomicU32>,
+    versions: Vec<u32>,
+    /// Total writes ever applied (sum of all version bumps). The phase fast
+    /// path validates a recorded region's aggregate write traffic against
+    /// this in O(1) instead of scanning the whole footprint.
+    writes: u64,
 }
 
 impl Directory {
     /// Create a directory covering `lines` cache lines of address space.
     pub fn new(lines: usize) -> Self {
-        let mut versions = Vec::with_capacity(lines);
-        versions.resize_with(lines, || AtomicU32::new(0));
-        Self { versions }
+        Self {
+            versions: vec![0; lines],
+            writes: 0,
+        }
     }
 
     /// Number of lines covered.
@@ -38,20 +44,39 @@ impl Directory {
     /// Current version of `line`.
     #[inline(always)]
     pub fn version(&self, line: u64) -> u32 {
-        self.versions[line as usize].load(Ordering::Relaxed)
+        self.versions[line as usize]
+    }
+
+    /// Total writes ever recorded (via [`Directory::write`] or
+    /// [`Directory::bump`]).
+    #[inline]
+    pub fn total_writes(&self) -> u64 {
+        self.writes
     }
 
     /// Record a write to `line`; returns the new version.
     #[inline(always)]
-    pub fn write(&self, line: u64) -> u32 {
-        self.versions[line as usize].fetch_add(1, Ordering::Relaxed) + 1
+    pub fn write(&mut self, line: u64) -> u32 {
+        self.writes += 1;
+        let v = &mut self.versions[line as usize];
+        *v = v.wrapping_add(1);
+        *v
+    }
+
+    /// Apply `count` writes to `line` in one step — exactly equivalent to
+    /// `count` calls to [`Directory::write`]. Used by the phase fast path to
+    /// replay a region's directory traffic in bulk.
+    #[inline]
+    pub fn bump(&mut self, line: u64, count: u32) {
+        self.writes += u64::from(count);
+        let v = &mut self.versions[line as usize];
+        *v = v.wrapping_add(count);
     }
 
     /// Reset all versions (test helper; also used when reusing a machine).
-    pub fn reset(&self) {
-        for v in &self.versions {
-            v.store(0, Ordering::Relaxed);
-        }
+    pub fn reset(&mut self) {
+        self.versions.fill(0);
+        self.writes = 0;
     }
 }
 
@@ -61,7 +86,7 @@ mod tests {
 
     #[test]
     fn versions_start_at_zero_and_increment() {
-        let d = Directory::new(16);
+        let mut d = Directory::new(16);
         assert_eq!(d.version(3), 0);
         assert_eq!(d.write(3), 1);
         assert_eq!(d.write(3), 2);
@@ -71,11 +96,29 @@ mod tests {
 
     #[test]
     fn reset_clears() {
-        let d = Directory::new(4);
+        let mut d = Directory::new(4);
         d.write(0);
         d.write(1);
         d.reset();
         assert_eq!(d.version(0), 0);
         assert_eq!(d.version(1), 0);
+    }
+
+    #[test]
+    fn bump_matches_repeated_writes() {
+        let mut a = Directory::new(4);
+        let mut b = Directory::new(4);
+        for _ in 0..7 {
+            a.write(2);
+        }
+        b.bump(2, 7);
+        assert_eq!(a.version(2), b.version(2));
+        b.bump(2, 0);
+        assert_eq!(b.version(2), 7, "zero bump is a no-op");
+        // Wrapping behaviour matches write's wrapping_add.
+        let mut c = Directory::new(1);
+        c.bump(0, u32::MAX);
+        c.write(0);
+        assert_eq!(c.version(0), 0);
     }
 }

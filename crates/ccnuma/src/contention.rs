@@ -39,7 +39,7 @@ impl Default for ContentionConfig {
 }
 
 /// Per-CPU accounting accumulated during one parallel region.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CpuRegionAccount {
     /// Simulated compute time in the region, ns.
     pub compute_ns: f64,
@@ -49,6 +49,12 @@ pub struct CpuRegionAccount {
     pub stall_by_node: Vec<f64>,
     /// Memory access count per home node.
     pub accesses_by_node: Vec<u64>,
+    /// Total access latency accumulated this region, ns — the per-region
+    /// staging buffer for the run-cumulative `CpuStats::stall_ns`, folded in
+    /// at `end_region`. Not part of [`CpuRegionAccount::base_ns`] (it would
+    /// double-count `cache_ns` and `stall_by_node`); unlike `cache_ns` it
+    /// excludes page-fault service time, matching what `touch` returns.
+    pub stall_ns: f64,
 }
 
 impl CpuRegionAccount {
@@ -59,6 +65,7 @@ impl CpuRegionAccount {
             cache_ns: 0.0,
             stall_by_node: vec![0.0; nodes],
             accesses_by_node: vec![0; nodes],
+            stall_ns: 0.0,
         }
     }
 
@@ -73,6 +80,7 @@ impl CpuRegionAccount {
         self.cache_ns = 0.0;
         self.stall_by_node.iter_mut().for_each(|v| *v = 0.0);
         self.accesses_by_node.iter_mut().for_each(|v| *v = 0);
+        self.stall_ns = 0.0;
     }
 }
 

@@ -31,6 +31,10 @@ pub struct RefCounters {
     hw: Vec<AtomicU16>,
     /// Kernel-extended counters: completed 2047-blocks spilled on overflow.
     extended: Vec<AtomicU64>,
+    /// Total accesses ever recorded (monotone; unaffected by per-frame
+    /// resets/decay). The phase fast path validates a recorded region's
+    /// aggregate counter traffic against this in O(1).
+    recorded: AtomicU64,
 }
 
 impl RefCounters {
@@ -44,7 +48,16 @@ impl RefCounters {
             nodes,
             hw,
             extended,
+            recorded: AtomicU64::new(0),
         }
+    }
+
+    /// Total accesses ever recorded via [`RefCounters::record`] or
+    /// [`RefCounters::bulk_add`]. Monotone: per-frame resets and decay do
+    /// not subtract from it.
+    #[inline]
+    pub fn total_recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
     }
 
     #[inline(always)]
@@ -62,6 +75,8 @@ impl RefCounters {
         let i = self.idx(frame, node);
         let hw = &self.hw[i];
         // Relaxed is fine: simulated CPUs run sequentially.
+        self.recorded
+            .store(self.recorded.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
         let cur = hw.load(Ordering::Relaxed);
         if cur >= COUNTER_MAX {
             // Overflow interrupt: fold the full block (including this
@@ -73,6 +88,31 @@ impl RefCounters {
         } else {
             hw.store(cur + 1, Ordering::Relaxed);
             false
+        }
+    }
+
+    /// Record `count` memory accesses to `frame` from `node` in one step —
+    /// exactly equivalent to `count` calls to [`RefCounters::record`],
+    /// including the overflow-spill arithmetic: the hardware counter ends at
+    /// `(hw + count) mod 2048` and every completed 2048-block folds into the
+    /// extended counter. Used by the phase fast path to land a region's
+    /// counter samples in bulk; callers that need per-spill observability
+    /// events must use `record`.
+    pub fn bulk_add(&self, frame: usize, node: NodeId, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.recorded.store(
+            self.recorded.load(Ordering::Relaxed) + count,
+            Ordering::Relaxed,
+        );
+        let i = self.idx(frame, node);
+        let block = COUNTER_MAX as u64 + 1;
+        let total = self.hw[i].load(Ordering::Relaxed) as u64 + count;
+        self.hw[i].store((total % block) as u16, Ordering::Relaxed);
+        let blocks = total / block;
+        if blocks > 0 {
+            self.extended[i].fetch_add(blocks * block, Ordering::Relaxed);
         }
     }
 
@@ -267,6 +307,36 @@ mod tests {
             c.record(0, 0);
         }
         assert_eq!(c.get(0, 0), total + 100, "single-threaded totals are exact");
+    }
+
+    #[test]
+    fn bulk_add_matches_repeated_record() {
+        // Every interesting phase alignment: starting below, at, and just
+        // past a spill boundary, with bulk sizes spanning several blocks.
+        for start in [0u64, 1, 2046, 2047, 2048] {
+            for count in [0u64, 1, 2046, 2047, 2048, 2049, 5000] {
+                let a = RefCounters::new(1, 2);
+                let b = RefCounters::new(1, 2);
+                for _ in 0..start {
+                    a.record(0, 1);
+                    b.record(0, 1);
+                }
+                for _ in 0..count {
+                    a.record(0, 1);
+                }
+                b.bulk_add(0, 1, count);
+                assert_eq!(
+                    a.get(0, 1),
+                    b.get(0, 1),
+                    "totals diverge at start={start} count={count}"
+                );
+                assert_eq!(
+                    a.hw_value(0, 1),
+                    b.hw_value(0, 1),
+                    "hw state diverges at start={start} count={count}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod coherence;
 pub mod contention;
 pub mod counters;
 pub mod cpu;
+pub mod fastpath;
 pub mod latency;
 pub mod machine;
 pub mod memory;
@@ -51,6 +52,7 @@ pub use coherence::Directory;
 pub use contention::{ContentionConfig, ContentionModel};
 pub use counters::{RefCounters, COUNTER_MAX};
 pub use cpu::{AccessKind, CpuContext, CpuId};
+pub use fastpath::{FastpathEngine, FastpathOutcome, FastpathStats, PhaseProof};
 pub use latency::LatencyModel;
 pub use machine::{Machine, MachineConfig};
 pub use memory::{FrameId, PhysicalMemory};

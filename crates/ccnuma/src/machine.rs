@@ -202,23 +202,67 @@ impl MachineConfig {
     }
 }
 
+/// Region-recording log filled by the access path while the phase fast path
+/// records a region (see [`crate::fastpath`]).
+#[derive(Default)]
+pub(crate) struct FpRecording {
+    /// `(cpu, frame)` of every access that reached memory.
+    pub(crate) mem_log: Vec<(CpuId, FrameId)>,
+    /// `(cpu, level 0|1, set)` of every cache set probed, in first-probe
+    /// order, deduplicated per recording.
+    pub(crate) sets: Vec<(u32, u8, u32)>,
+    /// Pre-image of each logged set: `assoc` raw `(tag, version, stamp)`
+    /// entries per `sets` element, concatenated. Logged before the first
+    /// probe mutates the set, and caches are CPU-private, so this is exactly
+    /// the set's region-entry state.
+    pub(crate) ways: Vec<(u64, u32, u64)>,
+}
+
 /// The simulated ccNUMA machine.
+///
+/// Hot-state fields are `pub(crate)` so the phase fast path
+/// ([`crate::fastpath`]) can snapshot and reconstruct them; the public API
+/// surface is unchanged.
 pub struct Machine {
-    config: MachineConfig,
-    directory: Directory,
-    counters: RefCounters,
-    memory: PhysicalMemory,
-    page_table: Vec<Option<FrameId>>,
+    pub(crate) config: MachineConfig,
+    pub(crate) directory: Directory,
+    pub(crate) counters: RefCounters,
+    pub(crate) memory: PhysicalMemory,
+    pub(crate) page_table: Vec<Option<FrameId>>,
     /// Read-only replicas: vpage -> extra frames on other nodes.
-    replicas: std::collections::HashMap<u64, Vec<FrameId>>,
+    pub(crate) replicas: std::collections::HashMap<u64, Vec<FrameId>>,
     placer: Box<dyn Placer>,
-    cpus: Vec<CpuContext>,
-    clock: GlobalClock,
-    stats: MachineStats,
+    pub(crate) cpus: Vec<CpuContext>,
+    pub(crate) clock: GlobalClock,
+    pub(crate) stats: MachineStats,
     contention: ContentionModel,
     /// Bump allocator for virtual address space handed to `SimArray`s.
     next_vaddr: u64,
     in_region: bool,
+    /// Per-CPU suppression: when a CPU's flag is set, its `touch`/`compute`
+    /// calls are no-ops — the fast path has already applied that CPU's region
+    /// effects in bulk and the kernel body runs for its data side only (the
+    /// numeric arrays still need their values). Fully-replayed regions set
+    /// every flag; partial replays suppress only the CPUs whose memos hit.
+    /// Set exclusively by the `omp` runtime around replayed regions.
+    fp_suppressed: Box<[bool]>,
+    /// When recording a region, the fast path installs a log here; the
+    /// access path appends `(cpu, frame)` per memory access (the per-CPU
+    /// attribution that the aggregate reference counters cannot provide) and
+    /// snapshots each cache set's pre-image on the first probe that reaches
+    /// it — the copy-on-write entry state the memo keys are built from, so
+    /// recording costs are proportional to what the region touches, not to
+    /// the proof footprint.
+    pub(crate) fp_rec: Option<FpRecording>,
+    /// First-probe dedup marks for the pre-image log: one word per
+    /// `(cpu, level, set)`, holding the recording epoch that last logged it.
+    /// Allocated lazily on the first recording.
+    fp_marks: Vec<u32>,
+    fp_epoch: u32,
+    /// Cached `config.l1.sets()` / `l1+l2 sets` (the per-CPU `fp_marks`
+    /// stride) so the per-access log check stays division-free.
+    fp_l1_sets: usize,
+    fp_set_span: usize,
     /// Observability sink: `TraceSink::Null` unless a trace was requested.
     trace: TraceSink,
 }
@@ -252,6 +296,12 @@ impl Machine {
             contention: ContentionModel::new(config.contention),
             next_vaddr: 0,
             in_region: false,
+            fp_suppressed: vec![false; config.topology.cpus()].into_boxed_slice(),
+            fp_rec: None,
+            fp_marks: Vec::new(),
+            fp_epoch: 0,
+            fp_l1_sets: config.l1.sets(),
+            fp_set_span: config.l1.sets() + config.l2.sets(),
             trace: TraceSink::Null,
             config,
         }
@@ -617,42 +667,111 @@ impl Machine {
     // The access fast path
     // ----------------------------------------------------------------
 
+    /// Start a fast-path recording: subsequent accesses log memory traffic
+    /// and cache-set pre-images until [`Machine::fp_take_recording`].
+    pub(crate) fn fp_begin_recording(&mut self) {
+        if self.fp_marks.is_empty() {
+            self.fp_marks = vec![0; self.cpus.len() * self.fp_set_span];
+        }
+        self.fp_epoch = self.fp_epoch.wrapping_add(1);
+        if self.fp_epoch == 0 {
+            self.fp_marks.fill(0);
+            self.fp_epoch = 1;
+        }
+        self.fp_rec = Some(FpRecording::default());
+    }
+
+    /// Detach the active recording, if any, disabling logging.
+    pub(crate) fn fp_take_recording(&mut self) -> Option<FpRecording> {
+        self.fp_rec.take()
+    }
+
+    /// Log the pre-image of the cache set `line` maps to in `cpu`'s level-
+    /// `level` cache, once per recording. Must be called before anything
+    /// mutates the set (probe, fill, or version refresh) — the first log of
+    /// a set therefore captures its region-entry state, because a CPU's
+    /// caches are modified only through its own accesses.
+    #[inline]
+    fn fp_log_set(&mut self, cpu: CpuId, level: usize, line: u64) {
+        let l1_sets = self.fp_l1_sets;
+        let span = self.fp_set_span;
+        let cache = if level == 0 {
+            &self.cpus[cpu].l1
+        } else {
+            &self.cpus[cpu].l2
+        };
+        let set = (line & cache.set_mask()) as usize;
+        let mark = cpu * span + if level == 0 { 0 } else { l1_sets } + set;
+        if self.fp_marks[mark] == self.fp_epoch {
+            return;
+        }
+        self.fp_marks[mark] = self.fp_epoch;
+        let assoc = cache.assoc();
+        let base = set * assoc;
+        let rec = self.fp_rec.as_mut().expect("logging requires a recording");
+        rec.sets.push((cpu as u32, level as u8, set as u32));
+        for w in 0..assoc {
+            rec.ways.push(cache.way(base + w));
+        }
+    }
+
     /// Simulate one memory access by `cpu` to `vaddr`. Returns the simulated
     /// latency in nanoseconds (also accumulated into the CPU's region
     /// account and statistics).
     pub fn touch(&mut self, cpu: CpuId, vaddr: u64, kind: AccessKind) -> f64 {
+        if self.fp_suppressed[cpu] {
+            return 0.0;
+        }
         let _hp = hostprof::span_hot("ccnuma.touch");
         let line = vaddr >> LINE_SHIFT;
         let version = self.directory.version(line);
-        let ctx = &mut self.cpus[cpu];
-        let cost = match ctx.l1.probe(line, version) {
+        let recording = self.fp_rec.is_some();
+        if recording {
+            self.fp_log_set(cpu, 0, line);
+        }
+        let l1_probe = self.cpus[cpu].l1.probe(line, version);
+        let cost = match l1_probe {
             Probe::Hit => {
+                let ctx = &mut self.cpus[cpu];
                 ctx.stats.l1_hits += 1;
                 let ns = self.config.latency.l1_ns;
                 ctx.account.cache_ns += ns;
                 ns
             }
-            l1_probe => match ctx.l2.probe(line, version) {
-                Probe::Hit => {
-                    ctx.stats.l2_hits += 1;
-                    ctx.l1.fill(line, version);
-                    let ns = self.config.latency.l2_ns;
-                    ctx.account.cache_ns += ns;
-                    ns
+            l1_probe => {
+                if recording {
+                    self.fp_log_set(cpu, 1, line);
                 }
-                l2_probe => {
-                    // Count at most one coherence miss per access: the line
-                    // was cached somewhere but invalidated by another CPU's
-                    // write.
-                    if l1_probe == Probe::Stale || l2_probe == Probe::Stale {
-                        ctx.stats.coherence_misses += 1;
+                match self.cpus[cpu].l2.probe(line, version) {
+                    Probe::Hit => {
+                        let ctx = &mut self.cpus[cpu];
+                        ctx.stats.l2_hits += 1;
+                        ctx.l1.fill(line, version);
+                        let ns = self.config.latency.l2_ns;
+                        ctx.account.cache_ns += ns;
+                        ns
                     }
-                    self.memory_access(cpu, vaddr, line, version, kind)
+                    l2_probe => {
+                        // Count at most one coherence miss per access: the
+                        // line was cached somewhere but invalidated by
+                        // another CPU's write.
+                        if l1_probe == Probe::Stale || l2_probe == Probe::Stale {
+                            self.cpus[cpu].stats.coherence_misses += 1;
+                        }
+                        self.memory_access(cpu, vaddr, line, version, kind)
+                    }
                 }
-            },
+            }
         };
         if kind == AccessKind::Write {
             let _hp = hostprof::span_hot("ccnuma.directory");
+            if recording {
+                // The version refresh below modifies the line's L1/L2 sets
+                // even when this access never probed them (an L1 hit still
+                // refreshes a resident L2 copy) — log their pre-images too.
+                self.fp_log_set(cpu, 0, line);
+                self.fp_log_set(cpu, 1, line);
+            }
             let new_version = self.directory.write(line);
             let ctx = &mut self.cpus[cpu];
             ctx.l1.refresh_version(line, new_version);
@@ -667,7 +786,14 @@ impl Machine {
             }
         }
         let ctx = &mut self.cpus[cpu];
-        ctx.stats.stall_ns += cost;
+        if self.in_region {
+            // Staged in the region account; folded into the run-cumulative
+            // stats once at `end_region` so the fast path can bulk-apply a
+            // region's stall time with bit-exact f64 results.
+            ctx.account.stall_ns += cost;
+        } else {
+            ctx.stats.stall_ns += cost;
+        }
         if self.trace.is_active() {
             self.trace.observe("access_latency_ns", cost as u64);
         }
@@ -739,6 +865,9 @@ impl Machine {
                 }
             }
         }
+        if let Some(rec) = self.fp_rec.as_mut() {
+            rec.mem_log.push((cpu, frame));
+        }
         let home = self.memory.node_of_frame(frame);
         let hops = self.config.topology.hops(cpu_node, home);
         let ns = self.config.latency.memory_ns(hops);
@@ -770,18 +899,23 @@ impl Machine {
     /// Charge simulated computation to a CPU (the kernels' flop accounting).
     #[inline]
     pub fn compute(&mut self, cpu: CpuId, flops: u64) {
-        let ns = flops as f64 * self.config.flop_ns;
-        let ctx = &mut self.cpus[cpu];
-        ctx.account.compute_ns += ns;
-        ctx.stats.compute_ns += ns;
+        self.compute_ns(cpu, flops as f64 * self.config.flop_ns);
     }
 
     /// Charge raw nanoseconds of computation to a CPU.
     #[inline]
     pub fn compute_ns(&mut self, cpu: CpuId, ns: f64) {
+        if self.fp_suppressed[cpu] {
+            return;
+        }
         let ctx = &mut self.cpus[cpu];
         ctx.account.compute_ns += ns;
-        ctx.stats.compute_ns += ns;
+        if !self.in_region {
+            // In-region compute reaches the cumulative stats via the
+            // `end_region` fold (see `touch`); out-of-region compute has no
+            // region account to stage in.
+            ctx.stats.compute_ns += ns;
+        }
     }
 
     // ----------------------------------------------------------------
@@ -808,6 +942,14 @@ impl Machine {
     pub fn end_region(&mut self) -> RegionTiming {
         assert!(self.in_region, "end_region without begin_region");
         self.in_region = false;
+        // Fold the region's staged stall/compute time into the cumulative
+        // per-CPU stats. One add per CPU per region keeps the f64 results
+        // identical whether the region ran line-by-line or was replayed in
+        // bulk by the fast path (which installs recorded accounts wholesale).
+        for c in &mut self.cpus {
+            c.stats.stall_ns += c.account.stall_ns;
+            c.stats.compute_ns += c.account.compute_ns;
+        }
         let nodes = self.config.topology.nodes();
         let accounts: Vec<_> = self.cpus.iter().map(|c| c.account.clone()).collect();
         let timing = self.contention.close_region(&accounts, nodes);
@@ -822,6 +964,25 @@ impl Machine {
     /// Whether a region is currently open.
     pub fn in_region(&self) -> bool {
         self.in_region
+    }
+
+    /// Suppress (or re-enable) the access/compute simulation. The `omp`
+    /// runtime sets this around the body of a region whose machine effects
+    /// were already applied in bulk by the phase fast path; the kernel body
+    /// still runs for its numeric side, but `touch`/`compute` become no-ops.
+    pub fn set_fastpath_suppressed(&mut self, on: bool) {
+        self.fp_suppressed.fill(on);
+    }
+
+    /// Suppress (or re-enable) the simulation for one CPU — the partial
+    /// replay of a region where only some team CPUs hit their memos.
+    pub fn set_fastpath_suppressed_cpu(&mut self, cpu: CpuId, on: bool) {
+        self.fp_suppressed[cpu] = on;
+    }
+
+    /// Whether the access/compute simulation is suppressed for any CPU.
+    pub fn fastpath_suppressed(&self) -> bool {
+        self.fp_suppressed.iter().any(|&b| b)
     }
 
     /// Virtual time a CPU has accumulated in the current region, ns. The

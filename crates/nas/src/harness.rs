@@ -141,6 +141,7 @@ pub struct BenchRun {
     upm: Option<UpmEngine>,
     recrep: bool,
     trace: bool,
+    fastpath: bool,
     placement_label: String,
     engine_label: String,
     started: bool,
@@ -185,6 +186,12 @@ impl BenchRun {
             upm,
             recrep: matches!(cfg.engine, EngineMode::RecRep(_)),
             trace: cfg.trace,
+            // Traced runs stay on the exact path: the fast path replays a
+            // region without emitting its per-access events.
+            fastpath: !cfg.trace
+                && std::env::var("DDNOMP_FASTPATH")
+                    .map(|v| v != "0")
+                    .unwrap_or(true),
             placement_label: cfg.placement.label().to_string(),
             engine_label: cfg.engine.label().to_string(),
             started: false,
@@ -197,13 +204,49 @@ impl BenchRun {
         }
     }
 
+    /// Force the phase fast path on or off for this run, overriding the
+    /// `DDNOMP_FASTPATH` environment default. Must be called before the
+    /// first step (the cold start derives and installs the proofs).
+    pub fn set_fastpath(&mut self, on: bool) {
+        assert!(!self.started, "set_fastpath after the run started");
+        self.fastpath = on && !self.trace;
+    }
+
+    /// Whether the phase fast path is enabled for this run.
+    pub fn fastpath_enabled(&self) -> bool {
+        self.fastpath
+    }
+
+    /// Fast-path engine counters (replays/records/misses/rejects), when the
+    /// fast path is installed.
+    pub fn fastpath_stats(&self) -> Option<ccnuma::FastpathStats> {
+        self.rt.fastpath_stats()
+    }
+
     /// Cold-start iteration: executed, then discarded (paper §2.1).
     fn ensure_started(&mut self) {
         if self.started {
             return;
         }
         self.started = true;
+        let model = if self.fastpath {
+            self.bench.access_model()
+        } else {
+            None
+        };
+        // Arm the fast path for the cold start too: cold and timed phases
+        // share loop labels, so cold recordings seed the iteration memos.
+        if let Some(model) = &model {
+            self.rt
+                .install_fastpath(crate::proof::derive_proofs(model.cold(), self.rt.threads()));
+        }
         self.bench.cold_start(&mut self.rt);
+        if let Some(model) = &model {
+            self.rt.install_fastpath(crate::proof::derive_proofs(
+                model.iteration(),
+                self.rt.threads(),
+            ));
+        }
         if let Some(engine) = &self.upm {
             // Reference monitoring starts with the timed run (upmlib reads
             // and resets the counters per observation window).
@@ -279,6 +322,8 @@ impl BenchRun {
     pub fn step_with(&mut self, extra: &mut PhaseHook<'_>) -> f64 {
         self.ensure_started();
         assert!(self.step < self.iters, "stepping a finished run");
+        // Every timed iteration replays the same region sequence.
+        self.rt.fastpath_reset_cursor();
         let t0 = self.rt.machine().clock().now_secs();
         let recrep = self.recrep;
         let step = self.step;
@@ -388,6 +433,22 @@ pub fn run_benchmark<B: NasBenchmark + 'static>(
     cfg: &RunConfig,
 ) -> RunResult {
     let mut run = BenchRun::new(make, cfg);
+    while !run.is_done() {
+        run.step();
+    }
+    run.finish()
+}
+
+/// [`run_benchmark`] with the phase fast path forced on or off, overriding
+/// the `DDNOMP_FASTPATH` environment default — the entry point of the
+/// differential equivalence suite.
+pub fn run_benchmark_fastpath<B: NasBenchmark + 'static>(
+    make: impl FnOnce(&mut Runtime) -> B,
+    cfg: &RunConfig,
+    fastpath: bool,
+) -> RunResult {
+    let mut run = BenchRun::new(make, cfg);
+    run.set_fastpath(fastpath);
     while !run.is_done() {
         run.step();
     }

@@ -39,8 +39,10 @@ pub mod harness;
 pub mod la;
 pub mod mg;
 pub mod model;
+pub mod proof;
 pub mod sp;
 
 pub use common::{BenchName, NasBenchmark, PhasePoint, Scale, Verification};
 pub use harness::{run_benchmark, BenchRun, EngineMode, RunConfig, RunResult};
 pub use model::{KernelModel, LoopKind, LoopModel, PhaseModel};
+pub use proof::{derive_loop_proof, derive_proofs};

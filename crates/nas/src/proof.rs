@@ -1,0 +1,206 @@
+//! [`PhaseProof`] derivation: the `nas`→`ccnuma` contract for the phase
+//! fast path.
+//!
+//! A [`crate::model::KernelModel`] enumerates, address-exactly, every element
+//! access of every modeled loop. This module folds those access streams over
+//! the runtime's ownership partition into per-line reader/writer thread sets
+//! and emits a [`PhaseProof`] — the complete line footprint plus per-line
+//! write counts — for every loop whose pattern is safe to memoize:
+//!
+//! * **statically scheduled** — dynamic/guided dispatch depends on simulated
+//!   timing, which a suppressed replay would starve;
+//! * **no cross-thread write sharing** — each line has at most one writing
+//!   thread, and a written line is accessed by its writer only (shared
+//!   *read-only* lines are fine). The simulator executes threads
+//!   sequentially, so a cross-thread write/read interleaving would leave
+//!   some CPU's cached copy stale at region exit — reconstructible in
+//!   principle but outside the contract the replay engine validates.
+//!
+//! Ineligible loops get `None` and simply run on the exact line-by-line
+//! path. The proof is re-validated at runtime: recording diffs the real
+//! region against the claim and discards (loudly, in debug builds) on any
+//! disagreement — see `ccnuma::fastpath`.
+
+use std::collections::BTreeMap;
+
+use ccnuma::fastpath::PhaseProof;
+use ccnuma::{AccessKind, LINE_SHIFT};
+
+use crate::model::{LoopKind, LoopModel, PhaseModel};
+
+/// Derive the proof for one loop, or `None` if it is ineligible.
+///
+/// `label` must be the flattened `"phase/loop"` name (memo pools are shared
+/// per label). `threads` is the team size of the runtime that will execute
+/// the loop; serial regions run as a one-thread team on the master CPU, so
+/// their proofs are derived for team size 1.
+pub fn derive_loop_proof(label: &str, l: &LoopModel, threads: usize) -> Option<PhaseProof> {
+    if l.schedule().is_dynamic() {
+        return None;
+    }
+    let team = if l.kind() == LoopKind::Serial {
+        1
+    } else {
+        threads
+    };
+    if team > 64 {
+        return None; // reader/writer sets are u64 bitmasks
+    }
+    // line -> (reader tid mask, writer tid mask, total writes)
+    let mut lines: BTreeMap<u64, (u64, u64, u32)> = BTreeMap::new();
+    for (tid, chunks) in l.ownership(team).iter().enumerate() {
+        let bit = 1u64 << tid;
+        for &(start, end) in chunks {
+            for i in start..end {
+                l.for_each_access(i, &mut |vaddr, kind| {
+                    let e = lines.entry(vaddr >> LINE_SHIFT).or_insert((0, 0, 0));
+                    match kind {
+                        AccessKind::Read => e.0 |= bit,
+                        AccessKind::Write => {
+                            e.1 |= bit;
+                            e.2 += 1;
+                        }
+                    }
+                });
+            }
+        }
+    }
+    for &(readers, writers, _) in lines.values() {
+        if writers.count_ones() > 1 || (writers != 0 && readers & !writers != 0) {
+            return None;
+        }
+    }
+    let line_writes = lines
+        .iter()
+        .filter(|(_, v)| v.2 > 0)
+        // Eligibility guarantees exactly one writer bit; its index is the
+        // writing thread, which partial replays use to attribute directory
+        // bumps per thread.
+        .map(|(&line, v)| (line, v.2, v.1.trailing_zeros()))
+        .collect();
+    Some(PhaseProof::new(
+        label.to_string(),
+        team,
+        lines.into_keys().collect(),
+        line_writes,
+    ))
+}
+
+/// Derive proofs for a phase sequence, flattened to one entry per region in
+/// program order — the shape `omp::Runtime::install_fastpath` expects.
+pub fn derive_proofs(phases: &[PhaseModel], threads: usize) -> Vec<Option<PhaseProof>> {
+    phases
+        .iter()
+        .flat_map(|p| {
+            p.loops().iter().map(move |l| {
+                let label = format!("{}/{}", p.name(), l.name());
+                derive_loop_proof(&label, l, threads)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp::Schedule;
+
+    const LINE: u64 = 1 << LINE_SHIFT;
+
+    #[test]
+    fn disjoint_writes_are_eligible() {
+        // Thread-owned stripes: iteration i writes line i, reads line i.
+        let l = LoopModel::parallel("stripe", 64, Schedule::Static, |i, emit| {
+            emit(i as u64 * LINE, AccessKind::Read);
+            emit(i as u64 * LINE, AccessKind::Write);
+        });
+        let p = derive_loop_proof("ph/stripe", &l, 8).expect("eligible");
+        assert_eq!(p.threads, 8);
+        assert_eq!(p.lines.len(), 64);
+        assert_eq!(p.line_writes.len(), 64);
+        assert!(p.line_writes.iter().all(|&(_, c, _)| c == 1));
+        // Static chunks of 64 iterations over 8 threads: 8 lines per thread.
+        for t in 0..8u32 {
+            assert_eq!(
+                p.line_writes.iter().filter(|&&(_, _, w)| w == t).count(),
+                8,
+                "thread {t} writes its own stripe"
+            );
+        }
+        assert_eq!(p.pages, vec![0]); // 64 lines < 128 lines/page
+    }
+
+    #[test]
+    fn shared_read_only_is_eligible() {
+        let l = LoopModel::parallel("bcast", 64, Schedule::Static, |i, emit| {
+            emit(0, AccessKind::Read); // everyone reads line 0
+            emit((1 + i as u64) * LINE, AccessKind::Write);
+        });
+        let p = derive_loop_proof("ph/bcast", &l, 8).expect("eligible");
+        assert_eq!(
+            p.line_writes.iter().map(|&(_, c, _)| c as u64).sum::<u64>(),
+            64
+        );
+    }
+
+    #[test]
+    fn cross_thread_write_sharing_is_rejected() {
+        // Everyone writes line 0.
+        let l = LoopModel::parallel("clash", 64, Schedule::Static, |_, emit| {
+            emit(0, AccessKind::Write);
+        });
+        assert!(derive_loop_proof("ph/clash", &l, 8).is_none());
+        // One writer, other threads read the same line.
+        let l = LoopModel::parallel("wr", 64, Schedule::Static, |i, emit| {
+            if i == 0 {
+                emit(0, AccessKind::Write);
+            } else {
+                emit(0, AccessKind::Read);
+            }
+        });
+        assert!(derive_loop_proof("ph/wr", &l, 8).is_none());
+        // But single-threaded, the same pattern is trivially fine.
+        assert!(derive_loop_proof("ph/wr", &l, 1).is_some());
+    }
+
+    #[test]
+    fn dynamic_schedules_are_rejected() {
+        let l = LoopModel::parallel("dyn", 64, Schedule::Dynamic(4), |i, emit| {
+            emit(i as u64 * LINE, AccessKind::Write);
+        });
+        assert!(derive_loop_proof("ph/dyn", &l, 8).is_none());
+    }
+
+    #[test]
+    fn serial_loops_prove_for_team_of_one() {
+        let l = LoopModel::serial("s", |_, emit| {
+            emit(0, AccessKind::Write);
+            emit(0, AccessKind::Write);
+            emit(LINE, AccessKind::Read);
+        });
+        let p = derive_loop_proof("ph/s", &l, 16).expect("eligible");
+        assert_eq!(p.threads, 1, "serial regions run as a one-thread team");
+        assert_eq!(p.line_writes, vec![(0, 2, 0)]);
+    }
+
+    #[test]
+    fn derive_proofs_flattens_in_program_order() {
+        let mk = || {
+            PhaseModel::new(
+                "ph",
+                vec![
+                    LoopModel::parallel("a", 8, Schedule::Static, |i, emit| {
+                        emit(i as u64 * LINE, AccessKind::Write)
+                    }),
+                    LoopModel::parallel("b", 8, Schedule::Dynamic(1), |i, emit| {
+                        emit(i as u64 * LINE, AccessKind::Write)
+                    }),
+                ],
+            )
+        };
+        let proofs = derive_proofs(&[mk()], 4);
+        assert_eq!(proofs.len(), 2);
+        assert_eq!(proofs[0].as_ref().unwrap().label, "ph/a");
+        assert!(proofs[1].is_none(), "dynamic loop has no proof");
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::schedule::Schedule;
 use ccnuma::contention::RegionTiming;
+use ccnuma::fastpath::{FastpathEngine, FastpathOutcome, FastpathStats, PhaseProof, RecordToken};
 use ccnuma::{CpuId, Machine, SimArray};
 use vmm::KernelMigrationEngine;
 
@@ -143,6 +144,35 @@ pub struct Runtime {
     /// Rebindings applied at yield points (deferred `request_rebind`s only;
     /// immediate `rebind_threads`/`resize_team` calls are not counted).
     rebinds_applied: u64,
+    /// Phase fast path: memoized bulk replay of statically proven regions.
+    /// `None` until a proof sequence is installed.
+    fastpath: Option<FastpathState>,
+}
+
+/// Installed proof sequence plus the memo engine.
+///
+/// `proofs[k]` covers the `k`-th region executed since the last cursor reset
+/// (the harness resets the cursor at every iteration boundary); `None`
+/// entries mean "this region has no proof, run it exactly". The engine and
+/// its memo pools survive re-installation so cold-start recordings seed the
+/// timed iterations.
+struct FastpathState {
+    engine: FastpathEngine,
+    proofs: Vec<Option<PhaseProof>>,
+    cursor: usize,
+}
+
+/// What the fast path decided for the region in flight.
+// One `FpMode` lives on the stack per region; boxing the token here would
+// just re-box what `FastpathOutcome::Record` already handed over by value.
+#[allow(clippy::large_enum_variant)]
+enum FpMode {
+    /// No proof, precondition failure, or fast path not installed.
+    Off,
+    /// Memo applied; the body runs with the machine suppressed.
+    Replay,
+    /// Recording; the token goes back to the engine before `end_region`.
+    Record(RecordToken),
 }
 
 impl Runtime {
@@ -167,6 +197,120 @@ impl Runtime {
             cpu_of_thread: (0..threads).collect(),
             pending_binding: None,
             rebinds_applied: 0,
+            fastpath: None,
+        }
+    }
+
+    /// Install a proof sequence for the phase fast path: `proofs[k]` covers
+    /// the `k`-th region from now (or from the next
+    /// [`Runtime::fastpath_reset_cursor`]). An existing engine — and its
+    /// recorded memos — is kept, so re-installing a different sequence (e.g.
+    /// cold-start proofs, then per-iteration proofs) reuses recordings of
+    /// phases with the same label.
+    pub fn install_fastpath(&mut self, proofs: Vec<Option<PhaseProof>>) {
+        match self.fastpath.as_mut() {
+            Some(fp) => {
+                fp.proofs = proofs;
+                fp.cursor = 0;
+            }
+            None => {
+                self.fastpath = Some(FastpathState {
+                    engine: FastpathEngine::new(),
+                    proofs,
+                    cursor: 0,
+                })
+            }
+        }
+    }
+
+    /// Remove the fast path entirely (memos included).
+    pub fn uninstall_fastpath(&mut self) {
+        self.fastpath = None;
+    }
+
+    /// Re-align the proof cursor with the next region (iteration boundary).
+    pub fn fastpath_reset_cursor(&mut self) {
+        if let Some(fp) = self.fastpath.as_mut() {
+            fp.cursor = 0;
+        }
+    }
+
+    /// Whether a proof sequence is installed.
+    pub fn fastpath_installed(&self) -> bool {
+        self.fastpath.is_some()
+    }
+
+    /// Fast-path engine counters, if installed.
+    pub fn fastpath_stats(&self) -> Option<FastpathStats> {
+        self.fastpath.as_ref().map(|fp| fp.engine.stats())
+    }
+
+    /// Consult the fast path for the region just opened. Advances the proof
+    /// cursor for *every* region while a sequence is installed (even `None`
+    /// proofs and rejected ones) so proofs stay position-aligned.
+    fn fastpath_begin(&mut self, serial: bool) -> FpMode {
+        let Some(fp) = self.fastpath.as_mut() else {
+            return FpMode::Off;
+        };
+        let FastpathState {
+            engine,
+            proofs,
+            cursor,
+        } = fp;
+        if *cursor >= proofs.len() {
+            return FpMode::Off;
+        }
+        let idx = *cursor;
+        *cursor += 1;
+        let Some(proof) = proofs[idx].as_ref() else {
+            return FpMode::Off;
+        };
+        let binding: &[CpuId] = if serial {
+            &self.cpu_of_thread[..1]
+        } else {
+            &self.cpu_of_thread
+        };
+        match engine.begin_region_fastpath(&mut self.machine, proof, binding) {
+            FastpathOutcome::Replay => {
+                self.machine.set_fastpath_suppressed(true);
+                FpMode::Replay
+            }
+            FastpathOutcome::Record(token) => {
+                // Partial replay: the CPUs whose memos were applied sit the
+                // region out; the rest run the exact path and re-record.
+                for &cpu in token.replayed_cpus() {
+                    self.machine.set_fastpath_suppressed_cpu(cpu, true);
+                }
+                FpMode::Record(token)
+            }
+            FastpathOutcome::Skip => FpMode::Off,
+        }
+    }
+
+    /// Close out the fast path for the region in flight. Must run after the
+    /// region body but *before* `end_region` (recording diffs the still-open
+    /// region state).
+    fn fastpath_end(&mut self, mode: FpMode) {
+        match mode {
+            FpMode::Off => {}
+            FpMode::Replay => self.machine.set_fastpath_suppressed(false),
+            FpMode::Record(token) => {
+                for &cpu in token.replayed_cpus() {
+                    self.machine.set_fastpath_suppressed_cpu(cpu, false);
+                }
+                let Some(fp) = self.fastpath.as_mut() else {
+                    return;
+                };
+                let FastpathState {
+                    engine,
+                    proofs,
+                    cursor,
+                } = fp;
+                let proof = proofs[*cursor - 1]
+                    .as_ref()
+                    .expect("Record mode implies a proof at cursor - 1");
+                engine.finish_record(&mut self.machine, proof, token);
+            }
         }
     }
 
@@ -213,6 +357,8 @@ impl Runtime {
         self.cpu_of_thread = binding.to_vec();
         // A pending rebinding for the old team shape no longer applies.
         self.pending_binding = None;
+        // Installed proofs were derived for the old team size; drop them.
+        self.fastpath = None;
     }
 
     /// Stage a rebinding to be applied at the next region-boundary yield
@@ -427,6 +573,7 @@ impl Runtime {
             .is_active()
             .then(|| self.machine.aggregate_cpu_stats());
         self.machine.begin_region();
+        let mode = self.fastpath_begin(true);
         let cpu = self.cpu_of_thread[0];
         let mut par = Par {
             machine: &mut self.machine,
@@ -435,6 +582,7 @@ impl Runtime {
             team: 1,
         };
         let r = body(&mut par);
+        self.fastpath_end(mode);
         let timing = self.machine.end_region();
         if let Some(before) = before {
             let after = self.machine.aggregate_cpu_stats();
@@ -476,7 +624,9 @@ impl Runtime {
             .is_active()
             .then(|| self.machine.aggregate_cpu_stats());
         self.machine.begin_region();
+        let mode = self.fastpath_begin(false);
         work(&mut self.machine, self.threads);
+        self.fastpath_end(mode);
         let timing = self.machine.end_region();
         if let Some(before) = before {
             let after = self.machine.aggregate_cpu_stats();

@@ -1,0 +1,116 @@
+//! Ad-hoc probe: wall-time effect of the phase fast path per benchmark.
+//! Usage: mgprobe [tiny|small|medium] [bench...]
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args
+        .first()
+        .and_then(|s| nas::Scale::parse(s))
+        .unwrap_or(nas::Scale::Tiny);
+    let benches: Vec<nas::BenchName> = if args.len() > 1 {
+        args[1..]
+            .iter()
+            .filter_map(|s| xp::trace::parse_bench(s))
+            .collect()
+    } else {
+        vec![nas::BenchName::Cg, nas::BenchName::Mg]
+    };
+    let cfg = xp::bench_gate::gate_config();
+    for bench in benches {
+        let t = Instant::now();
+        let slow = xp::run_one_fastpath(bench, scale, &cfg, false);
+        let w_off = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let (fast, stats) = run_with_stats(bench, scale, &cfg);
+        let w_on = t.elapsed().as_secs_f64();
+        let w_floor = run_floor(bench, scale, &cfg);
+        let warm_off = run_warm(bench, scale, &cfg, false);
+        let warm_on = run_warm(bench, scale, &cfg, true);
+        println!(
+            "{} {}: off {:.4}s on {:.4}s speedup {:.2}x floor {:.4}s sim {:.6} identical={} {:?}",
+            bench.label(),
+            scale.label(),
+            w_off,
+            w_on,
+            w_off / w_on,
+            w_floor,
+            fast.total_secs,
+            slow.to_cache_json().to_string() == fast.to_cache_json().to_string(),
+            stats,
+        );
+        println!(
+            "{} {}: warm_off {:.4}s warm_on {:.4}s warm_speedup {:.2}x",
+            bench.label(),
+            scale.label(),
+            warm_off,
+            warm_on,
+            warm_off / warm_on,
+        );
+    }
+}
+
+/// Warm-iteration wall time: cold start plus the first step run untimed (for
+/// the fast path that is where the memos get recorded), then the remaining
+/// steps timed. Isolates the steady-state iteration cost from init and
+/// first-sight recording.
+fn run_warm(bench: nas::BenchName, scale: nas::Scale, cfg: &nas::RunConfig, fast: bool) -> f64 {
+    let mut run = match bench {
+        nas::BenchName::Bt => nas::BenchRun::new(|rt| nas::bt::Bt::new(rt, scale), cfg),
+        nas::BenchName::Sp => nas::BenchRun::new(|rt| nas::sp::Sp::new(rt, scale), cfg),
+        nas::BenchName::Cg => nas::BenchRun::new(|rt| nas::cg::Cg::new(rt, scale), cfg),
+        nas::BenchName::Mg => nas::BenchRun::new(|rt| nas::mg::Mg::new(rt, scale), cfg),
+        nas::BenchName::Ft => nas::BenchRun::new(|rt| nas::ft::Ft::new(rt, scale), cfg),
+    };
+    run.set_fastpath(fast);
+    run.step();
+    let t = Instant::now();
+    while !run.is_done() {
+        run.step();
+    }
+    t.elapsed().as_secs_f64()
+}
+
+#[allow(dead_code)]
+fn run_floor(bench: nas::BenchName, scale: nas::Scale, cfg: &nas::RunConfig) -> f64 {
+    // Data-plane floor: machine permanently suppressed — pure numerics plus
+    // the per-access call overhead. Simulated results are meaningless.
+    let mut run = match bench {
+        nas::BenchName::Bt => nas::BenchRun::new(|rt| nas::bt::Bt::new(rt, scale), cfg),
+        nas::BenchName::Sp => nas::BenchRun::new(|rt| nas::sp::Sp::new(rt, scale), cfg),
+        nas::BenchName::Cg => nas::BenchRun::new(|rt| nas::cg::Cg::new(rt, scale), cfg),
+        nas::BenchName::Mg => nas::BenchRun::new(|rt| nas::mg::Mg::new(rt, scale), cfg),
+        nas::BenchName::Ft => nas::BenchRun::new(|rt| nas::ft::Ft::new(rt, scale), cfg),
+    };
+    run.set_fastpath(false);
+    run.step(); // cold start + first iteration on the real machine
+    let t = Instant::now();
+    run.runtime_mut()
+        .machine_mut()
+        .set_fastpath_suppressed(true);
+    while !run.is_done() {
+        run.step();
+    }
+    t.elapsed().as_secs_f64()
+}
+
+fn run_with_stats(
+    bench: nas::BenchName,
+    scale: nas::Scale,
+    cfg: &nas::RunConfig,
+) -> (nas::RunResult, Option<ccnuma::FastpathStats>) {
+    let mut run = match bench {
+        nas::BenchName::Bt => nas::BenchRun::new(|rt| nas::bt::Bt::new(rt, scale), cfg),
+        nas::BenchName::Sp => nas::BenchRun::new(|rt| nas::sp::Sp::new(rt, scale), cfg),
+        nas::BenchName::Cg => nas::BenchRun::new(|rt| nas::cg::Cg::new(rt, scale), cfg),
+        nas::BenchName::Mg => nas::BenchRun::new(|rt| nas::mg::Mg::new(rt, scale), cfg),
+        nas::BenchName::Ft => nas::BenchRun::new(|rt| nas::ft::Ft::new(rt, scale), cfg),
+    };
+    run.set_fastpath(true);
+    while !run.is_done() {
+        run.step();
+    }
+    let stats = run.fastpath_stats();
+    (run.finish(), stats)
+}

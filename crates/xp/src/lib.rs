@@ -44,4 +44,4 @@ pub mod trace;
 
 pub use cells::{CellOutput, CellPlan};
 pub use report::Report;
-pub use run_one::{default_engine_configs, run_one};
+pub use run_one::{default_engine_configs, run_one, run_one_fastpath};

@@ -31,6 +31,26 @@ pub fn run_one(bench: BenchName, scale: Scale, cfg: &RunConfig) -> RunResult {
     })
 }
 
+/// [`run_one`] with the phase fast path forced on or off (overriding the
+/// `DDNOMP_FASTPATH` environment default) — used by the differential
+/// equivalence suite and the speedup measurement.
+pub fn run_one_fastpath(
+    bench: BenchName,
+    scale: Scale,
+    cfg: &RunConfig,
+    fastpath: bool,
+) -> RunResult {
+    use nas::harness::run_benchmark_fastpath as rbf;
+    let cfg = crate::trace::arm(cfg);
+    finish(match bench {
+        BenchName::Bt => rbf(|rt| Bt::new(rt, scale), &cfg, fastpath),
+        BenchName::Sp => rbf(|rt| Sp::new(rt, scale), &cfg, fastpath),
+        BenchName::Cg => rbf(|rt| Cg::new(rt, scale), &cfg, fastpath),
+        BenchName::Mg => rbf(|rt| Mg::new(rt, scale), &cfg, fastpath),
+        BenchName::Ft => rbf(|rt| Ft::new(rt, scale), &cfg, fastpath),
+    })
+}
+
 /// Run BT with an explicit problem configuration (Figure 6's lengthened
 /// phases).
 pub fn run_bt_custom(bt_cfg: BtConfig, cfg: &RunConfig) -> RunResult {

@@ -1,0 +1,246 @@
+//! Property tests for the phase fast path's proof contract (vendored
+//! proptest shim).
+//!
+//! Two directions of the [`nas::derive_loop_proof`] eligibility analysis:
+//!
+//! * **Soundness** — for *arbitrary* generated loop shapes (including
+//!   write-shared and dynamically scheduled ones), installing whatever proof
+//!   the analysis derives never changes observable machine state: paired
+//!   runtimes on `tiny_test`, fast path on vs off, finish bit-identical.
+//! * **Completeness** — loop shapes that are thread-local by construction
+//!   (each line written by at most one thread, shared data read-only) are
+//!   never rejected, for arbitrary sizes, team sizes, and static schedules;
+//!   and every known-local phase of the real NAS models derives a proof.
+
+use ccnuma::{AccessKind, Machine, MachineConfig, SimArray, LINE_SHIFT};
+use nas::{derive_loop_proof, derive_proofs, LoopModel, NasBenchmark, Scale};
+use omp::{Runtime, Schedule};
+use proptest::prelude::*;
+
+/// f64 elements per cache line.
+const EPL: usize = (1usize << LINE_SHIFT) / 8;
+
+/// Per-iteration access shapes, shared between the declarative
+/// [`LoopModel`] and the executable loop body so the two cannot drift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Pattern {
+    /// Iteration `i` reads and writes its own line: thread-local.
+    Stripe,
+    /// Everyone reads line 0, writes its own line *past* the shared one:
+    /// shared input stays read-only.
+    Bcast,
+    /// Reads the (wrapping) successor line, writes its own: the read crosses
+    /// chunk seams into another thread's written line.
+    Neighbor,
+    /// Element-dense: reads and writes element `i`, so `EPL` iterations
+    /// share a line and chunk seams write-share it.
+    Dense,
+    /// Reads its own line, writes nothing.
+    ReadOnly,
+    /// Everyone writes line 0: cross-thread write sharing.
+    AllWrite,
+}
+
+/// `(reads, writes)` of iteration `i`, as element indices.
+fn accesses(p: Pattern, i: usize, n: usize) -> (Vec<usize>, Vec<usize>) {
+    let line = |k: usize| k * EPL;
+    match p {
+        Pattern::Stripe => (vec![line(i)], vec![line(i)]),
+        Pattern::Bcast => (vec![line(0)], vec![line(i + 1)]),
+        Pattern::Neighbor => (vec![line((i + 1) % n)], vec![line(i)]),
+        Pattern::Dense => (vec![i], vec![i]),
+        Pattern::ReadOnly => (vec![line(i)], vec![]),
+        Pattern::AllWrite => (vec![], vec![line(0)]),
+    }
+}
+
+fn elems(p: Pattern, n: usize) -> usize {
+    match p {
+        Pattern::Dense => n,
+        _ => (n + 1) * EPL,
+    }
+}
+
+fn loop_model(p: Pattern, n: usize, schedule: Schedule, base: u64) -> LoopModel {
+    LoopModel::parallel("loop", n, schedule, move |i, emit| {
+        let (reads, writes) = accesses(p, i, n);
+        for r in reads {
+            emit(base + 8 * r as u64, AccessKind::Read);
+        }
+        for w in writes {
+            emit(base + 8 * w as u64, AccessKind::Write);
+        }
+    })
+}
+
+/// Full observable state: clock bits, machine stats, per-CPU stats, counters
+/// of every mapped frame, per-page directory version sums.
+fn fingerprint(m: &Machine) -> (u64, String) {
+    let mut counters = Vec::new();
+    let mut versions = Vec::new();
+    for (vp, f) in m.mapped_pages() {
+        for node in 0..m.topology().nodes() {
+            counters.push(m.counters().get(f, node));
+        }
+        versions.push(m.page_version_sum(vp));
+    }
+    let per_cpu: Vec<_> = (0..m.cpus()).map(|c| *m.cpu_stats(c)).collect();
+    (
+        m.clock().now_ns().to_bits(),
+        format!("{:?} {per_cpu:?} {counters:?} {versions:?}", m.stats()),
+    )
+}
+
+/// Run `reps` regions of the pattern on a fresh `tiny_test` runtime, with
+/// whatever proof the analysis derives installed (or not), and fingerprint
+/// the machine. Also reports the proof's eligibility.
+fn run_case(
+    p: Pattern,
+    n: usize,
+    threads: usize,
+    schedule: Schedule,
+    reps: usize,
+    fast: bool,
+) -> ((u64, String), bool) {
+    let mut m = Machine::new(MachineConfig::tiny_test());
+    let arr = SimArray::<f64>::new(&mut m, "p.a", elems(p, n).max(1), 0.0);
+    let base = arr.vrange().0;
+    let mut rt = Runtime::with_threads(m, threads);
+    let proof = derive_loop_proof("p/loop", &loop_model(p, n, schedule, base), threads);
+    let eligible = proof.is_some();
+    if fast {
+        rt.install_fastpath(vec![proof]);
+    }
+    for rep in 0..reps {
+        rt.fastpath_reset_cursor();
+        rt.parallel_for(n, schedule, |par, i| {
+            let (reads, writes) = accesses(p, i, n);
+            for r in reads {
+                par.get(&arr, r);
+            }
+            for w in writes {
+                par.set(&arr, w, (i + rep) as f64);
+            }
+        });
+    }
+    (fingerprint(rt.machine()), eligible)
+}
+
+fn any_pattern() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        Just(Pattern::Stripe),
+        Just(Pattern::Bcast),
+        Just(Pattern::Neighbor),
+        Just(Pattern::Dense),
+        Just(Pattern::ReadOnly),
+        Just(Pattern::AllWrite),
+    ]
+}
+
+fn any_schedule() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        Just(Schedule::Static),
+        (1usize..9).prop_map(Schedule::StaticChunk),
+        (1usize..5).prop_map(Schedule::Dynamic),
+    ]
+}
+
+fn static_schedules() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        Just(Schedule::Static),
+        (1usize..9).prop_map(Schedule::StaticChunk),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness: whatever `derive_loop_proof` decides, running with the
+    /// fast path installed is bit-identical to running without it —
+    /// replays, partial replays, rejections, and `None` proofs included.
+    #[test]
+    fn derived_proofs_replay_bit_identically(
+        pattern in any_pattern(),
+        n in 1usize..40,
+        threads in 1usize..9, // tiny_test has 8 CPUs
+        schedule in any_schedule(),
+        reps in 2usize..5,
+    ) {
+        let (slow, _) = run_case(pattern, n, threads, schedule, reps, false);
+        let (fast, _) = run_case(pattern, n, threads, schedule, reps, true);
+        prop_assert_eq!(slow, fast);
+    }
+
+    /// Completeness: thread-local shapes — single writer per line, shared
+    /// data read-only — are never rejected under any static schedule.
+    #[test]
+    fn known_local_patterns_always_derive_a_proof(
+        pattern in prop_oneof![
+            Just(Pattern::Stripe),
+            Just(Pattern::Bcast),
+            Just(Pattern::ReadOnly),
+        ],
+        n in 1usize..200,
+        threads in 1usize..17,
+        schedule in static_schedules(),
+    ) {
+        let proof = derive_loop_proof("p/loop", &loop_model(pattern, n, schedule, 0), threads);
+        prop_assert!(proof.is_some(), "{pattern:?} n={n} threads={threads} rejected");
+    }
+
+    /// Eligibility soundness, negative direction: a line written by two or
+    /// more threads must be rejected (a replay could not reconstruct the
+    /// cross-thread staleness).
+    #[test]
+    fn write_shared_patterns_are_rejected(
+        n in 2usize..200,
+        threads in 2usize..17,
+        schedule in static_schedules(),
+    ) {
+        let lp = loop_model(Pattern::AllWrite, n, schedule, 0);
+        // With one chunk per thread some teams leave line 0 single-writer;
+        // only assert when two threads actually receive iterations.
+        let busy = schedule
+            .static_chunks(n, threads)
+            .iter()
+            .filter(|c| c.iter().any(|&(s, e)| e > s))
+            .count();
+        if busy >= 2 {
+            prop_assert!(derive_loop_proof("p/loop", &lp, threads).is_none());
+        }
+    }
+}
+
+/// Completeness on the real kernels: every NAS benchmark's access model
+/// derives proofs for its known-local phases. The exact counts are pinned:
+/// a silent drop to zero would quietly disable the fast path for a bench.
+#[test]
+fn nas_iteration_models_derive_the_expected_proofs() {
+    let expected: &[(nas::BenchName, usize, usize)] = &[
+        // (bench, eligible iteration proofs, total iteration loops)
+        (nas::BenchName::Cg, 25, 25),
+        (nas::BenchName::Mg, 7, 7),
+        (nas::BenchName::Bt, 4, 5),
+        (nas::BenchName::Sp, 4, 5),
+        (nas::BenchName::Ft, 5, 5),
+    ];
+    let mut got = Vec::new();
+    for &(bench, _, _) in expected {
+        let mut rt =
+            Runtime::with_threads(Machine::new(MachineConfig::origin2000_16p_scaled()), 16);
+        let model = match bench {
+            nas::BenchName::Cg => nas::cg::Cg::new(&mut rt, Scale::Tiny).access_model(),
+            nas::BenchName::Mg => nas::mg::Mg::new(&mut rt, Scale::Tiny).access_model(),
+            nas::BenchName::Bt => nas::bt::Bt::new(&mut rt, Scale::Tiny).access_model(),
+            nas::BenchName::Sp => nas::sp::Sp::new(&mut rt, Scale::Tiny).access_model(),
+            nas::BenchName::Ft => nas::ft::Ft::new(&mut rt, Scale::Tiny).access_model(),
+        }
+        .expect("every bench ships an access model");
+        let proofs = derive_proofs(model.iteration(), rt.threads());
+        let eligible = proofs.iter().filter(|p| p.is_some()).count();
+        println!("{}: {eligible}/{} eligible", bench.label(), proofs.len());
+        got.push((eligible, proofs.len()));
+    }
+    let want: Vec<(usize, usize)> = expected.iter().map(|&(_, e, t)| (e, t)).collect();
+    assert_eq!(got, want, "tiny iteration proof counts per bench");
+}

@@ -122,6 +122,36 @@ fn a_panicking_job_leaves_its_worker_stack_balanced() {
     assert_eq!(nested[0].1, 0, "after.root is a root");
 }
 
+/// The phase fast path's effect where it must show: with the fast path on,
+/// a CG run spends strictly less host time inside `ccnuma` spans than the
+/// exact path — replayed regions suppress the per-access simulation, and
+/// the engine's own `ccnuma.fastpath` spans are counted against it in the
+/// same component bucket, so the comparison includes its overhead.
+#[test]
+fn fastpath_cg_spends_less_ccnuma_self_time_than_exact() {
+    fn ccnuma_self_secs(fast: bool) -> f64 {
+        let session = hostprof::start();
+        let cfg = xp::bench_gate::gate_config();
+        let r = xp::run_one_fastpath(nas::BenchName::Cg, nas::Scale::Tiny, &cfg, fast);
+        assert!(r.total_secs > 0.0);
+        let report = session.finish();
+        hostprof::component_breakdown(&report.merged())
+            .into_iter()
+            .filter(|(c, _)| c == "ccnuma")
+            .map(|(_, s)| s)
+            .sum()
+    }
+    // Warm once (allocator, page tables, code paths), then measure.
+    let _ = ccnuma_self_secs(false);
+    let slow = ccnuma_self_secs(false);
+    let fast = ccnuma_self_secs(true);
+    eprintln!("ccnuma self-time: exact {slow:.4}s, fastpath {fast:.4}s");
+    assert!(
+        fast < slow,
+        "fast path must lower ccnuma self-time: exact {slow:.4}s vs fastpath {fast:.4}s"
+    );
+}
+
 /// The ISSUE's CI guard: with no session open, an instrumented hot path
 /// costs one relaxed atomic load per span — indistinguishable from noise.
 /// Timing asserts are inherently flaky on shared runners, so the check
