@@ -22,7 +22,7 @@ fn bench_fig1(c: &mut Criterion) {
                 group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| {
                     b.iter(|| {
                         let cfg = RunConfig {
-                            placement,
+                            placement: placement.clone(),
                             engine: engine.clone(),
                             ..RunConfig::paper_default()
                         };

@@ -17,7 +17,7 @@ fn bench_fig4(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| {
                 b.iter(|| {
                     let cfg = RunConfig {
-                        placement,
+                        placement: placement.clone(),
                         engine: EngineMode::Upmlib(UpmOptions::default()),
                         ..RunConfig::paper_default()
                     };

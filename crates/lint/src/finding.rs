@@ -36,6 +36,10 @@ pub enum Code {
     /// `L008`: a reduction whose partial-sum partition depends on the team
     /// size, so results are not bit-reproducible across team sizes.
     TeamSensitiveReduction,
+    /// `L009`: placement synthesis found pages with no phase-invariant
+    /// dominant node (an `L007` flip), so their static prescription is a
+    /// low-confidence weighted compromise.
+    LowConfidencePlacement,
 }
 
 /// Severity attached to each code.
@@ -72,6 +76,7 @@ impl Code {
             Code::MigrationBenefit => "L006",
             Code::DominantFlip => "L007",
             Code::TeamSensitiveReduction => "L008",
+            Code::LowConfidencePlacement => "L009",
         }
     }
 
@@ -91,6 +96,7 @@ impl Code {
             Code::MigrationBenefit => "static migration-benefit bound",
             Code::DominantFlip => "dominant node flips between phases",
             Code::TeamSensitiveReduction => "reduction not team-size reproducible",
+            Code::LowConfidencePlacement => "low-confidence static placement (flip pages)",
         }
     }
 
@@ -101,7 +107,8 @@ impl Code {
             Code::FalseSharing
             | Code::PredictedFrozen
             | Code::FirstTouchMismatch
-            | Code::TeamSensitiveReduction => Severity::Warning,
+            | Code::TeamSensitiveReduction
+            | Code::LowConfidencePlacement => Severity::Warning,
             Code::MigrationBenefit | Code::DominantFlip => Severity::Info,
         }
     }
@@ -111,14 +118,17 @@ impl Code {
         match self {
             Code::WriteWriteRace | Code::ReadWriteRace => "races",
             Code::FalseSharing => "false-sharing",
-            Code::PredictedFrozen | Code::FirstTouchMismatch | Code::DominantFlip => "numa",
+            Code::PredictedFrozen
+            | Code::FirstTouchMismatch
+            | Code::DominantFlip
+            | Code::LowConfidencePlacement => "numa",
             Code::MigrationBenefit => "perf",
             Code::TeamSensitiveReduction => "determinism",
         }
     }
 
     /// All codes, in numeric order.
-    pub fn all() -> [Code; 8] {
+    pub fn all() -> [Code; 9] {
         [
             Code::WriteWriteRace,
             Code::ReadWriteRace,
@@ -128,6 +138,7 @@ impl Code {
             Code::MigrationBenefit,
             Code::DominantFlip,
             Code::TeamSensitiveReduction,
+            Code::LowConfidencePlacement,
         ]
     }
 }
@@ -264,7 +275,7 @@ pub fn parse_deny(spec: &str) -> Result<BTreeSet<Code>, String> {
             if matched.is_empty() {
                 return Err(format!(
                     "unknown deny category or code `{part}` (categories: races, \
-                     false-sharing, numa, perf, determinism, all; codes: L001..L008)"
+                     false-sharing, numa, perf, determinism, all; codes: L001..L009)"
                 ));
             }
             deny.extend(matched);
@@ -295,7 +306,7 @@ mod tests {
         let mixed = parse_deny("false-sharing,L008").unwrap();
         assert!(mixed.contains(&Code::FalseSharing));
         assert!(mixed.contains(&Code::TeamSensitiveReduction));
-        assert_eq!(parse_deny("all").unwrap().len(), 8);
+        assert_eq!(parse_deny("all").unwrap().len(), 9);
         assert!(parse_deny("bogus").is_err());
     }
 

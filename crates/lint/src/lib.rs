@@ -18,6 +18,7 @@
 //! | `L006` | info | static upper bound on per-phase migration benefit |
 //! | `L007` | info | dominant node flips between consecutive phases |
 //! | `L008` | warning | reduction result depends on team size |
+//! | `L009` | warning | static placement prescription is low-confidence (flip pages) |
 //!
 //! The predictions are *cross-checked against the dynamic simulator* by the
 //! differential suite in `tests/`: every statically flagged ping-pong page
@@ -29,13 +30,20 @@
 //! Entry point: [`analyze`] with a [`LintConfig`]; `xp lint` drives it for
 //! all five benchmarks and gates CI with `--deny races,false-sharing`
 //! against the checked-in `lint.allow` allowlist.
+//!
+//! Beyond diagnostics, [`synth::synthesize`] turns the same access models
+//! into *prescriptions*: a deterministic [`synth::PlacementMap`] (vpage →
+//! node) installable as `vmm::PlacementScheme::Static`, cross-checked
+//! page-for-page against the dynamic engine's converged placement.
 
 #![deny(missing_docs)]
 
 pub mod analyze;
 pub mod finding;
 pub mod replay;
+pub mod synth;
 
 pub use analyze::{analyze, Analysis, LintConfig};
 pub use finding::{parse_deny, Allowlist, Code, Finding, Severity};
 pub use replay::{CountTable, UpmReplay};
+pub use synth::{synthesize, Confidence, PlacementMap};

@@ -162,7 +162,7 @@ impl BenchRun {
         cfg: &RunConfig,
     ) -> Self {
         let mut machine = Machine::new(cfg.machine.clone());
-        install_placement(&mut machine, cfg.placement);
+        install_placement(&mut machine, cfg.placement.clone());
         if cfg.trace {
             machine.set_trace(obs::TraceSink::enabled(TRACE_RING_CAPACITY));
         }

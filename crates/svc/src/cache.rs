@@ -387,6 +387,7 @@ mod tests {
         CellSpec {
             bench: bench.into(),
             placement: "wc".into(),
+            placement_fp: String::new(),
             engine: "upmlib".into(),
             scale: "tiny".into(),
             seed: 0,

@@ -267,6 +267,7 @@ mod tests {
         CellSpec {
             bench: bench.into(),
             placement: "rand".into(),
+            placement_fp: String::new(),
             engine: "upmlib".into(),
             scale: "tiny".into(),
             seed,

@@ -32,8 +32,12 @@ use obs::json::Value;
 pub struct CellSpec {
     /// Benchmark label, lower-case (`bt`, `sp`, `cg`, `mg`, `ft`).
     pub bench: String,
-    /// Placement label (`ft`, `rr`, `rand`, `wc`).
+    /// Placement label (`ft`, `rr`, `rand`, `wc`, `static`).
     pub placement: String,
+    /// Content fingerprint of a synthesized placement map (16 hex chars),
+    /// empty for the closed-form placement schemes. Two `static` cells with
+    /// different maps must never alias in the cache.
+    pub placement_fp: String,
     /// Engine label (`IRIX`, `IRIXmig`, `upmlib`, `recrep`).
     pub engine: String,
     /// Scale label (`tiny`, `small`, `medium`).
@@ -56,9 +60,10 @@ impl CellSpec {
     /// are labels and hex digits (no `;`/`=`), so the form is unambiguous.
     pub fn canonical(&self) -> String {
         format!(
-            "bench={};placement={};engine={};scale={};seed={};variant={};cfg={};code={}",
+            "bench={};placement={};pmap={};engine={};scale={};seed={};variant={};cfg={};code={}",
             self.bench,
             self.placement,
+            self.placement_fp,
             self.engine,
             self.scale,
             self.seed,
@@ -89,6 +94,7 @@ impl CellSpec {
         Value::object(vec![
             ("bench", self.bench.as_str().into()),
             ("placement", self.placement.as_str().into()),
+            ("placement_fp", self.placement_fp.as_str().into()),
             ("engine", self.engine.as_str().into()),
             ("scale", self.scale.as_str().into()),
             ("seed", (self.seed as f64).into()),
@@ -109,6 +115,9 @@ impl CellSpec {
         Ok(CellSpec {
             bench: text("bench")?,
             placement: text("placement")?,
+            // Tolerant default: specs written before placement maps existed
+            // carry no fingerprint (equivalent to the empty one).
+            placement_fp: text("placement_fp").unwrap_or_default(),
             engine: text("engine")?,
             scale: text("scale")?,
             seed: v
@@ -136,6 +145,7 @@ mod tests {
         CellSpec {
             bench: "cg".into(),
             placement: "wc".into(),
+            placement_fp: String::new(),
             engine: "upmlib".into(),
             scale: "tiny".into(),
             seed: 20000,
@@ -150,7 +160,7 @@ mod tests {
         let s = spec();
         assert_eq!(
             s.canonical(),
-            "bench=cg;placement=wc;engine=upmlib;scale=tiny;seed=20000;variant=;\
+            "bench=cg;placement=wc;pmap=;engine=upmlib;scale=tiny;seed=20000;variant=;\
              cfg=00d1f2e3a4b5c697;code=c1"
                 .replace(";\n             ", ";")
         );
@@ -166,6 +176,9 @@ mod tests {
         assert_ne!(s.key(), base);
         let mut s = spec();
         s.placement = "ft".into();
+        assert_ne!(s.key(), base);
+        let mut s = spec();
+        s.placement_fp = "a1b2c3d4e5f60718".into();
         assert_ne!(s.key(), base);
         let mut s = spec();
         s.engine = "IRIX".into();
@@ -206,6 +219,32 @@ mod tests {
         // Through an actual serialization and re-parse too.
         let reparsed = Value::parse(&v.to_string_pretty()).unwrap();
         assert_eq!(CellSpec::from_json(&reparsed).unwrap(), s);
+    }
+
+    /// Two `static` cells differing only in their synthesized map can never
+    /// alias: the map fingerprint feeds the canonical string and the key —
+    /// and stays byte-stable so recorded caches keep hitting.
+    #[test]
+    fn placement_map_fingerprint_prevents_cache_aliasing() {
+        let mut a = spec();
+        a.placement = "static".into();
+        a.placement_fp = "0123456789abcdef".into();
+        let mut b = a.clone();
+        b.placement_fp = "fedcba9876543210".into();
+        assert_ne!(a.key(), b.key(), "different maps must key differently");
+        assert!(a.canonical().contains("pmap=0123456789abcdef"));
+        // Key stability: same fields, freshly built, same key bytes.
+        let mut a2 = spec();
+        a2.placement = "static".into();
+        a2.placement_fp = "0123456789abcdef".into();
+        assert_eq!(a.key(), a2.key());
+        // Old JSON without the field parses with an empty fingerprint.
+        let mut legacy = spec().to_json();
+        if let Value::Object(fields) = &mut legacy {
+            fields.retain(|(k, _)| k != "placement_fp");
+        }
+        let parsed = CellSpec::from_json(&legacy).unwrap();
+        assert_eq!(parsed, spec());
     }
 
     #[test]

@@ -26,5 +26,5 @@ pub mod procfs;
 
 pub use kernel_migrate::{KernelMigrationConfig, KernelMigrationEngine};
 pub use mld::MldSet;
-pub use placement::{install_placement, PlacementScheme};
+pub use placement::{install_placement, PlacementScheme, StaticMap};
 pub use procfs::{PageView, ProcCounters};

@@ -1,9 +1,11 @@
 //! `xp bench`: the performance-regression gate.
 //!
 //! The gate runs a fixed suite — every benchmark under the `xp trace`
-//! reference configuration (round-robin placement + UPMlib, tracing off)
-//! — and records four numbers per benchmark: simulated seconds, host wall
-//! seconds, total page migrations, and the whole-run remote fraction.
+//! reference configuration (round-robin placement + UPMlib, tracing off),
+//! plus a `{bench}-static` companion per benchmark with the
+//! lint-synthesized static placement under the same engine — and records
+//! four numbers per entry: simulated seconds, host wall seconds, total
+//! page migrations, and the whole-run remote fraction.
 //!
 //! * **`xp bench --record`** writes the suite's results as
 //!   `baseline.json` under the history directory (default
@@ -222,6 +224,16 @@ pub fn gate_config() -> RunConfig {
     }
 }
 
+/// The static-placement companion configuration: the gate engine with the
+/// lint-synthesized placement map installed instead of round robin. Keeps
+/// the synthesis pass itself (plus the run under its map) on the perf gate.
+pub fn static_gate_config(bench: BenchName, scale: Scale) -> RunConfig {
+    RunConfig {
+        placement: crate::lint::static_scheme(bench, scale),
+        ..gate_config()
+    }
+}
+
 /// Run the suite on the cell pool and collect one entry per benchmark.
 /// The suite runs under a [`hostprof`] session, so each entry carries its
 /// per-component host-time breakdown (schema v2).
@@ -232,6 +244,14 @@ pub fn measure(benches: &[BenchName], scale: Scale) -> Vec<GateEntry> {
         plan.add(bench.label().to_ascii_lowercase(), move || {
             crate::run_one(bench, scale, &gate_config())
         });
+    }
+    // Static-placement companions ride after the base suite so committed
+    // baselines keep their entry order; ids are `{bench}-static`.
+    for &bench in benches {
+        plan.add(
+            format!("{}-static", bench.label().to_ascii_lowercase()),
+            move || crate::run_one(bench, scale, &static_gate_config(bench, scale)),
+        );
     }
     let outputs = plan.execute();
     let host = session.finish();

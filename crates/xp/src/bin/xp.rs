@@ -20,8 +20,8 @@ use std::time::Instant;
 use xp::summary::SummaryEntry;
 use xp::Report;
 
-const COMMANDS: &str = "table1|fig1|fig4|table2|fig5|fig6|ablations|multiprog|all|trace|prof|\
-     selfprof|bench|lint|serve|client|cache";
+const COMMANDS: &str = "table1|fig1|fig4|table2|fig5|fig6|ablations|multiprog|staticplace|all|\
+     trace|prof|selfprof|bench|lint|serve|client|cache";
 
 const USAGE: &str = "\
 xp — experiment driver for the data-distribution study
@@ -35,7 +35,7 @@ usage:
   xp bench --record|--check [--bench bt|sp|cg|mg|ft] [--threshold PCT]
           [--history DIR] [--scale tiny|small|medium] [--out DIR]
   xp lint [--bench bt|sp|cg|mg|ft] [--all] [--deny CODES] [--allow FILE]
-          [--scale tiny|small|medium] [--out DIR]
+          [--emit-placement] [--scale tiny|small|medium] [--out DIR]
   xp serve [--port N|--addr ADDR] [--jobs N] [--cache-dir DIR]
   xp client COMMAND [--addr ADDR|--port N] [other COMMAND options]
   xp cache stats|verify|gc [--cache-dir DIR] [--max-bytes N] [--max-age SECS]
@@ -50,6 +50,9 @@ commands:
   ablations  sensitivity studies beyond the paper
   multiprog  job mixes under the kernel scheduler: per-job slowdown per
              policy (gang/space/timeshare) x engine variant
+  staticplace four-way head-to-head beyond the paper: {first-touch,
+             lint-synthesized static placement} x {no engine, UPMlib},
+             with synthesis accounting (flip pages, residual migrations)
   all        everything above (default)
   trace      run one benchmark with event tracing; writes trace.jsonl and
              trace.chrome.json (open in Perfetto) under the output dir
@@ -100,9 +103,11 @@ options:
                              results/history)
   --deny CODES               comma list of lint categories (races,
                              false-sharing, numa, perf, determinism, all)
-                             and/or codes (L001..L008) that fail the run
+                             and/or codes (L001..L009) that fail the run
   --allow FILE               lint allowlist file (default: lint.allow in the
                              current directory, when present)
+  --emit-placement           lint: also write the synthesized placement maps
+                             as placement-<bench>-<scale>.json under --out
   --cache                    resolve experiment cells against the on-disk
                              result cache and store fresh results back
   --no-cache                 disable the result cache (overrides --cache)
@@ -249,6 +254,7 @@ fn main() {
     let mut lint_all = false;
     let mut lint_deny: Option<String> = None;
     let mut lint_allow: Option<PathBuf> = None;
+    let mut lint_emit_placement = false;
     let mut prof_from: Option<PathBuf> = None;
     let mut bench_record = false;
     let mut bench_check = false;
@@ -311,6 +317,7 @@ fn main() {
                 let v = it.next().unwrap_or_else(|| die("--allow needs a file"));
                 lint_allow = Some(PathBuf::from(v));
             }
+            "--emit-placement" => lint_emit_placement = true,
             "--from" => {
                 let v = it.next().unwrap_or_else(|| die("--from needs a file"));
                 prof_from = Some(PathBuf::from(v));
@@ -430,8 +437,8 @@ fn main() {
     if !matches!(command.as_str(), "lint" | "prof" | "selfprof") && lint_all {
         die("--all applies to `xp lint`, `xp prof` and `xp selfprof`");
     }
-    if command != "lint" && (lint_deny.is_some() || lint_allow.is_some()) {
-        die("--deny/--allow apply to `xp lint`");
+    if command != "lint" && (lint_deny.is_some() || lint_allow.is_some() || lint_emit_placement) {
+        die("--deny/--allow/--emit-placement apply to `xp lint`");
     }
     if command != "prof" && prof_from.is_some() {
         die("--from applies to `xp prof`");
@@ -475,6 +482,10 @@ fn main() {
         "multiprog",
         Box::new(move || vec![xp::multiprog::run(scale)]),
     );
+    let staticplace: Job = (
+        "staticplace",
+        Box::new(move || vec![xp::staticplace::run(scale)]),
+    );
 
     let jobs: Vec<Job> = match command.as_str() {
         "table1" => vec![table1],
@@ -485,7 +496,18 @@ fn main() {
         "fig6" => vec![fig6],
         "ablations" => vec![ablations],
         "multiprog" => vec![multiprog],
-        "all" => vec![table1, fig1, fig4, table2, fig5, fig6, ablations, multiprog],
+        "staticplace" => vec![staticplace],
+        "all" => vec![
+            table1,
+            fig1,
+            fig4,
+            table2,
+            fig5,
+            fig6,
+            ablations,
+            multiprog,
+            staticplace,
+        ],
         "trace" => {
             let name = positionals
                 .get(1)
@@ -619,6 +641,7 @@ fn main() {
             if let Some(p) = &allow_path {
                 eprintln!("[allowlist {} ({} keys)]", p.display(), allow.len());
             }
+            let emit_out = out_dir.clone();
             vec![(
                 "lint",
                 Box::new(move || {
@@ -627,6 +650,16 @@ fn main() {
                         eprintln!("denied: {}", f.render());
                     }
                     LINT_DENIED.store(run.denied.len(), Ordering::Relaxed);
+                    if lint_emit_placement {
+                        match xp::lint::emit_placement(&benches, scale, &emit_out) {
+                            Ok(paths) => {
+                                for p in paths {
+                                    eprintln!("[saved {}]", p.display());
+                                }
+                            }
+                            Err(e) => die(&format!("cannot write placement maps: {e}")),
+                        }
+                    }
                     vec![run.report]
                 }),
             )]

@@ -1,7 +1,9 @@
 //! Figure 1: impact of page placement on the five benchmarks, with and
 //! without the IRIX kernel migration engine.
 //!
-//! For each benchmark, eight bars: {ft, rr, rand, wc} x {IRIX, IRIXmig}.
+//! For each benchmark, ten bars: {ft, rr, rand, wc, static} x {IRIX,
+//! IRIXmig} — the paper's eight plus the lint-synthesized static placement
+//! the paper couldn't generate (no such tool existed for OpenMP).
 //! The paper's shape: worst-case placement slows programs 24%–248% (avg
 //! ~90%); round-robin and random are modest (8%–45%); kernel migration
 //! recovers part but not all of the gap, is a near-no-op under first-touch,
@@ -31,14 +33,18 @@ pub fn plan_grid(
     with_upmlib: bool,
 ) {
     let (kcfg, upm_opts) = default_engine_configs();
-    for placement in PlacementScheme::all(crate::seed::get()) {
+    let mut placements = PlacementScheme::all(crate::seed::get()).to_vec();
+    // Fifth scheme: the lint-synthesized static placement (PlacementMap is
+    // a pure function of bench x scale, so the cell keys stay stable).
+    placements.push(crate::lint::static_scheme(bench, scale));
+    for placement in placements {
         let mut engines = vec![EngineMode::None, EngineMode::IrixMig(kcfg)];
         if with_upmlib {
             engines.push(EngineMode::Upmlib(upm_opts));
         }
         for engine in engines {
             let cfg = RunConfig {
-                placement,
+                placement: placement.clone(),
                 engine,
                 ..RunConfig::paper_default()
             };
@@ -48,12 +54,13 @@ pub fn plan_grid(
     }
 }
 
-/// Cells [`plan_grid`] appends per benchmark.
+/// Cells [`plan_grid`] appends per benchmark: five placement schemes
+/// (ft/rr/rand/wc/static) times two or three engines.
 pub fn grid_width(with_upmlib: bool) -> usize {
     if with_upmlib {
-        12
+        15
     } else {
-        8
+        10
     }
 }
 
@@ -162,7 +169,14 @@ mod tests {
         let results = grid(BenchName::Mg, Scale::Tiny, true);
         assert_eq!(results.len(), grid_width(true));
         let labels: Vec<_> = results.iter().map(|r| r.label()).collect();
-        for want in ["ft-IRIX", "rr-IRIXmig", "rand-upmlib", "wc-upmlib"] {
+        for want in [
+            "ft-IRIX",
+            "rr-IRIXmig",
+            "rand-upmlib",
+            "wc-upmlib",
+            "static-IRIX",
+            "static-upmlib",
+        ] {
             assert!(
                 labels.contains(&want.to_string()),
                 "{want} missing from {labels:?}"

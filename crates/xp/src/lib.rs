@@ -12,6 +12,7 @@
 //! | Remote:local latency-ratio sweep (the paper's §6 claim) | ablation | [`ablation::latency_ratio`] |
 //! | Competitive-threshold sweep | ablation | [`ablation::threshold_sweep`] |
 //! | Page-freezing on/off under false sharing | ablation | [`ablation::freeze_toggle`] |
+//! | Static distribution vs first-touch, ± UPMlib (four-way) | beyond the paper | [`staticplace::run`] |
 //!
 //! Each function returns structured rows and renders a markdown table; the
 //! `xp` binary writes both to stdout and to `results/*.json`.
@@ -36,6 +37,7 @@ pub mod seed;
 pub mod selfprof;
 pub mod session;
 pub mod spec;
+pub mod staticplace;
 pub mod summary;
 pub mod table1;
 pub mod table2;

@@ -8,12 +8,14 @@
 //! set and not allowlisted are marked `denied` and make the command exit
 //! non-zero — that is the CI gate.
 
-use ::lint::{Allowlist, Analysis, Code, Finding, LintConfig};
+use ::lint::{Allowlist, Analysis, Code, Finding, LintConfig, PlacementMap};
 use ccnuma::{Machine, MachineConfig};
 use nas::{bt::Bt, cg::Cg, ft::Ft, mg::Mg, sp::Sp};
 use nas::{BenchName, NasBenchmark, Scale};
 use omp::Runtime;
 use std::collections::BTreeSet;
+use std::sync::Arc;
+use vmm::PlacementScheme;
 
 use crate::Report;
 
@@ -49,6 +51,19 @@ pub fn analyze_bench(bench: BenchName, scale: Scale) -> Analysis {
     ::lint::analyze(&model_for(bench, scale), &LintConfig::paper_default())
 }
 
+/// Synthesize `bench`'s static placement prescription with the paper-default
+/// lint configuration. Deterministic: a pure function of (bench, scale).
+pub fn placement_map(bench: BenchName, scale: Scale) -> PlacementMap {
+    ::lint::synthesize(&model_for(bench, scale), &LintConfig::paper_default())
+}
+
+/// The installable `static` placement scheme for `bench` at `scale`.
+pub fn static_scheme(bench: BenchName, scale: Scale) -> PlacementScheme {
+    PlacementScheme::Static {
+        map: Arc::new(placement_map(bench, scale).to_static()),
+    }
+}
+
 /// Run the analyzer over `benches` and assemble the `xp` report.
 pub fn run(
     benches: &[BenchName],
@@ -73,7 +88,10 @@ pub fn run(
     let mut waived = 0usize;
     for &bench in benches {
         let analysis = analyze_bench(bench, scale);
-        for f in analysis.findings {
+        // Synthesis warnings (L009: pages with no phase-invariant home) ride
+        // the same report, deny gate and allowlist as the analyzer findings.
+        let synth = placement_map(bench, scale).findings();
+        for f in analysis.findings.into_iter().chain(synth) {
             total += 1;
             let allowed = allow.allows(&f);
             let status = if allowed {
@@ -111,6 +129,29 @@ pub fn run(
         report.note(format!("deny set: {}", codes.join(",")));
     }
     LintRun { report, denied }
+}
+
+/// `xp lint --emit-placement`: write each benchmark's synthesized
+/// [`PlacementMap`] as deterministic JSON (`placement-{bench}-{scale}.json`
+/// under `out`). Returns the paths written, in bench order.
+pub fn emit_placement(
+    benches: &[BenchName],
+    scale: Scale,
+    out: &std::path::Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(out)?;
+    let mut paths = Vec::new();
+    for &bench in benches {
+        let map = placement_map(bench, scale);
+        let path = out.join(format!(
+            "placement-{}-{}.json",
+            bench.label().to_ascii_lowercase(),
+            scale.label()
+        ));
+        std::fs::write(&path, map.to_json().to_string_pretty())?;
+        paths.push(path);
+    }
+    Ok(paths)
 }
 
 #[cfg(test)]

@@ -127,10 +127,16 @@ pub struct EngineVariant {
     pub engine: EngineMode,
     /// UPMlib response to scheduler rebinds.
     pub response: UpmResponse,
+    /// Install the lint-synthesized static placement instead of first
+    /// touch. Static maps are node-anchored, not thread-anchored, so a
+    /// rebinding scheduler strands them exactly like first touch — the
+    /// multiprogramming stress test the offline tool cannot answer.
+    pub static_placement: bool,
 }
 
 /// The experiment's engine variants: no migration, the IRIX kernel engine,
-/// and UPMlib with each scheduler-aware response mode.
+/// UPMlib with each scheduler-aware response mode, and the synthesized
+/// static placement with no engine.
 pub fn engine_variants() -> Vec<EngineVariant> {
     let (kcfg, upm_opts) = default_engine_configs();
     vec![
@@ -138,21 +144,31 @@ pub fn engine_variants() -> Vec<EngineVariant> {
             label: "IRIX",
             engine: EngineMode::None,
             response: UpmResponse::None,
+            static_placement: false,
         },
         EngineVariant {
             label: "IRIXmig",
             engine: EngineMode::IrixMig(kcfg),
             response: UpmResponse::None,
+            static_placement: false,
         },
         EngineVariant {
             label: "upmlib-relearn",
             engine: EngineMode::Upmlib(upm_opts),
             response: UpmResponse::ForgetRelearn,
+            static_placement: false,
         },
         EngineVariant {
             label: "upmlib-follow",
             engine: EngineMode::Upmlib(upm_opts),
             response: UpmResponse::FollowThreads,
+            static_placement: false,
+        },
+        EngineVariant {
+            label: "static",
+            engine: EngineMode::None,
+            response: UpmResponse::None,
+            static_placement: true,
         },
     ]
 }
@@ -169,12 +185,24 @@ pub fn quantum_ns(scale: Scale) -> f64 {
     }
 }
 
-/// The per-job run configuration for one engine variant.
+/// The per-job run configuration for one engine mode (first-touch
+/// placement, the dedicated-baseline shape).
 pub fn job_config(engine: &EngineMode) -> RunConfig {
     RunConfig {
         engine: engine.clone(),
         ..RunConfig::paper_default()
     }
+}
+
+/// The per-job run configuration for one engine variant: `job_config`,
+/// with the synthesized static placement for `static_placement` variants
+/// (a function of the job's benchmark and scale).
+pub fn variant_config(variant: &EngineVariant, bench: BenchName, scale: Scale) -> RunConfig {
+    let mut cfg = job_config(&variant.engine);
+    if variant.static_placement {
+        cfg.placement = crate::lint::static_scheme(bench, scale);
+    }
+    cfg
 }
 
 /// Run one mix under one policy and engine variant.
@@ -193,7 +221,8 @@ pub fn run_schedule(
     );
     for &bench in mix.benches {
         s.submit(
-            JobSpec::new(bench, scale, job_config(&variant.engine)).with_response(variant.response),
+            JobSpec::new(bench, scale, variant_config(variant, bench, scale))
+                .with_response(variant.response),
         );
     }
     let outcome = s.run_to_completion();
@@ -313,6 +342,15 @@ pub fn run(scale: Scale) -> Report {
                 .get(&(mix.name.to_string(), "timeshare", engine))
                 .copied()
         };
+        if let (Some(none), Some(stat)) = (get("IRIX"), get("static")) {
+            report.note(format!(
+                "{}: time-sharing mean slowdown {} (static placement) vs {} (first touch) — \
+                 both are node-anchored, so the offline prescription cannot follow rebound threads",
+                mix.name,
+                pct(stat),
+                pct(none),
+            ));
+        }
         if let (Some(none), Some(relearn), Some(follow)) =
             (get("IRIX"), get("upmlib-relearn"), get("upmlib-follow"))
         {

@@ -62,6 +62,15 @@ fn spec_seed(placement: &PlacementScheme) -> u64 {
     }
 }
 
+/// The placement-map fingerprint a spec records: the synthesized map's
+/// content hash for `static` cells, empty for the closed-form schemes.
+fn placement_fp(placement: &PlacementScheme) -> String {
+    match placement {
+        PlacementScheme::Static { map } => map.fingerprint().to_string(),
+        _ => String::new(),
+    }
+}
+
 fn build(
     bench_label: String,
     scale: Scale,
@@ -72,6 +81,7 @@ fn build(
     CellSpec {
         bench: bench_label,
         placement: cfg.placement.label().to_string(),
+        placement_fp: placement_fp(&cfg.placement),
         engine: cfg.engine.label().to_string(),
         scale: scale.label().to_string(),
         seed: spec_seed(&cfg.placement),
@@ -135,6 +145,27 @@ fn placement_of(spec: &CellSpec) -> Result<PlacementScheme, String> {
         "rr" => Ok(PlacementScheme::RoundRobin),
         "rand" => Ok(PlacementScheme::Random { seed: spec.seed }),
         "wc" => Ok(PlacementScheme::WorstCase { node: 0 }),
+        "static" => {
+            // Re-synthesize the placement map from the benchmark's access
+            // model — the map is a pure function of (bench, scale) under
+            // the paper-default lint configuration — then verify the spec's
+            // recorded fingerprint against the reconstruction, exactly like
+            // `check_fp` does for the run configuration.
+            let bench = BenchName::parse(&spec.bench)
+                .ok_or_else(|| format!("unknown benchmark '{}'", spec.bench))?;
+            let scale = Scale::parse(&spec.scale)
+                .ok_or_else(|| format!("unknown scale '{}'", spec.scale))?;
+            let scheme = crate::lint::static_scheme(bench, scale);
+            let fp = placement_fp(&scheme);
+            if fp != spec.placement_fp {
+                return Err(format!(
+                    "placement map fingerprint mismatch for {spec}: spec {}, \
+                     reconstruction {fp} — this binary synthesizes a different map",
+                    spec.placement_fp
+                ));
+            }
+            Ok(scheme)
+        }
         other => Err(format!("unknown placement '{other}'")),
     }
 }
@@ -274,6 +305,30 @@ mod tests {
         wrong.bench = "sp".into();
         let err = run_spec(&wrong).unwrap_err();
         assert!(err.contains("only defined for BT"), "{err}");
+    }
+
+    #[test]
+    fn static_placement_spec_round_trips_and_pins_the_map() {
+        let cfg = RunConfig {
+            placement: crate::lint::static_scheme(BenchName::Mg, Scale::Tiny),
+            ..RunConfig::paper_default()
+        };
+        let spec = plain(BenchName::Mg, Scale::Tiny, &cfg);
+        assert_eq!(spec.cell_id(), "mg:static-IRIX");
+        assert_eq!(spec.placement_fp.len(), 16, "map fingerprint recorded");
+        // The reconstruction re-synthesizes the same map and reproduces the
+        // exact result through the cache encoding.
+        let reconstructed = run_spec(&spec).unwrap();
+        let direct = run_one(BenchName::Mg, Scale::Tiny, &cfg);
+        assert_eq!(
+            reconstructed.to_cache_json().to_string(),
+            direct.to_cache_json().to_string()
+        );
+        // A tampered map fingerprint is refused, not silently re-mapped.
+        let mut wrong = spec.clone();
+        wrong.placement_fp = "0000000000000000".into();
+        let err = run_spec(&wrong).unwrap_err();
+        assert!(err.contains("placement map fingerprint mismatch"), "{err}");
     }
 
     #[test]

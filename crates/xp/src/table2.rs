@@ -1,5 +1,6 @@
 //! Table 2: statistics of the UPMlib engine under the three non-optimal
-//! placement schemes — the residual slowdown in the last 75% of the
+//! placement schemes plus the lint-synthesized static placement — the
+//! residual slowdown in the last 75% of the
 //! iterations (is the memory performance stable once the engine settles?)
 //! and the fraction of page migrations performed after the first iteration
 //! (is the migration cost concentrated at the start?).
@@ -29,11 +30,12 @@ pub struct Table2Row {
 }
 
 /// Cells [`plan_for`] appends per benchmark: the ft-IRIX reference run
-/// plus the three non-optimal schemes under UPMlib.
-pub const CELLS_PER_BENCH: usize = 4;
+/// plus the three non-optimal schemes and the synthesized static placement
+/// under UPMlib.
+pub const CELLS_PER_BENCH: usize = 5;
 
 /// Append one benchmark's Table 2 cells to `plan`: first the ft-IRIX
-/// reference, then rr/rand/wc under UPMlib.
+/// reference, then rr/rand/wc/static under UPMlib.
 pub fn plan_for(plan: &mut CellPlan<RunResult>, bench: BenchName, scale: Scale) {
     let (_, upm_opts) = default_engine_configs();
     let ft_cfg = RunConfig {
@@ -42,12 +44,15 @@ pub fn plan_for(plan: &mut CellPlan<RunResult>, bench: BenchName, scale: Scale) 
     };
     let ft_spec = crate::spec::plain(bench, scale, &ft_cfg);
     plan.add_cached(ft_spec, move || run_one(bench, scale, &ft_cfg));
-    let schemes = [
+    let schemes = vec![
         PlacementScheme::RoundRobin,
         PlacementScheme::Random {
             seed: crate::seed::get(),
         },
         PlacementScheme::WorstCase { node: 0 },
+        // static+UPMlib: how much work is left for the engine when the
+        // initial placement is already the synthesized prescription?
+        crate::lint::static_scheme(bench, scale),
     ];
     for placement in schemes {
         let cfg = RunConfig {

@@ -35,7 +35,7 @@ fn main() {
             EngineMode::IrixMig(KernelMigrationConfig::default()),
         ] {
             let cfg = RunConfig {
-                placement,
+                placement: placement.clone(),
                 engine,
                 ..RunConfig::paper_default()
             };

@@ -34,7 +34,7 @@ fn run_small(bench: BenchName, placement: PlacementScheme, engine: EngineMode) -
 fn every_benchmark_verifies_under_every_placement() {
     for bench in BenchName::all() {
         for placement in PlacementScheme::all(99) {
-            let r = run(bench, placement, EngineMode::None);
+            let r = run(bench, placement.clone(), EngineMode::None);
             assert!(
                 r.verification.passed,
                 "{} under {} failed verification: value {} vs reference {}",

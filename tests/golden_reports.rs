@@ -79,6 +79,14 @@ fn table2_tiny_matches_golden() {
 }
 
 #[test]
+fn staticplace_tiny_matches_golden() {
+    // The four-way head-to-head (ft/static x IRIX/upmlib) plus the
+    // synthesis accounting notes: pins the placement synthesizer's output
+    // end-to-end through the run pipeline.
+    check("staticplace_tiny.json", xp::staticplace::run(Scale::Tiny));
+}
+
+#[test]
 fn prof_cg_tiny_matches_golden() {
     // The analysis-only report (no artifact or verification notes): pins
     // the phase attribution, convergence summary and heatmap totals of

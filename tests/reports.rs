@@ -14,8 +14,8 @@ fn table1_report_has_six_levels() {
 #[test]
 fn fig1_report_covers_all_benchmarks_and_configs() {
     let r = xp::fig1::run(Scale::Tiny);
-    // 5 benchmarks x 4 placements x 2 engines.
-    assert_eq!(r.rows.len(), 40);
+    // 5 benchmarks x 5 placements (incl. synthesized static) x 2 engines.
+    assert_eq!(r.rows.len(), 50);
     let verified = r.headers.iter().position(|h| h == "Verified").unwrap();
     for row in &r.rows {
         assert_eq!(row[verified], "ok", "{row:?}");
@@ -23,7 +23,7 @@ fn fig1_report_covers_all_benchmarks_and_configs() {
     // One bar chart per benchmark.
     assert_eq!(r.charts.len(), 5);
     for (_, bars) in &r.charts {
-        assert_eq!(bars.len(), 8);
+        assert_eq!(bars.len(), 10);
         assert!(bars.iter().all(|b| b.value > 0.0));
     }
     assert_eq!(r.notes.len(), 1);

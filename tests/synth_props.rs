@@ -1,0 +1,250 @@
+//! Property tests for placement synthesis (vendored proptest shim).
+//!
+//! [`lint::synthesize`] must behave like a total, deterministic function
+//! from (kernel model, lint config) to a placement prescription:
+//!
+//! * **Coverage** — every page any loop touches is mapped, exactly once,
+//!   and only touched pages are mapped;
+//! * **Range** — every prescribed node id is a real node of the configured
+//!   machine, for arbitrary loop shapes, sizes, team sizes and schedules;
+//! * **Determinism** — repeated synthesis is bit-identical (struct equality
+//!   and serialized JSON), including under concurrent callers — the
+//!   property behind the `--jobs 1` vs `--jobs 4` report equivalence;
+//! * **Accounting** — flip pages are a subset of mapped pages, and residual
+//!   migrations only ever charge flip pages.
+
+use ccnuma::{vpage_of, AccessKind, Machine, MachineConfig, SimArray, LINE_SHIFT};
+use lint::{synthesize, Confidence, LintConfig};
+use nas::{BenchName, KernelModel, LoopModel, PhaseModel};
+use omp::Schedule;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// f64 elements per cache line.
+const EPL: usize = (1usize << LINE_SHIFT) / 8;
+
+/// Per-iteration access shapes (the `fastpath_props.rs` menagerie):
+/// thread-local, broadcast-read, seam-crossing, dense, read-only, and
+/// all-write patterns cover the ownership shapes the synthesizer sees.
+#[derive(Debug, Clone, Copy)]
+enum Pattern {
+    Stripe,
+    Bcast,
+    Neighbor,
+    Dense,
+    ReadOnly,
+    AllWrite,
+}
+
+/// `(reads, writes)` of iteration `i`, as element indices.
+fn accesses(p: Pattern, i: usize, n: usize) -> (Vec<usize>, Vec<usize>) {
+    let line = |k: usize| k * EPL;
+    match p {
+        Pattern::Stripe => (vec![line(i)], vec![line(i)]),
+        Pattern::Bcast => (vec![line(0)], vec![line(i + 1)]),
+        Pattern::Neighbor => (vec![line((i + 1) % n)], vec![line(i)]),
+        Pattern::Dense => (vec![i], vec![i]),
+        Pattern::ReadOnly => (vec![line(i)], vec![]),
+        Pattern::AllWrite => (vec![], vec![line(0)]),
+    }
+}
+
+fn elems(p: Pattern, n: usize) -> usize {
+    match p {
+        Pattern::Dense => n,
+        _ => (n + 1) * EPL,
+    }
+}
+
+fn loop_model(p: Pattern, n: usize, schedule: Schedule, base: u64) -> LoopModel {
+    LoopModel::parallel("loop", n, schedule, move |i, emit| {
+        let (reads, writes) = accesses(p, i, n);
+        for r in reads {
+            emit(base + 8 * r as u64, AccessKind::Read);
+        }
+        for w in writes {
+            emit(base + 8 * w as u64, AccessKind::Write);
+        }
+    })
+}
+
+/// A one- or two-phase model over a single array on `tiny_test`, plus the
+/// exact set of pages its loops touch.
+fn build_model(phases: &[(Pattern, Schedule)], n: usize) -> (KernelModel, BTreeSet<u64>) {
+    let size = phases
+        .iter()
+        .map(|&(p, _)| elems(p, n))
+        .max()
+        .unwrap()
+        .max(1);
+    let mut m = Machine::new(MachineConfig::tiny_test());
+    let arr = SimArray::<f64>::new(&mut m, "p.a", size, 0.0);
+    let base = arr.vrange().0;
+    let mut touched = BTreeSet::new();
+    for &(p, _) in phases {
+        for i in 0..n {
+            let (reads, writes) = accesses(p, i, n);
+            for idx in reads.into_iter().chain(writes) {
+                touched.insert(vpage_of(base + 8 * idx as u64));
+            }
+        }
+    }
+    let named: Vec<PhaseModel> = phases
+        .iter()
+        .enumerate()
+        .map(|(k, &(p, s))| {
+            let name: &'static str = ["ph0", "ph1"][k];
+            PhaseModel::new(name, vec![loop_model(p, n, s, base)])
+        })
+        .collect();
+    let model = KernelModel::new(BenchName::Cg, vec![arr.layout()], vec![], named);
+    (model, touched)
+}
+
+fn any_pattern() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        Just(Pattern::Stripe),
+        Just(Pattern::Bcast),
+        Just(Pattern::Neighbor),
+        Just(Pattern::Dense),
+        Just(Pattern::ReadOnly),
+        Just(Pattern::AllWrite),
+    ]
+}
+
+/// Static schedule flavours only: ownership of dynamic/guided loops
+/// depends on execution timing, so the analyzer (and the synthesizer with
+/// it) only accepts statically-scheduled models — as all NAS models are.
+fn any_schedule() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        Just(Schedule::Static),
+        (1usize..9).prop_map(Schedule::StaticChunk),
+    ]
+}
+
+fn tiny_cfg(threads: usize) -> LintConfig {
+    LintConfig {
+        threads,
+        machine: MachineConfig::tiny_test(),
+        upm: upmlib::UpmOptions::default(),
+        iterations: 8,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Coverage + range: the map's domain is exactly the touched page set,
+    /// every page appears once inside its array's range, and every
+    /// prescribed node exists on the machine.
+    #[test]
+    fn every_touched_page_is_mapped_exactly_once(
+        pattern in any_pattern(),
+        n in 1usize..120,
+        threads in 1usize..9, // tiny_test has 8 CPUs
+        schedule in any_schedule(),
+    ) {
+        let (model, touched) = build_model(&[(pattern, schedule)], n);
+        let cfg = tiny_cfg(threads);
+        let map = synthesize(&model, &cfg);
+        let mapped: BTreeSet<u64> = map.pages().keys().copied().collect();
+        prop_assert_eq!(&mapped, &touched, "map domain != touched pages");
+        prop_assert!(map.pages().values().all(|a| a.node < map.nodes()));
+        // Each mapped page lies in exactly one array's vpage range.
+        for &page in &mapped {
+            let owners = map
+                .arrays()
+                .iter()
+                .filter(|r| (r.first_vpage..=r.last_vpage).contains(&page))
+                .count();
+            prop_assert_eq!(owners, 1, "page {:#x} owned by {} arrays", page, owners);
+        }
+        // The installable StaticMap agrees page-for-page.
+        let stat = map.to_static();
+        prop_assert_eq!(stat.len(), map.pages().len());
+    }
+
+    /// Determinism: synthesis is a pure function — repeated calls are
+    /// equal as structs and byte-identical as JSON.
+    #[test]
+    fn synthesis_is_bit_identical_across_calls(
+        pattern in any_pattern(),
+        n in 1usize..120,
+        threads in 1usize..9,
+        schedule in any_schedule(),
+    ) {
+        let (model_a, _) = build_model(&[(pattern, schedule)], n);
+        let (model_b, _) = build_model(&[(pattern, schedule)], n);
+        let cfg = tiny_cfg(threads);
+        let a = synthesize(&model_a, &cfg);
+        let b = synthesize(&model_b, &cfg);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(
+            a.to_json().to_string_pretty(),
+            b.to_json().to_string_pretty()
+        );
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    /// Accounting: with two phases of arbitrary shapes, flip pages are
+    /// mapped pages, and residual migrations only charge flip pages.
+    #[test]
+    fn residual_traffic_only_charges_flip_pages(
+        pa in any_pattern(),
+        pb in any_pattern(),
+        n in 2usize..80,
+        threads in 2usize..9,
+        schedule in any_schedule(),
+    ) {
+        let (model, touched) = build_model(&[(pa, schedule), (pb, schedule)], n);
+        let cfg = tiny_cfg(threads);
+        let map = synthesize(&model, &cfg);
+        let mapped: BTreeSet<u64> = map.pages().keys().copied().collect();
+        prop_assert_eq!(&mapped, &touched);
+        let flips: BTreeSet<u64> = map.flip_pages().into_iter().collect();
+        prop_assert!(flips.is_subset(&mapped));
+        for page in map.residual_by_page().keys() {
+            prop_assert!(
+                flips.contains(page),
+                "residual migration charged to stable page {:#x}", page
+            );
+        }
+        for (page, a) in map.pages() {
+            prop_assert_eq!(
+                a.confidence == Confidence::Flip,
+                flips.contains(page),
+                "confidence tag and flip set disagree on {:#x}", page
+            );
+        }
+    }
+}
+
+/// The real benchmark maps are identical when synthesized concurrently
+/// from four threads — no hidden global state, which is what makes
+/// `xp --jobs 1` and `--jobs 4` reports byte-identical when they embed
+/// static-placement cells.
+#[test]
+fn concurrent_synthesis_matches_sequential() {
+    for bench in [BenchName::Cg, BenchName::Ft] {
+        let reference = xp::lint::placement_map(bench, nas::Scale::Tiny)
+            .to_json()
+            .to_string_pretty();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    xp::lint::placement_map(bench, nas::Scale::Tiny)
+                        .to_json()
+                        .to_string_pretty()
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(
+                t.join().expect("synthesis thread"),
+                reference,
+                "{}: concurrent synthesis diverged",
+                bench.label()
+            );
+        }
+    }
+}
