@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""CI-side telemetry scrape for a running `xp serve` instance.
+
+Speaks the raw ddnomp-svc JSONL protocol (no client binary needed):
+
+1. Asserts the JSON `metrics` snapshot (written earlier by
+   `xp top --json`) shows a positive cache-hit ratio — the warm sweep
+   must actually have hit the cache.
+2. Scrapes the `metrics` op in Prometheus text exposition format,
+   validates every line against the exposition grammar (comment/TYPE
+   lines, `name value` samples, monotone cumulative histogram buckets
+   ending in `+Inf`), and writes the text to the given output path.
+3. Sends a `shutdown` op so the server exits gracefully and flushes its
+   span files.
+
+Usage: scrape_telemetry.py ADDR METRICS_JSON PROM_OUT
+"""
+
+import json
+import socket
+import sys
+
+
+def request(addr, frame):
+    """One connection: consume the hello, send `frame`, return the reply."""
+    host, port = addr.rsplit(":", 1)
+    with socket.create_connection((host, int(port)), timeout=10) as sock:
+        reader = sock.makefile("r", encoding="utf-8")
+        hello = json.loads(reader.readline())
+        assert hello["event"] == "hello", hello
+        sock.sendall((json.dumps(frame) + "\n").encode())
+        line = reader.readline()
+        return json.loads(line) if line else None
+
+
+def check_hit_ratio(metrics_json):
+    counters = json.load(open(metrics_json))["metrics"]["counters"]
+    hits = counters.get("svc.cache.hits", 0)
+    misses = counters.get("svc.cache.misses", 0)
+    ratio = hits / max(1, hits + misses)
+    print(f"cache: {hits} hits, {misses} misses, hit ratio {ratio:.2f}")
+    assert hits > 0 and ratio > 0, "warm sweep produced no cache hits"
+
+
+def check_prometheus(text):
+    """Validate `text` against the Prometheus text exposition format."""
+    samples = 0
+    buckets = {}  # histogram name -> last cumulative count seen
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name_part, value = line.rsplit(" ", 1)
+        float(value)  # every sample value must parse as a float
+        samples += 1
+        name = name_part.split("{", 1)[0]
+        assert name[0].isalpha() or name[0] in "_:", f"bad metric name: {line}"
+        assert all(c.isalnum() or c in "_:" for c in name), f"bad name: {line}"
+        if name.endswith("_bucket"):
+            prev = buckets.get(name, 0.0)
+            assert float(value) >= prev, f"non-monotone bucket: {line}"
+            buckets[name] = float(value)
+            if 'le="+Inf"' in name_part:
+                del buckets[name]  # series complete
+    assert not buckets, f"histograms missing +Inf bucket: {sorted(buckets)}"
+    assert samples > 0, "empty exposition"
+    print(f"prometheus exposition: {samples} samples, all parsed")
+
+
+def main():
+    addr, metrics_json, prom_out = sys.argv[1:4]
+    check_hit_ratio(metrics_json)
+    reply = request(addr, {"op": "metrics", "format": "prometheus"})
+    assert reply["event"] == "metrics", reply
+    assert reply["format"] == "prometheus", reply
+    check_prometheus(reply["text"])
+    with open(prom_out, "w") as f:
+        f.write(reply["text"])
+    request(addr, {"op": "shutdown"})
+    print("server asked to shut down")
+
+
+if __name__ == "__main__":
+    main()

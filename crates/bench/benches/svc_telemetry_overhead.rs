@@ -1,0 +1,84 @@
+//! Service-telemetry overhead on the server's per-request path.
+//!
+//! The contract (DESIGN.md §18): the tracing spans around every request
+//! use the same gated profiler as the simulator, so with no `--spans`
+//! session open a request pays only relaxed atomic loads for its spans —
+//! `span_named/disabled` must not even build its name string. The
+//! always-on metrics side (`inc`, `observe_us`, `request`) is a mutex
+//! plus a map update per request — microseconds against a protocol
+//! round-trip that costs milliseconds — and this bench keeps that cost
+//! visible so regressions are caught before they reach the service.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use svc::telemetry::{RequestRecord, Telemetry, TraceCtx};
+
+fn bench_telemetry_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svc_telemetry");
+    group.throughput(Throughput::Elements(1));
+
+    // The per-request span, no session open: the near-zero-cost path the
+    // server runs when started without `--spans`. The closure allocating
+    // the trace-suffixed name must not run.
+    group.bench_function("span_named/disabled", |b| {
+        let trace = TraceCtx::fresh();
+        b.iter(|| {
+            let _hp = hostprof::span_named(|| format!("svc.run:{}", trace.trace_id));
+            black_box(0u64)
+        })
+    });
+
+    // The same span with a session open: name allocation + stack push/pop
+    // + aggregate update, i.e. what `xp serve --spans DIR` pays.
+    group.bench_function("span_named/enabled", |b| {
+        let trace = TraceCtx::fresh();
+        let session = hostprof::start();
+        b.iter(|| {
+            let _hp = hostprof::span_named(|| format!("svc.run:{}", trace.trace_id));
+            black_box(0u64)
+        });
+        drop(session.finish());
+    });
+
+    // Always-on metrics: one counter bump, one histogram sample.
+    group.bench_function("metrics/inc", |b| {
+        let tel = Telemetry::new();
+        b.iter(|| tel.inc(black_box("svc.cells.hit"), 1))
+    });
+    group.bench_function("metrics/observe_us", |b| {
+        let tel = Telemetry::new();
+        b.iter(|| tel.observe_us(black_box("svc.compute_us"), black_box(137)))
+    });
+
+    // The full request record: op counter + two latency histograms + a
+    // bounded log-ring push (steady state, ring at capacity).
+    group.bench_function("metrics/request", |b| {
+        let tel = Telemetry::new();
+        let trace = TraceCtx::fresh();
+        b.iter(|| {
+            tel.request(RequestRecord {
+                trace_id: trace.trace_id.clone(),
+                op: "run",
+                ok: true,
+                detail: "8 cells: 8 cached, 0 computed".into(),
+                wall_secs: black_box(0.0042),
+            })
+        })
+    });
+
+    // Trace propagation: minting a context and the wire round-trip the
+    // client and server each pay once per frame.
+    group.bench_function("trace/fresh", |b| b.iter(|| black_box(TraceCtx::fresh())));
+    group.bench_function("trace/json_roundtrip", |b| {
+        let trace = TraceCtx::fresh();
+        b.iter(|| {
+            let json = trace.to_json();
+            black_box(TraceCtx::from_json(&json).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_paths);
+criterion_main!(benches);

@@ -35,5 +35,7 @@ pub mod resident;
 pub mod telemetry;
 
 pub use pool::{Job, JobPanic, Pool, TimedResult};
-pub use resident::{BatchHandle, ResidentJob, ResidentPool, ResidentStats};
+pub use resident::{
+    BatchHandle, ResidentJob, ResidentPool, ResidentStats, ResidentStatus, ResidentWorkerStatus,
+};
 pub use telemetry::{PoolMonitor, PoolStatus, PoolTelemetry, WorkerStatus, WorkerTelemetry};

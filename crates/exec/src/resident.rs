@@ -79,6 +79,30 @@ struct Shared<T> {
     jobs_done: AtomicU64,
     jobs_failed: AtomicU64,
     batches: AtomicU64,
+    t0: Instant,
+    live: Vec<WorkerLive>,
+}
+
+/// One resident worker's live counters, updated by the worker itself and
+/// read by [`ResidentPool::status`] at any moment of the pool's life —
+/// the resident-shape analogue of the scoped pool's `WorkerState`
+/// (periodic snapshots instead of one end-of-run telemetry record).
+struct WorkerLive {
+    busy_ns: AtomicU64,
+    jobs: AtomicU64,
+    /// Nanoseconds-since-`t0` **plus one** while inside a job, 0 when
+    /// idle (the +1 keeps 0 unambiguous).
+    busy_since_ns: AtomicU64,
+}
+
+impl WorkerLive {
+    fn new() -> Self {
+        WorkerLive {
+            busy_ns: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
+            busy_since_ns: AtomicU64::new(0),
+        }
+    }
 }
 
 struct QueueState<T> {
@@ -95,6 +119,39 @@ pub struct ResidentStats {
     pub jobs_failed: u64,
     /// Batches submitted.
     pub batches: u64,
+}
+
+/// A point-in-time view of one resident worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidentWorkerStatus {
+    /// Whether the worker is inside a job right now.
+    pub busy: bool,
+    /// Seconds spent inside jobs so far (the in-flight job included).
+    pub busy_secs: f64,
+    /// Busy seconds over the pool's uptime.
+    pub busy_fraction: f64,
+    /// Jobs this worker completed.
+    pub jobs: u64,
+}
+
+/// A point-in-time view of one resident pool: the periodic-snapshot
+/// counterpart of [`ResidentStats`], cheap enough to publish on every
+/// telemetry scrape instead of only at end of run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidentStatus {
+    /// Seconds since the pool was created.
+    pub uptime_secs: f64,
+    /// Jobs queued and not yet picked up by a worker.
+    pub queue_len: usize,
+    /// One entry per worker, index = worker id.
+    pub workers: Vec<ResidentWorkerStatus>,
+}
+
+impl ResidentStatus {
+    /// Workers currently inside a job.
+    pub fn busy_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.busy).count()
+    }
 }
 
 /// A pool of long-lived worker threads. Dropping the pool shuts it down:
@@ -118,6 +175,8 @@ impl<T: Send + 'static> ResidentPool<T> {
             jobs_done: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            t0: Instant::now(),
+            live: (0..workers).map(|_| WorkerLive::new()).collect(),
         });
         let handles = (0..workers)
             .map(|me| {
@@ -146,6 +205,40 @@ impl<T: Send + 'static> ResidentPool<T> {
             jobs_done: self.shared.jobs_done.load(Relaxed),
             jobs_failed: self.shared.jobs_failed.load(Relaxed),
             batches: self.shared.batches.load(Relaxed),
+        }
+    }
+
+    /// A live snapshot: queue depth and per-worker utilization right now.
+    /// Safe to call from any thread at any cadence — counters are relaxed
+    /// atomics and the queue lock is held only to read its length.
+    pub fn status(&self) -> ResidentStatus {
+        let now_ns = self.shared.t0.elapsed().as_nanos() as u64;
+        let queue_len = self.shared.queue.lock().unwrap().jobs.len();
+        ResidentStatus {
+            uptime_secs: now_ns as f64 * 1e-9,
+            queue_len,
+            workers: self
+                .shared
+                .live
+                .iter()
+                .map(|w| {
+                    let since = w.busy_since_ns.load(Relaxed);
+                    let mut busy_ns = w.busy_ns.load(Relaxed);
+                    if since > 0 {
+                        busy_ns += now_ns.saturating_sub(since - 1);
+                    }
+                    ResidentWorkerStatus {
+                        busy: since > 0,
+                        busy_secs: busy_ns as f64 * 1e-9,
+                        busy_fraction: if now_ns > 0 {
+                            (busy_ns as f64 / now_ns as f64).min(1.0)
+                        } else {
+                            0.0
+                        },
+                        jobs: w.jobs.load(Relaxed),
+                    }
+                })
+                .collect(),
         }
     }
 
@@ -198,12 +291,19 @@ fn worker_loop<T: Send + 'static>(me: usize, shared: &Shared<T>) {
         let Some((batch, index, job)) = next else {
             return;
         };
+        let live = &shared.live[me];
+        live.busy_since_ns
+            .store(shared.t0.elapsed().as_nanos() as u64 + 1, Relaxed);
         let t0 = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(job)).map_err(|payload| JobPanic {
             index,
             message: crate::pool::panic_message(payload.as_ref()),
         });
         let wall = t0.elapsed().as_secs_f64();
+        live.busy_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+        live.busy_since_ns.store(0, Relaxed);
+        live.jobs.fetch_add(1, Relaxed);
         shared.jobs_done.fetch_add(1, Relaxed);
         if result.is_err() {
             shared.jobs_failed.fetch_add(1, Relaxed);
@@ -303,6 +403,52 @@ mod tests {
         assert_eq!(handle.wait(2).result.unwrap(), 2);
         assert_eq!(handle.wait(0).result.unwrap(), 0);
         assert_eq!(handle.wait(1).result.unwrap(), 1);
+    }
+
+    #[test]
+    fn status_sees_busy_workers_and_queue_depth_live() {
+        let pool: ResidentPool<usize> = ResidentPool::new(1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let mut jobs: Vec<ResidentJob<usize>> = Vec::new();
+        for i in 0..3usize {
+            let gate = Arc::clone(&gate);
+            jobs.push(Box::new(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+                i
+            }));
+        }
+        let handle = pool.submit(jobs);
+        // The single worker picks up job 0 and blocks on the gate; the
+        // other two jobs stay queued.
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let s = pool.status();
+            if s.busy_workers() == 1 && s.queue_len == 2 {
+                assert_eq!(s.workers.len(), 1);
+                assert!(s.workers[0].busy);
+                assert_eq!(s.workers[0].jobs, 0, "no job finished yet");
+                break;
+            }
+            assert!(Instant::now() < deadline, "worker never picked up job 0");
+            std::thread::yield_now();
+        }
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        let out = handle.wait_all();
+        assert_eq!(out.len(), 3);
+        let s = pool.status();
+        assert_eq!(s.queue_len, 0);
+        assert_eq!(s.busy_workers(), 0);
+        assert_eq!(s.workers[0].jobs, 3);
+        assert!(s.workers[0].busy_secs >= 0.0);
+        assert!(s.workers[0].busy_fraction <= 1.0);
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Prometheus text exposition of a [`MetricsRegistry`].
+//!
+//! The service's `metrics` protocol op answers in two formats: the
+//! registry's own JSON (`MetricsRegistry::to_json`) and the Prometheus
+//! text format rendered here, so any standard scraper pointed at a thin
+//! HTTP shim (or a human with `nc`) reads the same numbers the JSON
+//! consumers do.
+//!
+//! Mapping:
+//! * counters/gauges render one sample each, names sanitized to the
+//!   Prometheus grammar (`svc.cache.hits` → `svc_cache_hits`);
+//! * a log2-bucket [`Histogram`] renders as a cumulative Prometheus
+//!   histogram: bucket `i` admits values up to `2^(i+1) - 1`, so that is
+//!   its inclusive `le` bound (the 0-bucket, admitting {0, 1}, gets
+//!   `le="1"`), followed by the mandatory `+Inf` bucket, `_sum`, and
+//!   `_count` samples.
+
+use crate::metrics::{Histogram, MetricsRegistry};
+use std::fmt::Write as _;
+
+/// A metric name reduced to the Prometheus grammar: `[a-zA-Z0-9_:]`,
+/// everything else replaced by `_`, with a leading `_` prepended when the
+/// name would start with a digit.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &Histogram) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (floor, count) in h.nonzero_buckets() {
+        cumulative += count;
+        // Bucket floors are 0 or 2^i; the bucket's inclusive upper bound
+        // is the largest value it admits.
+        let le = if floor == 0 { 1 } else { 2 * floor - 1 };
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(out, "{name}_sum {}", h.sum());
+    let _ = writeln!(out, "{name}_count {}", h.count());
+}
+
+/// Render the whole registry in the Prometheus text exposition format
+/// (version 0.0.4). Families are emitted in registry (name) order:
+/// counters, then gauges, then histograms.
+pub fn prometheus_text(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in registry.counters() {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in registry.gauges() {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, h) in registry.histograms() {
+        render_histogram(&mut out, &sanitize_name(name), h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize_name("svc.cache.hits"), "svc_cache_hits");
+        assert_eq!(sanitize_name("already_fine:ok"), "already_fine:ok");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn counters_and_gauges_render_one_sample_each() {
+        let mut m = MetricsRegistry::new();
+        m.inc("svc.requests.run.ok", 3);
+        m.set_gauge("svc.queue_depth", 2.5);
+        let text = prometheus_text(&m);
+        assert!(text.contains("# TYPE svc_requests_run_ok counter\n"));
+        assert!(text.contains("svc_requests_run_ok 3\n"));
+        assert!(text.contains("# TYPE svc_queue_depth gauge\n"));
+        assert!(text.contains("svc_queue_depth 2.5\n"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets() {
+        let mut m = MetricsRegistry::new();
+        for v in [1u64, 3, 3, 300] {
+            m.observe("lat.us", v);
+        }
+        let text = prometheus_text(&m);
+        // Bucket [0,1] holds one sample; [2,3] two more; [256,511] the last.
+        assert!(text.contains("# TYPE lat_us histogram\n"));
+        assert!(text.contains("lat_us_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("lat_us_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("lat_us_bucket{le=\"511\"} 4\n"));
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("lat_us_sum 307\n"));
+        assert!(text.contains("lat_us_count 4\n"));
+    }
+
+    #[test]
+    fn every_line_is_a_comment_or_name_value_sample() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a.b", 1);
+        m.set_gauge("c.d", 1.0);
+        m.observe("e.f", 7);
+        for line in prometheus_text(&m).lines() {
+            if line.starts_with('#') {
+                let mut parts = line.split_whitespace();
+                assert_eq!(parts.next(), Some("#"));
+                assert_eq!(parts.next(), Some("TYPE"));
+                assert!(parts.next().is_some(), "family name in {line:?}");
+                assert!(
+                    matches!(parts.next(), Some("counter" | "gauge" | "histogram")),
+                    "family kind in {line:?}"
+                );
+            } else {
+                let mut parts = line.split_whitespace();
+                let name = parts.next().expect("metric name");
+                assert!(
+                    name.chars().all(|c| c.is_ascii_alphanumeric()
+                        || matches!(c, '_' | ':' | '{' | '}' | '=' | '"' | '+' | '.')),
+                    "name grammar in {line:?}"
+                );
+                let value = parts.next().expect("sample value");
+                assert!(value.parse::<f64>().is_ok(), "numeric value in {line:?}");
+                assert_eq!(parts.next(), None, "exactly two fields in {line:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert_eq!(prometheus_text(&MetricsRegistry::new()), "");
+    }
+}

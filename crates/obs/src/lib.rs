@@ -27,6 +27,7 @@
 //! ```
 
 pub mod event;
+pub mod expo;
 pub mod export;
 pub mod import;
 pub mod json;

@@ -133,6 +133,21 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
+    /// All counters in name order (exposition formatters iterate these).
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
     /// Full registry as one JSON object (for `metrics.json`-style dumps).
     pub fn to_json(&self) -> Value {
         let counters = Value::Object(

@@ -34,16 +34,23 @@ pub mod hash;
 pub mod proto;
 pub mod server;
 pub mod spec;
+pub mod telemetry;
 
 pub use cache::{Cache, CacheStatsSnapshot, GcOutcome, ScanReport, VerifyOutcome};
 pub use proto::Client;
 pub use server::{Compute, Server};
 pub use spec::CellSpec;
+pub use telemetry::{RequestRecord, Telemetry, TraceCtx};
 
 /// Default TCP port of `xp serve` (`127.0.0.1` only).
 pub const DEFAULT_PORT: u16 = 46137;
 
 /// Protocol schema tag sent in the server's hello event. The major (the
 /// integer before the dot-less `v`..) gates compatibility: a client that
-/// reads a different major falls back to local execution.
-pub const PROTO_SCHEMA: &str = "ddnomp-svc v1";
+/// reads a different major falls back to local execution. Minor 1 added
+/// the `metrics`/`log` ops and the per-frame trace context — all
+/// additive, so v1.0 clients interoperate unchanged.
+pub const PROTO_SCHEMA: &str = "ddnomp-svc v1.1";
+
+/// Schema tag of the `metrics` op's JSON response body.
+pub const METRICS_SCHEMA: &str = "ddnomp-metrics v1";

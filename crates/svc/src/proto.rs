@@ -9,6 +9,7 @@
 //! mismatched server degrades to exactly the offline behaviour.
 
 use crate::spec::CellSpec;
+use crate::telemetry::TraceCtx;
 use obs::json::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -127,7 +128,13 @@ impl Client {
     pub fn ping(&self) -> bool {
         self.connect()
             .and_then(|(mut reader, mut stream)| {
-                send(&mut stream, &Value::object(vec![("op", "ping".into())]))?;
+                send(
+                    &mut stream,
+                    &Value::object(vec![
+                        ("op", "ping".into()),
+                        ("trace", TraceCtx::fresh().to_json()),
+                    ]),
+                )?;
                 let event = read_event(&mut reader)?;
                 Ok(event["event"] == "pong")
             })
@@ -135,7 +142,10 @@ impl Client {
     }
 
     /// Run a batch of cells on the server. Returns outcomes in spec
-    /// order; `progress` observes the stream as it arrives.
+    /// order; `progress` observes the stream as it arrives. The request
+    /// carries a fresh [`TraceCtx`] — the server names its spans after
+    /// the trace id and echoes it in the `done` event, so one request is
+    /// one reconstructible span tree in the server's Perfetto export.
     pub fn run_cells(
         &self,
         specs: &[CellSpec],
@@ -144,6 +154,7 @@ impl Client {
         let (mut reader, mut stream) = self.connect()?;
         let request = Value::object(vec![
             ("op", "run".into()),
+            ("trace", TraceCtx::fresh().to_json()),
             (
                 "cells",
                 Value::Array(specs.iter().map(CellSpec::to_json).collect()),
@@ -204,11 +215,48 @@ impl Client {
 
     /// The server's `stats` event (cache + pool counters, uptime).
     pub fn stats(&self) -> Result<Value, String> {
+        self.one_shot(
+            Value::object(vec![
+                ("op", "stats".into()),
+                ("trace", TraceCtx::fresh().to_json()),
+            ]),
+            "stats",
+        )
+    }
+
+    /// The server's `metrics` event: the full telemetry snapshot, as JSON
+    /// (`prometheus = false`) or with the snapshot rendered in the
+    /// Prometheus text exposition format under a `text` field.
+    pub fn metrics(&self, prometheus: bool) -> Result<Value, String> {
+        let mut fields = vec![
+            ("op", Value::from("metrics")),
+            ("trace", TraceCtx::fresh().to_json()),
+        ];
+        if prometheus {
+            fields.push(("format", "prometheus".into()));
+        }
+        self.one_shot(Value::object(fields), "metrics")
+    }
+
+    /// The newest `n` request-log records the server retains.
+    pub fn log_tail(&self, n: usize) -> Result<Value, String> {
+        self.one_shot(
+            Value::object(vec![
+                ("op", "log".into()),
+                ("n", n.into()),
+                ("trace", TraceCtx::fresh().to_json()),
+            ]),
+            "log",
+        )
+    }
+
+    /// Send one request and expect exactly one event of the given kind.
+    fn one_shot(&self, request: Value, expect: &str) -> Result<Value, String> {
         let (mut reader, mut stream) = self.connect()?;
-        send(&mut stream, &Value::object(vec![("op", "stats".into())]))?;
+        send(&mut stream, &request)?;
         let event = read_event(&mut reader)?;
-        if event["event"] != "stats" {
-            return Err(format!("expected stats, got {event}"));
+        if event["event"] != expect {
+            return Err(format!("expected {expect}, got {event}"));
         }
         Ok(event)
     }
@@ -216,7 +264,13 @@ impl Client {
     /// Ask the server to shut down. `Ok` once the server acknowledged.
     pub fn shutdown(&self) -> Result<(), String> {
         let (mut reader, mut stream) = self.connect()?;
-        send(&mut stream, &Value::object(vec![("op", "shutdown".into())]))?;
+        send(
+            &mut stream,
+            &Value::object(vec![
+                ("op", "shutdown".into()),
+                ("trace", TraceCtx::fresh().to_json()),
+            ]),
+        )?;
         let event = read_event(&mut reader)?;
         if event["event"] != "bye" {
             return Err(format!("expected bye, got {event}"));

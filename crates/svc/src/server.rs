@@ -27,13 +27,14 @@
 
 use crate::cache::Cache;
 use crate::spec::CellSpec;
+use crate::telemetry::{RequestRecord, Telemetry, TraceCtx};
 use exec::{ResidentJob, ResidentPool};
 use obs::json::Value;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -80,6 +81,12 @@ struct Shared {
     code_version: String,
     stop: AtomicBool,
     started: Instant,
+    telemetry: Telemetry,
+    /// Cells whose compute resolved to an error — panics converted by the
+    /// flight-resolution wrapper included, which the pool's own
+    /// `jobs_failed` can never see (the wrapper catches the unwind before
+    /// the pool does).
+    runs_failed: AtomicU64,
 }
 
 /// The resident experiment server. [`Server::bind`] claims the port;
@@ -111,6 +118,8 @@ impl Server {
                 code_version: code_version.to_string(),
                 stop: AtomicBool::new(false),
                 started: Instant::now(),
+                telemetry: Telemetry::new(),
+                runs_failed: AtomicU64::new(0),
             }),
         })
     }
@@ -161,45 +170,116 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<
     stream.set_nodelay(true).ok();
     let reader = BufReader::new(stream.try_clone()?);
     let mut out = BufWriter::new(stream);
-    emit(
-        &mut out,
-        Value::object(vec![
-            ("event", "hello".into()),
-            ("schema", crate::PROTO_SCHEMA.into()),
-            ("code_version", shared.code_version.as_str().into()),
-            ("workers", shared.pool.workers().into()),
-        ]),
-    )?;
+    {
+        let _hp = hostprof::span("svc.accept");
+        emit(
+            &mut out,
+            Value::object(vec![
+                ("event", "hello".into()),
+                ("schema", crate::PROTO_SCHEMA.into()),
+                ("code_version", shared.code_version.as_str().into()),
+                ("workers", shared.pool.workers().into()),
+            ]),
+        )?;
+    }
     for line in reader.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
+        let t0 = Instant::now();
         let request = match Value::parse(&line) {
             Ok(v) => v,
             Err(e) => {
-                emit(&mut out, error_event(&format!("bad request JSON: {e}")))?;
+                let message = format!("bad request JSON: {e}");
+                let sent = emit(&mut out, error_event(&message));
+                record(shared, TraceCtx::fresh(), "bad", false, message, t0);
+                sent?;
                 continue;
             }
         };
+        // The trace context rides on the frame; frames from older clients
+        // carry none and get a server-minted root so every request still
+        // has exactly one trace id.
+        let trace = request
+            .get("trace")
+            .and_then(TraceCtx::from_json)
+            .unwrap_or_else(TraceCtx::fresh);
         match request.get("op").and_then(Value::as_str) {
-            Some("run") => handle_run(shared, &mut out, &request)?,
-            Some("ping") => emit(&mut out, Value::object(vec![("event", "pong".into())]))?,
-            Some("stats") => emit(&mut out, stats_event(shared))?,
+            Some("run") => {
+                let _hp = hostprof::span_named(|| format!("svc.run:{}", trace.trace_id));
+                match handle_run(shared, &mut out, &request, &trace) {
+                    Ok((ok, detail)) => record(shared, trace, "run", ok, detail, t0),
+                    Err(e) => {
+                        record(
+                            shared,
+                            trace,
+                            "run",
+                            false,
+                            format!("client io error: {e}"),
+                            t0,
+                        );
+                        return Err(e);
+                    }
+                }
+            }
+            Some("ping") => {
+                let sent = emit(&mut out, Value::object(vec![("event", "pong".into())]));
+                record(shared, trace, "ping", true, String::new(), t0);
+                sent?;
+            }
+            Some("stats") => {
+                let sent = emit(&mut out, stats_event(shared));
+                record(shared, trace, "stats", true, String::new(), t0);
+                sent?;
+            }
+            Some("metrics") => {
+                let format = request.get("format").and_then(Value::as_str);
+                let sent = emit(&mut out, metrics_event(shared, format));
+                let detail = format.unwrap_or("json").to_string();
+                record(shared, trace, "metrics", true, detail, t0);
+                sent?;
+            }
+            Some("log") => {
+                let n = request.get("n").and_then(Value::as_u64).unwrap_or(50) as usize;
+                let sent = emit(&mut out, log_event(shared, n));
+                record(shared, trace, "log", true, format!("n={n}"), t0);
+                sent?;
+            }
             Some("shutdown") => {
                 shared.stop.store(true, Relaxed);
-                emit(&mut out, Value::object(vec![("event", "bye".into())]))?;
+                let sent = emit(&mut out, Value::object(vec![("event", "bye".into())]));
+                record(shared, trace, "shutdown", true, String::new(), t0);
+                sent?;
                 break;
             }
             other => {
-                emit(
-                    &mut out,
-                    error_event(&format!("unknown op {:?}", other.unwrap_or("<none>"))),
-                )?;
+                let message = format!("unknown op {:?}", other.unwrap_or("<none>"));
+                let sent = emit(&mut out, error_event(&message));
+                record(shared, trace, "unknown", false, message, t0);
+                sent?;
             }
         }
     }
     Ok(())
+}
+
+/// Record one finished request into the telemetry store.
+fn record(
+    shared: &Shared,
+    trace: TraceCtx,
+    op: &'static str,
+    ok: bool,
+    detail: String,
+    t0: Instant,
+) {
+    shared.telemetry.request(RequestRecord {
+        trace_id: trace.trace_id,
+        op,
+        ok,
+        detail,
+        wall_secs: t0.elapsed().as_secs_f64(),
+    });
 }
 
 /// How one cell of a batch resolves.
@@ -216,16 +296,23 @@ fn handle_run(
     shared: &Arc<Shared>,
     out: &mut BufWriter<TcpStream>,
     request: &Value,
-) -> std::io::Result<()> {
+    trace: &TraceCtx,
+) -> std::io::Result<(bool, String)> {
     let t0 = Instant::now();
     let Some(cells) = request.get("cells").and_then(Value::as_array) else {
-        return emit(out, error_event("run request has no 'cells' array"));
+        let message = "run request has no 'cells' array".to_string();
+        emit(out, error_event(&message))?;
+        return Ok((false, message));
     };
     let mut specs = Vec::with_capacity(cells.len());
     for (i, cell) in cells.iter().enumerate() {
         match CellSpec::from_json(cell) {
             Ok(spec) => specs.push(spec),
-            Err(e) => return emit(out, error_event(&format!("cell {i}: {e}"))),
+            Err(e) => {
+                let message = format!("cell {i}: {e}");
+                emit(out, error_event(&message))?;
+                return Ok((false, message));
+            }
         }
     }
     let total = specs.len();
@@ -250,7 +337,16 @@ fn handle_run(
             }
         };
         let Some(flight) = owned else { continue };
-        if let Some(payload) = shared.cache.lookup(spec) {
+        let looked_up = {
+            let _hp = hostprof::span("svc.cache_lookup");
+            let t = Instant::now();
+            let payload = shared.cache.lookup(spec);
+            shared
+                .telemetry
+                .observe_us("svc.cache_lookup_us", t.elapsed().as_micros() as u64);
+            payload
+        };
+        if let Some(payload) = looked_up {
             flight.resolve(Ok(payload.clone()));
             shared.inflight.lock().unwrap().remove(&key);
             resolutions.push(Resolution::Hit(payload));
@@ -258,13 +354,27 @@ fn handle_run(
             resolutions.push(Resolution::Compute(jobs.len()));
             let shared = Arc::clone(shared);
             let spec = spec.clone();
+            let trace_id = trace.trace_id.clone();
             jobs.push(Box::new(move || {
+                // The compute span carries the request's trace id, tying
+                // the worker thread's subtree (this span plus the cell
+                // spans the compute binding opens under it) back to the
+                // connection thread's `svc.run:<id>` root.
+                let _hp = hostprof::span_named(|| format!("svc.compute:{trace_id}"));
+                let t = Instant::now();
                 // The compute binding may panic (a cell's own panic
                 // isolation lives a layer down); convert to Err here so
                 // the flight is ALWAYS resolved — a joiner must never
                 // hang on a dead computation.
                 let result = catch_unwind(AssertUnwindSafe(|| (shared.compute)(&spec)))
                     .unwrap_or_else(|p| Err(format!("compute panicked: {}", panic_text(&*p))));
+                shared
+                    .telemetry
+                    .observe_us("svc.compute_us", t.elapsed().as_micros() as u64);
+                if result.is_err() {
+                    shared.runs_failed.fetch_add(1, Relaxed);
+                    shared.telemetry.inc("svc.cells.failed", 1);
+                }
                 if let Ok(payload) = &result {
                     if let Err(e) = shared.cache.store(&spec, payload) {
                         // A failed store is a warning, not a failure: the
@@ -283,6 +393,7 @@ fn handle_run(
     let batch = shared.pool.submit(jobs);
     // Stream results: hits immediately, computed cells as their slots
     // fill, joined cells as their owners resolve them.
+    let _hp = hostprof::span("svc.stream");
     let mut done = 0usize;
     let mut counts = (0u64, 0u64, 0u64, 0u64); // hits, computed, joined, errors
     let order = |r: &Resolution| match r {
@@ -309,6 +420,7 @@ fn handle_run(
             }
             Resolution::Joined(flight) => {
                 counts.2 += 1;
+                let _hp = hostprof::span("svc.flight_wait");
                 ("inflight", 0.0, flight.wait())
             }
         };
@@ -352,6 +464,10 @@ fn handle_run(
             ]),
         )?;
     }
+    shared.telemetry.inc("svc.cells.hit", counts.0);
+    shared.telemetry.inc("svc.cells.computed", counts.1);
+    shared.telemetry.inc("svc.flight.joins", counts.2);
+    shared.telemetry.inc("svc.cells.refused", counts.3);
     emit(
         out,
         Value::object(vec![
@@ -362,8 +478,14 @@ fn handle_run(
             ("joined", counts.2.into()),
             ("errors", counts.3.into()),
             ("wall_secs", t0.elapsed().as_secs_f64().into()),
+            ("trace_id", trace.trace_id.as_str().into()),
         ]),
-    )
+    )?;
+    let detail = format!(
+        "{total} cells — {} cached, {} computed, {} joined, {} errors",
+        counts.0, counts.1, counts.2, counts.3
+    );
+    Ok((counts.3 == 0, detail))
 }
 
 fn stats_event(shared: &Shared) -> Value {
@@ -390,7 +512,78 @@ fn stats_event(shared: &Shared) -> Value {
             ]),
         ),
         ("inflight", shared.inflight.lock().unwrap().len().into()),
+        ("runs_failed", shared.runs_failed.load(Relaxed).into()),
         ("uptime_secs", shared.started.elapsed().as_secs_f64().into()),
+    ])
+}
+
+/// The `metrics` op's response: the telemetry registry merged with
+/// scrape-time counters (cache) and gauges (queue, workers, cache size,
+/// in-flight cells), as JSON or as Prometheus text exposition.
+fn metrics_event(shared: &Shared, format: Option<&str>) -> Value {
+    let mut reg = shared.telemetry.registry();
+    // The cache keeps its own counters; copy them into the snapshot so
+    // one scrape carries every number (the clone starts these at 0).
+    let cache = shared.cache.stats();
+    reg.inc("svc.cache.hits", cache.hits);
+    reg.inc("svc.cache.misses", cache.misses);
+    reg.inc("svc.cache.stores", cache.stores);
+    reg.inc("svc.cache.corrupt", cache.corrupt);
+    reg.inc("svc.runs_failed", shared.runs_failed.load(Relaxed));
+    let scan = shared.cache.scan();
+    reg.set_gauge("svc.cache.bytes", scan.bytes as f64);
+    reg.set_gauge("svc.cache.entries", scan.entries as f64);
+    let status = shared.pool.status();
+    reg.set_gauge("svc.queue_depth", status.queue_len as f64);
+    reg.set_gauge("svc.workers_busy", status.busy_workers() as f64);
+    reg.set_gauge(
+        "svc.inflight_cells",
+        shared.inflight.lock().unwrap().len() as f64,
+    );
+    reg.set_gauge("svc.uptime_secs", shared.started.elapsed().as_secs_f64());
+    if format == Some("prometheus") {
+        return Value::object(vec![
+            ("event", "metrics".into()),
+            ("format", "prometheus".into()),
+            ("text", obs::expo::prometheus_text(&reg).into()),
+        ]);
+    }
+    let workers = Value::Array(
+        status
+            .workers
+            .iter()
+            .map(|w| {
+                Value::object(vec![
+                    ("busy", w.busy.into()),
+                    ("busy_fraction", w.busy_fraction.into()),
+                    ("busy_secs", w.busy_secs.into()),
+                    ("jobs", w.jobs.into()),
+                ])
+            })
+            .collect(),
+    );
+    let mut fields = vec![
+        ("event".to_string(), Value::from("metrics")),
+        ("schema".to_string(), crate::METRICS_SCHEMA.into()),
+        (
+            "uptime_secs".to_string(),
+            shared.started.elapsed().as_secs_f64().into(),
+        ),
+        ("workers".to_string(), workers),
+    ];
+    if let Value::Object(parts) = reg.to_json() {
+        fields.extend(parts);
+    }
+    Value::Object(fields)
+}
+
+/// The `log` op's response: the newest `n` request-log records.
+fn log_event(shared: &Shared, n: usize) -> Value {
+    let records = shared.telemetry.log_tail(n);
+    Value::object(vec![
+        ("event", "log".into()),
+        ("count", records.len().into()),
+        ("records", Value::Array(records)),
     ])
 }
 

@@ -21,7 +21,7 @@ use xp::summary::SummaryEntry;
 use xp::Report;
 
 const COMMANDS: &str = "table1|fig1|fig4|table2|fig5|fig6|ablations|multiprog|staticplace|all|\
-     trace|prof|selfprof|bench|lint|serve|client|cache";
+     trace|prof|selfprof|bench|lint|serve|client|cache|top|history";
 
 const USAGE: &str = "\
 xp — experiment driver for the data-distribution study
@@ -36,9 +36,13 @@ usage:
           [--history DIR] [--scale tiny|small|medium] [--out DIR]
   xp lint [--bench bt|sp|cg|mg|ft] [--all] [--deny CODES] [--allow FILE]
           [--emit-placement] [--scale tiny|small|medium] [--out DIR]
-  xp serve [--port N|--addr ADDR] [--jobs N] [--cache-dir DIR]
+  xp serve [--port N|--addr ADDR] [--jobs N] [--cache-dir DIR] [--spans DIR]
   xp client COMMAND [--addr ADDR|--port N] [other COMMAND options]
+  xp client stats [--addr ADDR|--port N] [--json]
   xp cache stats|verify|gc [--cache-dir DIR] [--max-bytes N] [--max-age SECS]
+          [--json]
+  xp top [--addr ADDR|--port N] [--interval MS] [--once] [--json]
+  xp history [--history DIR] [--bench bt|sp|cg|mg|ft] [--json]
 
 commands:
   table1     memory-hierarchy latencies (paper Table 1)
@@ -79,6 +83,14 @@ commands:
   cache      result-cache maintenance: `stats` (counters + disk usage),
              `verify` (integrity-check every entry, drop damaged ones),
              `gc` (evict by age and/or total size)
+  top        live ops console over a running server: request rate, cache
+             hit ratio, latency percentiles, per-worker utilization and
+             the newest request-log lines, one screen per --interval
+             (--once for a single plain snapshot, --json for the raw
+             metrics + log documents)
+  history    trend report over the perf gate's history.jsonl: per-bench
+             deltas, least-squares slope, step changes and anomalies
+             across recorded runs (--json for dashboards)
 
 options:
   --scale tiny|small|medium  problem scale (default medium)
@@ -90,7 +102,7 @@ options:
   --out DIR                  output directory for reports (default results/)
   --trace DIR                also record an event trace of every run into
                              DIR (commands other than trace)
-  --bench NAME               restrict lint or bench to one benchmark
+  --bench NAME               restrict lint, bench or history to one benchmark
   --all                      all five benchmarks (lint: default; prof and
                              selfprof: instead of a positional benchmark)
   --from FILE                prof: analyse a saved trace.jsonl instead of
@@ -117,6 +129,17 @@ options:
                              when serving)
   --max-bytes N              cache gc: keep at most N bytes (newest first)
   --max-age SECS             cache gc: drop entries older than SECS
+  --spans DIR                serve: record host-side spans for the whole
+                             server lifetime; on shutdown write
+                             svc-spans.jsonl and svc-spans.chrome.json
+                             (open in Perfetto; one span tree per traced
+                             request) under DIR
+  --json                     top/history/cache stats/client stats:
+                             machine-readable output instead of the
+                             human rendering
+  --interval MS              top: poll interval in milliseconds
+                             (default 1000)
+  --once                     top: print one snapshot and exit
   -h, --help                 show this help
 ";
 
@@ -150,8 +173,13 @@ fn parse_scale(s: &str) -> Scale {
 type Job = (&'static str, Box<dyn FnOnce() -> Vec<Report>>);
 
 /// `xp serve`: bind, announce the bound address on stdout (parseable —
-/// tests and scripts bind `--port 0`), serve until a client shuts us down.
-fn serve(addr: &str, cache_root: &std::path::Path) -> ! {
+/// tests and scripts bind `--port 0`), serve until a client shuts us
+/// down. With `spans_dir`, the whole server lifetime runs under a
+/// hostprof session; shutdown writes the span record (JSONL + Chrome
+/// trace for Perfetto) before exiting — every traced request appears as
+/// one `svc.run:<trace_id>` tree with its `svc.compute:<trace_id>`
+/// worker subtree.
+fn serve(addr: &str, cache_root: &std::path::Path, spans_dir: Option<&std::path::Path>) -> ! {
     use std::io::Write as _;
     let cache = svc::Cache::new(cache_root);
     let server = svc::Server::bind(
@@ -174,7 +202,27 @@ fn serve(addr: &str, cache_root: &std::path::Path) -> ! {
         xp::jobs::get(),
         xp::spec::CODE_VERSION
     );
-    match server.run() {
+    let session = spans_dir.map(|_| hostprof::start());
+    let outcome = server.run();
+    if let (Some(session), Some(dir)) = (session, spans_dir) {
+        let report = session.finish();
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("[svc] warn: cannot create {}: {e}", dir.display());
+        } else {
+            let jsonl = dir.join("svc-spans.jsonl");
+            let chrome = dir.join("svc-spans.chrome.json");
+            match std::fs::write(&jsonl, hostprof::export::to_jsonl(&report)) {
+                Ok(()) => eprintln!("[svc] saved {}", jsonl.display()),
+                Err(e) => eprintln!("[svc] warn: cannot write {}: {e}", jsonl.display()),
+            }
+            let trace = hostprof::export::chrome_trace(&report, "xp serve");
+            match std::fs::write(&chrome, format!("{trace}\n")) {
+                Ok(()) => eprintln!("[svc] saved {}", chrome.display()),
+                Err(e) => eprintln!("[svc] warn: cannot write {}: {e}", chrome.display()),
+            }
+        }
+    }
+    match outcome {
         Ok(()) => {
             eprintln!("[svc] shutdown");
             std::process::exit(0);
@@ -190,14 +238,25 @@ fn cache_admin(
     root: &std::path::Path,
     max_bytes: Option<u64>,
     max_age: Option<u64>,
+    json: bool,
 ) {
     if let Some(extra) = extra {
         die(&format!("unexpected argument '{extra}'"));
+    }
+    if json && sub != Some("stats") {
+        die("--json applies to `xp cache stats`");
     }
     let cache = svc::Cache::new(root);
     match sub {
         Some("stats") => {
             let scan = cache.scan();
+            if json {
+                println!(
+                    "{}",
+                    xp::top::cache_scan_json(root, &scan).to_string_pretty()
+                );
+                return;
+            }
             println!(
                 "cache {}: {} entries, {} bytes",
                 root.display(),
@@ -267,6 +326,10 @@ fn main() {
     let mut port: Option<u16> = None;
     let mut gc_max_bytes: Option<u64> = None;
     let mut gc_max_age: Option<u64> = None;
+    let mut json_out = false;
+    let mut top_interval_ms: Option<u64> = None;
+    let mut top_once = false;
+    let mut spans_dir: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -380,6 +443,29 @@ fn main() {
                     .unwrap_or_else(|_| die(&format!("--max-age needs seconds, got '{v}'")));
                 gc_max_age = Some(n);
             }
+            "--json" => json_out = true,
+            "--once" => top_once = true,
+            "--interval" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--interval needs milliseconds"));
+                let ms = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        die(&format!(
+                            "--interval needs positive milliseconds, got '{v}'"
+                        ))
+                    });
+                top_interval_ms = Some(ms);
+            }
+            "--spans" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--spans needs a directory"));
+                spans_dir = Some(PathBuf::from(v));
+            }
             flag if flag.starts_with('-') => die(&format!("unknown flag '{flag}'")),
             other => positionals.push(other.to_string()),
         }
@@ -394,14 +480,33 @@ fn main() {
     if addr.is_some() && port.is_some() {
         die("--addr and --port are mutually exclusive");
     }
-    if !client_mode && command != "serve" && (addr.is_some() || port.is_some()) {
-        die("--addr/--port apply to `xp serve` and `xp client`");
+    if !client_mode
+        && !matches!(command.as_str(), "serve" | "top")
+        && (addr.is_some() || port.is_some())
+    {
+        die("--addr/--port apply to `xp serve`, `xp client` and `xp top`");
     }
     if command != "cache" && (gc_max_bytes.is_some() || gc_max_age.is_some()) {
         die("--max-bytes/--max-age apply to `xp cache gc`");
     }
-    if client_mode && matches!(command.as_str(), "serve" | "cache" | "client") {
+    if client_mode
+        && matches!(
+            command.as_str(),
+            "serve" | "cache" | "client" | "top" | "history"
+        )
+    {
         die(&format!("`xp client {command}` is not a thing"));
+    }
+    if command != "top" && (top_once || top_interval_ms.is_some()) {
+        die("--once/--interval apply to `xp top`");
+    }
+    if command != "serve" && spans_dir.is_some() {
+        die("--spans applies to `xp serve`");
+    }
+    let json_commands = matches!(command.as_str(), "top" | "history" | "cache")
+        || (client_mode && command == "stats");
+    if json_out && !json_commands {
+        die("--json applies to `xp top`, `xp history`, `xp cache stats` and `xp client stats`");
     }
     let server_addr = addr
         .clone()
@@ -412,7 +517,7 @@ fn main() {
         if let Some(extra) = positionals.get(1) {
             die(&format!("unexpected argument '{extra}'"));
         }
-        serve(&server_addr, &cache_root);
+        serve(&server_addr, &cache_root, spans_dir.as_deref());
     }
     if command == "cache" {
         cache_admin(
@@ -421,7 +526,48 @@ fn main() {
             &cache_root,
             gc_max_bytes,
             gc_max_age,
+            json_out,
         );
+        return;
+    }
+    if command == "top" {
+        if let Some(extra) = positionals.get(1) {
+            die(&format!("unexpected argument '{extra}'"));
+        }
+        let interval = std::time::Duration::from_millis(top_interval_ms.unwrap_or(1000));
+        if let Err(e) = xp::top::run(&server_addr, interval, top_once, json_out) {
+            die(&e);
+        }
+        return;
+    }
+    if command == "history" {
+        if let Some(extra) = positionals.get(1) {
+            die(&format!("unexpected argument '{extra}'"));
+        }
+        let history = bench_history
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("results/history"));
+        let bench = lint_bench.as_deref().inspect(|name| {
+            xp::trace::parse_bench(name).unwrap_or_else(|| {
+                die(&format!(
+                    "unknown benchmark '{name}' (expected bt|sp|cg|mg|ft)"
+                ))
+            });
+        });
+        match xp::history::run(&history, json_out, bench) {
+            Ok(out) => print!("{out}"),
+            Err(e) => die(&e),
+        }
+        return;
+    }
+    if client_mode && command == "stats" {
+        if let Some(extra) = positionals.get(1) {
+            die(&format!("unexpected argument '{extra}'"));
+        }
+        match xp::top::client_stats(&server_addr, json_out) {
+            Ok(out) => print!("{out}"),
+            Err(e) => die(&e),
+        }
         return;
     }
     if use_cache && !no_cache {

@@ -1,0 +1,503 @@
+//! `xp history`: trend analytics over the perf gate's append-only log.
+//!
+//! `xp bench --record` appends one [`GateRecord`] per run to
+//! `results/history/history.jsonl`. This module reads that log back as a
+//! set of *series* — one per `(scale, bench id)` pair, in record order —
+//! and reports how each gated metric moved across recorded runs:
+//!
+//! * **deltas** — first → last simulated seconds and migrations, plus the
+//!   newest host-seconds total where the record carries a breakdown;
+//! * **slope** — a least-squares fit of simulated seconds over run index,
+//!   as percent of the series mean per recorded run, so a slow creep that
+//!   never trips the 5% gate in any single step is still visible;
+//! * **step changes** — any consecutive pair whose simulated time or
+//!   migration count moved more than [`STEP_THRESHOLD`], pinpointed to
+//!   the run index where the jump happened;
+//! * **anomalies** — points whose residual from the fitted line exceeds
+//!   [`ANOMALY_SIGMA`] robust standard deviations (estimated from the
+//!   median absolute deviation, so a spike cannot inflate the yardstick
+//!   used to judge it): a one-run excursion that later runs recovered
+//!   from, invisible to first-vs-last deltas.
+//!
+//! The analysis is pure (records in, trends out); the `xp` binary renders
+//! it as a markdown table or, with `--json`, as one machine-readable
+//! document for dashboards.
+
+use crate::bench_gate::{load_history, GateRecord};
+use crate::report::Report;
+use obs::json::Value;
+use std::path::Path;
+
+/// Consecutive-run fractional change that counts as a step (matches the
+/// perf gate's default threshold).
+pub const STEP_THRESHOLD: f64 = 0.05;
+
+/// Residual-to-robust-sigma ratio past which a point is flagged
+/// anomalous (sigma estimated as 1.4826 x the median absolute
+/// deviation of the detrended residuals — an outlier does not inflate
+/// the yardstick it is judged against).
+pub const ANOMALY_SIGMA: f64 = 3.0;
+
+/// One benchmark's value at one recorded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendPoint {
+    /// Index of the record in the history log (0-based).
+    pub run: usize,
+    /// Simulated seconds (deterministic, the primary trend metric).
+    pub sim_secs: f64,
+    /// Total page migrations (deterministic).
+    pub migrations: u64,
+    /// Total host seconds across the breakdown (0 for v1 records).
+    pub host_secs: f64,
+}
+
+/// One consecutive-run jump past [`STEP_THRESHOLD`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepChange {
+    /// History run index the series jumped *at* (the later of the pair).
+    pub run: usize,
+    /// Which metric jumped (`sim_secs` or `migrations`).
+    pub metric: &'static str,
+    /// Fractional change from the previous run (+0.25 = 25% slower).
+    pub delta: f64,
+}
+
+/// The full trend for one `(scale, bench)` series.
+#[derive(Debug, Clone)]
+pub struct BenchTrend {
+    /// Problem-scale label the series was recorded at.
+    pub scale: String,
+    /// Benchmark id (`cg`, `cg-static`, ...).
+    pub id: String,
+    /// The series, in history order.
+    pub points: Vec<TrendPoint>,
+    /// Fractional first→last change of simulated seconds.
+    pub sim_delta: f64,
+    /// Least-squares slope of simulated seconds, as fraction of the
+    /// series mean per recorded run (0 for single-point series).
+    pub sim_slope: f64,
+    /// First→last migration-count change.
+    pub migration_delta: i64,
+    /// Consecutive-run jumps past the threshold, oldest first.
+    pub steps: Vec<StepChange>,
+    /// Run indices whose sim-seconds residual from the fitted line
+    /// exceeds [`ANOMALY_SIGMA`] sigmas.
+    pub anomalies: Vec<usize>,
+}
+
+impl BenchTrend {
+    /// True when the series shows nothing worth a second look.
+    pub fn quiet(&self) -> bool {
+        self.steps.is_empty() && self.anomalies.is_empty()
+    }
+}
+
+/// Least-squares slope of `ys` over their indices (0 for short series).
+fn slope(ys: &[f64]) -> f64 {
+    let n = ys.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mean_x = (nf - 1.0) / 2.0;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, &y) in ys.iter().enumerate() {
+        let dx = i as f64 - mean_x;
+        num += dx * (y - mean_y);
+        den += dx * dx;
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Fractional change `b/a - 1`, 0 when the base is 0.
+fn frac_delta(a: f64, b: f64) -> f64 {
+    if a == 0.0 {
+        0.0
+    } else {
+        b / a - 1.0
+    }
+}
+
+/// Build one [`BenchTrend`] from a series of points.
+fn trend_of(scale: String, id: String, points: Vec<TrendPoint>) -> BenchTrend {
+    let sims: Vec<f64> = points.iter().map(|p| p.sim_secs).collect();
+    let first = points.first();
+    let last = points.last();
+    let sim_delta = match (first, last) {
+        (Some(a), Some(b)) => frac_delta(a.sim_secs, b.sim_secs),
+        _ => 0.0,
+    };
+    let migration_delta = match (first, last) {
+        (Some(a), Some(b)) => b.migrations as i64 - a.migrations as i64,
+        _ => 0,
+    };
+    let mean = if sims.is_empty() {
+        0.0
+    } else {
+        sims.iter().sum::<f64>() / sims.len() as f64
+    };
+    let raw_slope = slope(&sims);
+    let sim_slope = if mean == 0.0 { 0.0 } else { raw_slope / mean };
+
+    let mut steps = Vec::new();
+    for pair in points.windows(2) {
+        let d = frac_delta(pair[0].sim_secs, pair[1].sim_secs);
+        if d.abs() > STEP_THRESHOLD {
+            steps.push(StepChange {
+                run: pair[1].run,
+                metric: "sim_secs",
+                delta: d,
+            });
+        }
+        let d = frac_delta(pair[0].migrations as f64, pair[1].migrations as f64);
+        if d.abs() > STEP_THRESHOLD {
+            steps.push(StepChange {
+                run: pair[1].run,
+                metric: "migrations",
+                delta: d,
+            });
+        }
+    }
+
+    // Residuals from the fitted line, judged against a robust sigma
+    // (1.4826 x the median absolute deviation). A plain standard
+    // deviation would let a big spike inflate the yardstick enough to
+    // mask itself; MAD keeps the yardstick anchored to the quiet points.
+    // The STEP_THRESHOLD x mean floor keeps near-deterministic series
+    // (MAD ~ 0) from flagging sub-threshold wiggle.
+    let mut anomalies = Vec::new();
+    if sims.len() >= 4 {
+        let mean_x = (sims.len() as f64 - 1.0) / 2.0;
+        let residual = |i: usize, y: f64| y - (mean + raw_slope * (i as f64 - mean_x));
+        let median = |xs: &mut Vec<f64>| -> f64 {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let n = xs.len();
+            if n % 2 == 1 {
+                xs[n / 2]
+            } else {
+                (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+            }
+        };
+        let res: Vec<f64> = sims
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| residual(i, y))
+            .collect();
+        let center = median(&mut res.clone());
+        let mut abs_dev: Vec<f64> = res.iter().map(|r| (r - center).abs()).collect();
+        let robust_sigma = 1.4826 * median(&mut abs_dev);
+        let cutoff = (ANOMALY_SIGMA * robust_sigma).max(STEP_THRESHOLD * mean.abs());
+        for (i, r) in res.iter().enumerate() {
+            if (r - center).abs() > cutoff {
+                anomalies.push(points[i].run);
+            }
+        }
+    }
+
+    BenchTrend {
+        scale,
+        id,
+        points,
+        sim_delta,
+        sim_slope,
+        migration_delta,
+        steps,
+        anomalies,
+    }
+}
+
+/// Group history records into per-`(scale, bench)` trends, series in
+/// first-appearance order (matches the committed log's suite order).
+pub fn analyze(records: &[GateRecord]) -> Vec<BenchTrend> {
+    let mut order: Vec<(String, String)> = Vec::new();
+    let mut series: std::collections::HashMap<(String, String), Vec<TrendPoint>> =
+        std::collections::HashMap::new();
+    for (run, record) in records.iter().enumerate() {
+        for entry in &record.entries {
+            let key = (record.scale.clone(), entry.id.clone());
+            if !series.contains_key(&key) {
+                order.push(key.clone());
+            }
+            series.entry(key).or_default().push(TrendPoint {
+                run,
+                sim_secs: entry.sim_secs,
+                migrations: entry.migrations,
+                host_secs: entry.host_secs.iter().map(|(_, s)| s).sum(),
+            });
+        }
+    }
+    order
+        .into_iter()
+        .map(|(scale, id)| {
+            let points = series.remove(&(scale.clone(), id.clone())).unwrap();
+            trend_of(scale, id, points)
+        })
+        .collect()
+}
+
+/// The trends as one markdown report.
+pub fn report(trends: &[BenchTrend], runs: usize) -> Report {
+    let mut report = Report::new(
+        "history_trends",
+        &format!("Perf history trends ({runs} recorded runs)"),
+        &[
+            "Scale",
+            "Bench",
+            "Runs",
+            "Sim first (s)",
+            "Sim last (s)",
+            "Sim Δ%",
+            "Slope %/run",
+            "Migr Δ",
+            "Flags",
+        ],
+    );
+    for t in trends {
+        let first = t.points.first().map(|p| p.sim_secs).unwrap_or(0.0);
+        let last = t.points.last().map(|p| p.sim_secs).unwrap_or(0.0);
+        let mut flags = Vec::new();
+        for s in &t.steps {
+            flags.push(format!(
+                "step@{} {} {:+.1}%",
+                s.run,
+                s.metric,
+                s.delta * 100.0
+            ));
+        }
+        for &run in &t.anomalies {
+            flags.push(format!("anomaly@{run}"));
+        }
+        report.row(vec![
+            t.scale.clone(),
+            t.id.clone(),
+            t.points.len().to_string(),
+            format!("{:.6}", first),
+            format!("{:.6}", last),
+            format!("{:+.2}", t.sim_delta * 100.0),
+            format!("{:+.3}", t.sim_slope * 100.0),
+            format!("{:+}", t.migration_delta),
+            if flags.is_empty() {
+                "-".to_string()
+            } else {
+                flags.join("; ")
+            },
+        ]);
+    }
+    let noisy = trends.iter().filter(|t| !t.quiet()).count();
+    report.note(format!(
+        "{} series; {noisy} with step changes or anomalies \
+         (step threshold {:.0}%, anomaly {ANOMALY_SIGMA}σ off the fitted line)",
+        trends.len(),
+        STEP_THRESHOLD * 100.0
+    ));
+    report
+}
+
+/// The trends as one machine-readable JSON document.
+pub fn to_json(trends: &[BenchTrend], runs: usize) -> Value {
+    let series = trends
+        .iter()
+        .map(|t| {
+            let points = Value::Array(
+                t.points
+                    .iter()
+                    .map(|p| {
+                        Value::object(vec![
+                            ("run", p.run.into()),
+                            ("sim_secs", p.sim_secs.into()),
+                            ("migrations", p.migrations.into()),
+                            ("host_secs", p.host_secs.into()),
+                        ])
+                    })
+                    .collect(),
+            );
+            let steps = Value::Array(
+                t.steps
+                    .iter()
+                    .map(|s| {
+                        Value::object(vec![
+                            ("run", s.run.into()),
+                            ("metric", s.metric.into()),
+                            ("delta", s.delta.into()),
+                        ])
+                    })
+                    .collect(),
+            );
+            Value::object(vec![
+                ("scale", t.scale.as_str().into()),
+                ("id", t.id.as_str().into()),
+                ("points", points),
+                ("sim_delta", t.sim_delta.into()),
+                ("sim_slope", t.sim_slope.into()),
+                ("migration_delta", t.migration_delta.into()),
+                ("steps", steps),
+                (
+                    "anomalies",
+                    Value::Array(t.anomalies.iter().map(|&r| r.into()).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Value::object(vec![
+        ("schema", "ddnomp-history v1".into()),
+        ("runs", runs.into()),
+        ("series", Value::Array(series)),
+    ])
+}
+
+/// `xp history`: load the log, analyze, render (markdown or JSON).
+/// `bench` restricts the report to one benchmark's series (its static
+/// companion included).
+pub fn run(history_dir: &Path, json: bool, bench: Option<&str>) -> Result<String, String> {
+    let records = load_history(&history_dir.join("history.jsonl"))?;
+    let mut trends = analyze(&records);
+    if let Some(bench) = bench {
+        let stat = format!("{bench}-static");
+        trends.retain(|t| t.id == bench || t.id == stat);
+        if trends.is_empty() {
+            return Err(format!("no recorded series for benchmark '{bench}'"));
+        }
+    }
+    Ok(if json {
+        format!("{}\n", to_json(&trends, records.len()).to_string_pretty())
+    } else {
+        report(&trends, records.len()).to_markdown()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_gate::{GateEntry, BENCH_SCHEMA_MAJOR};
+
+    fn record(scale: &str, entries: Vec<(&str, f64, u64)>) -> GateRecord {
+        GateRecord {
+            schema_major: BENCH_SCHEMA_MAJOR,
+            scale: scale.into(),
+            seed: 20000,
+            entries: entries
+                .into_iter()
+                .map(|(id, sim_secs, migrations)| GateEntry {
+                    id: id.into(),
+                    sim_secs,
+                    wall_secs: 0.1,
+                    migrations,
+                    remote_fraction: 0.2,
+                    host_secs: vec![("ccnuma".into(), 0.05)],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn series_group_by_scale_and_bench_in_first_appearance_order() {
+        let records = vec![
+            record("tiny", vec![("cg", 1.0, 100), ("mg", 2.0, 50)]),
+            record("small", vec![("cg", 4.0, 400)]),
+            record("tiny", vec![("cg", 1.0, 100), ("mg", 2.0, 50)]),
+        ];
+        let trends = analyze(&records);
+        let keys: Vec<(String, String)> = trends
+            .iter()
+            .map(|t| (t.scale.clone(), t.id.clone()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("tiny".into(), "cg".into()),
+                ("tiny".into(), "mg".into()),
+                ("small".into(), "cg".into()),
+            ]
+        );
+        assert_eq!(trends[0].points.len(), 2);
+        assert_eq!(trends[2].points.len(), 1);
+        assert_eq!(trends[0].points[1].run, 2);
+        assert!(trends.iter().all(BenchTrend::quiet));
+    }
+
+    #[test]
+    fn deltas_slope_and_steps_are_detected() {
+        // cg creeps 2% per run (never trips a single step), mg jumps 50%
+        // at run 2 and migrates more.
+        let records = vec![
+            record("tiny", vec![("cg", 1.00, 100), ("mg", 2.0, 50)]),
+            record("tiny", vec![("cg", 1.02, 100), ("mg", 2.0, 50)]),
+            record("tiny", vec![("cg", 1.04, 100), ("mg", 3.0, 80)]),
+            record("tiny", vec![("cg", 1.06, 100), ("mg", 3.0, 80)]),
+        ];
+        let trends = analyze(&records);
+        let cg = &trends[0];
+        assert!(cg.steps.is_empty(), "{:?}", cg.steps);
+        assert!((cg.sim_delta - 0.06).abs() < 1e-9);
+        // Slope ≈ 0.02 absolute per run ≈ 1.94% of the mean per run.
+        assert!(
+            cg.sim_slope > 0.015 && cg.sim_slope < 0.025,
+            "{}",
+            cg.sim_slope
+        );
+        let mg = &trends[1];
+        assert_eq!(mg.migration_delta, 30);
+        let metrics: Vec<&str> = mg.steps.iter().map(|s| s.metric).collect();
+        assert_eq!(metrics, vec!["sim_secs", "migrations"]);
+        assert_eq!(mg.steps[0].run, 2);
+        assert!((mg.steps[0].delta - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a_recovered_spike_is_an_anomaly_but_not_a_delta() {
+        let mut sims = [1.0; 9];
+        sims[4] = 3.0; // one-run spike, fully recovered
+        let records: Vec<GateRecord> = sims
+            .iter()
+            .map(|&s| record("tiny", vec![("cg", s, 100)]))
+            .collect();
+        let trends = analyze(&records);
+        assert_eq!(trends[0].anomalies, vec![4]);
+        // First→last delta sees nothing.
+        assert!(trends[0].sim_delta.abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_and_json_render_the_same_trends() {
+        let records = vec![
+            record("tiny", vec![("cg", 1.0, 100)]),
+            record("tiny", vec![("cg", 2.0, 100)]),
+        ];
+        let trends = analyze(&records);
+        let md = report(&trends, records.len()).to_markdown();
+        assert!(md.contains("| tiny | cg | 2 |"), "{md}");
+        assert!(md.contains("step@1 sim_secs +100.0%"), "{md}");
+        let v = to_json(&trends, records.len());
+        assert_eq!(v["schema"].as_str(), Some("ddnomp-history v1"));
+        assert_eq!(v["runs"].as_u64(), Some(2));
+        assert_eq!(v["series"][0]["id"].as_str(), Some("cg"));
+        assert_eq!(v["series"][0]["steps"][0]["run"].as_u64(), Some(1));
+        // The document round-trips through the parser.
+        let parsed = Value::parse(&v.to_string()).unwrap();
+        assert_eq!(parsed["series"][0]["sim_delta"].as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn the_committed_history_analyzes_clean() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/history");
+        let out = run(&path, true, None).unwrap();
+        let v = Value::parse(out.trim()).unwrap();
+        assert!(v["runs"].as_u64().unwrap() >= 1);
+        assert!(!v["series"].as_array().unwrap().is_empty());
+        let md = run(&path, false, None).unwrap();
+        assert!(md.contains("Perf history trends"), "{md}");
+        // The bench filter keeps the benchmark and its static companion.
+        let out = run(&path, true, Some("cg")).unwrap();
+        let v = Value::parse(out.trim()).unwrap();
+        for s in v["series"].as_array().unwrap() {
+            assert!(matches!(s["id"].as_str(), Some("cg" | "cg-static")));
+        }
+        assert!(run(&path, true, Some("nope")).is_err());
+    }
+}

@@ -26,6 +26,7 @@ pub mod fig1;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod history;
 pub mod jobs;
 pub mod lint;
 pub mod multiprog;
@@ -42,6 +43,7 @@ pub mod summary;
 pub mod table1;
 pub mod table2;
 pub mod telemetry;
+pub mod top;
 pub mod trace;
 
 pub use cells::{CellOutput, CellPlan};

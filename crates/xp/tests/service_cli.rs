@@ -127,9 +127,14 @@ struct Serve {
 
 impl Serve {
     fn start(cache: &Path) -> Serve {
+        Serve::start_with(cache, &[])
+    }
+
+    fn start_with(cache: &Path, extra: &[&str]) -> Serve {
         let mut child = Command::new(env!("CARGO_BIN_EXE_xp"))
             .args(["serve", "--port", "0", "--jobs", "2", "--cache-dir"])
             .arg(cache)
+            .args(extra)
             .stdout(Stdio::piped())
             .stderr(Stdio::null())
             .spawn()
@@ -199,6 +204,143 @@ fn count(stderr: &str, what: &str) -> u64 {
                 .and_then(|n| n.trim().parse::<u64>().ok())
         })
         .unwrap_or_else(|| panic!("no '{what}' count in: {line}"))
+}
+
+/// Run the xp binary with args; panic on failure; return (stdout, stderr).
+fn xp_run(args: &[&str]) -> (String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_xp"))
+        .args(args)
+        .output()
+        .expect("xp binary runs");
+    assert!(
+        output.status.success(),
+        "xp {args:?} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+/// The whole telemetry surface over one live server: a cold + warm sweep
+/// through the client, then the `metrics`/`log` ops, `xp top --once`,
+/// `xp client stats --json`, and — after a graceful shutdown — the span
+/// export with one reconstructible trace per request. Saved result JSON
+/// must stay byte-identical to the uninstrumented offline run throughout.
+#[test]
+fn telemetry_sees_a_warm_sweep_and_spans_reconstruct_requests() {
+    let dir = tmp("svc_telemetry");
+    let spans = dir.join("spans");
+    let server = Serve::start_with(&dir.join("srvcache"), &["--spans", spans.to_str().unwrap()]);
+
+    // Offline reference first: instrumentation must not leak into results.
+    fig5(&dir.join("offline"), &[]);
+    let cold = client_fig5(&dir.join("cold"), &server.addr);
+    assert_eq!(count(&cold, "computed"), 8, "{cold}");
+    let warm = client_fig5(&dir.join("warm"), &server.addr);
+    assert_eq!(count(&warm, "cached"), 8, "{warm}");
+    assert_eq!(
+        fig5_json(&dir.join("offline")),
+        fig5_json(&dir.join("cold"))
+    );
+    assert_eq!(
+        fig5_json(&dir.join("offline")),
+        fig5_json(&dir.join("warm"))
+    );
+
+    // The metrics op: the cache-hit counter equals the warm sweep's cell
+    // count, and both exposition formats carry the same numbers.
+    let client = svc::Client::new(&server.addr, xp::spec::CODE_VERSION);
+    let m = client.metrics(false).expect("metrics op answers");
+    let counters = &m["counters"];
+    assert_eq!(counters["svc.cache.hits"].as_u64(), Some(8), "{m}");
+    assert_eq!(counters["svc.cells.hit"].as_u64(), Some(8));
+    assert_eq!(counters["svc.cells.computed"].as_u64(), Some(8));
+    assert_eq!(counters["svc.requests.run.ok"].as_u64(), Some(2));
+    assert!(m["histograms"]["svc.compute_us"]["count"].as_u64() == Some(8));
+    let p = client.metrics(true).expect("prometheus metrics answer");
+    let text = p["text"].as_str().unwrap();
+    assert!(text.contains("svc_cache_hits 8\n"), "{text}");
+    assert!(text.contains("# TYPE svc_request_us histogram"), "{text}");
+
+    // The log op: both run requests, each with a propagated trace id.
+    let log = client.log_tail(50).expect("log op answers");
+    let runs: Vec<&obs::json::Value> = log["records"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter(|r| r["op"].as_str() == Some("run"))
+        .collect();
+    assert_eq!(runs.len(), 2, "{log}");
+    let trace_ids: Vec<String> = runs
+        .iter()
+        .map(|r| r["trace_id"].as_str().unwrap().to_string())
+        .collect();
+    assert!(trace_ids.iter().all(|t| t.len() == 16), "{trace_ids:?}");
+
+    // The ops console and the stats surfaces read the same numbers.
+    let (top, _) = xp_run(&["top", "--once", "--addr", &server.addr]);
+    assert!(top.contains("request rate"), "{top}");
+    assert!(top.contains("hit ratio"), "{top}");
+    assert!(top.contains("p50≥"), "{top}");
+    assert!(top.contains("w0 ["), "{top}");
+    let (top_json, _) = xp_run(&["top", "--json", "--addr", &server.addr]);
+    let doc = obs::json::Value::parse(top_json.trim()).unwrap();
+    assert_eq!(
+        doc["metrics"]["counters"]["svc.cache.hits"].as_u64(),
+        Some(8)
+    );
+    let (stats_json, _) = xp_run(&["client", "stats", "--json", "--addr", &server.addr]);
+    let stats = obs::json::Value::parse(stats_json.trim()).unwrap();
+    assert_eq!(stats["runs_failed"].as_u64(), Some(0), "{stats}");
+    assert_eq!(stats["cache"]["hits"].as_u64(), Some(8));
+    let (stats_text, _) = xp_run(&["client", "stats", "--addr", &server.addr]);
+    assert!(stats_text.contains("8 hits"), "{stats_text}");
+
+    // Graceful shutdown flushes the span export; each traced run request
+    // appears as an `svc.run:<id>` tree with its worker-side
+    // `svc.compute:<id>` subtree under the same propagated id.
+    let mut server = server;
+    client.shutdown().expect("shutdown acknowledged");
+    let status = server.child.wait().expect("server exits");
+    assert!(status.success());
+    let chrome =
+        std::fs::read_to_string(spans.join("svc-spans.chrome.json")).expect("chrome trace written");
+    let jsonl = std::fs::read_to_string(spans.join("svc-spans.jsonl")).expect("span jsonl written");
+    assert!(!jsonl.trim().is_empty());
+    for id in &trace_ids {
+        assert!(
+            chrome.contains(&format!("svc.run:{id}")),
+            "run span for {id}"
+        );
+    }
+    // Only the cold request computed cells, so only its trace id reaches
+    // the worker threads; the warm request's tree is lookups only.
+    assert!(
+        chrome.contains(&format!("svc.compute:{}", trace_ids[0])),
+        "worker subtree carries the cold request's trace id"
+    );
+    assert!(
+        !chrome.contains(&format!("svc.compute:{}", trace_ids[1])),
+        "the all-hit request computes nothing"
+    );
+    assert!(chrome.contains("svc.cache_lookup"), "lookup spans present");
+    // The export is valid JSON all the way down.
+    obs::json::Value::parse(chrome.trim()).expect("chrome trace parses");
+}
+
+#[test]
+fn history_reports_the_committed_log_in_both_renderings() {
+    let history = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/history");
+    let (json, _) = xp_run(&["history", "--json", "--history", history]);
+    let v = obs::json::Value::parse(json.trim()).unwrap();
+    assert_eq!(v["schema"].as_str(), Some("ddnomp-history v1"));
+    assert!(v["runs"].as_u64().unwrap() >= 1);
+    assert!(!v["series"].as_array().unwrap().is_empty());
+    let (md, _) = xp_run(&["history", "--history", history]);
+    assert!(md.contains("Perf history trends"), "{md}");
+    assert!(md.contains("| Scale | Bench |"), "{md}");
 }
 
 #[test]
